@@ -1,0 +1,41 @@
+"""Section VI-D (text) — insensitivity to the weight-function offset.
+
+Paper: "We also tested different offset values and observed that the
+performance is more or less the same."
+
+Reproduction: sweep the offset alpha of f(RSS) = RSS + alpha over
+{100, 120, 140} and check the spread is small.
+"""
+
+from __future__ import annotations
+
+from repro.core.weighting import OffsetWeight
+from repro.evaluation import ExperimentProtocol, run_repeated
+
+from conftest import save_table
+from methods import grafics_factory
+
+OFFSETS = (100.0, 120.0, 140.0)
+
+
+def test_ablation_offset(benchmark, campus_building):
+    protocol = ExperimentProtocol(labels_per_floor=4, repetitions=1, seed=0)
+
+    def run():
+        results = {}
+        for offset in OFFSETS:
+            results[offset] = run_repeated(
+                f"offset={offset:.0f}",
+                grafics_factory(weight_function=OffsetWeight(offset=offset)),
+                campus_building, protocol, extra={"offset": offset})
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_table("ablation_offset", [results[o].as_row() for o in OFFSETS],
+               columns=["method", "micro_f", "macro_f"],
+               header="Section VI-D — GRAFICS F-scores for different weight "
+                      "offsets alpha (4 labels per floor)")
+
+    micro = [results[o].micro_f for o in OFFSETS]
+    assert min(micro) > 0.8
+    assert max(micro) - min(micro) < 0.1

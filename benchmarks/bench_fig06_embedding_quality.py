@@ -1,0 +1,69 @@
+"""Fig. 6 — quality of E-LINE embeddings vs MDS and autoencoder embeddings.
+
+Paper: t-SNE of the embeddings of a fully labeled three-storey campus
+building; E-LINE separates the three floors into clean clusters while MDS and
+the autoencoder mix them.
+
+Reproduction: instead of a qualitative picture we compute cluster-separation
+metrics (silhouette, intra/inter distance ratio, nearest-neighbour floor
+purity) of each method's embeddings against the ground-truth floors.  E-LINE
+must dominate on every metric.  The benchmark times the E-LINE fit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.autoencoder import ConvAutoencoder
+from repro.baselines.base import MatrixFeaturizer
+from repro.baselines.mds import ClassicalMDS, cosine_dissimilarity
+from repro.core import ELINEEmbedder, EmbeddingConfig, build_graph
+from repro.evaluation import evaluate_separation
+
+from conftest import save_table
+
+
+def test_fig06_embedding_quality(benchmark, campus_building):
+    records = list(campus_building.records)
+    record_ids = [r.record_id for r in records]
+    floors = [r.floor for r in records]
+
+    # --- E-LINE on the bipartite graph (timed) -----------------------------
+    graph = build_graph(records)
+    embedder = ELINEEmbedder(EmbeddingConfig(samples_per_edge=40.0, seed=0))
+    embedding = benchmark.pedantic(lambda: embedder.fit(graph), rounds=1,
+                                   iterations=1)
+    eline_vectors = embedding.record_matrix(record_ids)
+
+    # --- MDS on the dense matrix -------------------------------------------
+    featurizer = MatrixFeaturizer()
+    features = featurizer.fit_transform(records)
+    rng = np.random.default_rng(0)
+    anchors = rng.choice(len(records), size=min(400, len(records)), replace=False)
+    mds = ClassicalMDS(dimension=8)
+    mds.fit(cosine_dissimilarity(features[anchors]))
+    mds_vectors = mds.transform(cosine_dissimilarity(features, features[anchors]))
+
+    # --- Convolutional autoencoder on the dense matrix ----------------------
+    autoencoder = ConvAutoencoder(num_features=features.shape[1],
+                                  embedding_dimension=8, epochs=15, seed=0)
+    autoencoder.fit(features)
+    ae_vectors = autoencoder.encode(features)
+
+    reports = [
+        evaluate_separation("E-LINE (GRAFICS)", eline_vectors, floors),
+        evaluate_separation("MDS", mds_vectors, floors),
+        evaluate_separation("Autoencoder", ae_vectors, floors),
+    ]
+    save_table("fig06_embedding_quality", [r.as_row() for r in reports],
+               header="Fig. 6 — floor separation of the embedding space "
+                      "(higher silhouette / nn_purity and lower "
+                      "intra_inter_ratio = cleaner floor clusters)")
+
+    eline, mds_report, ae_report = reports
+    assert eline.nn_purity >= mds_report.nn_purity
+    assert eline.nn_purity >= ae_report.nn_purity
+    assert eline.silhouette > mds_report.silhouette
+    assert eline.silhouette > ae_report.silhouette
+    assert eline.intra_inter_ratio < mds_report.intra_inter_ratio
+    assert eline.intra_inter_ratio < ae_report.intra_inter_ratio

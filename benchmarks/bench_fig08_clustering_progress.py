@@ -1,0 +1,71 @@
+"""Fig. 8 — progress of the proximity-based hierarchical clustering.
+
+Paper: snapshots of the clustering at 20/40/60/80/100% of the merges on a
+three-storey building with four labeled samples per floor; unlabeled samples
+gradually join the clusters anchored at labeled samples and the final
+grouping matches the floors.
+
+Reproduction: at each progress fraction we report the number of clusters and
+the floor purity of the partial clustering (fraction of records whose cluster
+majority-floor matches their own floor).  Purity must increase towards ~1 at
+100%.  The benchmark times the full clustering run.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+
+from repro.core import ELINEEmbedder, EmbeddingConfig, build_graph
+from repro.core.clustering import ProximityClustering
+from repro.data import sample_labels
+
+from conftest import save_table
+
+
+def partial_purity(assignments, truth):
+    """Majority-floor purity of a partial cluster assignment."""
+    members = defaultdict(list)
+    for record_id, cluster_id in assignments.items():
+        members[cluster_id].append(truth[record_id])
+    correct = 0
+    for floors in members.values():
+        correct += Counter(floors).most_common(1)[0][1]
+    return correct / len(assignments)
+
+
+def test_fig08_clustering_progress(benchmark, campus_building):
+    records = list(campus_building.records)
+    record_ids = [r.record_id for r in records]
+    truth = {r.record_id: r.floor for r in records}
+    labels = sample_labels(records, labels_per_floor=4, seed=0)
+
+    graph = build_graph(records)
+    embedding = ELINEEmbedder(EmbeddingConfig(samples_per_edge=40.0,
+                                              seed=0)).fit(graph)
+    vectors = embedding.record_matrix(record_ids)
+
+    clustering = ProximityClustering(allow_unreachable=True)
+    result = benchmark.pedantic(
+        lambda: clustering.fit(record_ids, vectors, labels),
+        rounds=1, iterations=1)
+
+    rows = []
+    purities = {}
+    for percent in (20, 40, 60, 80, 100):
+        assignments = result.assignments_at_fraction(percent / 100.0)
+        purity = partial_purity(assignments, truth)
+        purities[percent] = purity
+        rows.append({
+            "merge progress (%)": percent,
+            "clusters": len(set(assignments.values())),
+            "floor purity": round(purity, 3),
+        })
+    save_table("fig08_clustering_progress", rows,
+               header="Fig. 8 — clusters and floor purity as the "
+                      "agglomeration progresses (4 labels per floor)")
+
+    assert rows[-1]["clusters"] == len(labels)
+    assert purities[100] > 0.9
+    # The number of clusters shrinks monotonically towards one per label.
+    cluster_counts = [row["clusters"] for row in rows]
+    assert cluster_counts == sorted(cluster_counts, reverse=True)

@@ -1,0 +1,33 @@
+"""Fig. 9 — summary of the evaluated buildings.
+
+Paper: a scatter of the 200+ buildings showing 2–12 floors, a wide range of
+areas, up to ~2,500 MACs and up to ~50k records per building.
+
+Reproduction: the same summary over the synthetic Microsoft-like and Hong
+Kong-like corpora, asserting the corpus spans heterogeneous building heights
+and sizes.  The benchmark times corpus summarisation.
+"""
+
+from __future__ import annotations
+
+from repro.data import summarize_corpus
+
+from conftest import save_table
+
+
+def test_fig09_building_summary(benchmark, microsoft_corpus, hong_kong_corpus):
+    corpus = list(microsoft_corpus) + list(hong_kong_corpus)
+    summaries = benchmark.pedantic(lambda: summarize_corpus(corpus),
+                                   rounds=3, iterations=1)
+
+    rows = [s.as_row() for s in summaries]
+    save_table("fig09_building_summary", rows,
+               header="Fig. 9 — per-building summary of the synthetic corpora "
+                      "(stand-ins for the Microsoft and Hong Kong datasets)")
+
+    floors = [s.num_floors for s in summaries]
+    assert min(floors) >= 2
+    assert max(floors) >= 8
+    assert len({s.building_id for s in summaries}) == len(summaries)
+    areas = [s.area_m2 for s in summaries if s.area_m2]
+    assert max(areas) / min(areas) > 2.0

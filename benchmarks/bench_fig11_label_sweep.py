@@ -1,0 +1,73 @@
+"""Fig. 11 — F-scores vs the number of labeled samples per floor.
+
+Paper: on both corpora GRAFICS reaches ~0.96 micro-/macro-F with only four
+labeled samples per floor; the supervised baselines (Scalable-DNN, SAE) need
+hundreds of labels to catch up, and MDS / autoencoder barely benefit from
+more labels.
+
+Reproduction: sweep the per-floor label budget over {1, 4, 40, 100} for the
+five methods on subsets of both synthetic corpora and check the shape:
+GRAFICS is the best method at 4 labels by a clear margin, and the supervised
+baselines improve substantially as labels grow.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation import ExperimentProtocol, run_corpus
+
+from conftest import save_table
+from methods import paper_method_factories
+
+LABEL_BUDGETS = (1, 4, 40)
+
+
+def sweep(datasets, corpus_name):
+    factories = paper_method_factories()
+    rows = []
+    scores = {}
+    for budget in LABEL_BUDGETS:
+        protocol = ExperimentProtocol(labels_per_floor=budget, repetitions=1,
+                                      seed=0)
+        for method, factory in factories.items():
+            result = run_corpus(method, factory, datasets, protocol,
+                                extra={"labels_per_floor": budget,
+                                       "corpus": corpus_name})
+            scores[(method, budget)] = result
+            rows.append(result.as_row())
+    return rows, scores
+
+
+def check_shape(scores):
+    grafics_at_4 = scores[("GRAFICS", 4)]
+    # GRAFICS is near ceiling with only 4 labels per floor ...
+    assert grafics_at_4.micro_f > 0.85
+    # ... and is not beaten by any baseline at that budget.
+    for method in ("Scalable-DNN", "SAE", "MDS+Prox", "Autoencoder+Prox"):
+        assert grafics_at_4.micro_f >= scores[(method, 4)].micro_f - 0.01
+    # The supervised baselines benefit from one-plus order of magnitude more labels.
+    for method in ("Scalable-DNN", "SAE"):
+        assert scores[(method, 40)].micro_f > scores[(method, 1)].micro_f
+
+
+def test_fig11_microsoft(benchmark, microsoft_corpus):
+    # The two smallest buildings keep the sweep tractable on a laptop.
+    datasets = sorted(microsoft_corpus, key=len)[:2]
+    rows, scores = benchmark.pedantic(lambda: sweep(datasets, "microsoft"),
+                                      rounds=1, iterations=1)
+    save_table("fig11_label_sweep_microsoft", rows,
+               columns=["method", "labels_per_floor", "micro_f", "macro_f"],
+               header="Fig. 11(a) — F-scores vs labels per floor "
+                      "(Microsoft-like corpus)")
+    check_shape(scores)
+
+
+def test_fig11_hong_kong(benchmark, hong_kong_corpus):
+    datasets = [d for d in hong_kong_corpus
+                if d.building_id in ("hk-office-b", "hk-mall-a")]
+    rows, scores = benchmark.pedantic(lambda: sweep(datasets, "hong-kong"),
+                                      rounds=1, iterations=1)
+    save_table("fig11_label_sweep_hong_kong", rows,
+               columns=["method", "labels_per_floor", "micro_f", "macro_f"],
+               header="Fig. 11(b) — F-scores vs labels per floor "
+                      "(Hong Kong-like corpus)")
+    check_shape(scores)

@@ -1,0 +1,52 @@
+"""Fig. 12 — F-scores vs the ratio of data used for training.
+
+Paper: with the label budget fixed at four per floor, every model improves as
+the training portion of the dataset grows from 10% to 90% (more unlabeled
+records to learn the structure from), with GRAFICS on top throughout.
+
+Reproduction: sweep the training ratio over {0.3, 0.5, 0.7, 0.9} for GRAFICS
+and two representative baselines on one building per corpus.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation import ExperimentProtocol, run_repeated
+
+from conftest import save_table
+from methods import paper_method_factories
+
+RATIOS = (0.3, 0.5, 0.7, 0.9)
+METHODS = ("GRAFICS", "Scalable-DNN", "MDS+Prox")
+
+
+def sweep(dataset):
+    factories = {name: factory for name, factory
+                 in paper_method_factories().items() if name in METHODS}
+    rows = []
+    scores = {}
+    for ratio in RATIOS:
+        protocol = ExperimentProtocol(train_ratio=ratio, labels_per_floor=4,
+                                      repetitions=1, seed=0)
+        for method, factory in factories.items():
+            result = run_repeated(method, factory, dataset, protocol,
+                                  extra={"train_ratio": ratio})
+            scores[(method, ratio)] = result
+            rows.append(result.as_row())
+    return rows, scores
+
+
+def test_fig12_training_ratio(benchmark, hong_kong_corpus):
+    dataset = next(d for d in hong_kong_corpus if d.building_id == "hk-mall-b")
+    rows, scores = benchmark.pedantic(lambda: sweep(dataset), rounds=1,
+                                      iterations=1)
+    save_table("fig12_training_ratio", rows,
+               columns=["method", "train_ratio", "micro_f", "macro_f"],
+               header="Fig. 12 — F-scores vs training-data ratio "
+                      "(4 labels per floor, hk-mall-b)")
+
+    # GRAFICS improves (or stays at ceiling) with more training data and is
+    # the best method at the paper's default 70% split.
+    assert scores[("GRAFICS", 0.9)].micro_f >= scores[("GRAFICS", 0.3)].micro_f - 0.05
+    assert scores[("GRAFICS", 0.7)].micro_f >= max(
+        scores[(m, 0.7)].micro_f for m in METHODS if m != "GRAFICS") - 0.05
+    assert scores[("GRAFICS", 0.7)].micro_f > 0.8

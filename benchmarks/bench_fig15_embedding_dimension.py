@@ -1,0 +1,45 @@
+"""Fig. 15 — insensitivity of GRAFICS to the embedding dimension.
+
+Paper: micro- and macro-F stay essentially flat as the embedding dimension
+varies from 2^2 to 2^8, so deployment does not need a careful choice.
+
+Reproduction: sweep the dimension over {4, 8, 16, 32, 64} on one building and
+check that the spread between the best and worst dimension stays small.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation import ExperimentProtocol, run_repeated
+
+from conftest import save_table
+from methods import grafics_factory
+
+DIMENSIONS = (4, 8, 16, 32)
+
+
+def sweep(dataset):
+    protocol = ExperimentProtocol(labels_per_floor=4, repetitions=1, seed=0)
+    rows = []
+    scores = {}
+    for dimension in DIMENSIONS:
+        result = run_repeated(f"GRAFICS(d={dimension})",
+                              grafics_factory(dimension=dimension),
+                              dataset, protocol,
+                              extra={"dimension": dimension})
+        scores[dimension] = result
+        rows.append(result.as_row())
+    return rows, scores
+
+
+def test_fig15_embedding_dimension(benchmark, microsoft_corpus):
+    dataset = microsoft_corpus[0]
+    rows, scores = benchmark.pedantic(lambda: sweep(dataset), rounds=1,
+                                      iterations=1)
+    save_table("fig15_embedding_dimension", rows,
+               columns=["method", "dimension", "micro_f", "macro_f"],
+               header="Fig. 15 — GRAFICS F-scores vs embedding dimension "
+                      "(4 labels per floor)")
+
+    micro = [scores[d].micro_f for d in DIMENSIONS]
+    assert min(micro) > 0.8
+    assert max(micro) - min(micro) < 0.15

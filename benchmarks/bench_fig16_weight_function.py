@@ -1,0 +1,51 @@
+"""Fig. 16 — impact of the edge-weight function.
+
+Paper: the offset weight f(RSS) = RSS + 120 clearly outperforms the
+dBm-to-power conversion g(RSS) = 10^(RSS/10), because g squashes typical
+indoor RSS values into nearly identical tiny weights and the embedding loses
+the RSS differences.
+
+Reproduction: GRAFICS with f vs GRAFICS with g on one building from each
+corpus, four labels per floor.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation import ExperimentProtocol, run_repeated
+
+from conftest import save_table
+from methods import grafics_factory, grafics_power_weight_factory
+
+
+def compare(dataset, corpus_name):
+    protocol = ExperimentProtocol(labels_per_floor=4, repetitions=3, seed=0)
+    offset = run_repeated("f(RSS)=RSS+120", grafics_factory(), dataset,
+                          protocol, extra={"corpus": corpus_name})
+    power = run_repeated("g(RSS)=10^(RSS/10)", grafics_power_weight_factory(),
+                         dataset, protocol, extra={"corpus": corpus_name})
+    return offset, power
+
+
+def test_fig16_weight_function(benchmark, microsoft_corpus, hong_kong_corpus):
+    ms_building = microsoft_corpus[2]
+    hk_building = next(d for d in hong_kong_corpus
+                       if d.building_id == "hk-hospital")
+
+    def run():
+        return compare(ms_building, "microsoft"), compare(hk_building, "hong-kong")
+
+    (ms_offset, ms_power), (hk_offset, hk_power) = benchmark.pedantic(
+        run, rounds=1, iterations=1)
+
+    rows = [r.as_row() for r in (ms_offset, ms_power, hk_offset, hk_power)]
+    save_table("fig16_weight_function", rows,
+               columns=["method", "corpus", "micro_p", "micro_r", "micro_f",
+                        "macro_f"],
+               header="Fig. 16 — offset weight f vs power weight g "
+                      "(4 labels per floor)")
+
+    assert ms_offset.micro_f >= ms_power.micro_f
+    assert hk_offset.micro_f >= hk_power.micro_f
+    # On at least one corpus the gap is substantial, as in the paper.
+    assert (ms_offset.micro_f - ms_power.micro_f > 0.05
+            or hk_offset.micro_f - hk_power.micro_f > 0.05)

@@ -1,0 +1,65 @@
+"""Section V-A — cost of online inference.
+
+Paper: a new sample's embedding is learned with all other embeddings frozen,
+which "is computationally inexpensive and can be done in real-time".
+
+Reproduction: measure (a) the per-sample latency of the frozen-graph online
+inference and (b) the cost of the naive alternative — refitting the whole
+embedding with the new sample included — and check that online inference is
+at least an order of magnitude cheaper.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core import GRAFICS, GraficsConfig, EmbeddingConfig, build_graph
+from repro.core.embedding import ELINEEmbedder
+from repro.data import make_experiment_split
+
+from conftest import save_table
+
+CONFIG = GraficsConfig(embedding=EmbeddingConfig(samples_per_edge=40.0, seed=0),
+                       allow_unreachable_clusters=True)
+
+
+def test_online_inference_latency(benchmark, campus_building):
+    split = make_experiment_split(campus_building, labels_per_floor=4, seed=0)
+    model = GRAFICS(CONFIG).fit(list(split.train_records), split.labels)
+    probes = [r.without_floor() for r in split.test_records[:20]]
+
+    # Timed: one full online prediction (graph insert + frozen embedding +
+    # nearest-centroid lookup + graph restore).
+    state = {"index": 0}
+
+    def predict_one():
+        probe = probes[state["index"] % len(probes)]
+        state["index"] += 1
+        return model.predict(probe, persist=False)
+
+    benchmark.pedantic(predict_one, rounds=20, iterations=1)
+
+    # Reference: full embedding refit with one extra record.
+    graph = build_graph(list(split.train_records) + [probes[0]])
+    start = time.perf_counter()
+    ELINEEmbedder(CONFIG.resolved_embedding_config()).fit(graph)
+    full_refit_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for probe in probes[:10]:
+        model.predict(probe, persist=False)
+    online_seconds = (time.perf_counter() - start) / 10
+
+    rows = [
+        {"approach": "online frozen-graph embedding (per sample)",
+         "seconds": round(online_seconds, 4)},
+        {"approach": "full embedding refit (per sample)",
+         "seconds": round(full_refit_seconds, 4)},
+        {"approach": "speedup", "seconds": round(full_refit_seconds
+                                                 / max(online_seconds, 1e-9), 1)},
+    ]
+    save_table("online_inference_latency", rows,
+               columns=["approach", "seconds"],
+               header="Section V-A — online inference vs full refit")
+
+    assert online_seconds * 10 < full_refit_seconds

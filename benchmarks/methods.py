@@ -1,0 +1,93 @@
+"""Classifier factories shared by the comparison benchmarks.
+
+The hyperparameters mirror the paper's experiment settings (8-dimensional
+embeddings everywhere) with training budgets trimmed so the full benchmark
+suite finishes in reasonable wall-clock time on a CPU.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import (
+    AutoencoderProxClassifier,
+    GraficsClassifier,
+    MatrixProxClassifier,
+    MDSProxClassifier,
+    SAEClassifier,
+    ScalableDNNClassifier,
+)
+from repro.core import EmbeddingConfig, GraficsConfig
+from repro.core.weighting import OffsetWeight, PowerWeight, WeightFunction
+
+__all__ = [
+    "grafics_factory",
+    "grafics_line_factory",
+    "paper_method_factories",
+    "EMBEDDING_DIMENSION",
+]
+
+#: The embedding dimension used throughout the paper's experiments.
+EMBEDDING_DIMENSION = 8
+
+
+def grafics_factory(dimension: int = EMBEDDING_DIMENSION,
+                    weight_function: WeightFunction | None = None,
+                    samples_per_edge: float = 40.0, seed: int = 0):
+    """Factory for the full GRAFICS system (E-LINE)."""
+
+    def make():
+        return GraficsClassifier(GraficsConfig(
+            embedding_dimension=dimension,
+            weight_function=weight_function or OffsetWeight(),
+            embedding=EmbeddingConfig(dimension=dimension,
+                                      samples_per_edge=samples_per_edge,
+                                      seed=seed),
+            allow_unreachable_clusters=True,
+        ))
+
+    return make
+
+
+def grafics_line_factory(order: str = "line",
+                         samples_per_edge: float = 100.0, seed: int = 0):
+    """Factory for GRAFICS with a LINE variant instead of E-LINE (Fig. 13)."""
+
+    def make():
+        return GraficsClassifier(GraficsConfig(
+            embedder=order,
+            embedding=EmbeddingConfig(samples_per_edge=samples_per_edge,
+                                      seed=seed),
+            allow_unreachable_clusters=True,
+        ), name=f"GRAFICS({order})")
+
+    return make
+
+
+def grafics_power_weight_factory(samples_per_edge: float = 40.0, seed: int = 0):
+    """GRAFICS with the g(RSS)=10^(RSS/10) weight function (Fig. 16)."""
+
+    def make():
+        return GraficsClassifier(GraficsConfig(
+            weight_function=PowerWeight(),
+            embedding=EmbeddingConfig(samples_per_edge=samples_per_edge,
+                                      seed=seed),
+            allow_unreachable_clusters=True,
+        ), name="GRAFICS(g=power)")
+
+    return make
+
+
+def paper_method_factories(fast: bool = True):
+    """The five methods compared in the paper's Fig. 11 / Fig. 12."""
+    dnn_epochs = dict(pretrain_epochs=8, train_epochs=30) if fast else {}
+    return {
+        "GRAFICS": grafics_factory(),
+        "Scalable-DNN": lambda: ScalableDNNClassifier(seed=0, **dnn_epochs),
+        "SAE": lambda: SAEClassifier(seed=0, pretrain_epochs=6,
+                                     train_epochs=30),
+        "MDS+Prox": lambda: MDSProxClassifier(seed=0),
+        "Autoencoder+Prox": lambda: AutoencoderProxClassifier(epochs=10, seed=0),
+    }
+
+
+def matrix_factory():
+    return MatrixProxClassifier()

@@ -1,0 +1,7 @@
+"""Setup shim so that editable installs work on environments without the
+`wheel` package (PEP 660 editable builds need bdist_wheel; the legacy
+`setup.py develop` path used via `pip install -e . --no-use-pep517` does not).
+"""
+from setuptools import setup
+
+setup()

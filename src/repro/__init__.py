@@ -1,0 +1,59 @@
+"""repro — a reproduction of GRAFICS (ICDCS 2022).
+
+GRAFICS identifies the floor on which a crowdsourced RF (WiFi RSS) sample was
+collected using a bipartite graph model, the E-LINE graph embedding and a
+proximity-based hierarchical clustering that needs only a handful of
+floor-labeled samples per floor.
+
+Public entry points:
+
+* :class:`repro.GRAFICS` / :class:`repro.GraficsConfig` — the end-to-end system.
+* :mod:`repro.core` — graph, embeddings, clustering, online inference.
+* :mod:`repro.data` — synthetic crowdsourced datasets, loaders, splits, statistics.
+* :mod:`repro.baselines` — Scalable-DNN, SAE, Autoencoder+Prox, MDS+Prox, matrix+Prox.
+* :mod:`repro.evaluation` — micro/macro F metrics and the experiment harness.
+* :mod:`repro.nn` — the NumPy neural-network substrate used by the baselines.
+"""
+
+from .core import (
+    GRAFICS,
+    MultiBuildingFloorService,
+    BipartiteGraph,
+    ELINEEmbedder,
+    EmbeddingConfig,
+    FingerprintDataset,
+    FloorPrediction,
+    GraficsConfig,
+    GraphEmbedding,
+    LINEEmbedder,
+    OffsetWeight,
+    PowerWeight,
+    SignalRecord,
+    UnknownEnvironmentError,
+    build_graph,
+    load_model,
+    save_model,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GRAFICS",
+    "GraficsConfig",
+    "SignalRecord",
+    "FingerprintDataset",
+    "BipartiteGraph",
+    "build_graph",
+    "EmbeddingConfig",
+    "GraphEmbedding",
+    "ELINEEmbedder",
+    "LINEEmbedder",
+    "OffsetWeight",
+    "PowerWeight",
+    "FloorPrediction",
+    "UnknownEnvironmentError",
+    "MultiBuildingFloorService",
+    "save_model",
+    "load_model",
+    "__version__",
+]

@@ -1,0 +1,28 @@
+"""Baseline floor classifiers evaluated against GRAFICS in the paper."""
+
+from .autoencoder import AutoencoderProxClassifier, ConvAutoencoder
+from .base import FloorClassifier, MatrixFeaturizer
+from .grafics_adapter import GraficsClassifier
+from .matrix_prox import MatrixProxClassifier
+from .mds import ClassicalMDS, MDSProxClassifier, cosine_dissimilarity
+from .prox import ProximityFloorModel
+from .pseudo_label import assign_pseudo_labels
+from .sae import SAEClassifier, StackedAutoencoder
+from .scalable_dnn import ScalableDNNClassifier
+
+__all__ = [
+    "FloorClassifier",
+    "MatrixFeaturizer",
+    "ProximityFloorModel",
+    "assign_pseudo_labels",
+    "GraficsClassifier",
+    "MatrixProxClassifier",
+    "MDSProxClassifier",
+    "ClassicalMDS",
+    "cosine_dissimilarity",
+    "AutoencoderProxClassifier",
+    "ConvAutoencoder",
+    "SAEClassifier",
+    "StackedAutoencoder",
+    "ScalableDNNClassifier",
+]

@@ -1,0 +1,117 @@
+"""Convolutional autoencoder + proximity clustering (paper Section VI-A).
+
+The paper's autoencoder baseline "consists of the four layers of 1-D
+convolution with the ReLU activation function"; its bottleneck embeddings are
+combined with the proximity-based hierarchical clustering (Prox).  The
+encoder here stacks four Conv1D+ReLU blocks over the dense RSS row (treated
+as a length-``n_macs`` single-channel signal), followed by a dense bottleneck
+of the target embedding dimension; the decoder reconstructs the input with a
+dense layer.  Training minimises mean squared reconstruction error over all
+training records (labels are not used for the embedding).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from ..core.types import SignalRecord
+from ..nn import Adam, Conv1D, Dense, Flatten, MeanSquaredError, ReLU, Sequential, train_network
+from .base import FloorClassifier, MatrixFeaturizer
+from .prox import ProximityFloorModel
+
+__all__ = ["ConvAutoencoder", "AutoencoderProxClassifier"]
+
+
+class ConvAutoencoder:
+    """Four-block 1-D convolutional encoder with a dense bottleneck."""
+
+    def __init__(self, num_features: int, embedding_dimension: int = 8,
+                 channels: tuple[int, ...] = (8, 8, 4, 4),
+                 epochs: int = 30, batch_size: int = 32,
+                 learning_rate: float = 1e-3, seed: int | None = 0) -> None:
+        if len(channels) != 4:
+            raise ValueError("the paper's autoencoder uses exactly four conv layers")
+        self.num_features = num_features
+        self.embedding_dimension = embedding_dimension
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        rng = np.random.default_rng(seed)
+
+        encoder_layers = []
+        in_channels = 1
+        for out_channels in channels:
+            encoder_layers.append(Conv1D(in_channels, out_channels,
+                                         kernel_size=3, rng=rng))
+            encoder_layers.append(ReLU())
+            in_channels = out_channels
+        encoder_layers.append(Flatten())
+        encoder_layers.append(Dense(num_features * in_channels,
+                                    embedding_dimension, rng=rng))
+        self.encoder = Sequential(encoder_layers)
+        self.decoder = Sequential([
+            Dense(embedding_dimension, num_features, rng=rng),
+        ])
+        self.network = Sequential([self.encoder, self.decoder])
+        self._seed = seed
+
+    def fit(self, features: np.ndarray) -> "ConvAutoencoder":
+        """Train the autoencoder to reconstruct the normalised RSS rows."""
+        features = np.asarray(features, dtype=np.float64)
+        inputs = features[:, :, None]
+        optimizer = Adam(self.network.parameters(),
+                         learning_rate=self.learning_rate)
+        train_network(self.network, MeanSquaredError(), inputs, features,
+                      epochs=self.epochs, batch_size=self.batch_size,
+                      optimizer=optimizer, seed=self._seed)
+        return self
+
+    def encode(self, features: np.ndarray) -> np.ndarray:
+        """Bottleneck embeddings of the given normalised RSS rows."""
+        features = np.asarray(features, dtype=np.float64)
+        return self.encoder.forward(features[:, :, None], training=False)
+
+    def reconstruct(self, features: np.ndarray) -> np.ndarray:
+        """Full encode-decode pass (used for reconstruction-error diagnostics)."""
+        features = np.asarray(features, dtype=np.float64)
+        return self.network.forward(features[:, :, None], training=False)
+
+
+class AutoencoderProxClassifier(FloorClassifier):
+    """Conv-autoencoder embeddings + proximity-based hierarchical clustering."""
+
+    name = "Autoencoder+Prox"
+
+    def __init__(self, embedding_dimension: int = 8, epochs: int = 30,
+                 seed: int | None = 0) -> None:
+        self.embedding_dimension = embedding_dimension
+        self.epochs = epochs
+        self.seed = seed
+        self.featurizer = MatrixFeaturizer()
+        self.autoencoder: ConvAutoencoder | None = None
+        self.prox = ProximityFloorModel()
+
+    def fit(self, train_records: Sequence[SignalRecord],
+            labels: Mapping[str, int]) -> "AutoencoderProxClassifier":
+        labels = self.check_labels(train_records, labels)
+        features = self.featurizer.fit_transform(train_records)
+        self.autoencoder = ConvAutoencoder(
+            num_features=features.shape[1],
+            embedding_dimension=self.embedding_dimension,
+            epochs=self.epochs, seed=self.seed)
+        self.autoencoder.fit(features)
+        embeddings = self.autoencoder.encode(features)
+        record_ids = [r.record_id for r in train_records]
+        self.prox.fit(record_ids, embeddings, labels)
+        return self
+
+    def predict(self, records: Sequence[SignalRecord]) -> dict[str, int]:
+        if self.autoencoder is None:
+            raise RuntimeError("AutoencoderProxClassifier is not fitted")
+        features = self.featurizer.transform(records)
+        embeddings = self.autoencoder.encode(features)
+        floors = self.prox.predict(embeddings)
+        return {record.record_id: int(floor)
+                for record, floor in zip(records, floors)}

@@ -1,0 +1,106 @@
+"""Common interface shared by GRAFICS and all baseline floor classifiers.
+
+The experiment harness (:mod:`repro.evaluation.experiment`) drives every
+method through the same two calls:
+
+* ``fit(train_records, labels)`` — train on the crowdsourced records, of
+  which only the ids listed in ``labels`` may be treated as labeled;
+* ``predict(test_records)`` — return a ``{record_id: floor}`` mapping for
+  held-out records.
+
+Utilities for the matrix-based baselines (dense representation and feature
+normalisation) live here as well, since Scalable-DNN, SAE, the autoencoder
+and MDS all start from the same dense matrix that the paper criticises for
+its missing-value problem.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from ..core.types import MISSING_RSS, SignalRecord, records_to_matrix
+
+__all__ = ["FloorClassifier", "MatrixFeaturizer"]
+
+
+class FloorClassifier(ABC):
+    """Anything that can be trained on crowdsourced records and predict floors."""
+
+    #: Human-readable name used in experiment reports.
+    name: str = "classifier"
+
+    @abstractmethod
+    def fit(self, train_records: Sequence[SignalRecord],
+            labels: Mapping[str, int]) -> "FloorClassifier":
+        """Train on the given records; only ``labels`` reveals floor labels."""
+
+    @abstractmethod
+    def predict(self, records: Sequence[SignalRecord]) -> dict[str, int]:
+        """Predict a floor for each record, keyed by record id."""
+
+    def fit_predict(self, train_records: Sequence[SignalRecord],
+                    labels: Mapping[str, int],
+                    test_records: Sequence[SignalRecord]) -> dict[str, int]:
+        """Convenience helper: fit then predict the held-out records."""
+        self.fit(train_records, labels)
+        return self.predict(test_records)
+
+    @staticmethod
+    def check_labels(train_records: Sequence[SignalRecord],
+                     labels: Mapping[str, int]) -> dict[str, int]:
+        """Validate that the labeled ids exist in the training records."""
+        if not labels:
+            raise ValueError("at least one labeled record is required")
+        known = {r.record_id for r in train_records}
+        missing = set(labels) - known
+        if missing:
+            raise ValueError(
+                f"labels reference unknown records: {sorted(missing)[:5]}")
+        return {str(k): int(v) for k, v in labels.items()}
+
+
+class MatrixFeaturizer:
+    """Dense-matrix featurisation shared by the matrix-based baselines.
+
+    Converts variable-length records into fixed-length rows using the MAC
+    vocabulary observed at fit time (unknown MACs in later records are
+    dropped, exactly the limitation the paper points out), fills missing
+    entries with -120 dBm and rescales RSS into ``[0, 1]``.
+    """
+
+    def __init__(self, missing_value: float = MISSING_RSS) -> None:
+        self.missing_value = missing_value
+        self.mac_order: list[str] | None = None
+
+    @property
+    def num_features(self) -> int:
+        if self.mac_order is None:
+            raise RuntimeError("featurizer is not fitted")
+        return len(self.mac_order)
+
+    def fit(self, records: Sequence[SignalRecord]) -> "MatrixFeaturizer":
+        """Learn the MAC vocabulary (column order) from the training records."""
+        _, self.mac_order = records_to_matrix(records,
+                                              missing_value=self.missing_value)
+        if not self.mac_order:
+            raise ValueError("no MAC addresses found in the training records")
+        return self
+
+    def transform(self, records: Sequence[SignalRecord]) -> np.ndarray:
+        """Dense, normalised feature matrix for the given records."""
+        if self.mac_order is None:
+            raise RuntimeError("featurizer is not fitted")
+        matrix, _ = records_to_matrix(records, mac_order=self.mac_order,
+                                      missing_value=self.missing_value)
+        return self.normalize(matrix)
+
+    def fit_transform(self, records: Sequence[SignalRecord]) -> np.ndarray:
+        return self.fit(records).transform(records)
+
+    def normalize(self, matrix: np.ndarray) -> np.ndarray:
+        """Map RSS in dBm to [0, 1]: missing readings map to 0, -30 dBm to 1."""
+        scaled = (matrix - self.missing_value) / (-30.0 - self.missing_value)
+        return np.clip(scaled, 0.0, 1.0)

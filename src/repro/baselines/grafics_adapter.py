@@ -1,0 +1,48 @@
+"""Adapter exposing the GRAFICS pipeline through the FloorClassifier interface.
+
+The experiment harness compares methods through the uniform
+``fit``/``predict`` interface of :class:`repro.baselines.FloorClassifier`;
+this adapter wraps :class:`repro.core.GRAFICS` (including its LINE ablation
+variants) so it can be benchmarked side by side with the baselines.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from ..core.pipeline import GRAFICS, GraficsConfig
+from ..core.types import SignalRecord
+from .base import FloorClassifier
+
+__all__ = ["GraficsClassifier"]
+
+
+class GraficsClassifier(FloorClassifier):
+    """GRAFICS (or GRAFICS-with-LINE) behind the common classifier interface."""
+
+    def __init__(self, config: GraficsConfig | None = None,
+                 name: str | None = None) -> None:
+        self.config = config or GraficsConfig()
+        self.name = name or ("GRAFICS" if self.config.embedder == "eline"
+                             else f"GRAFICS({self.config.embedder})")
+        self.model: GRAFICS | None = None
+
+    def fit(self, train_records: Sequence[SignalRecord],
+            labels: Mapping[str, int]) -> "GraficsClassifier":
+        labels = self.check_labels(train_records, labels)
+        self.model = GRAFICS(self.config)
+        self.model.fit(list(train_records), labels)
+        return self
+
+    def predict(self, records: Sequence[SignalRecord]) -> dict[str, int]:
+        if self.model is None:
+            raise RuntimeError("GraficsClassifier is not fitted")
+        stripped = [record.without_floor() for record in records]
+        predictions = self.model.predict_batch(stripped)
+        return {p.record_id: p.floor for p in predictions}
+
+    def training_assignments(self) -> dict[str, int]:
+        """Virtual labels the clustering gave to every training record."""
+        if self.model is None:
+            raise RuntimeError("GraficsClassifier is not fitted")
+        return self.model.training_floor_assignments()

@@ -1,0 +1,43 @@
+"""Raw matrix representation + proximity clustering (paper Fig. 14).
+
+The simplest point of comparison: skip graph modelling and embedding
+entirely, treat each record's dense (-120-imputed, normalised) RSS row as its
+"embedding" and feed that directly to the proximity-based hierarchical
+clustering.  The paper uses this configuration to demonstrate how much the
+missing-value problem hurts when records are represented as fixed-length
+vectors.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from ..core.types import SignalRecord
+from .base import FloorClassifier, MatrixFeaturizer
+from .prox import ProximityFloorModel
+
+__all__ = ["MatrixProxClassifier"]
+
+
+class MatrixProxClassifier(FloorClassifier):
+    """Dense RSS matrix rows used directly as embeddings, clustered with Prox."""
+
+    name = "Matrix+Prox"
+
+    def __init__(self) -> None:
+        self.featurizer = MatrixFeaturizer()
+        self.prox = ProximityFloorModel()
+
+    def fit(self, train_records: Sequence[SignalRecord],
+            labels: Mapping[str, int]) -> "MatrixProxClassifier":
+        labels = self.check_labels(train_records, labels)
+        features = self.featurizer.fit_transform(train_records)
+        record_ids = [r.record_id for r in train_records]
+        self.prox.fit(record_ids, features, labels)
+        return self
+
+    def predict(self, records: Sequence[SignalRecord]) -> dict[str, int]:
+        features = self.featurizer.transform(records)
+        floors = self.prox.predict(features)
+        return {record.record_id: int(floor)
+                for record, floor in zip(records, floors)}

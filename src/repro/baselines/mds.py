@@ -1,0 +1,163 @@
+"""Multidimensional scaling + proximity clustering (paper Section VI-A).
+
+The paper's MDS baseline embeds the dense RSS matrix rows by "optimising some
+distance matrix" with the pairwise distance set to ``1 - cosine similarity``.
+This module implements classical (Torgerson) MDS on that dissimilarity matrix
+and the standard Nyström-style out-of-sample extension so that held-out test
+records can be projected into the same space, after which the proximity-based
+hierarchical clustering assigns floors.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from ..core.types import SignalRecord
+from .base import FloorClassifier, MatrixFeaturizer
+from .prox import ProximityFloorModel
+
+__all__ = ["ClassicalMDS", "MDSProxClassifier", "cosine_dissimilarity"]
+
+
+def cosine_dissimilarity(a: np.ndarray, b: np.ndarray | None = None) -> np.ndarray:
+    """Pairwise ``1 - cosine similarity`` between the rows of ``a`` and ``b``."""
+    a = np.asarray(a, dtype=np.float64)
+    b = a if b is None else np.asarray(b, dtype=np.float64)
+    a_norm = np.linalg.norm(a, axis=1, keepdims=True)
+    b_norm = np.linalg.norm(b, axis=1, keepdims=True)
+    a_unit = np.divide(a, a_norm, out=np.zeros_like(a), where=a_norm > 0)
+    b_unit = np.divide(b, b_norm, out=np.zeros_like(b), where=b_norm > 0)
+    similarity = np.clip(a_unit @ b_unit.T, -1.0, 1.0)
+    return 1.0 - similarity
+
+
+class ClassicalMDS:
+    """Classical (Torgerson) multidimensional scaling with out-of-sample support.
+
+    Fitting double-centres the squared dissimilarity matrix, eigendecomposes
+    it and keeps the top ``dimension`` components.  New points are embedded
+    with the Nyström formula from their dissimilarities to the training
+    points.
+    """
+
+    def __init__(self, dimension: int = 8) -> None:
+        if dimension < 1:
+            raise ValueError("dimension must be at least 1")
+        self.dimension = dimension
+        self._embedding: np.ndarray | None = None
+        self._eigvecs: np.ndarray | None = None
+        self._eigvals: np.ndarray | None = None
+        self._train_sq: np.ndarray | None = None
+        self._row_means: np.ndarray | None = None
+        self._grand_mean: float | None = None
+
+    @property
+    def embedding(self) -> np.ndarray:
+        if self._embedding is None:
+            raise RuntimeError("ClassicalMDS is not fitted")
+        return self._embedding
+
+    def fit(self, dissimilarity: np.ndarray) -> np.ndarray:
+        """Fit from a square dissimilarity matrix; returns the train embedding."""
+        dissimilarity = np.asarray(dissimilarity, dtype=np.float64)
+        n = dissimilarity.shape[0]
+        if dissimilarity.shape != (n, n):
+            raise ValueError("dissimilarity must be a square matrix")
+        squared = dissimilarity ** 2
+        self._train_sq = squared
+        self._row_means = squared.mean(axis=1)
+        self._grand_mean = float(squared.mean())
+
+        centering = np.eye(n) - np.full((n, n), 1.0 / n)
+        b = -0.5 * centering @ squared @ centering
+        eigvals, eigvecs = np.linalg.eigh(b)
+        order = np.argsort(eigvals)[::-1]
+        eigvals, eigvecs = eigvals[order], eigvecs[:, order]
+
+        k = min(self.dimension, n)
+        eigvals = np.maximum(eigvals[:k], 0.0)
+        eigvecs = eigvecs[:, :k]
+        coords = eigvecs * np.sqrt(eigvals)[None, :]
+        if k < self.dimension:
+            coords = np.pad(coords, ((0, 0), (0, self.dimension - k)))
+            eigvals = np.pad(eigvals, (0, self.dimension - k))
+            eigvecs = np.pad(eigvecs, ((0, 0), (0, self.dimension - k)))
+        self._eigvals = eigvals
+        self._eigvecs = eigvecs
+        self._embedding = coords
+        return coords
+
+    def transform(self, dissimilarity_to_train: np.ndarray) -> np.ndarray:
+        """Nyström out-of-sample embedding from distances to the training points."""
+        if self._embedding is None:
+            raise RuntimeError("ClassicalMDS is not fitted")
+        d_new_sq = np.asarray(dissimilarity_to_train, dtype=np.float64) ** 2
+        if d_new_sq.ndim != 2 or d_new_sq.shape[1] != self._row_means.shape[0]:
+            raise ValueError("expected one dissimilarity per training point")
+        centred = -0.5 * (d_new_sq - self._row_means[None, :]
+                          - d_new_sq.mean(axis=1, keepdims=True)
+                          + self._grand_mean)
+        inv_sqrt = np.divide(1.0, np.sqrt(self._eigvals),
+                             out=np.zeros_like(self._eigvals),
+                             where=self._eigvals > 0)
+        return centred @ self._eigvecs * inv_sqrt[None, :]
+
+
+class MDSProxClassifier(FloorClassifier):
+    """MDS embeddings of the dense RSS matrix + proximity clustering."""
+
+    name = "MDS+Prox"
+
+    def __init__(self, dimension: int = 8, max_train_points: int = 1500,
+                 seed: int | None = 0) -> None:
+        #: MDS is O(n^3) in the number of training points; larger training
+        #: sets are subsampled to this many anchor points before fitting.
+        self.max_train_points = max_train_points
+        self.dimension = dimension
+        self.seed = seed
+        self.featurizer = MatrixFeaturizer()
+        self.mds = ClassicalMDS(dimension=dimension)
+        self.prox = ProximityFloorModel()
+        self._anchor_features: np.ndarray | None = None
+
+    def fit(self, train_records: Sequence[SignalRecord],
+            labels: Mapping[str, int]) -> "MDSProxClassifier":
+        labels = self.check_labels(train_records, labels)
+        features = self.featurizer.fit_transform(train_records)
+        record_ids = [r.record_id for r in train_records]
+
+        anchors = np.arange(len(train_records))
+        if len(train_records) > self.max_train_points:
+            rng = np.random.default_rng(self.seed)
+            labeled_positions = [i for i, rid in enumerate(record_ids)
+                                 if rid in labels]
+            remaining = [i for i in range(len(record_ids)) if rid_not_in(
+                record_ids[i], labels)]
+            budget = self.max_train_points - len(labeled_positions)
+            sampled = rng.choice(remaining, size=max(budget, 0), replace=False)
+            anchors = np.array(sorted(set(labeled_positions) | set(sampled.tolist())))
+        self._anchor_features = features[anchors]
+
+        anchor_embedding = self.mds.fit(cosine_dissimilarity(self._anchor_features))
+        del anchor_embedding  # anchors only define the space; all points re-projected
+        train_embedding = self.mds.transform(
+            cosine_dissimilarity(features, self._anchor_features))
+        self.prox.fit(record_ids, train_embedding, labels)
+        return self
+
+    def predict(self, records: Sequence[SignalRecord]) -> dict[str, int]:
+        if self._anchor_features is None:
+            raise RuntimeError("MDSProxClassifier is not fitted")
+        features = self.featurizer.transform(records)
+        embedding = self.mds.transform(
+            cosine_dissimilarity(features, self._anchor_features))
+        floors = self.prox.predict(embedding)
+        return {record.record_id: int(floor)
+                for record, floor in zip(records, floors)}
+
+
+def rid_not_in(record_id: str, labels: Mapping[str, int]) -> bool:
+    """Tiny helper kept at module scope for readability of the anchor sampling."""
+    return record_id not in labels

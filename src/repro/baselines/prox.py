@@ -1,0 +1,64 @@
+"""Shared "+ Prox" machinery for embedding-producing baselines.
+
+The paper combines the unsupervised baselines (Autoencoder, MDS and the raw
+matrix representation) with GRAFICS' own proximity-based hierarchical
+clustering for a fair comparison.  :class:`ProximityFloorModel` encapsulates
+that step: given any fixed-length embedding of the training records and the
+few labels, it runs the constrained clustering and answers nearest-centroid
+floor queries for new embeddings.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from ..core.clustering.hierarchical import ClusteringResult, ProximityClustering
+from ..core.clustering.model import ClusterModel, FloorCluster
+
+__all__ = ["ProximityFloorModel"]
+
+
+class ProximityFloorModel:
+    """Proximity-based hierarchical clustering + nearest-centroid prediction."""
+
+    def __init__(self, allow_unreachable: bool = True) -> None:
+        self.allow_unreachable = allow_unreachable
+        self.clustering: ClusteringResult | None = None
+        self.cluster_model: ClusterModel | None = None
+
+    def fit(self, record_ids: Sequence[str], embeddings: np.ndarray,
+            labels: Mapping[str, int]) -> "ProximityFloorModel":
+        """Cluster the training embeddings around the labeled samples."""
+        record_ids = list(record_ids)
+        embeddings = np.asarray(embeddings, dtype=np.float64)
+        clustering = ProximityClustering(allow_unreachable=self.allow_unreachable)
+        self.clustering = clustering.fit(record_ids, embeddings, labels)
+
+        by_id = {rid: embeddings[i] for i, rid in enumerate(record_ids)}
+        clusters = []
+        for cluster_id, members in self.clustering.cluster_members.items():
+            vectors = np.vstack([by_id[rid] for rid in members])
+            clusters.append(FloorCluster(
+                cluster_id=cluster_id,
+                floor=self.clustering.cluster_labels[cluster_id],
+                centroid=vectors.mean(axis=0),
+                member_record_ids=tuple(members),
+            ))
+        self.cluster_model = ClusterModel(clusters)
+        return self
+
+    def predict(self, embeddings: np.ndarray) -> np.ndarray:
+        """Nearest-centroid floor predictions for a batch of embeddings."""
+        if self.cluster_model is None:
+            raise RuntimeError("ProximityFloorModel is not fitted")
+        return self.cluster_model.predict_batch(np.asarray(embeddings,
+                                                           dtype=np.float64))
+
+    def training_assignments(self) -> dict[str, int]:
+        """Virtual floor labels given to every training record by the clustering."""
+        if self.clustering is None:
+            raise RuntimeError("ProximityFloorModel is not fitted")
+        return {rid: self.clustering.cluster_labels[cid]
+                for rid, cid in self.clustering.assignments.items()}

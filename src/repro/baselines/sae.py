@@ -1,0 +1,145 @@
+"""SAE baseline (Nowicki & Wietrzykowski, 2017; paper reference [15]).
+
+The original work trains *stacked autoencoders* greedily, one layer at a
+time, to learn a low-dimensional representation of the dense RSS vector, and
+then attaches a classifier for hierarchical building/floor recognition (only
+the floor level is relevant here).  As in the paper's protocol, unlabeled
+training records receive pseudo labels from their nearest labeled neighbour
+before supervised fine-tuning.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from ..core.types import SignalRecord
+from ..nn import (
+    Adam,
+    Dense,
+    MeanSquaredError,
+    ReLU,
+    Sequential,
+    SoftmaxCrossEntropy,
+    Tanh,
+    train_network,
+)
+from .base import FloorClassifier, MatrixFeaturizer
+from .pseudo_label import assign_pseudo_labels
+
+__all__ = ["StackedAutoencoder", "SAEClassifier"]
+
+
+class StackedAutoencoder:
+    """Greedy layer-wise pre-trained encoder."""
+
+    def __init__(self, input_dimension: int, layer_sizes: tuple[int, ...] = (64, 16, 8),
+                 epochs_per_layer: int = 15, batch_size: int = 32,
+                 learning_rate: float = 1e-3, seed: int | None = 0) -> None:
+        if not layer_sizes:
+            raise ValueError("layer_sizes must not be empty")
+        self.input_dimension = input_dimension
+        self.layer_sizes = layer_sizes
+        self.epochs_per_layer = epochs_per_layer
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+        self.encoder_layers: list[Sequential] = []
+
+    def fit(self, features: np.ndarray) -> "StackedAutoencoder":
+        """Greedily train one autoencoder per layer on the previous layer's codes."""
+        current = np.asarray(features, dtype=np.float64)
+        previous_width = self.input_dimension
+        self.encoder_layers = []
+        for width in self.layer_sizes:
+            encoder = Sequential([Dense(previous_width, width, rng=self._rng),
+                                  Tanh()])
+            decoder = Sequential([Dense(width, previous_width, rng=self._rng)])
+            autoencoder = Sequential([encoder, decoder])
+            train_network(autoencoder, MeanSquaredError(), current, current,
+                          epochs=self.epochs_per_layer,
+                          batch_size=self.batch_size,
+                          optimizer=Adam(autoencoder.parameters(),
+                                         learning_rate=self.learning_rate),
+                          seed=self.seed)
+            self.encoder_layers.append(encoder)
+            current = encoder.forward(current, training=False)
+            previous_width = width
+        return self
+
+    def encoder(self) -> Sequential:
+        """The stacked encoder as a single network (shares the trained layers)."""
+        if not self.encoder_layers:
+            raise RuntimeError("StackedAutoencoder is not fitted")
+        return Sequential(list(self.encoder_layers))
+
+    def encode(self, features: np.ndarray) -> np.ndarray:
+        return self.encoder().forward(np.asarray(features, dtype=np.float64),
+                                      training=False)
+
+
+class SAEClassifier(FloorClassifier):
+    """Greedy stacked-autoencoder representation + floor classifier."""
+
+    name = "SAE"
+
+    def __init__(self, layer_sizes: tuple[int, ...] = (64, 16, 8),
+                 classifier_width: int = 32, pretrain_epochs: int = 15,
+                 train_epochs: int = 60, batch_size: int = 32,
+                 learning_rate: float = 1e-3, seed: int | None = 0) -> None:
+        self.layer_sizes = layer_sizes
+        self.classifier_width = classifier_width
+        self.pretrain_epochs = pretrain_epochs
+        self.train_epochs = train_epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.seed = seed
+        self.featurizer = MatrixFeaturizer()
+        self.network: Sequential | None = None
+        self._floor_values: np.ndarray | None = None
+
+    def fit(self, train_records: Sequence[SignalRecord],
+            labels: Mapping[str, int]) -> "SAEClassifier":
+        labels = self.check_labels(train_records, labels)
+        features = self.featurizer.fit_transform(train_records)
+        record_ids = [r.record_id for r in train_records]
+        rng = np.random.default_rng(self.seed)
+
+        full_labels = assign_pseudo_labels(record_ids, features, labels)
+        floor_values = np.array(sorted({f for f in full_labels.values()}),
+                                dtype=np.int64)
+        self._floor_values = floor_values
+        class_of = {int(floor): i for i, floor in enumerate(floor_values)}
+        targets = np.array([class_of[full_labels[rid]] for rid in record_ids],
+                           dtype=np.int64)
+
+        stacked = StackedAutoencoder(features.shape[1],
+                                     layer_sizes=self.layer_sizes,
+                                     epochs_per_layer=self.pretrain_epochs,
+                                     batch_size=self.batch_size,
+                                     learning_rate=self.learning_rate,
+                                     seed=self.seed)
+        stacked.fit(features)
+
+        classifier = Sequential([
+            Dense(self.layer_sizes[-1], self.classifier_width, rng=rng),
+            ReLU(),
+            Dense(self.classifier_width, floor_values.size, rng=rng),
+        ])
+        self.network = Sequential([stacked.encoder(), classifier])
+        train_network(self.network, SoftmaxCrossEntropy(), features, targets,
+                      epochs=self.train_epochs, batch_size=self.batch_size,
+                      optimizer=Adam(self.network.parameters(),
+                                     learning_rate=self.learning_rate),
+                      seed=self.seed)
+        return self
+
+    def predict(self, records: Sequence[SignalRecord]) -> dict[str, int]:
+        if self.network is None or self._floor_values is None:
+            raise RuntimeError("SAEClassifier is not fitted")
+        features = self.featurizer.transform(records)
+        classes = self.network.predict_classes(features)
+        return {record.record_id: int(self._floor_values[c])
+                for record, c in zip(records, classes)}

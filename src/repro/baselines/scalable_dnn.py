@@ -1,0 +1,131 @@
+"""Scalable-DNN baseline (Kim, Lee & Huang, 2018; paper reference [30]).
+
+The original Scalable-DNN architecture for multi-building/multi-floor WiFi
+fingerprinting first reduces the dense RSS vector with a stacked-autoencoder
+*encoding network* and then feeds the code into a feed-forward classifier that
+emits floor ids as one-hot vectors.  It is fully supervised: following the
+paper's protocol, the unlabeled training records receive pseudo labels (the
+label of the nearest labeled sample in the feature space) before training.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from ..core.types import SignalRecord
+from ..nn import (
+    Adam,
+    Dense,
+    Dropout,
+    MeanSquaredError,
+    ReLU,
+    Sequential,
+    SoftmaxCrossEntropy,
+    train_network,
+)
+from .base import FloorClassifier, MatrixFeaturizer
+from .pseudo_label import assign_pseudo_labels
+
+__all__ = ["ScalableDNNClassifier"]
+
+
+class ScalableDNNClassifier(FloorClassifier):
+    """Stacked-autoencoder encoder + feed-forward floor classifier."""
+
+    name = "Scalable-DNN"
+
+    def __init__(self, encoder_sizes: tuple[int, ...] = (64, 16, 8),
+                 classifier_sizes: tuple[int, ...] = (32, 32),
+                 dropout: float = 0.2, pretrain_epochs: int = 20,
+                 train_epochs: int = 60, batch_size: int = 32,
+                 learning_rate: float = 1e-3, seed: int | None = 0) -> None:
+        self.encoder_sizes = encoder_sizes
+        self.classifier_sizes = classifier_sizes
+        self.dropout = dropout
+        self.pretrain_epochs = pretrain_epochs
+        self.train_epochs = train_epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.seed = seed
+        self.featurizer = MatrixFeaturizer()
+        self.network: Sequential | None = None
+        self._floor_values: np.ndarray | None = None
+
+    # ------------------------------------------------------------------ model
+    def _build_encoder(self, num_features: int,
+                       rng: np.random.Generator) -> tuple[Sequential, Sequential]:
+        """Encoder and mirrored decoder for autoencoder pre-training."""
+        encoder_layers = []
+        previous = num_features
+        for width in self.encoder_sizes:
+            encoder_layers.append(Dense(previous, width, rng=rng))
+            encoder_layers.append(ReLU())
+            previous = width
+        decoder_layers = []
+        for width in reversed((num_features,) + self.encoder_sizes[:-1]):
+            decoder_layers.append(Dense(previous, width, rng=rng))
+            decoder_layers.append(ReLU())
+            previous = width
+        # The final reconstruction layer should be linear, not ReLU-clipped.
+        decoder_layers.pop()
+        return Sequential(encoder_layers), Sequential(decoder_layers)
+
+    def _build_classifier(self, rng: np.random.Generator,
+                          num_classes: int) -> Sequential:
+        layers = []
+        previous = self.encoder_sizes[-1]
+        for width in self.classifier_sizes:
+            layers.append(Dense(previous, width, rng=rng))
+            layers.append(ReLU())
+            if self.dropout:
+                layers.append(Dropout(self.dropout, rng=rng))
+            previous = width
+        layers.append(Dense(previous, num_classes, rng=rng))
+        return Sequential(layers)
+
+    # --------------------------------------------------------------- training
+    def fit(self, train_records: Sequence[SignalRecord],
+            labels: Mapping[str, int]) -> "ScalableDNNClassifier":
+        labels = self.check_labels(train_records, labels)
+        features = self.featurizer.fit_transform(train_records)
+        record_ids = [r.record_id for r in train_records]
+        rng = np.random.default_rng(self.seed)
+
+        # Pseudo-label the unlabeled part of the training data.
+        full_labels = assign_pseudo_labels(record_ids, features, labels)
+        floor_values = np.array(sorted({f for f in full_labels.values()}),
+                                dtype=np.int64)
+        self._floor_values = floor_values
+        class_of = {int(floor): i for i, floor in enumerate(floor_values)}
+        targets = np.array([class_of[full_labels[rid]] for rid in record_ids],
+                           dtype=np.int64)
+
+        # Stage 1: unsupervised autoencoder pre-training of the encoder.
+        encoder, decoder = self._build_encoder(features.shape[1], rng)
+        pretrain_net = Sequential([encoder, decoder])
+        train_network(pretrain_net, MeanSquaredError(), features, features,
+                      epochs=self.pretrain_epochs, batch_size=self.batch_size,
+                      optimizer=Adam(pretrain_net.parameters(),
+                                     learning_rate=self.learning_rate),
+                      seed=self.seed)
+
+        # Stage 2: supervised training of encoder + classifier end to end.
+        classifier = self._build_classifier(rng, num_classes=floor_values.size)
+        self.network = Sequential([encoder, classifier])
+        train_network(self.network, SoftmaxCrossEntropy(), features, targets,
+                      epochs=self.train_epochs, batch_size=self.batch_size,
+                      optimizer=Adam(self.network.parameters(),
+                                     learning_rate=self.learning_rate),
+                      seed=self.seed)
+        return self
+
+    # -------------------------------------------------------------- prediction
+    def predict(self, records: Sequence[SignalRecord]) -> dict[str, int]:
+        if self.network is None or self._floor_values is None:
+            raise RuntimeError("ScalableDNNClassifier is not fitted")
+        features = self.featurizer.transform(records)
+        classes = self.network.predict_classes(features)
+        return {record.record_id: int(self._floor_values[c])
+                for record, c in zip(records, classes)}

@@ -1,0 +1,49 @@
+"""GRAFICS core: bipartite graph, E-LINE embeddings, clustering and inference."""
+
+from .clustering import ClusterModel, ClusteringResult, ProximityClustering
+from .embedding import ELINEEmbedder, EmbeddingConfig, GraphEmbedding, LINEEmbedder
+from .graph import BipartiteGraph, Edge, Node, NodeKind, build_graph
+from .inference import FloorPrediction, OnlineInferenceEngine, UnknownEnvironmentError
+from .persistence import load_model, save_model
+from .pipeline import GRAFICS, GraficsConfig
+from .registry import BuildingPrediction, MultiBuildingFloorService
+from .types import FingerprintDataset, SignalRecord, records_to_matrix
+from .weighting import (
+    ClippedOffsetWeight,
+    OffsetWeight,
+    PowerWeight,
+    WeightFunction,
+    get_weight_function,
+)
+
+__all__ = [
+    "GRAFICS",
+    "GraficsConfig",
+    "save_model",
+    "load_model",
+    "MultiBuildingFloorService",
+    "BuildingPrediction",
+    "BipartiteGraph",
+    "build_graph",
+    "Node",
+    "NodeKind",
+    "Edge",
+    "SignalRecord",
+    "FingerprintDataset",
+    "records_to_matrix",
+    "EmbeddingConfig",
+    "GraphEmbedding",
+    "ELINEEmbedder",
+    "LINEEmbedder",
+    "ProximityClustering",
+    "ClusteringResult",
+    "ClusterModel",
+    "OnlineInferenceEngine",
+    "FloorPrediction",
+    "UnknownEnvironmentError",
+    "WeightFunction",
+    "OffsetWeight",
+    "PowerWeight",
+    "ClippedOffsetWeight",
+    "get_weight_function",
+]

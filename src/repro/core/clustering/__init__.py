@@ -1,0 +1,18 @@
+"""Proximity-based hierarchical clustering and the centroid floor classifier."""
+
+from .hierarchical import (
+    ClusteringResult,
+    MergeStep,
+    ProximityClustering,
+    average_pairwise_distance,
+)
+from .model import ClusterModel, FloorCluster
+
+__all__ = [
+    "ClusteringResult",
+    "MergeStep",
+    "ProximityClustering",
+    "average_pairwise_distance",
+    "ClusterModel",
+    "FloorCluster",
+]

@@ -1,0 +1,111 @@
+"""Centroid-based floor classifier built from the clustering result (Section V-B).
+
+Once the proximity-based hierarchical clustering has grouped all embedded
+records, each cluster is summarised by the centroid of its members' ego
+embeddings and by the floor label of its single labeled member.  A new
+sample's floor is predicted as the label of the cluster whose centroid is
+closest (L2) to the sample's ego embedding.  Multiple clusters may carry the
+same floor label (when several labeled samples exist per floor).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..embedding.base import GraphEmbedding
+from .hierarchical import ClusteringResult
+
+__all__ = ["FloorCluster", "ClusterModel"]
+
+
+@dataclass(frozen=True)
+class FloorCluster:
+    """One trained cluster: its id, floor label, centroid and member records."""
+
+    cluster_id: int
+    floor: int
+    centroid: np.ndarray
+    member_record_ids: tuple[str, ...]
+
+    @property
+    def size(self) -> int:
+        return len(self.member_record_ids)
+
+
+class ClusterModel:
+    """Nearest-centroid floor predictor over the trained clusters."""
+
+    def __init__(self, clusters: Sequence[FloorCluster]) -> None:
+        if not clusters:
+            raise ValueError("a ClusterModel needs at least one cluster")
+        self._clusters = list(clusters)
+        self._centroids = np.vstack([c.centroid for c in self._clusters])
+        self._floors = np.array([c.floor for c in self._clusters], dtype=np.int64)
+
+    # ------------------------------------------------------------ constructors
+    @classmethod
+    def from_clustering(cls, clustering: ClusteringResult,
+                        embedding: GraphEmbedding) -> "ClusterModel":
+        """Build the model from a clustering result and the trained embedding."""
+        clusters = []
+        for cluster_id, member_ids in clustering.cluster_members.items():
+            vectors = embedding.record_matrix(member_ids)
+            clusters.append(FloorCluster(
+                cluster_id=cluster_id,
+                floor=clustering.cluster_labels[cluster_id],
+                centroid=vectors.mean(axis=0),
+                member_record_ids=tuple(member_ids),
+            ))
+        return cls(clusters)
+
+    # ---------------------------------------------------------------- queries
+    @property
+    def clusters(self) -> list[FloorCluster]:
+        return list(self._clusters)
+
+    @property
+    def num_clusters(self) -> int:
+        return len(self._clusters)
+
+    @property
+    def floors(self) -> list[int]:
+        """Sorted distinct floor labels the model can predict."""
+        return sorted(set(int(f) for f in self._floors))
+
+    def centroid_matrix(self) -> np.ndarray:
+        """All centroids stacked into a ``(num_clusters, dim)`` array."""
+        return self._centroids.copy()
+
+    # ------------------------------------------------------------- prediction
+    def predict(self, vector: np.ndarray) -> int:
+        """Predict the floor of a single ego-embedding vector."""
+        return int(self.predict_batch(np.atleast_2d(vector))[0])
+
+    def predict_batch(self, vectors: np.ndarray) -> np.ndarray:
+        """Predict floors for a ``(n, dim)`` batch of ego embeddings."""
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
+        if vectors.shape[1] != self._centroids.shape[1]:
+            raise ValueError(
+                f"expected vectors of dimension {self._centroids.shape[1]}, "
+                f"got {vectors.shape[1]}")
+        distances = np.linalg.norm(
+            vectors[:, None, :] - self._centroids[None, :, :], axis=2)
+        nearest = np.argmin(distances, axis=1)
+        return self._floors[nearest]
+
+    def predict_with_distance(self, vector: np.ndarray) -> tuple[int, float]:
+        """Predict the floor and return the distance to the winning centroid."""
+        vector = np.asarray(vector, dtype=np.float64).reshape(1, -1)
+        distances = np.linalg.norm(self._centroids - vector, axis=1)
+        best = int(np.argmin(distances))
+        return int(self._floors[best]), float(distances[best])
+
+    def cluster_for(self, record_id: str) -> FloorCluster | None:
+        """The trained cluster that contains ``record_id``, if any."""
+        for cluster in self._clusters:
+            if record_id in cluster.member_record_ids:
+                return cluster
+        return None

@@ -1,0 +1,20 @@
+"""Graph embedding algorithms for the GRAFICS bipartite graph."""
+
+from .base import EmbeddingConfig, GraphEmbedder, GraphEmbedding
+from .eline import ELINEEmbedder
+from .line import LINEEmbedder
+from .sampler import AliasTable, EdgeSampler, NegativeSampler
+from .trainer import EdgeSamplingTrainer, ObjectiveTerms
+
+__all__ = [
+    "EmbeddingConfig",
+    "GraphEmbedder",
+    "GraphEmbedding",
+    "ELINEEmbedder",
+    "LINEEmbedder",
+    "AliasTable",
+    "EdgeSampler",
+    "NegativeSampler",
+    "EdgeSamplingTrainer",
+    "ObjectiveTerms",
+]

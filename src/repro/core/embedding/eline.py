@@ -1,0 +1,118 @@
+"""E-LINE: the paper's extension of LINE (Section IV-B).
+
+E-LINE keeps LINE's second-order proximity term (Eq. 5) and adds a symmetric
+term (Eq. 8) in which the roles of ego and context embeddings are swapped:
+the conditional probability of the *ego* of ``j`` given the *context* of
+``i``.  Minimising the combined objective (Eq. 9) — in practice its
+negative-sampling surrogate (Eq. 10) — makes the ego embeddings of nodes that
+are reachable from each other through short local paths similar, even when
+they share few direct neighbours.  This matters for floor identification
+because two records from the same floor frequently observe disjoint MAC sets
+that only overlap through intermediate records.
+
+The class also implements *incremental embedding* of nodes added after the
+initial fit (Section V-A): the new node's ego and context vectors are trained
+while every other embedding stays frozen, which is cheap enough for real-time
+online inference.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import replace
+
+import numpy as np
+
+from ..graph import BipartiteGraph, NodeKind
+from .base import EmbeddingConfig, GraphEmbedder, GraphEmbedding
+from .trainer import EdgeSamplingTrainer, ObjectiveTerms
+
+__all__ = ["ELINEEmbedder"]
+
+_ELINE_TERMS = ObjectiveTerms(first_order=False, second_order=True, symmetric=True)
+
+
+class ELINEEmbedder(GraphEmbedder):
+    """E-LINE graph embedding (second-order + symmetric ego/context term)."""
+
+    def fit(self, graph: BipartiteGraph) -> GraphEmbedding:
+        """Learn E-LINE embeddings for every node currently in ``graph``."""
+        trainer = EdgeSamplingTrainer(graph, self.config, _ELINE_TERMS)
+        ego, context = trainer.initial_embeddings()
+        losses = trainer.train(ego, context)
+        record_index, mac_index = self._index_maps(graph)
+        return GraphEmbedding(ego=ego, context=context,
+                              record_index=record_index, mac_index=mac_index,
+                              config=self.config, training_loss=losses)
+
+    def embed_new_nodes(self, graph: BipartiteGraph, embedding: GraphEmbedding,
+                        new_record_ids: Iterable[str],
+                        samples_per_new_edge: float | None = None) -> GraphEmbedding:
+        """Embed records added to ``graph`` after ``embedding`` was fitted.
+
+        The records named in ``new_record_ids`` (and any MAC nodes that are
+        not yet in ``embedding``) get fresh embeddings trained against the
+        frozen embeddings of all pre-existing nodes, as described in the
+        paper's online-inference section.  Returns a new
+        :class:`GraphEmbedding` that covers the enlarged graph; the original
+        embedding object is not modified.
+
+        Parameters
+        ----------
+        graph:
+            The bipartite graph after the new records were added.
+        embedding:
+            The embedding learned before the new records arrived.
+        new_record_ids:
+            Ids of the records to embed; each must already be a node of
+            ``graph`` and must not be present in ``embedding``.
+        samples_per_new_edge:
+            Edge-sample budget per incident edge of the new nodes (defaults to
+            the config's ``samples_per_edge``).
+        """
+        new_ids = list(new_record_ids)
+        if not new_ids:
+            return embedding
+        for record_id in new_ids:
+            if embedding.has_record(record_id):
+                raise ValueError(f"record {record_id!r} is already embedded")
+            if not graph.has_node(NodeKind.RECORD, record_id):
+                raise ValueError(f"record {record_id!r} is not in the graph")
+
+        capacity = graph.index_capacity
+        dim = self.config.dimension
+        rng = np.random.default_rng(self.config.seed)
+        scale = self.config.init_scale / dim
+
+        ego = rng.uniform(-scale, scale, size=(capacity, dim))
+        context = rng.uniform(-scale, scale, size=(capacity, dim))
+        old_rows = min(embedding.ego.shape[0], capacity)
+        ego[:old_rows] = embedding.ego[:old_rows]
+        context[:old_rows] = embedding.context[:old_rows]
+
+        trainable = np.zeros(capacity, dtype=bool)
+        for record_id in new_ids:
+            node = graph.get_node(NodeKind.RECORD, record_id)
+            trainable[node.index] = True
+        # MAC nodes unseen by the original embedding are trainable too.
+        known_macs = set(embedding.mac_index)
+        for mac_node in graph.mac_nodes():
+            if mac_node.key not in known_macs:
+                trainable[mac_node.index] = True
+
+        # The objective restricted to the new nodes only involves their own
+        # incident edges, so the positive sampler is built over that subset:
+        # this is what makes online inference cheap (Section V-A).
+        new_indices = np.flatnonzero(trainable)
+        per_edge = (samples_per_new_edge if samples_per_new_edge is not None
+                    else self.config.samples_per_edge)
+        incremental_config = replace(self.config, samples_per_edge=per_edge)
+        trainer = EdgeSamplingTrainer(graph, incremental_config, _ELINE_TERMS,
+                                      restrict_to_nodes=new_indices)
+        losses = trainer.train(ego, context, trainable=trainable)
+
+        record_index, mac_index = self._index_maps(graph)
+        return GraphEmbedding(ego=ego, context=context,
+                              record_index=record_index, mac_index=mac_index,
+                              config=self.config,
+                              training_loss=list(embedding.training_loss) + losses)

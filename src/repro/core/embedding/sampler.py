@@ -1,0 +1,149 @@
+"""Sampling utilities for LINE / E-LINE training.
+
+Both algorithms are trained by *edge sampling* with *negative sampling*
+(paper Section IV-B, Eq. 10):
+
+* positive examples are edges drawn with probability proportional to their
+  weight ``c_ij``;
+* negative examples are nodes drawn from the noise distribution
+  ``Pr(z) ∝ d_z^{3/4}`` where ``d_z`` is the (weighted) degree of ``z``.
+
+Drawing from an arbitrary discrete distribution in O(1) per sample uses
+Walker's alias method, implemented here as :class:`AliasTable`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["AliasTable", "EdgeSampler", "NegativeSampler", "unigram_power_distribution"]
+
+
+class AliasTable:
+    """O(1) sampling from a discrete distribution via Walker's alias method.
+
+    Parameters
+    ----------
+    weights:
+        Non-negative, not-all-zero weights; they are normalised internally.
+    """
+
+    def __init__(self, weights: np.ndarray) -> None:
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.ndim != 1 or weights.size == 0:
+            raise ValueError("weights must be a non-empty 1-D array")
+        if np.any(weights < 0):
+            raise ValueError("weights must be non-negative")
+        total = weights.sum()
+        if total <= 0:
+            raise ValueError("weights must not all be zero")
+
+        n = weights.size
+        probabilities = weights * (n / total)
+        self._prob = np.zeros(n, dtype=np.float64)
+        self._alias = np.zeros(n, dtype=np.int64)
+
+        small = [i for i, p in enumerate(probabilities) if p < 1.0]
+        large = [i for i, p in enumerate(probabilities) if p >= 1.0]
+        probabilities = probabilities.copy()
+        while small and large:
+            s = small.pop()
+            l = large.pop()
+            self._prob[s] = probabilities[s]
+            self._alias[s] = l
+            probabilities[l] = probabilities[l] - (1.0 - probabilities[s])
+            if probabilities[l] < 1.0:
+                small.append(l)
+            else:
+                large.append(l)
+        for leftover in large + small:
+            self._prob[leftover] = 1.0
+            self._alias[leftover] = leftover
+
+        self._n = n
+        self._weights = weights / total
+
+    @property
+    def size(self) -> int:
+        return self._n
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        """The normalised target distribution (for tests and diagnostics)."""
+        return self._weights.copy()
+
+    def sample(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``count`` independent indices from the distribution."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        columns = rng.integers(0, self._n, size=count)
+        coins = rng.random(count)
+        accept = coins < self._prob[columns]
+        return np.where(accept, columns, self._alias[columns])
+
+
+def unigram_power_distribution(degrees: np.ndarray, power: float = 0.75) -> np.ndarray:
+    """The noise distribution ``Pr(z) ∝ d_z^power`` over node indices.
+
+    Indices with zero degree (retired or isolated nodes) get probability zero.
+    """
+    degrees = np.asarray(degrees, dtype=np.float64)
+    if np.any(degrees < 0):
+        raise ValueError("degrees must be non-negative")
+    weights = np.power(degrees, power, where=degrees > 0,
+                       out=np.zeros_like(degrees))
+    return weights
+
+
+class EdgeSampler:
+    """Samples directed edges proportionally to their weight.
+
+    The bipartite graph is undirected; following LINE, every undirected edge
+    ``(m, v)`` is interpreted as the two directed edges ``m -> v`` and
+    ``v -> m`` with the same weight, so a directed sample is an undirected
+    sample plus a fair coin for direction.
+    """
+
+    def __init__(self, sources: np.ndarray, targets: np.ndarray,
+                 weights: np.ndarray) -> None:
+        sources = np.asarray(sources, dtype=np.int64)
+        targets = np.asarray(targets, dtype=np.int64)
+        weights = np.asarray(weights, dtype=np.float64)
+        if not (sources.shape == targets.shape == weights.shape):
+            raise ValueError("sources, targets and weights must have equal shapes")
+        if sources.size == 0:
+            raise ValueError("cannot build an EdgeSampler with no edges")
+        self._sources = sources
+        self._targets = targets
+        self._table = AliasTable(weights)
+
+    @property
+    def num_edges(self) -> int:
+        return self._sources.size
+
+    def sample(self, count: int,
+               rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(heads, tails)`` of ``count`` sampled directed edges."""
+        picks = self._table.sample(count, rng)
+        heads = self._sources[picks].copy()
+        tails = self._targets[picks].copy()
+        flip = rng.random(count) < 0.5
+        heads[flip], tails[flip] = tails[flip], heads[flip].copy()
+        return heads, tails
+
+
+class NegativeSampler:
+    """Samples negative nodes from ``Pr(z) ∝ d_z^{3/4}``."""
+
+    def __init__(self, degrees: np.ndarray, power: float = 0.75) -> None:
+        weights = unigram_power_distribution(degrees, power=power)
+        if weights.sum() <= 0:
+            raise ValueError("cannot build a NegativeSampler: all degrees are zero")
+        self._table = AliasTable(weights)
+
+    def sample(self, count: int, negatives_per_example: int,
+               rng: np.random.Generator) -> np.ndarray:
+        """Return an ``(count, negatives_per_example)`` array of node indices."""
+        total = count * negatives_per_example
+        flat = self._table.sample(total, rng)
+        return flat.reshape(count, negatives_per_example)

@@ -1,0 +1,223 @@
+"""Shared edge-sampling SGD engine for LINE and E-LINE.
+
+Both algorithms minimise a negative-sampling objective over sampled edges
+(paper Eq. 10).  The engine below is vectorised over mini-batches of edges and
+supports three objective terms that the concrete embedders combine:
+
+* ``first_order``   — pull the *ego* embeddings of edge endpoints together
+  (LINE's first-order proximity; not useful on a bipartite graph, kept for the
+  ablation discussed in Section IV-B / VI-C).
+* ``second_order``  — for a directed edge ``i -> j``, pull ``u_i`` (ego of the
+  source) towards ``u'_j`` (context of the target); this is LINE's
+  second-order proximity.
+* ``symmetric``     — E-LINE's additional term: also pull ``u'_i`` towards
+  ``u_j`` (Eq. 8), which propagates similarity through multi-hop local
+  neighbourhoods.
+
+The engine also supports *frozen* training used during online inference
+(Section V-A): only the rows listed in ``trainable`` receive gradient updates,
+so a newly added record can be embedded in real time without perturbing the
+previously learned embeddings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph import BipartiteGraph
+from .base import EmbeddingConfig
+from .sampler import EdgeSampler, NegativeSampler
+
+__all__ = ["ObjectiveTerms", "EdgeSamplingTrainer", "sigmoid"]
+
+#: Clip for the sigmoid argument to avoid overflow in exp().
+_SIGMOID_CLIP = 30.0
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically safe logistic function."""
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -_SIGMOID_CLIP, _SIGMOID_CLIP)))
+
+
+@dataclass(frozen=True)
+class ObjectiveTerms:
+    """Which objective terms the trainer optimises."""
+
+    first_order: bool = False
+    second_order: bool = True
+    symmetric: bool = False
+
+    def __post_init__(self) -> None:
+        if not (self.first_order or self.second_order or self.symmetric):
+            raise ValueError("at least one objective term must be enabled")
+
+
+class EdgeSamplingTrainer:
+    """Vectorised negative-sampling SGD over sampled edges of a bipartite graph."""
+
+    def __init__(self, graph: BipartiteGraph, config: EmbeddingConfig,
+                 terms: ObjectiveTerms,
+                 restrict_to_nodes: np.ndarray | None = None) -> None:
+        """Create a trainer over all edges or, optionally, a node-incident subset.
+
+        Parameters
+        ----------
+        restrict_to_nodes:
+            Optional array of node indices.  When given, only edges incident
+            to at least one of these nodes are sampled as positive examples
+            (used for the frozen-graph online embedding of new nodes, whose
+            objective only contains terms for their own incident edges).
+            Negative samples are still drawn from the full graph.
+        """
+        if graph.num_edges == 0:
+            raise ValueError("cannot train embeddings on a graph with no edges")
+        self.graph = graph
+        self.config = config
+        self.terms = terms
+        sources, targets, weights = graph.edge_arrays()
+        if restrict_to_nodes is not None:
+            wanted = np.zeros(graph.index_capacity, dtype=bool)
+            wanted[np.asarray(restrict_to_nodes, dtype=np.int64)] = True
+            keep = wanted[sources] | wanted[targets]
+            if not keep.any():
+                raise ValueError(
+                    "restrict_to_nodes selects no edges; the nodes are isolated")
+            sources, targets, weights = sources[keep], targets[keep], weights[keep]
+        self._num_sampled_edges = int(sources.size)
+        self._edge_sampler = EdgeSampler(sources, targets, weights)
+        self._negative_sampler = NegativeSampler(graph.degree_array())
+        self._rng = np.random.default_rng(config.seed)
+
+    @property
+    def num_sampled_edges(self) -> int:
+        """Number of edges the positive-example sampler draws from."""
+        return self._num_sampled_edges
+
+    # ------------------------------------------------------------------ setup
+    def initial_embeddings(self) -> tuple[np.ndarray, np.ndarray]:
+        """Uniformly initialised ego and context matrices sized to the graph."""
+        capacity = self.graph.index_capacity
+        dim = self.config.dimension
+        scale = self.config.init_scale / dim
+        ego = self._rng.uniform(-scale, scale, size=(capacity, dim))
+        context = self._rng.uniform(-scale, scale, size=(capacity, dim))
+        return ego, context
+
+    def total_samples(self) -> int:
+        """Total number of edge samples for a full training run."""
+        return max(1, int(self.config.samples_per_edge * self._num_sampled_edges))
+
+    # --------------------------------------------------------------- training
+    def train(self, ego: np.ndarray, context: np.ndarray,
+              trainable: np.ndarray | None = None,
+              total_samples: int | None = None) -> list[float]:
+        """Run SGD in place on ``ego`` and ``context``; return per-batch losses.
+
+        Parameters
+        ----------
+        ego, context:
+            Embedding matrices of shape ``(index_capacity, dimension)``,
+            modified in place.
+        trainable:
+            Optional boolean mask over node indices.  When given, gradient
+            updates are applied only to rows where the mask is ``True``
+            (frozen-graph online inference).  When ``None`` every row is
+            trainable.
+        total_samples:
+            Override for the number of edge samples (defaults to
+            ``samples_per_edge * num_edges``).
+        """
+        config = self.config
+        if ego.shape != context.shape:
+            raise ValueError("ego and context must have the same shape")
+        if ego.shape[0] < self.graph.index_capacity:
+            raise ValueError("embedding matrices are smaller than the graph")
+        if trainable is not None:
+            trainable = np.asarray(trainable, dtype=bool)
+            if trainable.shape[0] != ego.shape[0]:
+                raise ValueError("trainable mask must match embedding rows")
+
+        remaining = total_samples if total_samples is not None else self.total_samples()
+        total = remaining
+        losses: list[float] = []
+        while remaining > 0:
+            batch = min(config.batch_size, remaining)
+            progress = 1.0 - remaining / total
+            lr = max(config.min_learning_rate,
+                     config.learning_rate * (1.0 - progress))
+            loss = self._train_batch(ego, context, batch, lr, trainable)
+            losses.append(loss)
+            remaining -= batch
+        return losses
+
+    def _train_batch(self, ego: np.ndarray, context: np.ndarray, batch: int,
+                     lr: float, trainable: np.ndarray | None) -> float:
+        heads, tails = self._edge_sampler.sample(batch, self._rng)
+        negatives = self._negative_sampler.sample(
+            batch, self.config.negative_samples, self._rng)
+
+        loss = 0.0
+        if self.terms.second_order:
+            loss += self._skipgram_step(ego, context, heads, tails, negatives,
+                                        lr, trainable)
+        if self.terms.symmetric:
+            loss += self._skipgram_step(context, ego, heads, tails, negatives,
+                                        lr, trainable)
+        if self.terms.first_order:
+            loss += self._skipgram_step(ego, ego, heads, tails, negatives,
+                                        lr, trainable)
+        return loss / batch
+
+    def _skipgram_step(self, source_table: np.ndarray, target_table: np.ndarray,
+                       heads: np.ndarray, tails: np.ndarray,
+                       negatives: np.ndarray, lr: float,
+                       trainable: np.ndarray | None) -> float:
+        """One negative-sampling step: pull source[heads] towards target[tails].
+
+        ``source_table`` and ``target_table`` select which embedding matrix
+        plays the "input" and "output" role; passing (ego, context) gives the
+        second-order term, (context, ego) the E-LINE symmetric term and
+        (ego, ego) the first-order term.
+        """
+        config = self.config
+        source = source_table[heads]                      # (B, D)
+        positive_target = target_table[tails]             # (B, D)
+        negative_target = target_table[negatives]         # (B, K, D)
+
+        if config.dropout > 0.0:
+            keep = 1.0 - config.dropout
+            mask = (self._rng.random(source.shape) < keep) / keep
+            source = source * mask
+
+        pos_score = np.einsum("bd,bd->b", source, positive_target)
+        neg_score = np.einsum("bd,bkd->bk", source, negative_target)
+
+        pos_sig = sigmoid(pos_score)
+        neg_sig = sigmoid(neg_score)
+
+        # Gradients of the negative-sampling loss
+        #   -log sigma(pos) - sum_k log sigma(-neg_k)
+        pos_coeff = pos_sig - 1.0                          # (B,)
+        neg_coeff = neg_sig                                # (B, K)
+
+        grad_source = (pos_coeff[:, None] * positive_target
+                       + np.einsum("bk,bkd->bd", neg_coeff, negative_target))
+        grad_positive = pos_coeff[:, None] * source
+        grad_negative = neg_coeff[:, :, None] * source[:, None, :]
+
+        if trainable is not None:
+            grad_source = grad_source * trainable[heads][:, None]
+            grad_positive = grad_positive * trainable[tails][:, None]
+            grad_negative = grad_negative * trainable[negatives][:, :, None]
+
+        np.add.at(source_table, heads, -lr * grad_source)
+        np.add.at(target_table, tails, -lr * grad_positive)
+        np.add.at(target_table, negatives.ravel(),
+                  -lr * grad_negative.reshape(-1, grad_negative.shape[-1]))
+
+        with np.errstate(divide="ignore"):
+            pos_loss = -np.log(np.maximum(pos_sig, 1e-12)).sum()
+            neg_loss = -np.log(np.maximum(1.0 - neg_sig, 1e-12)).sum()
+        return float(pos_loss + neg_loss)

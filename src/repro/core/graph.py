@@ -1,0 +1,303 @@
+"""Weighted bipartite graph model of crowdsourced RF signal records.
+
+The graph (paper Section IV-A) has two node types:
+
+* **MAC nodes** — one per sensed MAC address (access point BSSID).
+* **Record nodes** — one per RF signal record.
+
+An edge connects MAC ``m`` and record ``v`` whenever ``m`` appears in ``v``,
+with weight ``c_mv = f(RSS_mv)`` for a strictly positive weight function
+``f`` (see :mod:`repro.core.weighting`).  The graph is deliberately
+incremental: new records and new MACs can be added at any time (online
+inference, paper Section V-A), and MAC nodes can be removed to model AP
+removal (paper Section III-A).
+
+Nodes are identified by ``(kind, key)`` pairs externally and by dense integer
+indices internally; the dense indices are what the embedding algorithms
+operate on.  Removing a node retires its index (indices are never reused), so
+embedding matrices indexed by node index stay valid across removals.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from .types import FingerprintDataset, SignalRecord
+from .weighting import OffsetWeight, WeightFunction
+
+__all__ = ["NodeKind", "Node", "Edge", "BipartiteGraph", "build_graph"]
+
+
+class NodeKind(str, Enum):
+    """The two sides of the bipartite graph."""
+
+    MAC = "mac"
+    RECORD = "record"
+
+
+@dataclass(frozen=True)
+class Node:
+    """A node handle: its kind, external key and dense internal index."""
+
+    kind: NodeKind
+    key: str
+    index: int
+
+
+@dataclass(frozen=True)
+class Edge:
+    """An undirected weighted edge between a MAC node and a record node."""
+
+    mac_index: int
+    record_index: int
+    weight: float
+
+
+class BipartiteGraph:
+    """Incrementally-built weighted bipartite graph of MACs and records.
+
+    Parameters
+    ----------
+    weight_function:
+        Maps RSS (dBm) to a strictly positive edge weight.  Defaults to the
+        paper's ``f(RSS) = RSS + 120``.
+    """
+
+    def __init__(self, weight_function: WeightFunction | None = None) -> None:
+        self.weight_function = weight_function or OffsetWeight()
+        self._nodes: dict[tuple[NodeKind, str], Node] = {}
+        self._nodes_by_index: dict[int, Node] = {}
+        self._adjacency: dict[int, dict[int, float]] = {}
+        self._next_index = 0
+        self._total_weight = 0.0
+
+    # ------------------------------------------------------------------ nodes
+    @property
+    def num_nodes(self) -> int:
+        """Number of live nodes (MACs + records)."""
+        return len(self._nodes)
+
+    @property
+    def num_macs(self) -> int:
+        return sum(1 for node in self._nodes.values() if node.kind is NodeKind.MAC)
+
+    @property
+    def num_records(self) -> int:
+        return sum(1 for node in self._nodes.values() if node.kind is NodeKind.RECORD)
+
+    @property
+    def index_capacity(self) -> int:
+        """One past the largest index ever assigned (size for embedding matrices)."""
+        return self._next_index
+
+    def nodes(self, kind: NodeKind | None = None) -> list[Node]:
+        """All live nodes, optionally filtered by kind, in insertion order."""
+        nodes = sorted(self._nodes.values(), key=lambda n: n.index)
+        if kind is None:
+            return nodes
+        return [n for n in nodes if n.kind is kind]
+
+    def mac_nodes(self) -> list[Node]:
+        return self.nodes(NodeKind.MAC)
+
+    def record_nodes(self) -> list[Node]:
+        return self.nodes(NodeKind.RECORD)
+
+    def has_node(self, kind: NodeKind, key: str) -> bool:
+        return (kind, key) in self._nodes
+
+    def get_node(self, kind: NodeKind, key: str) -> Node:
+        try:
+            return self._nodes[(kind, key)]
+        except KeyError:
+            raise KeyError(f"no {kind.value} node with key {key!r}") from None
+
+    def node_at(self, index: int) -> Node:
+        try:
+            return self._nodes_by_index[index]
+        except KeyError:
+            raise KeyError(f"no live node with index {index}") from None
+
+    def _add_node(self, kind: NodeKind, key: str) -> Node:
+        existing = self._nodes.get((kind, key))
+        if existing is not None:
+            return existing
+        node = Node(kind=kind, key=key, index=self._next_index)
+        self._next_index += 1
+        self._nodes[(kind, key)] = node
+        self._nodes_by_index[node.index] = node
+        self._adjacency[node.index] = {}
+        return node
+
+    def add_mac(self, mac: str) -> Node:
+        """Add (or fetch) the node for a MAC address."""
+        return self._add_node(NodeKind.MAC, mac)
+
+    # ---------------------------------------------------------------- records
+    def add_record(self, record: SignalRecord) -> Node:
+        """Add a signal record and its edges to the sensed MAC nodes.
+
+        New MAC nodes are created on demand (paper: the graph "is easily
+        extendable for new RF records" and adapts to AP installation).
+        """
+        key = record.record_id
+        if (NodeKind.RECORD, key) in self._nodes:
+            raise ValueError(f"record {key!r} is already in the graph")
+        record_node = self._add_node(NodeKind.RECORD, key)
+        for mac, rss in record.rss.items():
+            mac_node = self.add_mac(mac)
+            weight = self.weight_function.validate(rss)
+            self._set_edge(mac_node.index, record_node.index, weight)
+        return record_node
+
+    def add_records(self, records: Iterable[SignalRecord]) -> list[Node]:
+        return [self.add_record(record) for record in records]
+
+    def remove_record(self, record_id: str) -> None:
+        """Remove a record node and all of its edges."""
+        node = self.get_node(NodeKind.RECORD, record_id)
+        self._remove_node(node)
+
+    def remove_mac(self, mac: str) -> None:
+        """Remove a MAC node (models AP removal) and all of its edges."""
+        node = self.get_node(NodeKind.MAC, mac)
+        self._remove_node(node)
+
+    def _remove_node(self, node: Node) -> None:
+        for neighbor_index in list(self._adjacency[node.index]):
+            weight = self._adjacency[node.index].pop(neighbor_index)
+            del self._adjacency[neighbor_index][node.index]
+            self._total_weight -= weight
+        del self._adjacency[node.index]
+        del self._nodes[(node.kind, node.key)]
+        del self._nodes_by_index[node.index]
+
+    # ------------------------------------------------------------------ edges
+    def _set_edge(self, mac_index: int, record_index: int, weight: float) -> None:
+        previous = self._adjacency[mac_index].get(record_index)
+        if previous is not None:
+            self._total_weight -= previous
+        self._adjacency[mac_index][record_index] = weight
+        self._adjacency[record_index][mac_index] = weight
+        self._total_weight += weight
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(neighbors) for neighbors in self._adjacency.values()) // 2
+
+    @property
+    def total_weight(self) -> float:
+        """Sum of all edge weights (each undirected edge counted once)."""
+        return self._total_weight
+
+    def edge_weight(self, mac: str, record_id: str) -> float:
+        """Weight of the edge between a MAC and a record (KeyError if absent)."""
+        mac_node = self.get_node(NodeKind.MAC, mac)
+        record_node = self.get_node(NodeKind.RECORD, record_id)
+        try:
+            return self._adjacency[mac_node.index][record_node.index]
+        except KeyError:
+            raise KeyError(f"no edge between {mac!r} and {record_id!r}") from None
+
+    def neighbors(self, index: int) -> dict[int, float]:
+        """Mapping neighbor-index -> edge weight for a live node index."""
+        try:
+            return dict(self._adjacency[index])
+        except KeyError:
+            raise KeyError(f"no live node with index {index}") from None
+
+    def degree(self, index: int) -> int:
+        """Number of neighbors of a node."""
+        return len(self._adjacency[index])
+
+    def weighted_degree(self, index: int) -> float:
+        """Sum of incident edge weights of a node."""
+        return float(sum(self._adjacency[index].values()))
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over all undirected edges, each reported once."""
+        for node in self.nodes(NodeKind.MAC):
+            for record_index, weight in self._adjacency[node.index].items():
+                yield Edge(mac_index=node.index, record_index=record_index,
+                           weight=weight)
+
+    # ------------------------------------------------------------ array views
+    def edge_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return ``(sources, targets, weights)`` arrays over undirected edges.
+
+        ``sources`` holds MAC node indices and ``targets`` record node indices.
+        These arrays feed the alias samplers used by LINE / E-LINE training.
+        """
+        edges = list(self.edges())
+        if not edges:
+            empty_int = np.empty(0, dtype=np.int64)
+            return empty_int, empty_int.copy(), np.empty(0, dtype=np.float64)
+        sources = np.fromiter((e.mac_index for e in edges), dtype=np.int64,
+                              count=len(edges))
+        targets = np.fromiter((e.record_index for e in edges), dtype=np.int64,
+                              count=len(edges))
+        weights = np.fromiter((e.weight for e in edges), dtype=np.float64,
+                              count=len(edges))
+        return sources, targets, weights
+
+    def degree_array(self) -> np.ndarray:
+        """Weighted degrees indexed by dense node index (zeros for retired indices)."""
+        degrees = np.zeros(self.index_capacity, dtype=np.float64)
+        for index in self._adjacency:
+            degrees[index] = self.weighted_degree(index)
+        return degrees
+
+    def record_index_map(self) -> dict[str, int]:
+        """Mapping record id -> dense node index for all live record nodes."""
+        return {node.key: node.index for node in self.record_nodes()}
+
+    def mac_index_map(self) -> dict[str, int]:
+        """Mapping MAC address -> dense node index for all live MAC nodes."""
+        return {node.key: node.index for node in self.mac_nodes()}
+
+    # ------------------------------------------------------------------ misc
+    def connected_components(self) -> list[set[int]]:
+        """Connected components over live node indices (BFS)."""
+        unvisited = set(self._adjacency)
+        components: list[set[int]] = []
+        while unvisited:
+            start = unvisited.pop()
+            component = {start}
+            frontier = [start]
+            while frontier:
+                current = frontier.pop()
+                for neighbor in self._adjacency[current]:
+                    if neighbor in unvisited:
+                        unvisited.discard(neighbor)
+                        component.add(neighbor)
+                        frontier.append(neighbor)
+            components.append(component)
+        return components
+
+    def to_networkx(self):
+        """Export to a :class:`networkx.Graph` (for analysis and debugging)."""
+        import networkx as nx
+
+        graph = nx.Graph()
+        for node in self.nodes():
+            graph.add_node(node.index, kind=node.kind.value, key=node.key)
+        for edge in self.edges():
+            graph.add_edge(edge.mac_index, edge.record_index, weight=edge.weight)
+        return graph
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"BipartiteGraph(macs={self.num_macs}, records={self.num_records}, "
+                f"edges={self.num_edges})")
+
+
+def build_graph(dataset: FingerprintDataset | Sequence[SignalRecord],
+                weight_function: WeightFunction | None = None) -> BipartiteGraph:
+    """Build a bipartite graph from a dataset or a sequence of records."""
+    graph = BipartiteGraph(weight_function=weight_function)
+    records = dataset.records if isinstance(dataset, FingerprintDataset) else dataset
+    graph.add_records(records)
+    return graph

@@ -1,0 +1,135 @@
+"""Online inference for GRAFICS (paper Section V).
+
+Given a trained graph, embedding and cluster model, the
+:class:`OnlineInferenceEngine` handles newly arriving RF samples:
+
+1. the sample is appended to the bipartite graph as a new record node (new
+   MAC nodes are created on demand);
+2. its ego/context embeddings are trained while every previously learned
+   embedding stays frozen (:meth:`ELINEEmbedder.embed_new_nodes`);
+3. its floor is predicted as the label of the cluster whose centroid is
+   nearest in the ego embedding space.
+
+A sample whose MAC addresses are *all* unseen carries no information that
+connects it to the building; the paper discards such samples as likely
+collected outside the building, and this engine raises
+:class:`UnknownEnvironmentError` for them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from .clustering.model import ClusterModel
+from .embedding.base import GraphEmbedding
+from .embedding.eline import ELINEEmbedder
+from .graph import BipartiteGraph, NodeKind
+from .types import SignalRecord
+
+__all__ = ["UnknownEnvironmentError", "FloorPrediction", "OnlineInferenceEngine"]
+
+
+class UnknownEnvironmentError(ValueError):
+    """Raised when an online sample shares no MAC with the training graph."""
+
+
+@dataclass(frozen=True)
+class FloorPrediction:
+    """The outcome of one online inference."""
+
+    record_id: str
+    floor: int
+    distance: float
+    embedding: np.ndarray
+
+
+class OnlineInferenceEngine:
+    """Embeds and classifies new RF samples against a trained GRAFICS model.
+
+    Parameters
+    ----------
+    graph:
+        The training bipartite graph.  The engine mutates it when
+        ``persist=True`` predictions are requested and restores it otherwise.
+    embedding:
+        The embedding trained offline over ``graph``.
+    cluster_model:
+        The nearest-centroid floor classifier from the offline clustering.
+    embedder:
+        The embedder used for the incremental (frozen) embedding step.
+    """
+
+    def __init__(self, graph: BipartiteGraph, embedding: GraphEmbedding,
+                 cluster_model: ClusterModel,
+                 embedder: ELINEEmbedder | None = None) -> None:
+        self.graph = graph
+        self.embedding = embedding
+        self.cluster_model = cluster_model
+        self.embedder = embedder or ELINEEmbedder(embedding.config)
+
+    # -------------------------------------------------------------- inference
+    def predict(self, record: SignalRecord, persist: bool = False) -> FloorPrediction:
+        """Predict the floor of one new RF sample.
+
+        Parameters
+        ----------
+        record:
+            The online measurement.  Its id must not collide with a record
+            already in the graph.
+        persist:
+            When ``True`` the record (and its embedding) stay in the model so
+            that subsequent samples can benefit from the added connectivity;
+            when ``False`` (default) the graph is restored afterwards.
+        """
+        return self.predict_batch([record], persist=persist)[0]
+
+    def predict_batch(self, records: Sequence[SignalRecord],
+                      persist: bool = False) -> list[FloorPrediction]:
+        """Predict the floors of a batch of new RF samples."""
+        records = list(records)
+        if not records:
+            return []
+        known_macs = set(self.graph.mac_index_map())
+        for record in records:
+            if self.graph.has_node(NodeKind.RECORD, record.record_id):
+                raise ValueError(
+                    f"record {record.record_id!r} is already part of the model")
+            if not (set(record.rss) & known_macs):
+                raise UnknownEnvironmentError(
+                    f"record {record.record_id!r} contains only MAC addresses "
+                    "never observed in the building; it was likely collected "
+                    "outside the building")
+
+        added_macs = []
+        for record in records:
+            for mac in record.rss:
+                if not self.graph.has_node(NodeKind.MAC, mac):
+                    added_macs.append(mac)
+            self.graph.add_record(record)
+
+        new_ids = [record.record_id for record in records]
+        enlarged = self.embedder.embed_new_nodes(self.graph, self.embedding, new_ids)
+
+        predictions = []
+        for record in records:
+            vector = enlarged.record_vector(record.record_id)
+            floor, distance = self.cluster_model.predict_with_distance(vector)
+            predictions.append(FloorPrediction(record_id=record.record_id,
+                                               floor=floor, distance=distance,
+                                               embedding=vector.copy()))
+
+        if persist:
+            self.embedding = enlarged
+        else:
+            for record in records:
+                self.graph.remove_record(record.record_id)
+            for mac in added_macs:
+                # A MAC introduced only by the transient records has degree 0
+                # now; drop it to restore the original graph.
+                node = self.graph.get_node(NodeKind.MAC, mac)
+                if self.graph.degree(node.index) == 0:
+                    self.graph.remove_mac(mac)
+        return predictions

@@ -1,0 +1,200 @@
+"""Saving and loading trained GRAFICS models.
+
+A deployed floor-identification service trains offline (possibly on a beefy
+machine) and serves online inference elsewhere, so the trained state must be
+serialisable.  A GRAFICS model is fully described by:
+
+* the bipartite graph's record/MAC vocabulary and weighted edges (needed to
+  embed new samples against the frozen embeddings),
+* the ego/context embedding matrices,
+* the trained clusters (members, floor labels, centroids),
+* the configuration (embedding hyperparameters and weight function).
+
+The on-disk format is a single ``.npz`` file holding the numeric arrays plus
+a JSON blob for the structured metadata.  Only the weight functions shipped
+with the library can be restored by name; custom weight functions require the
+caller to rebuild the configuration manually after loading.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+import numpy as np
+
+from .clustering.hierarchical import ClusteringResult
+from .clustering.model import ClusterModel, FloorCluster
+from .embedding.base import EmbeddingConfig, GraphEmbedding
+from .graph import BipartiteGraph, NodeKind
+from .pipeline import GRAFICS, GraficsConfig
+from .weighting import ClippedOffsetWeight, OffsetWeight, PowerWeight, WeightFunction
+
+__all__ = ["save_model", "load_model"]
+
+_FORMAT_VERSION = 1
+
+
+def _weight_function_to_dict(weight_function: WeightFunction) -> dict:
+    if isinstance(weight_function, ClippedOffsetWeight):
+        return {"name": "clipped-offset", "offset": weight_function.offset,
+                "min_weight": weight_function.min_weight}
+    if isinstance(weight_function, OffsetWeight):
+        return {"name": "offset", "offset": weight_function.offset}
+    if isinstance(weight_function, PowerWeight):
+        return {"name": "power", "scale": weight_function.scale}
+    raise ValueError(
+        f"cannot serialise custom weight function {type(weight_function).__name__}; "
+        "use one of the built-in weight functions or rebuild the config manually")
+
+
+def _weight_function_from_dict(payload: dict) -> WeightFunction:
+    name = payload["name"]
+    if name == "offset":
+        return OffsetWeight(offset=payload["offset"])
+    if name == "clipped-offset":
+        return ClippedOffsetWeight(offset=payload["offset"],
+                                   min_weight=payload["min_weight"])
+    if name == "power":
+        return PowerWeight(scale=payload["scale"])
+    raise ValueError(f"unknown weight function {name!r} in saved model")
+
+
+def save_model(model: GRAFICS, path: str | Path) -> None:
+    """Serialise a fitted GRAFICS model to ``path`` (a ``.npz`` file)."""
+    if not model.is_fitted:
+        raise ValueError("cannot save an unfitted GRAFICS model")
+    path = Path(path)
+    graph = model.graph
+
+    edges = [[graph.node_at(edge.mac_index).key,
+              graph.node_at(edge.record_index).key,
+              edge.weight]
+             for edge in graph.edges()]
+
+    clustering = model.clustering
+    metadata = {
+        "format_version": _FORMAT_VERSION,
+        "config": {
+            "embedding_dimension": model.config.embedding_dimension,
+            "embedder": model.config.embedder,
+            "allow_unreachable_clusters": model.config.allow_unreachable_clusters,
+            "weight_function": _weight_function_to_dict(model.config.weight_function),
+            "embedding": asdict(model.config.resolved_embedding_config()),
+        },
+        "record_index": model.embedding.record_index,
+        "mac_index": model.embedding.mac_index,
+        "edges": edges,
+        "clusters": [
+            {
+                "cluster_id": cluster.cluster_id,
+                "floor": cluster.floor,
+                "member_record_ids": list(cluster.member_record_ids),
+            }
+            for cluster in model.cluster_model.clusters
+        ],
+        "cluster_assignments": clustering.assignments if clustering else {},
+        "cluster_labels": ({str(k): v for k, v in clustering.cluster_labels.items()}
+                           if clustering else {}),
+    }
+
+    centroids = np.vstack([c.centroid for c in model.cluster_model.clusters])
+    np.savez_compressed(
+        path,
+        ego=model.embedding.ego,
+        context=model.embedding.context,
+        centroids=centroids,
+        metadata=np.frombuffer(json.dumps(metadata).encode("utf-8"),
+                               dtype=np.uint8),
+    )
+
+
+def _rebuild_graph(edges: list, weight_function: WeightFunction) -> BipartiteGraph:
+    """Reconstruct the bipartite graph with the stored edge weights."""
+    graph = BipartiteGraph(weight_function=weight_function)
+    per_record: dict[str, dict[str, float]] = {}
+    for mac, record_id, weight in edges:
+        per_record.setdefault(record_id, {})[mac] = float(weight)
+    for record_id, weighted_macs in per_record.items():
+        record_node = graph._add_node(NodeKind.RECORD, record_id)  # noqa: SLF001
+        for mac, weight in weighted_macs.items():
+            mac_node = graph.add_mac(mac)
+            graph._set_edge(mac_node.index, record_node.index, weight)  # noqa: SLF001
+    return graph
+
+
+def load_model(path: str | Path) -> GRAFICS:
+    """Restore a GRAFICS model saved with :func:`save_model`.
+
+    The returned model supports online inference (``predict`` /
+    ``predict_batch``) exactly like the freshly trained one.
+    """
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as archive:
+        ego = archive["ego"]
+        context = archive["context"]
+        centroids = archive["centroids"]
+        metadata = json.loads(bytes(archive["metadata"].tobytes()).decode("utf-8"))
+
+    if metadata.get("format_version") != _FORMAT_VERSION:
+        raise ValueError(f"unsupported model format version "
+                         f"{metadata.get('format_version')!r}")
+
+    config_blob = metadata["config"]
+    embedding_config = EmbeddingConfig(**config_blob["embedding"])
+    config = GraficsConfig(
+        embedding_dimension=config_blob["embedding_dimension"],
+        embedder=config_blob["embedder"],
+        allow_unreachable_clusters=config_blob["allow_unreachable_clusters"],
+        weight_function=_weight_function_from_dict(config_blob["weight_function"]),
+        embedding=embedding_config,
+    )
+
+    graph = _rebuild_graph(metadata["edges"], config.weight_function)
+
+    # Dense indices assigned during the rebuild generally differ from the
+    # original ones, so embedding rows are re-ordered to the new indices.
+    old_record_index = metadata["record_index"]
+    old_mac_index = metadata["mac_index"]
+    dim = ego.shape[1]
+    new_ego = np.zeros((graph.index_capacity, dim))
+    new_context = np.zeros((graph.index_capacity, dim))
+    record_index: dict[str, int] = {}
+    mac_index: dict[str, int] = {}
+    for node in graph.nodes():
+        if node.kind is NodeKind.RECORD:
+            old_row = old_record_index[node.key]
+            record_index[node.key] = node.index
+        else:
+            old_row = old_mac_index[node.key]
+            mac_index[node.key] = node.index
+        new_ego[node.index] = ego[old_row]
+        new_context[node.index] = context[old_row]
+
+    embedding = GraphEmbedding(ego=new_ego, context=new_context,
+                               record_index=record_index, mac_index=mac_index,
+                               config=embedding_config)
+
+    clusters = [FloorCluster(cluster_id=int(blob["cluster_id"]),
+                             floor=int(blob["floor"]),
+                             centroid=centroids[i],
+                             member_record_ids=tuple(blob["member_record_ids"]))
+                for i, blob in enumerate(metadata["clusters"])]
+    cluster_model = ClusterModel(clusters)
+
+    clustering = ClusteringResult(
+        assignments={k: int(v) for k, v in metadata["cluster_assignments"].items()},
+        cluster_labels={int(k): int(v)
+                        for k, v in metadata["cluster_labels"].items()},
+        cluster_members={c.cluster_id: list(c.member_record_ids)
+                         for c in clusters},
+        record_ids=list(metadata["cluster_assignments"].keys()),
+    )
+
+    model = GRAFICS(config)
+    model.graph = graph
+    model.embedding = embedding
+    model.clustering = clustering
+    model.cluster_model = cluster_model
+    return model

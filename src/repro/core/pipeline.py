@@ -1,0 +1,219 @@
+"""End-to-end GRAFICS pipeline: offline training and online inference.
+
+:class:`GRAFICS` ties together the four stages of the paper:
+
+1. bipartite graph construction from the crowdsourced records
+   (:mod:`repro.core.graph`),
+2. E-LINE (or, for ablations, LINE) graph embedding
+   (:mod:`repro.core.embedding`),
+3. proximity-based hierarchical clustering with the few floor-labeled samples
+   (:mod:`repro.core.clustering`),
+4. online inference for new samples (:mod:`repro.core.inference`).
+
+Typical usage::
+
+    from repro import GRAFICS, GraficsConfig
+
+    model = GRAFICS(GraficsConfig(embedding_dimension=8))
+    model.fit(training_records, labels={"r17": 2, "r903": 0, ...})
+    floor = model.predict(new_record).floor
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from .clustering.hierarchical import ClusteringResult, ProximityClustering
+from .clustering.model import ClusterModel
+from .embedding.base import EmbeddingConfig, GraphEmbedding
+from .embedding.eline import ELINEEmbedder
+from .embedding.line import LINEEmbedder
+from .graph import BipartiteGraph, build_graph
+from .inference import FloorPrediction, OnlineInferenceEngine
+from .types import FingerprintDataset, SignalRecord
+from .weighting import OffsetWeight, WeightFunction
+
+__all__ = ["GraficsConfig", "GRAFICS"]
+
+
+@dataclass(frozen=True)
+class GraficsConfig:
+    """Configuration of the whole GRAFICS pipeline.
+
+    Attributes
+    ----------
+    embedding_dimension:
+        Length of the ego/context embedding vectors (paper default: 8).
+    embedder:
+        ``"eline"`` for the paper's algorithm, ``"line"``, ``"line-first"`` or
+        ``"line-combined"`` for the LINE ablations of Fig. 13 / Section VI-C.
+    weight_function:
+        Edge weight function (paper default: ``f(RSS) = RSS + 120``).
+    embedding:
+        Full embedding hyperparameters.  ``embedding_dimension`` overrides the
+        dimension stored here so the common case needs a single knob.
+    allow_unreachable_clusters:
+        Forwarded to :class:`ProximityClustering`.
+    """
+
+    embedding_dimension: int = 8
+    embedder: str = "eline"
+    weight_function: WeightFunction = field(default_factory=OffsetWeight)
+    embedding: EmbeddingConfig = field(default_factory=EmbeddingConfig)
+    allow_unreachable_clusters: bool = False
+
+    def resolved_embedding_config(self) -> EmbeddingConfig:
+        """The embedding config with ``embedding_dimension`` applied."""
+        if self.embedding.dimension == self.embedding_dimension:
+            return self.embedding
+        return replace(self.embedding, dimension=self.embedding_dimension)
+
+    def make_embedder(self):
+        """Instantiate the configured graph embedder."""
+        config = self.resolved_embedding_config()
+        if self.embedder == "eline":
+            return ELINEEmbedder(config)
+        if self.embedder == "line":
+            return LINEEmbedder(config, order="second")
+        if self.embedder == "line-first":
+            return LINEEmbedder(config, order="first")
+        if self.embedder == "line-combined":
+            return LINEEmbedder(config, order="combined")
+        raise ValueError(f"unknown embedder {self.embedder!r}; expected one of "
+                         "'eline', 'line', 'line-first', 'line-combined'")
+
+
+class GRAFICS:
+    """Graph embedding-based floor identification (the paper's full system)."""
+
+    def __init__(self, config: GraficsConfig | None = None) -> None:
+        self.config = config or GraficsConfig()
+        self.graph: BipartiteGraph | None = None
+        self.embedding: GraphEmbedding | None = None
+        self.clustering: ClusteringResult | None = None
+        self.cluster_model: ClusterModel | None = None
+        self._engine: OnlineInferenceEngine | None = None
+        self._embedder = None
+
+    # ---------------------------------------------------------------- training
+    def fit(self, records: FingerprintDataset | Sequence[SignalRecord],
+            labels: Mapping[str, int] | None = None) -> "GRAFICS":
+        """Run the offline training phase.
+
+        Parameters
+        ----------
+        records:
+            All crowdsourced training records (labeled and unlabeled).  Floor
+            attributes on the records themselves are ignored for training —
+            only ``labels`` determines which records act as labeled samples —
+            so that evaluation code can keep ground truth on the records
+            without leaking it.
+        labels:
+            Mapping record id -> floor for the few labeled samples.  When
+            ``None``, the labels are taken from records whose ``floor``
+            attribute is set (useful for fully labeled toy examples).
+        """
+        record_list = list(records.records if isinstance(records, FingerprintDataset)
+                           else records)
+        if not record_list:
+            raise ValueError("cannot fit GRAFICS on an empty record collection")
+        if labels is None:
+            labels = {r.record_id: r.floor for r in record_list if r.floor is not None}
+        labels = {str(k): int(v) for k, v in labels.items()}
+        if not labels:
+            raise ValueError("GRAFICS requires at least one floor-labeled record")
+        known_ids = {r.record_id for r in record_list}
+        missing = set(labels) - known_ids
+        if missing:
+            raise ValueError(
+                f"labels reference records that are not in the training set: "
+                f"{sorted(missing)[:5]}")
+
+        self.graph = build_graph(record_list,
+                                 weight_function=self.config.weight_function)
+        self._embedder = self.config.make_embedder()
+        self.embedding = self._embedder.fit(self.graph)
+
+        record_ids = [r.record_id for r in record_list]
+        vectors = self.embedding.record_matrix(record_ids)
+        clustering = ProximityClustering(
+            allow_unreachable=self.config.allow_unreachable_clusters)
+        self.clustering = clustering.fit(record_ids, vectors, labels)
+        self.cluster_model = ClusterModel.from_clustering(self.clustering,
+                                                          self.embedding)
+        self._engine = None
+        return self
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.cluster_model is not None
+
+    def _require_fitted(self) -> None:
+        if not self.is_fitted:
+            raise RuntimeError("GRAFICS model is not fitted; call fit() first")
+
+    # --------------------------------------------------------------- inference
+    @property
+    def engine(self) -> OnlineInferenceEngine:
+        """The lazily created online-inference engine."""
+        self._require_fitted()
+        if self._engine is None:
+            incremental_embedder = ELINEEmbedder(
+                self.config.resolved_embedding_config())
+            self._engine = OnlineInferenceEngine(self.graph, self.embedding,
+                                                 self.cluster_model,
+                                                 embedder=incremental_embedder)
+        return self._engine
+
+    def predict(self, record: SignalRecord, persist: bool = False) -> FloorPrediction:
+        """Predict the floor of one new RF sample (online inference)."""
+        return self.engine.predict(record, persist=persist)
+
+    def predict_batch(self, records: Sequence[SignalRecord],
+                      persist: bool = False) -> list[FloorPrediction]:
+        """Predict the floors of several new RF samples in one embedding pass."""
+        return self.engine.predict_batch(records, persist=persist)
+
+    def predict_floors(self, records: Sequence[SignalRecord]) -> np.ndarray:
+        """Convenience wrapper returning only the predicted floor numbers."""
+        predictions = self.predict_batch(records)
+        return np.array([p.floor for p in predictions], dtype=np.int64)
+
+    # ----------------------------------------------------------- introspection
+    def training_floor_assignments(self) -> dict[str, int]:
+        """Virtual floor labels assigned to every training record by clustering."""
+        self._require_fitted()
+        return {rid: self.clustering.cluster_labels[cid]
+                for rid, cid in self.clustering.assignments.items()}
+
+    def record_embedding(self, record_id: str) -> np.ndarray:
+        """Ego embedding of a training record."""
+        self._require_fitted()
+        return self.embedding.record_vector(record_id)
+
+    def training_summary(self) -> dict[str, object]:
+        """A small dictionary of model statistics (for logging and examples)."""
+        self._require_fitted()
+        return {
+            "num_records": self.graph.num_records,
+            "num_macs": self.graph.num_macs,
+            "num_edges": self.graph.num_edges,
+            "num_clusters": self.cluster_model.num_clusters,
+            "floors": self.cluster_model.floors,
+            "embedding_dimension": self.embedding.dimension,
+            "embedder": self.config.embedder,
+        }
+
+
+def predict_transductively(model: GRAFICS,
+                           test_records: Iterable[SignalRecord]) -> dict[str, int]:
+    """Predict floors for many held-out records in one incremental batch.
+
+    Helper used by the experiment harness: equivalent to
+    ``model.predict_batch`` but returns a plain ``{record_id: floor}`` map.
+    """
+    predictions = model.predict_batch(list(test_records))
+    return {p.record_id: p.floor for p in predictions}

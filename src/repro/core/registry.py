@@ -1,0 +1,124 @@
+"""Multi-building floor identification service.
+
+The paper evaluates per-building models (204 buildings in the Microsoft
+corpus).  A practical deployment serves many buildings at once: an online
+sample first has to be attributed to a building, then classified by that
+building's GRAFICS model.  :class:`MultiBuildingFloorService` implements the
+natural attribution rule suggested by the paper's own discard heuristic
+(Section V-A footnote): a sample belongs to the building whose trained MAC
+vocabulary it overlaps most, and a sample overlapping no building at all is
+rejected as "outside".
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+
+from .inference import UnknownEnvironmentError
+from .pipeline import GRAFICS, GraficsConfig
+from .types import FingerprintDataset, SignalRecord
+
+__all__ = ["BuildingPrediction", "MultiBuildingFloorService"]
+
+
+@dataclass(frozen=True)
+class BuildingPrediction:
+    """Joint building + floor prediction for one online sample."""
+
+    record_id: str
+    building_id: str
+    floor: int
+    mac_overlap: float
+    distance: float
+
+
+class MultiBuildingFloorService:
+    """Trains and serves one GRAFICS model per building.
+
+    Parameters
+    ----------
+    config:
+        GRAFICS configuration shared by every per-building model.
+    min_overlap:
+        Minimum fraction of an online sample's MACs that must be known to a
+        building for the sample to be attributed to it.
+    """
+
+    def __init__(self, config: GraficsConfig | None = None,
+                 min_overlap: float = 0.1) -> None:
+        if not 0.0 < min_overlap <= 1.0:
+            raise ValueError("min_overlap must be in (0, 1]")
+        self.config = config or GraficsConfig()
+        self.min_overlap = min_overlap
+        self._models: dict[str, GRAFICS] = {}
+        self._vocabularies: dict[str, frozenset[str]] = {}
+
+    # ---------------------------------------------------------------- training
+    def fit_building(self, dataset: FingerprintDataset,
+                     labels: Mapping[str, int]) -> GRAFICS:
+        """Train (or retrain) the model of one building."""
+        model = GRAFICS(self.config)
+        model.fit(dataset, labels)
+        self._models[dataset.building_id] = model
+        self._vocabularies[dataset.building_id] = frozenset(dataset.macs)
+        return model
+
+    def fit_corpus(self, datasets: Iterable[FingerprintDataset],
+                   labels_by_building: Mapping[str, Mapping[str, int]]) -> None:
+        """Train models for a corpus; labels are keyed by building id."""
+        for dataset in datasets:
+            try:
+                labels = labels_by_building[dataset.building_id]
+            except KeyError:
+                raise ValueError(
+                    f"no labels provided for building {dataset.building_id!r}"
+                ) from None
+            self.fit_building(dataset, labels)
+
+    # ----------------------------------------------------------------- lookup
+    @property
+    def building_ids(self) -> list[str]:
+        return sorted(self._models)
+
+    def model_for(self, building_id: str) -> GRAFICS:
+        try:
+            return self._models[building_id]
+        except KeyError:
+            raise KeyError(f"no trained model for building {building_id!r}") from None
+
+    def identify_building(self, record: SignalRecord) -> tuple[str, float]:
+        """Attribute a sample to the building with the largest MAC overlap.
+
+        Returns ``(building_id, overlap_fraction)``.  Raises
+        :class:`UnknownEnvironmentError` when no building clears
+        ``min_overlap``.
+        """
+        if not self._models:
+            raise RuntimeError("no buildings have been trained yet")
+        macs = set(record.rss)
+        best_building, best_overlap = None, 0.0
+        for building_id, vocabulary in self._vocabularies.items():
+            overlap = len(macs & vocabulary) / len(macs)
+            if overlap > best_overlap:
+                best_building, best_overlap = building_id, overlap
+        if best_building is None or best_overlap < self.min_overlap:
+            raise UnknownEnvironmentError(
+                f"record {record.record_id!r} does not match any trained "
+                f"building (best overlap {best_overlap:.2f})")
+        return best_building, best_overlap
+
+    # -------------------------------------------------------------- prediction
+    def predict(self, record: SignalRecord) -> BuildingPrediction:
+        """Attribute the sample to a building and predict its floor there."""
+        building_id, overlap = self.identify_building(record)
+        prediction = self._models[building_id].predict(record)
+        return BuildingPrediction(record_id=record.record_id,
+                                  building_id=building_id,
+                                  floor=prediction.floor,
+                                  mac_overlap=overlap,
+                                  distance=prediction.distance)
+
+    def predict_batch(self, records: Iterable[SignalRecord]) -> list[BuildingPrediction]:
+        """Predict building + floor for several samples."""
+        return [self.predict(record) for record in records]

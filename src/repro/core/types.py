@@ -1,0 +1,239 @@
+"""Core data types used throughout the GRAFICS reproduction.
+
+The fundamental unit of data is a :class:`SignalRecord`: one crowdsourced RF
+scan, i.e. a variable-length mapping from sensed MAC addresses to received
+signal strength (RSS) values in dBm, optionally annotated with the floor on
+which it was collected.  A :class:`FingerprintDataset` is an ordered
+collection of records for one building, together with light bookkeeping
+(building id, floor names) used by the data generators and the experiment
+harness.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+from dataclasses import dataclass, field
+
+__all__ = [
+    "SignalRecord",
+    "FingerprintDataset",
+    "records_to_matrix",
+]
+
+#: Sentinel RSS used when converting variable-length records to a dense matrix
+#: (the paper fills missing entries with -120 dBm).
+MISSING_RSS = -120.0
+
+
+@dataclass(frozen=True)
+class SignalRecord:
+    """One crowdsourced RF measurement sample.
+
+    Parameters
+    ----------
+    record_id:
+        Unique identifier of the record within its dataset.
+    rss:
+        Mapping from MAC address (any hashable string) to the measured RSS in
+        dBm.  RSS values are expected to be negative (e.g. ``-30`` to ``-100``).
+    floor:
+        Ground-truth floor index, or ``None`` when unknown.  Whether a record
+        is *used* as a labeled sample during training is decided separately by
+        the experiment harness (see :mod:`repro.data.splits`).
+    device:
+        Optional identifier of the contributing device (used by the synthetic
+        generator to model device heterogeneity).
+    timestamp:
+        Optional collection timestamp (seconds, arbitrary epoch).
+    """
+
+    record_id: str
+    rss: Mapping[str, float]
+    floor: int | None = None
+    device: str | None = None
+    timestamp: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.rss:
+            raise ValueError(f"record {self.record_id!r} has no RSS readings")
+        object.__setattr__(self, "rss", dict(self.rss))
+
+    @property
+    def macs(self) -> frozenset[str]:
+        """The set of MAC addresses sensed in this record."""
+        return frozenset(self.rss)
+
+    @property
+    def is_labeled(self) -> bool:
+        """Whether the record carries ground-truth floor information."""
+        return self.floor is not None
+
+    def __len__(self) -> int:
+        return len(self.rss)
+
+    def overlap_ratio(self, other: "SignalRecord") -> float:
+        """Intersection-over-union of the MAC sets of two records (paper Fig. 1b)."""
+        mine, theirs = self.macs, other.macs
+        union = mine | theirs
+        if not union:
+            return 0.0
+        return len(mine & theirs) / len(union)
+
+    def restrict_to(self, macs: Iterable[str]) -> "SignalRecord | None":
+        """Return a copy keeping only the given MACs, or ``None`` if empty.
+
+        Used by the MAC-availability sweep (paper Fig. 17) where only a
+        fraction of the MAC addresses are assumed to exist on-site.
+        """
+        allowed = set(macs)
+        kept = {m: v for m, v in self.rss.items() if m in allowed}
+        if not kept:
+            return None
+        return SignalRecord(
+            record_id=self.record_id,
+            rss=kept,
+            floor=self.floor,
+            device=self.device,
+            timestamp=self.timestamp,
+        )
+
+    def without_floor(self) -> "SignalRecord":
+        """Return a copy of this record with the floor label removed."""
+        return SignalRecord(
+            record_id=self.record_id,
+            rss=self.rss,
+            floor=None,
+            device=self.device,
+            timestamp=self.timestamp,
+        )
+
+
+@dataclass
+class FingerprintDataset:
+    """A collection of signal records for one building.
+
+    The dataset preserves insertion order of records and offers the
+    aggregate views needed by the graph construction, the baselines (dense
+    matrix form) and the dataset-statistics benchmarks.
+    """
+
+    records: list[SignalRecord] = field(default_factory=list)
+    building_id: str = "building"
+    floor_names: dict[int, str] = field(default_factory=dict)
+    metadata: dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        seen: set[str] = set()
+        for record in self.records:
+            if record.record_id in seen:
+                raise ValueError(f"duplicate record id {record.record_id!r}")
+            seen.add(record.record_id)
+
+    # -- container protocol -------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[SignalRecord]:
+        return iter(self.records)
+
+    def __getitem__(self, index: int) -> SignalRecord:
+        return self.records[index]
+
+    # -- mutation ------------------------------------------------------------
+    def add(self, record: SignalRecord) -> None:
+        """Append a record, enforcing id uniqueness."""
+        if any(r.record_id == record.record_id for r in self.records):
+            raise ValueError(f"duplicate record id {record.record_id!r}")
+        self.records.append(record)
+
+    # -- aggregate views -----------------------------------------------------
+    @property
+    def macs(self) -> list[str]:
+        """All distinct MAC addresses, in first-appearance order."""
+        seen: dict[str, None] = {}
+        for record in self.records:
+            for mac in record.rss:
+                seen.setdefault(mac, None)
+        return list(seen)
+
+    @property
+    def floors(self) -> list[int]:
+        """Sorted list of distinct floor labels present in the dataset."""
+        return sorted({r.floor for r in self.records if r.floor is not None})
+
+    @property
+    def labeled_records(self) -> list[SignalRecord]:
+        return [r for r in self.records if r.is_labeled]
+
+    @property
+    def unlabeled_records(self) -> list[SignalRecord]:
+        return [r for r in self.records if not r.is_labeled]
+
+    def records_on_floor(self, floor: int) -> list[SignalRecord]:
+        return [r for r in self.records if r.floor == floor]
+
+    def subset(self, records: Sequence[SignalRecord]) -> "FingerprintDataset":
+        """Build a new dataset (same metadata) from a subset of records."""
+        return FingerprintDataset(
+            records=list(records),
+            building_id=self.building_id,
+            floor_names=dict(self.floor_names),
+            metadata=dict(self.metadata),
+        )
+
+    def restrict_macs(self, macs: Iterable[str]) -> "FingerprintDataset":
+        """Keep only the given MACs; records left empty are dropped (Fig. 17)."""
+        allowed = set(macs)
+        kept = []
+        for record in self.records:
+            restricted = record.restrict_to(allowed)
+            if restricted is not None:
+                kept.append(restricted)
+        return self.subset(kept)
+
+    def to_matrix(self, mac_order: Sequence[str] | None = None,
+                  missing_value: float = MISSING_RSS):
+        """Dense matrix representation (records x MACs) used by the baselines.
+
+        Missing entries are filled with ``missing_value`` (-120 dBm by default,
+        the imputation the paper criticises as the "missing value problem").
+        Returns ``(matrix, mac_order)``.
+        """
+        return records_to_matrix(self.records, mac_order=mac_order,
+                                 missing_value=missing_value)
+
+
+def records_to_matrix(records: Sequence[SignalRecord],
+                      mac_order: Sequence[str] | None = None,
+                      missing_value: float = MISSING_RSS):
+    """Convert variable-length records into a dense ``(n_records, n_macs)`` matrix.
+
+    Parameters
+    ----------
+    records:
+        The records to convert.
+    mac_order:
+        Column order.  When ``None`` the columns follow first-appearance order
+        over ``records``.  MACs present in a record but absent from
+        ``mac_order`` are silently ignored (this models an online sample that
+        contains previously unseen MACs, which the matrix baselines cannot
+        represent).
+    missing_value:
+        Fill value for (record, MAC) pairs without a measurement.
+    """
+    import numpy as np
+
+    if mac_order is None:
+        seen: dict[str, None] = {}
+        for record in records:
+            for mac in record.rss:
+                seen.setdefault(mac, None)
+        mac_order = list(seen)
+    index = {mac: j for j, mac in enumerate(mac_order)}
+    matrix = np.full((len(records), len(mac_order)), float(missing_value))
+    for i, record in enumerate(records):
+        for mac, rss in record.rss.items():
+            j = index.get(mac)
+            if j is not None:
+                matrix[i, j] = rss
+    return matrix, list(mac_order)

@@ -1,0 +1,119 @@
+"""Edge-weight functions for the bipartite graph (paper Section IV-A, Eq. 1–2).
+
+The paper attaches weight ``c_mv = f(RSS_mv)`` to the edge between MAC ``m``
+and record ``v``.  The recommended weight function is an affine offset
+
+    f(RSS) = RSS + alpha,   alpha > max |RSS|
+
+(the paper uses ``alpha = 120``), which keeps every weight strictly positive
+while preserving the *differences* between RSS values.  The paper's Section
+VI-D compares this against a dBm-to-milliwatt conversion
+
+    g(RSS) = 10 ** (RSS / 10)
+
+and shows that the offset function performs substantially better because the
+power conversion squashes all typical indoor RSS values (-40..-95 dBm) into a
+nearly uniform tiny range.  Both functions are provided here so that the
+Fig. 16 benchmark can reproduce the comparison.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+__all__ = [
+    "WeightFunction",
+    "OffsetWeight",
+    "PowerWeight",
+    "ClippedOffsetWeight",
+    "get_weight_function",
+]
+
+#: Default offset used by the paper: f(RSS) = RSS + 120.
+DEFAULT_OFFSET = 120.0
+
+
+class WeightFunction(ABC):
+    """Maps an RSS value in dBm to a strictly positive edge weight."""
+
+    @abstractmethod
+    def __call__(self, rss: float) -> float:
+        """Return the edge weight for one RSS reading."""
+
+    def validate(self, rss: float) -> float:
+        """Apply the function and assert positivity (graph embedding requires it)."""
+        weight = self(rss)
+        if weight <= 0:
+            raise ValueError(
+                f"{type(self).__name__} produced non-positive weight {weight!r} "
+                f"for RSS {rss!r}; edge weights must be strictly positive"
+            )
+        return weight
+
+
+@dataclass(frozen=True)
+class OffsetWeight(WeightFunction):
+    """The paper's recommended weight function ``f(RSS) = RSS + offset``.
+
+    ``offset`` must exceed the magnitude of the most negative RSS value that
+    will ever be observed; the paper (and this implementation) defaults to 120
+    which is below the noise floor of commodity WiFi radios.
+    """
+
+    offset: float = DEFAULT_OFFSET
+
+    def __call__(self, rss: float) -> float:
+        return float(rss) + self.offset
+
+
+@dataclass(frozen=True)
+class PowerWeight(WeightFunction):
+    """The alternative weight function ``g(RSS) = 10 ** (RSS / 10)``.
+
+    Converts dBm to milliwatts.  Included to reproduce the paper's Fig. 16
+    ablation, which shows it performs poorly because typical indoor RSS values
+    all map to vanishingly small, near-identical weights.
+    """
+
+    scale: float = 1.0
+
+    def __call__(self, rss: float) -> float:
+        return self.scale * 10.0 ** (float(rss) / 10.0)
+
+
+@dataclass(frozen=True)
+class ClippedOffsetWeight(WeightFunction):
+    """Offset weight with a floor, robust to RSS values below ``-offset``.
+
+    Crowdsourced data occasionally contains bogus readings (e.g. -127 dBm
+    sentinel values from some chipsets).  This variant clips such readings to
+    ``min_weight`` instead of producing a non-positive weight.
+    """
+
+    offset: float = DEFAULT_OFFSET
+    min_weight: float = 1.0
+
+    def __call__(self, rss: float) -> float:
+        return max(float(rss) + self.offset, self.min_weight)
+
+
+_REGISTRY = {
+    "offset": OffsetWeight,
+    "power": PowerWeight,
+    "clipped-offset": ClippedOffsetWeight,
+}
+
+
+def get_weight_function(name: str, **kwargs) -> WeightFunction:
+    """Look up a weight function by name (``offset``, ``power``, ``clipped-offset``).
+
+    Extra keyword arguments are forwarded to the constructor, e.g.
+    ``get_weight_function("offset", offset=110.0)``.
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ValueError(f"unknown weight function {name!r}; known: {known}") from None
+    return factory(**kwargs)

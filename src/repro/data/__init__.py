@@ -1,0 +1,64 @@
+"""Synthetic crowdsourced RF datasets, loaders, splits and statistics."""
+
+from .loaders import load_jsonl, load_long_csv, load_wide_csv, save_jsonl, save_wide_csv
+from .presets import (
+    dense_mall_floor,
+    hong_kong_like_buildings,
+    microsoft_like_campus,
+    small_test_building,
+    three_story_campus_building,
+)
+from .propagation import PropagationModel, PropagationParameters
+from .splits import (
+    DatasetSplit,
+    make_experiment_split,
+    sample_labels,
+    subsample_macs,
+    train_test_split,
+)
+from .stats import (
+    BuildingSummary,
+    EmpiricalCDF,
+    building_summary,
+    overlap_ratio_cdf,
+    record_size_cdf,
+    summarize_corpus,
+)
+from .synthetic import (
+    AccessPoint,
+    BuildingSpec,
+    DevicePopulation,
+    SyntheticBuilding,
+    generate_building,
+)
+
+__all__ = [
+    "PropagationModel",
+    "PropagationParameters",
+    "AccessPoint",
+    "BuildingSpec",
+    "DevicePopulation",
+    "SyntheticBuilding",
+    "generate_building",
+    "microsoft_like_campus",
+    "hong_kong_like_buildings",
+    "three_story_campus_building",
+    "dense_mall_floor",
+    "small_test_building",
+    "DatasetSplit",
+    "train_test_split",
+    "sample_labels",
+    "subsample_macs",
+    "make_experiment_split",
+    "EmpiricalCDF",
+    "record_size_cdf",
+    "overlap_ratio_cdf",
+    "BuildingSummary",
+    "building_summary",
+    "summarize_corpus",
+    "save_jsonl",
+    "load_jsonl",
+    "load_wide_csv",
+    "save_wide_csv",
+    "load_long_csv",
+]

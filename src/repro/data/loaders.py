@@ -1,0 +1,206 @@
+"""Loading and saving fingerprint datasets in common on-disk formats.
+
+Three formats are supported:
+
+* **JSON lines** — one record per line with explicit ``rss`` mappings; this is
+  the library's native interchange format and round-trips everything.
+* **Wide CSV** (UJIIndoorLoc-style) — one column per AP (``WAP001`` ...) with a
+  sentinel value for "not detected" plus a floor column; the de-facto format
+  of public WiFi fingerprint datasets.
+* **Long CSV** — one row per (record, MAC, RSS) triple, the shape of
+  crowdsourced collection logs (and of the Microsoft Kaggle traces once
+  flattened).
+
+These loaders let users run the library on the paper's real datasets when
+they have access to them, while the rest of the repository relies on the
+synthetic presets.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from collections.abc import Iterable, Sequence
+from pathlib import Path
+
+from ..core.types import FingerprintDataset, SignalRecord
+
+__all__ = [
+    "save_jsonl",
+    "load_jsonl",
+    "load_wide_csv",
+    "save_wide_csv",
+    "load_long_csv",
+]
+
+#: RSS sentinel that UJIIndoorLoc-style datasets use for "AP not detected".
+WIDE_CSV_NOT_DETECTED = 100.0
+
+
+def save_jsonl(dataset: FingerprintDataset, path: str | Path) -> None:
+    """Write a dataset to JSON lines (one record per line, header line first)."""
+    path = Path(path)
+    header = {
+        "type": "header",
+        "building_id": dataset.building_id,
+        "floor_names": {str(k): v for k, v in dataset.floor_names.items()},
+        "metadata": dataset.metadata,
+    }
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write(json.dumps(header) + "\n")
+        for record in dataset.records:
+            row = {
+                "type": "record",
+                "record_id": record.record_id,
+                "rss": record.rss,
+                "floor": record.floor,
+                "device": record.device,
+                "timestamp": record.timestamp,
+            }
+            handle.write(json.dumps(row) + "\n")
+
+
+def load_jsonl(path: str | Path) -> FingerprintDataset:
+    """Read a dataset previously written by :func:`save_jsonl`."""
+    path = Path(path)
+    records: list[SignalRecord] = []
+    building_id = path.stem
+    floor_names: dict[int, str] = {}
+    metadata: dict[str, object] = {}
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{line_number}: invalid JSON") from exc
+            kind = row.get("type", "record")
+            if kind == "header":
+                building_id = row.get("building_id", building_id)
+                floor_names = {int(k): v
+                               for k, v in row.get("floor_names", {}).items()}
+                metadata = dict(row.get("metadata", {}))
+            elif kind == "record":
+                records.append(SignalRecord(
+                    record_id=str(row["record_id"]),
+                    rss={str(m): float(v) for m, v in row["rss"].items()},
+                    floor=None if row.get("floor") is None else int(row["floor"]),
+                    device=row.get("device"),
+                    timestamp=row.get("timestamp"),
+                ))
+            else:
+                raise ValueError(f"{path}:{line_number}: unknown row type {kind!r}")
+    return FingerprintDataset(records=records, building_id=building_id,
+                              floor_names=floor_names, metadata=metadata)
+
+
+def load_wide_csv(path: str | Path, floor_column: str = "FLOOR",
+                  ap_prefix: str = "WAP",
+                  not_detected: float = WIDE_CSV_NOT_DETECTED,
+                  building_id: str | None = None,
+                  record_id_column: str | None = None) -> FingerprintDataset:
+    """Load a UJIIndoorLoc-style wide CSV (one column per AP).
+
+    Parameters
+    ----------
+    path:
+        CSV file with a header row.
+    floor_column:
+        Name of the floor-label column; missing or empty values yield
+        unlabeled records.
+    ap_prefix:
+        Columns whose names start with this prefix are treated as AP columns.
+    not_detected:
+        RSS value that means "AP not detected" (UJIIndoorLoc uses +100).
+    building_id:
+        Dataset identifier (defaults to the file stem).
+    record_id_column:
+        Optional column with record ids; row numbers are used otherwise.
+    """
+    path = Path(path)
+    records: list[SignalRecord] = []
+    with path.open("r", encoding="utf-8", newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None:
+            raise ValueError(f"{path}: empty CSV file")
+        ap_columns = [c for c in reader.fieldnames if c.startswith(ap_prefix)]
+        if not ap_columns:
+            raise ValueError(
+                f"{path}: no AP columns found with prefix {ap_prefix!r}")
+        for row_number, row in enumerate(reader):
+            rss = {}
+            for column in ap_columns:
+                raw = row.get(column, "")
+                if raw in ("", None):
+                    continue
+                value = float(raw)
+                if value == not_detected:
+                    continue
+                rss[column] = value
+            if not rss:
+                continue
+            floor_raw = row.get(floor_column, "")
+            floor = int(float(floor_raw)) if floor_raw not in ("", None) else None
+            if record_id_column and row.get(record_id_column):
+                record_id = str(row[record_id_column])
+            else:
+                record_id = f"{path.stem}:{row_number:06d}"
+            records.append(SignalRecord(record_id=record_id, rss=rss, floor=floor))
+    return FingerprintDataset(records=records,
+                              building_id=building_id or path.stem)
+
+
+def save_wide_csv(dataset: FingerprintDataset, path: str | Path,
+                  floor_column: str = "FLOOR",
+                  not_detected: float = WIDE_CSV_NOT_DETECTED) -> None:
+    """Write a dataset to the wide CSV format (loses device/timestamp fields)."""
+    path = Path(path)
+    macs = dataset.macs
+    fieldnames = ["RECORD_ID", *macs, floor_column]
+    with path.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        for record in dataset.records:
+            row: dict[str, object] = {mac: not_detected for mac in macs}
+            row.update({mac: rss for mac, rss in record.rss.items()})
+            row["RECORD_ID"] = record.record_id
+            row[floor_column] = "" if record.floor is None else record.floor
+            writer.writerow(row)
+
+
+def load_long_csv(path: str | Path, record_column: str = "record_id",
+                  mac_column: str = "mac", rss_column: str = "rss",
+                  floor_column: str = "floor",
+                  building_id: str | None = None) -> FingerprintDataset:
+    """Load a long-format CSV with one (record, MAC, RSS) triple per row.
+
+    The floor column may be present on any subset of a record's rows; the
+    first non-empty value wins and conflicting values raise an error.
+    """
+    path = Path(path)
+    readings: dict[str, dict[str, float]] = {}
+    floors: dict[str, int] = {}
+    order: list[str] = []
+    with path.open("r", encoding="utf-8", newline="") as handle:
+        reader = csv.DictReader(handle)
+        for row_number, row in enumerate(reader, start=2):
+            record_id = str(row[record_column])
+            if record_id not in readings:
+                readings[record_id] = {}
+                order.append(record_id)
+            readings[record_id][str(row[mac_column])] = float(row[rss_column])
+            floor_raw = row.get(floor_column, "")
+            if floor_raw not in ("", None):
+                floor = int(float(floor_raw))
+                if record_id in floors and floors[record_id] != floor:
+                    raise ValueError(
+                        f"{path}:{row_number}: conflicting floors for record "
+                        f"{record_id!r}")
+                floors[record_id] = floor
+    records = [SignalRecord(record_id=rid, rss=readings[rid],
+                            floor=floors.get(rid))
+               for rid in order if readings[rid]]
+    return FingerprintDataset(records=records,
+                              building_id=building_id or path.stem)

@@ -1,0 +1,126 @@
+"""Indoor RF propagation model used by the synthetic data generator.
+
+The paper evaluates on real crowdsourced datasets (Microsoft's Kaggle indoor
+location dataset and a Hong Kong collection) that are not redistributable
+here, so the reproduction generates synthetic crowdsourced WiFi RSS data with
+the standard *log-distance path loss model with a floor attenuation factor*
+(ITU indoor / Seidel-Rappaport multi-floor model):
+
+    RSS(d, Δf) = P_tx - PL(d0) - 10 n log10(d / d0) - FAF · |Δf| + X_σ
+
+where ``d`` is the 3-D transmitter–receiver distance, ``Δf`` the number of
+floors between them, ``n`` the path-loss exponent, ``FAF`` the per-floor
+attenuation in dB and ``X_σ`` log-normal shadowing.  The floor attenuation
+factor is what makes floors statistically separable from RSS alone, which is
+the physical effect GRAFICS exploits; reproducing it faithfully preserves the
+relative behaviour of all evaluated methods.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PropagationModel", "PropagationParameters"]
+
+
+@dataclass(frozen=True)
+class PropagationParameters:
+    """Parameters of the multi-floor log-distance path-loss model.
+
+    Attributes
+    ----------
+    tx_power_dbm:
+        Effective transmit power plus antenna gains (typical WiFi AP ≈ 18 dBm).
+    reference_loss_db:
+        Path loss at the reference distance of one metre (~40 dB at 2.4 GHz).
+    path_loss_exponent:
+        Log-distance exponent; 2.5–3.5 indoors with obstructions.
+    floor_attenuation_db:
+        Attenuation added per concrete floor crossed (12–20 dB typical).
+    horizontal_attenuation_db_per_m:
+        Extra attenuation per metre of horizontal distance, a standard
+        simplification of in-plane obstruction (interior walls, shelving,
+        people).  This is what limits an AP's coverage to a neighbourhood of
+        the floor and makes same-floor records from distant spots observe
+        disjoint MAC sets — the crowdsourcing heterogeneity GRAFICS targets.
+    shadowing_sigma_db:
+        Standard deviation of the log-normal shadowing term.
+    noise_floor_dbm:
+        RSS below which a receiver cannot detect the AP at all.
+    """
+
+    tx_power_dbm: float = 18.0
+    reference_loss_db: float = 40.0
+    path_loss_exponent: float = 3.0
+    floor_attenuation_db: float = 18.0
+    horizontal_attenuation_db_per_m: float = 0.35
+    shadowing_sigma_db: float = 4.0
+    noise_floor_dbm: float = -95.0
+
+    def __post_init__(self) -> None:
+        if self.path_loss_exponent <= 0:
+            raise ValueError("path_loss_exponent must be positive")
+        if self.floor_attenuation_db < 0:
+            raise ValueError("floor_attenuation_db must be non-negative")
+        if self.horizontal_attenuation_db_per_m < 0:
+            raise ValueError("horizontal_attenuation_db_per_m must be non-negative")
+        if self.shadowing_sigma_db < 0:
+            raise ValueError("shadowing_sigma_db must be non-negative")
+
+
+class PropagationModel:
+    """Computes received signal strength between APs and measurement points."""
+
+    def __init__(self, parameters: PropagationParameters | None = None) -> None:
+        self.parameters = parameters or PropagationParameters()
+
+    def mean_rss(self, distance_m: np.ndarray, floor_difference: np.ndarray,
+                 horizontal_distance_m: np.ndarray | None = None) -> np.ndarray:
+        """Deterministic mean RSS (dBm) without shadowing or device effects.
+
+        Parameters
+        ----------
+        distance_m:
+            3-D distances in metres (same shape as ``floor_difference``).
+        floor_difference:
+            Absolute number of floors between transmitter and receiver.
+        horizontal_distance_m:
+            In-plane distances used for the per-metre obstruction term;
+            defaults to ``distance_m`` when not provided.
+        """
+        p = self.parameters
+        distance_m = np.maximum(np.asarray(distance_m, dtype=np.float64), 1.0)
+        floor_difference = np.abs(np.asarray(floor_difference, dtype=np.float64))
+        if horizontal_distance_m is None:
+            horizontal_distance_m = distance_m
+        horizontal_distance_m = np.maximum(
+            np.asarray(horizontal_distance_m, dtype=np.float64), 0.0)
+        path_loss = (p.reference_loss_db
+                     + 10.0 * p.path_loss_exponent * np.log10(distance_m)
+                     + p.floor_attenuation_db * floor_difference
+                     + p.horizontal_attenuation_db_per_m * horizontal_distance_m)
+        return p.tx_power_dbm - path_loss
+
+    def sample_rss(self, distance_m: np.ndarray, floor_difference: np.ndarray,
+                   rng: np.random.Generator,
+                   device_bias_db: float = 0.0,
+                   horizontal_distance_m: np.ndarray | None = None) -> np.ndarray:
+        """Mean RSS plus log-normal shadowing and a per-device bias."""
+        mean = self.mean_rss(distance_m, floor_difference,
+                             horizontal_distance_m=horizontal_distance_m)
+        shadowing = rng.normal(0.0, self.parameters.shadowing_sigma_db,
+                               size=np.shape(mean))
+        return mean + shadowing + device_bias_db
+
+    def is_detectable(self, rss_dbm: np.ndarray,
+                      sensitivity_offset_db: float = 0.0) -> np.ndarray:
+        """Whether a reading clears the noise floor of the receiving device.
+
+        ``sensitivity_offset_db`` shifts the noise floor per device: cheap
+        radios (positive offset) miss weak APs, which reproduces the paper's
+        observation that low-end devices scan fewer MACs.
+        """
+        threshold = self.parameters.noise_floor_dbm + sensitivity_offset_db
+        return np.asarray(rss_dbm) >= threshold

@@ -1,0 +1,162 @@
+"""Train/test splitting and label-budget sampling for experiments.
+
+The paper's protocol (Section VI-A): 70% of each building's records are used
+for training and 30% for testing; within the training portion only a small
+number of records per floor (four by default) expose their floor labels, the
+rest are treated as unlabeled.  Two additional sweeps perturb this protocol:
+the training-ratio sweep (Fig. 12) and the MAC-availability sweep (Fig. 17).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.types import FingerprintDataset, SignalRecord
+
+__all__ = [
+    "DatasetSplit",
+    "train_test_split",
+    "sample_labels",
+    "subsample_macs",
+    "make_experiment_split",
+]
+
+
+@dataclass(frozen=True)
+class DatasetSplit:
+    """A train/test split plus the label budget for the training part.
+
+    Attributes
+    ----------
+    train_records:
+        Training records (labeled + unlabeled); ground-truth floors are still
+        attached to the records for evaluation bookkeeping but must only be
+        *used* through ``labels``.
+    test_records:
+        Held-out records for online-inference evaluation.
+    labels:
+        Mapping record id -> floor for the labeled training subset.
+    """
+
+    train_records: tuple[SignalRecord, ...]
+    test_records: tuple[SignalRecord, ...]
+    labels: dict[str, int]
+
+    @property
+    def num_labeled(self) -> int:
+        return len(self.labels)
+
+    def train_ground_truth(self) -> dict[str, int]:
+        """Ground-truth floors of all training records (for diagnostics only)."""
+        return {r.record_id: r.floor for r in self.train_records
+                if r.floor is not None}
+
+    def test_ground_truth(self) -> dict[str, int]:
+        """Ground-truth floors of the held-out test records."""
+        return {r.record_id: r.floor for r in self.test_records
+                if r.floor is not None}
+
+
+def train_test_split(dataset: FingerprintDataset, train_ratio: float = 0.7,
+                     seed: int | None = 0,
+                     stratify_by_floor: bool = True
+                     ) -> tuple[list[SignalRecord], list[SignalRecord]]:
+    """Split a dataset's records into train and test lists.
+
+    With ``stratify_by_floor`` (default) the split keeps the per-floor record
+    proportions, so every floor appears in both parts whenever it has at least
+    two records.
+    """
+    if not 0.0 < train_ratio < 1.0:
+        raise ValueError("train_ratio must be strictly between 0 and 1")
+    rng = np.random.default_rng(seed)
+    records = list(dataset.records)
+    if not records:
+        return [], []
+
+    if not stratify_by_floor or not dataset.floors:
+        permutation = rng.permutation(len(records))
+        cut = max(1, int(round(train_ratio * len(records))))
+        cut = min(cut, len(records) - 1) if len(records) > 1 else 1
+        train = [records[i] for i in permutation[:cut]]
+        test = [records[i] for i in permutation[cut:]]
+        return train, test
+
+    train: list[SignalRecord] = []
+    test: list[SignalRecord] = []
+    groups: dict[object, list[SignalRecord]] = {}
+    for record in records:
+        groups.setdefault(record.floor, []).append(record)
+    for floor_records in groups.values():
+        indices = rng.permutation(len(floor_records))
+        cut = int(round(train_ratio * len(floor_records)))
+        cut = min(max(cut, 1), max(len(floor_records) - 1, 1))
+        train.extend(floor_records[i] for i in indices[:cut])
+        test.extend(floor_records[i] for i in indices[cut:])
+    return train, test
+
+
+def sample_labels(records: list[SignalRecord], labels_per_floor: int = 4,
+                  seed: int | None = 0) -> dict[str, int]:
+    """Pick ``labels_per_floor`` random labeled samples per floor (Section VI-A).
+
+    Floors with fewer records than the budget contribute all of their records.
+    Records without ground truth are never selected.
+    """
+    if labels_per_floor < 1:
+        raise ValueError("labels_per_floor must be at least 1")
+    rng = np.random.default_rng(seed)
+    by_floor: dict[int, list[SignalRecord]] = {}
+    for record in records:
+        if record.floor is not None:
+            by_floor.setdefault(record.floor, []).append(record)
+    if not by_floor:
+        raise ValueError("no ground-truth floors available to sample labels from")
+
+    labels: dict[str, int] = {}
+    for floor, floor_records in sorted(by_floor.items()):
+        count = min(labels_per_floor, len(floor_records))
+        chosen = rng.choice(len(floor_records), size=count, replace=False)
+        for index in chosen:
+            record = floor_records[int(index)]
+            labels[record.record_id] = floor
+    return labels
+
+
+def subsample_macs(dataset: FingerprintDataset, fraction: float,
+                   seed: int | None = 0) -> FingerprintDataset:
+    """Keep a random fraction of the building's MAC addresses (Fig. 17).
+
+    Models sparse RF environments where only ``fraction`` of the APs exist
+    on-site.  Records that end up with no readings are dropped, exactly as a
+    real scan that detects nothing would never be contributed.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must be in (0, 1]")
+    if fraction == 1.0:
+        return dataset
+    rng = np.random.default_rng(seed)
+    macs = dataset.macs
+    keep_count = max(1, int(round(fraction * len(macs))))
+    kept = rng.choice(len(macs), size=keep_count, replace=False)
+    kept_macs = {macs[int(i)] for i in kept}
+    return dataset.restrict_macs(kept_macs)
+
+
+def make_experiment_split(dataset: FingerprintDataset, train_ratio: float = 0.7,
+                          labels_per_floor: int = 4, seed: int | None = 0,
+                          mac_fraction: float = 1.0) -> DatasetSplit:
+    """The paper's full experiment protocol in one call.
+
+    Optionally restricts the building to a fraction of its MACs first
+    (Fig. 17), then splits train/test (70/30 by default) and samples the
+    per-floor label budget from the training part.
+    """
+    if mac_fraction < 1.0:
+        dataset = subsample_macs(dataset, mac_fraction, seed=seed)
+    train, test = train_test_split(dataset, train_ratio=train_ratio, seed=seed)
+    labels = sample_labels(train, labels_per_floor=labels_per_floor, seed=seed)
+    return DatasetSplit(train_records=tuple(train), test_records=tuple(test),
+                        labels=labels)

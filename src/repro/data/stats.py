@@ -1,0 +1,136 @@
+"""Dataset statistics reproduced from the paper's motivating figures.
+
+* Fig. 1(a): CDF of the number of MACs per record on a dense floor.
+* Fig. 1(b): CDF of the pairwise MAC-overlap ratio (intersection over union).
+* Fig. 9:    per-building summary (floors, area, #MACs, #records).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+from itertools import combinations
+
+import numpy as np
+
+from ..core.types import FingerprintDataset, SignalRecord
+
+__all__ = [
+    "EmpiricalCDF",
+    "record_size_cdf",
+    "overlap_ratio_cdf",
+    "BuildingSummary",
+    "building_summary",
+    "summarize_corpus",
+]
+
+
+@dataclass(frozen=True)
+class EmpiricalCDF:
+    """An empirical cumulative distribution over scalar observations."""
+
+    values: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ValueError("an empirical CDF needs at least one observation")
+        object.__setattr__(self, "values", tuple(sorted(float(v) for v in self.values)))
+
+    def evaluate(self, x: float) -> float:
+        """P(X <= x)."""
+        data = np.asarray(self.values)
+        return float(np.searchsorted(data, x, side="right") / data.size)
+
+    def quantile(self, q: float) -> float:
+        """The q-quantile of the observations (0 <= q <= 1)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        return float(np.quantile(np.asarray(self.values), q))
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.values))
+
+    @property
+    def median(self) -> float:
+        return self.quantile(0.5)
+
+    def as_curve(self, points: int = 50) -> list[tuple[float, float]]:
+        """Sampled (x, CDF(x)) pairs for plotting or reporting."""
+        data = np.asarray(self.values)
+        xs = np.linspace(data.min(), data.max(), points)
+        return [(float(x), self.evaluate(float(x))) for x in xs]
+
+
+def record_size_cdf(records: Sequence[SignalRecord] | FingerprintDataset) -> EmpiricalCDF:
+    """CDF of the number of MACs per record (paper Fig. 1a)."""
+    items = records.records if isinstance(records, FingerprintDataset) else records
+    if not items:
+        raise ValueError("no records to summarise")
+    return EmpiricalCDF(tuple(float(len(r)) for r in items))
+
+
+def overlap_ratio_cdf(records: Sequence[SignalRecord] | FingerprintDataset,
+                      max_pairs: int = 100_000,
+                      seed: int | None = 0) -> EmpiricalCDF:
+    """CDF of the pairwise MAC-overlap ratio (paper Fig. 1b).
+
+    The number of pairs grows quadratically; when it exceeds ``max_pairs`` a
+    uniform random sample of pairs is used instead of the full enumeration.
+    """
+    items = list(records.records if isinstance(records, FingerprintDataset)
+                 else records)
+    n = len(items)
+    if n < 2:
+        raise ValueError("need at least two records to compute overlap ratios")
+    total_pairs = n * (n - 1) // 2
+    ratios: list[float] = []
+    if total_pairs <= max_pairs:
+        for a, b in combinations(items, 2):
+            ratios.append(a.overlap_ratio(b))
+    else:
+        rng = np.random.default_rng(seed)
+        first = rng.integers(0, n, size=max_pairs)
+        second = rng.integers(0, n - 1, size=max_pairs)
+        second = np.where(second >= first, second + 1, second)
+        for i, j in zip(first, second):
+            ratios.append(items[int(i)].overlap_ratio(items[int(j)]))
+    return EmpiricalCDF(tuple(ratios))
+
+
+@dataclass(frozen=True)
+class BuildingSummary:
+    """Per-building aggregate used for the paper's Fig. 9 scatter."""
+
+    building_id: str
+    num_floors: int
+    num_macs: int
+    num_records: int
+    area_m2: float | None
+
+    def as_row(self) -> dict[str, object]:
+        return {
+            "building": self.building_id,
+            "floors": self.num_floors,
+            "macs": self.num_macs,
+            "records": self.num_records,
+            "area_m2": self.area_m2,
+        }
+
+
+def building_summary(dataset: FingerprintDataset) -> BuildingSummary:
+    """Summarise one building (floors, #MACs, #records, area if known)."""
+    area = dataset.metadata.get("area_m2")
+    return BuildingSummary(
+        building_id=dataset.building_id,
+        num_floors=len(dataset.floors) if dataset.floors else 0,
+        num_macs=len(dataset.macs),
+        num_records=len(dataset),
+        area_m2=float(area) if area is not None else None,
+    )
+
+
+def summarize_corpus(datasets: Sequence[FingerprintDataset]) -> list[BuildingSummary]:
+    """Summarise a corpus of buildings, sorted by number of floors."""
+    summaries = [building_summary(d) for d in datasets]
+    return sorted(summaries, key=lambda s: (s.num_floors, s.building_id))

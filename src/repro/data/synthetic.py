@@ -1,0 +1,296 @@
+"""Synthetic crowdsourced WiFi fingerprint generator.
+
+Substitutes for the two datasets used in the paper (Microsoft's Kaggle indoor
+location dataset covering 204 buildings in Hangzhou and the authors' own
+five-building Hong Kong collection), neither of which is redistributable or
+downloadable in this offline environment.  The generator reproduces the data
+characteristics the paper relies on:
+
+* records are **variable-length**: each scan only detects a small fraction of
+  the MACs present on a floor (paper Fig. 1a) because of AP coverage limits
+  and device scanning capability;
+* pairs of records from the same floor often have **low MAC overlap**
+  (Fig. 1b), so naive matrix representations suffer from the missing-value
+  problem;
+* floors are statistically separable because inter-floor attenuation is
+  large (the physical premise of RF-based floor identification);
+* crowdsourced heterogeneity: per-device RSS bias, per-device sensitivity,
+  per-record scan-size limits, and optional AP churn (installation/removal)
+  over the collection period.
+
+Every generated record carries its ground-truth floor; the experiment
+harness (not the generator) decides which few records expose their label to
+GRAFICS and the baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.types import FingerprintDataset, SignalRecord
+from .propagation import PropagationModel, PropagationParameters
+
+__all__ = [
+    "DevicePopulation",
+    "AccessPoint",
+    "BuildingSpec",
+    "SyntheticBuilding",
+    "generate_building",
+]
+
+
+@dataclass(frozen=True)
+class DevicePopulation:
+    """Statistical description of the crowdsourcing device population.
+
+    Attributes
+    ----------
+    num_devices:
+        Number of distinct contributing devices.
+    rss_bias_sigma_db:
+        Standard deviation of the per-device constant RSS bias.
+    sensitivity_offset_range_db:
+        Per-device detection-threshold offset is drawn uniformly from
+        ``[0, sensitivity_offset_range_db]`` (cheap devices miss weak APs).
+    max_macs_low, max_macs_high:
+        Per-device cap on the number of MACs reported in a single scan is
+        drawn uniformly from this integer range (models chipset scan limits).
+    detection_probability_low, detection_probability_high:
+        Per-device probability that an *audible* AP actually appears in a
+        given scan, drawn uniformly from this range.  A single WiFi scan only
+        dwells briefly on each channel, so it captures a random subset of the
+        beacons it could hear; this is the main source of the low pairwise
+        MAC overlap the paper reports (Fig. 1b) and of the missing-value
+        problem that hurts matrix representations.
+    """
+
+    num_devices: int = 50
+    rss_bias_sigma_db: float = 3.0
+    sensitivity_offset_range_db: float = 8.0
+    max_macs_low: int = 15
+    max_macs_high: int = 45
+    detection_probability_low: float = 0.30
+    detection_probability_high: float = 0.65
+
+    def __post_init__(self) -> None:
+        if self.num_devices < 1:
+            raise ValueError("num_devices must be at least 1")
+        if not 1 <= self.max_macs_low <= self.max_macs_high:
+            raise ValueError("require 1 <= max_macs_low <= max_macs_high")
+        if not (0.0 < self.detection_probability_low
+                <= self.detection_probability_high <= 1.0):
+            raise ValueError("require 0 < detection_probability_low <= "
+                             "detection_probability_high <= 1")
+
+
+@dataclass(frozen=True)
+class AccessPoint:
+    """One deployed access point (a single MAC address)."""
+
+    mac: str
+    floor: int
+    x: float
+    y: float
+    z: float
+    installed_at: float = 0.0
+    removed_at: float | None = None
+
+    def is_active(self, timestamp: float) -> bool:
+        """Whether the AP is deployed at the given collection time."""
+        if timestamp < self.installed_at:
+            return False
+        return self.removed_at is None or timestamp < self.removed_at
+
+
+@dataclass(frozen=True)
+class BuildingSpec:
+    """Geometry and workload description of one synthetic building.
+
+    Attributes
+    ----------
+    building_id:
+        Identifier used for record ids and dataset metadata.
+    num_floors:
+        Number of storeys.
+    width_m, depth_m:
+        Horizontal footprint of every floor, in metres.
+    floor_height_m:
+        Vertical distance between consecutive floors.
+    aps_per_floor:
+        Number of access points deployed per floor.
+    records_per_floor:
+        Number of crowdsourced records generated per floor.
+    ap_churn_fraction:
+        Fraction of APs that are either installed late or removed early in the
+        collection window (models environment dynamics).
+    propagation:
+        Propagation-model parameters.
+    devices:
+        Device-population parameters.
+    """
+
+    building_id: str = "building-0"
+    num_floors: int = 3
+    width_m: float = 60.0
+    depth_m: float = 40.0
+    floor_height_m: float = 4.0
+    aps_per_floor: int = 40
+    records_per_floor: int = 200
+    ap_churn_fraction: float = 0.0
+    propagation: PropagationParameters = field(default_factory=PropagationParameters)
+    devices: DevicePopulation = field(default_factory=DevicePopulation)
+
+    def __post_init__(self) -> None:
+        if self.num_floors < 1:
+            raise ValueError("num_floors must be at least 1")
+        if self.aps_per_floor < 1:
+            raise ValueError("aps_per_floor must be at least 1")
+        if self.records_per_floor < 1:
+            raise ValueError("records_per_floor must be at least 1")
+        if not 0.0 <= self.ap_churn_fraction <= 1.0:
+            raise ValueError("ap_churn_fraction must be in [0, 1]")
+
+    @property
+    def area_m2(self) -> float:
+        """Per-floor area of the building."""
+        return self.width_m * self.depth_m
+
+
+class SyntheticBuilding:
+    """A fully instantiated synthetic building: AP layout + device population."""
+
+    def __init__(self, spec: BuildingSpec, seed: int | None = 0) -> None:
+        self.spec = spec
+        self._rng = np.random.default_rng(seed)
+        self.propagation = PropagationModel(spec.propagation)
+        self.access_points = self._deploy_access_points()
+        (self._device_bias, self._device_sensitivity, self._device_scan_cap,
+         self._device_detection) = self._build_device_population()
+
+    # ------------------------------------------------------------- deployment
+    def _deploy_access_points(self) -> list[AccessPoint]:
+        spec = self.spec
+        rng = self._rng
+        aps: list[AccessPoint] = []
+        churn_count = int(round(spec.ap_churn_fraction * spec.aps_per_floor))
+        for floor in range(spec.num_floors):
+            for k in range(spec.aps_per_floor):
+                mac = f"{spec.building_id}:ap:{floor:02d}:{k:03d}"
+                installed_at = 0.0
+                removed_at: float | None = None
+                if k < churn_count:
+                    # Half of the churned APs appear mid-window, half disappear.
+                    if k % 2 == 0:
+                        installed_at = float(rng.uniform(0.3, 0.7))
+                    else:
+                        removed_at = float(rng.uniform(0.3, 0.7))
+                aps.append(AccessPoint(
+                    mac=mac,
+                    floor=floor,
+                    x=float(rng.uniform(0.0, spec.width_m)),
+                    y=float(rng.uniform(0.0, spec.depth_m)),
+                    z=floor * spec.floor_height_m + 2.5,
+                    installed_at=installed_at,
+                    removed_at=removed_at,
+                ))
+        return aps
+
+    def _build_device_population(self):
+        devices = self.spec.devices
+        rng = self._rng
+        bias = rng.normal(0.0, devices.rss_bias_sigma_db, size=devices.num_devices)
+        sensitivity = rng.uniform(0.0, devices.sensitivity_offset_range_db,
+                                  size=devices.num_devices)
+        scan_cap = rng.integers(devices.max_macs_low, devices.max_macs_high + 1,
+                                size=devices.num_devices)
+        detection = rng.uniform(devices.detection_probability_low,
+                                devices.detection_probability_high,
+                                size=devices.num_devices)
+        return bias, sensitivity, scan_cap, detection
+
+    # -------------------------------------------------------------- generation
+    def generate(self) -> FingerprintDataset:
+        """Generate the full crowdsourced dataset for this building."""
+        spec = self.spec
+        records: list[SignalRecord] = []
+        for floor in range(spec.num_floors):
+            records.extend(self._generate_floor(floor))
+        dataset = FingerprintDataset(
+            records=records,
+            building_id=spec.building_id,
+            floor_names={f: f"F{f + 1}" for f in range(spec.num_floors)},
+            metadata={
+                "synthetic": True,
+                "num_floors": spec.num_floors,
+                "area_m2": spec.area_m2,
+                "aps_per_floor": spec.aps_per_floor,
+                "records_per_floor": spec.records_per_floor,
+            },
+        )
+        return dataset
+
+    def _generate_floor(self, floor: int) -> list[SignalRecord]:
+        spec = self.spec
+        rng = self._rng
+        count = spec.records_per_floor
+
+        positions = np.column_stack([
+            rng.uniform(0.0, spec.width_m, size=count),
+            rng.uniform(0.0, spec.depth_m, size=count),
+            np.full(count, floor * spec.floor_height_m + 1.2),
+        ])
+        timestamps = rng.uniform(0.0, 1.0, size=count)
+        device_ids = rng.integers(0, spec.devices.num_devices, size=count)
+
+        ap_positions = np.array([[ap.x, ap.y, ap.z] for ap in self.access_points])
+        ap_floors = np.array([ap.floor for ap in self.access_points])
+
+        records = []
+        for i in range(count):
+            record_id = f"{spec.building_id}:f{floor}:r{i:05d}"
+            device = int(device_ids[i])
+            distances = np.linalg.norm(ap_positions - positions[i], axis=1)
+            horizontal = np.linalg.norm(ap_positions[:, :2] - positions[i, :2],
+                                        axis=1)
+            floor_diff = np.abs(ap_floors - floor)
+            rss = self.propagation.sample_rss(
+                distances, floor_diff, rng,
+                device_bias_db=float(self._device_bias[device]),
+                horizontal_distance_m=horizontal)
+            detectable = self.propagation.is_detectable(
+                rss, sensitivity_offset_db=float(self._device_sensitivity[device]))
+            active = np.array([ap.is_active(timestamps[i])
+                               for ap in self.access_points])
+            captured = rng.random(len(self.access_points)) < float(
+                self._device_detection[device])
+            visible = np.flatnonzero(detectable & active & captured)
+            if visible.size == 0:
+                # Guarantee a non-empty record: keep the single strongest AP on
+                # this floor (a real scan always sees something indoors).
+                same_floor = np.flatnonzero((ap_floors == floor) & active)
+                if same_floor.size == 0:
+                    same_floor = np.flatnonzero(active)
+                visible = same_floor[np.argsort(rss[same_floor])[-1:]]
+            cap = int(self._device_scan_cap[device])
+            if visible.size > cap:
+                strongest = np.argsort(rss[visible])[::-1][:cap]
+                visible = visible[strongest]
+            readings = {self.access_points[j].mac: float(np.round(rss[j], 1))
+                        for j in visible}
+            records.append(SignalRecord(
+                record_id=record_id,
+                rss=readings,
+                floor=floor,
+                device=f"device-{device:03d}",
+                timestamp=float(timestamps[i]),
+            ))
+        return records
+
+
+def generate_building(spec: BuildingSpec | None = None,
+                      seed: int | None = 0) -> FingerprintDataset:
+    """Convenience helper: instantiate a building from a spec and generate data."""
+    building = SyntheticBuilding(spec or BuildingSpec(), seed=seed)
+    return building.generate()

@@ -1,0 +1,45 @@
+"""Metrics, experiment protocol and cluster-separation analysis."""
+
+from .experiment import (
+    ExperimentProtocol,
+    MethodResult,
+    compare_methods,
+    format_table,
+    run_corpus,
+    run_repeated,
+    run_single_trial,
+)
+from .metrics import (
+    ClassificationReport,
+    ConfusionMatrix,
+    evaluate_predictions,
+    macro_f_score,
+    micro_f_score,
+)
+from .separation import (
+    SeparationReport,
+    evaluate_separation,
+    intra_inter_distance_ratio,
+    nearest_neighbor_purity,
+    silhouette_score,
+)
+
+__all__ = [
+    "ExperimentProtocol",
+    "MethodResult",
+    "run_single_trial",
+    "run_repeated",
+    "run_corpus",
+    "compare_methods",
+    "format_table",
+    "ClassificationReport",
+    "ConfusionMatrix",
+    "evaluate_predictions",
+    "micro_f_score",
+    "macro_f_score",
+    "SeparationReport",
+    "evaluate_separation",
+    "silhouette_score",
+    "intra_inter_distance_ratio",
+    "nearest_neighbor_purity",
+]

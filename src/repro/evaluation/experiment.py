@@ -1,0 +1,196 @@
+"""Experiment harness reproducing the paper's evaluation protocol (Section VI).
+
+The protocol: per building, split records 70/30 into train/test, reveal only
+``labels_per_floor`` labels (default 4) inside the training part, fit a method
+on the training records, predict the held-out records online and score with
+micro-/macro-F.  Each configuration is repeated with different random seeds
+and averaged; corpus-level results additionally average over buildings, which
+is how the paper reports its Microsoft (204 buildings) and Hong Kong
+(5 buildings) numbers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Mapping, Sequence
+from dataclasses import dataclass, field, replace
+from statistics import mean, pstdev
+
+from ..baselines.base import FloorClassifier
+from ..core.types import FingerprintDataset
+from ..data.splits import make_experiment_split
+from .metrics import ClassificationReport, evaluate_predictions
+
+__all__ = [
+    "ExperimentProtocol",
+    "MethodResult",
+    "run_single_trial",
+    "run_repeated",
+    "run_corpus",
+    "compare_methods",
+    "format_table",
+]
+
+#: A zero-argument callable building a fresh, unfitted classifier.
+ClassifierFactory = Callable[[], FloorClassifier]
+
+
+@dataclass(frozen=True)
+class ExperimentProtocol:
+    """The knobs of the paper's evaluation protocol.
+
+    Attributes
+    ----------
+    train_ratio:
+        Fraction of each building's records used for training (Fig. 12 sweeps
+        this; the default 0.7 matches the main experiments).
+    labels_per_floor:
+        Number of labeled samples revealed per floor (Fig. 11 sweeps this;
+        default 4).
+    mac_fraction:
+        Fraction of the building's MAC addresses assumed to exist on-site
+        (Fig. 17 sweeps this; default 1.0).
+    repetitions:
+        Number of random repetitions to average (the paper uses 10).
+    seed:
+        Base seed; repetition ``r`` uses ``seed + r``.
+    """
+
+    train_ratio: float = 0.7
+    labels_per_floor: int = 4
+    mac_fraction: float = 1.0
+    repetitions: int = 3
+    seed: int = 0
+
+    def with_overrides(self, **kwargs) -> "ExperimentProtocol":
+        """A copy of the protocol with some fields replaced."""
+        return replace(self, **kwargs)
+
+
+@dataclass
+class MethodResult:
+    """Aggregated metrics of one method over repetitions (and buildings)."""
+
+    method: str
+    micro_f: float
+    macro_f: float
+    micro_f_std: float = 0.0
+    macro_f_std: float = 0.0
+    micro_precision: float = 0.0
+    micro_recall: float = 0.0
+    macro_precision: float = 0.0
+    macro_recall: float = 0.0
+    trials: int = 0
+    extra: dict[str, object] = field(default_factory=dict)
+
+    def as_row(self) -> dict[str, object]:
+        row: dict[str, object] = {
+            "method": self.method,
+            "micro_f": round(self.micro_f, 4),
+            "macro_f": round(self.macro_f, 4),
+            "micro_f_std": round(self.micro_f_std, 4),
+            "macro_f_std": round(self.macro_f_std, 4),
+            "micro_p": round(self.micro_precision, 4),
+            "micro_r": round(self.micro_recall, 4),
+            "macro_p": round(self.macro_precision, 4),
+            "macro_r": round(self.macro_recall, 4),
+            "trials": self.trials,
+        }
+        row.update(self.extra)
+        return row
+
+
+def run_single_trial(factory: ClassifierFactory, dataset: FingerprintDataset,
+                     protocol: ExperimentProtocol,
+                     seed: int) -> ClassificationReport:
+    """One split + fit + online prediction + scoring."""
+    split = make_experiment_split(dataset,
+                                  train_ratio=protocol.train_ratio,
+                                  labels_per_floor=protocol.labels_per_floor,
+                                  seed=seed,
+                                  mac_fraction=protocol.mac_fraction)
+    classifier = factory()
+    classifier.fit(list(split.train_records), split.labels)
+    # Predictions are made on records stripped of their ground truth.
+    test_records = [record.without_floor() for record in split.test_records]
+    predicted = classifier.predict(test_records)
+    return evaluate_predictions(split.test_ground_truth(), predicted)
+
+
+def _aggregate(method: str, reports: Sequence[ClassificationReport],
+               extra: Mapping[str, object] | None = None) -> MethodResult:
+    micro = [r.micro_f for r in reports]
+    macro = [r.macro_f for r in reports]
+    return MethodResult(
+        method=method,
+        micro_f=mean(micro),
+        macro_f=mean(macro),
+        micro_f_std=pstdev(micro) if len(micro) > 1 else 0.0,
+        macro_f_std=pstdev(macro) if len(macro) > 1 else 0.0,
+        micro_precision=mean(r.micro_precision for r in reports),
+        micro_recall=mean(r.micro_recall for r in reports),
+        macro_precision=mean(r.macro_precision for r in reports),
+        macro_recall=mean(r.macro_recall for r in reports),
+        trials=len(reports),
+        extra=dict(extra or {}),
+    )
+
+
+def run_repeated(method: str, factory: ClassifierFactory,
+                 dataset: FingerprintDataset, protocol: ExperimentProtocol,
+                 extra: Mapping[str, object] | None = None) -> MethodResult:
+    """Run ``protocol.repetitions`` trials on one building and aggregate."""
+    reports = [run_single_trial(factory, dataset, protocol, protocol.seed + r)
+               for r in range(protocol.repetitions)]
+    return _aggregate(method, reports, extra)
+
+
+def run_corpus(method: str, factory: ClassifierFactory,
+               datasets: Iterable[FingerprintDataset],
+               protocol: ExperimentProtocol,
+               extra: Mapping[str, object] | None = None) -> MethodResult:
+    """Average a method over a corpus of buildings (paper-style reporting)."""
+    reports: list[ClassificationReport] = []
+    for index, dataset in enumerate(datasets):
+        for repetition in range(protocol.repetitions):
+            reports.append(run_single_trial(
+                factory, dataset, protocol,
+                seed=protocol.seed + repetition * 1000 + index))
+    if not reports:
+        raise ValueError("run_corpus needs at least one dataset")
+    return _aggregate(method, reports, extra)
+
+
+def compare_methods(factories: Mapping[str, ClassifierFactory],
+                    datasets: Sequence[FingerprintDataset],
+                    protocol: ExperimentProtocol) -> list[MethodResult]:
+    """Evaluate several methods on the same corpus under the same protocol."""
+    results = []
+    for method, factory in factories.items():
+        if len(datasets) == 1:
+            results.append(run_repeated(method, factory, datasets[0], protocol))
+        else:
+            results.append(run_corpus(method, factory, datasets, protocol))
+    return results
+
+
+def format_table(rows: Sequence[Mapping[str, object]],
+                 columns: Sequence[str] | None = None) -> str:
+    """Render result rows as an aligned plain-text table.
+
+    Used by the benchmark scripts to print paper-style tables next to the
+    pytest-benchmark timing output.
+    """
+    rows = [dict(row) for row in rows]
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    widths = {c: max(len(str(c)), *(len(str(r.get(c, ""))) for r in rows))
+              for c in columns}
+    header = " | ".join(str(c).ljust(widths[c]) for c in columns)
+    separator = "-+-".join("-" * widths[c] for c in columns)
+    lines = [header, separator]
+    for row in rows:
+        lines.append(" | ".join(str(row.get(c, "")).ljust(widths[c])
+                                for c in columns))
+    return "\n".join(lines)

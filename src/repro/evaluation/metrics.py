@@ -1,0 +1,183 @@
+"""Classification metrics used in the paper's evaluation (Section VI-A).
+
+For floor ``i`` the paper counts true positives ``TP_i``, false positives
+``FP_i`` and false negatives ``FN_i`` and reports:
+
+* micro-averaged precision/recall/F (pooled counts over floors), and
+* macro-averaged precision/recall/F (unweighted mean of per-floor values).
+
+For single-label multi-class classification micro-P equals micro-R equals
+accuracy, which is also how the paper's micro plots behave.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "ConfusionMatrix",
+    "ClassificationReport",
+    "evaluate_predictions",
+    "micro_f_score",
+    "macro_f_score",
+]
+
+
+@dataclass(frozen=True)
+class ConfusionMatrix:
+    """Row = true floor, column = predicted floor."""
+
+    floors: tuple[int, ...]
+    counts: np.ndarray
+
+    def __post_init__(self) -> None:
+        counts = np.asarray(self.counts, dtype=np.int64)
+        n = len(self.floors)
+        if counts.shape != (n, n):
+            raise ValueError("counts must be square and match the floor list")
+        object.__setattr__(self, "counts", counts)
+
+    @classmethod
+    def from_labels(cls, true: Sequence[int], predicted: Sequence[int],
+                    floors: Sequence[int] | None = None) -> "ConfusionMatrix":
+        true = [int(t) for t in true]
+        predicted = [int(p) for p in predicted]
+        if len(true) != len(predicted):
+            raise ValueError("true and predicted must have the same length")
+        if not true:
+            raise ValueError("cannot build a confusion matrix from no samples")
+        if floors is None:
+            floors = sorted(set(true) | set(predicted))
+        floors = tuple(int(f) for f in floors)
+        index = {f: i for i, f in enumerate(floors)}
+        counts = np.zeros((len(floors), len(floors)), dtype=np.int64)
+        for t, p in zip(true, predicted):
+            counts[index[t], index[p]] += 1
+        return cls(floors=floors, counts=counts)
+
+    # -------------------------------------------------------------- per floor
+    def true_positives(self) -> np.ndarray:
+        return np.diag(self.counts)
+
+    def false_positives(self) -> np.ndarray:
+        return self.counts.sum(axis=0) - np.diag(self.counts)
+
+    def false_negatives(self) -> np.ndarray:
+        return self.counts.sum(axis=1) - np.diag(self.counts)
+
+    def support(self) -> np.ndarray:
+        """Number of true samples per floor."""
+        return self.counts.sum(axis=1)
+
+
+def _safe_divide(numerator: np.ndarray | float, denominator: np.ndarray | float):
+    numerator = np.asarray(numerator, dtype=np.float64)
+    denominator = np.asarray(denominator, dtype=np.float64)
+    return np.divide(numerator, denominator,
+                     out=np.zeros_like(numerator, dtype=np.float64),
+                     where=denominator > 0)
+
+
+@dataclass(frozen=True)
+class ClassificationReport:
+    """Micro and macro precision/recall/F plus the confusion matrix."""
+
+    confusion: ConfusionMatrix
+    micro_precision: float
+    micro_recall: float
+    micro_f: float
+    macro_precision: float
+    macro_recall: float
+    macro_f: float
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of correctly classified samples."""
+        return float(self.confusion.true_positives().sum()
+                     / max(self.confusion.counts.sum(), 1))
+
+    def per_floor(self) -> dict[int, dict[str, float]]:
+        """Per-floor precision, recall, F and support."""
+        tp = self.confusion.true_positives()
+        fp = self.confusion.false_positives()
+        fn = self.confusion.false_negatives()
+        precision = _safe_divide(tp, tp + fp)
+        recall = _safe_divide(tp, tp + fn)
+        f = _safe_divide(2 * precision * recall, precision + recall)
+        support = self.confusion.support()
+        return {floor: {"precision": float(precision[i]),
+                        "recall": float(recall[i]),
+                        "f": float(f[i]),
+                        "support": int(support[i])}
+                for i, floor in enumerate(self.confusion.floors)}
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat dictionary view used by the experiment tables."""
+        return {
+            "micro_precision": self.micro_precision,
+            "micro_recall": self.micro_recall,
+            "micro_f": self.micro_f,
+            "macro_precision": self.macro_precision,
+            "macro_recall": self.macro_recall,
+            "macro_f": self.macro_f,
+            "accuracy": self.accuracy,
+        }
+
+
+def evaluate_predictions(true_floors: Mapping[str, int],
+                         predicted_floors: Mapping[str, int]) -> ClassificationReport:
+    """Compute the paper's metrics from {record_id: floor} mappings.
+
+    Every record with ground truth must have a prediction; extra predictions
+    (records without ground truth) are ignored.
+    """
+    missing = set(true_floors) - set(predicted_floors)
+    if missing:
+        raise ValueError(
+            f"missing predictions for {len(missing)} records, e.g. "
+            f"{sorted(missing)[:3]}")
+    record_ids = sorted(true_floors)
+    true = [int(true_floors[r]) for r in record_ids]
+    predicted = [int(predicted_floors[r]) for r in record_ids]
+    confusion = ConfusionMatrix.from_labels(true, predicted)
+
+    tp = confusion.true_positives()
+    fp = confusion.false_positives()
+    fn = confusion.false_negatives()
+
+    micro_precision = float(_safe_divide(tp.sum(), tp.sum() + fp.sum()))
+    micro_recall = float(_safe_divide(tp.sum(), tp.sum() + fn.sum()))
+    micro_f = float(_safe_divide(2 * micro_precision * micro_recall,
+                                 micro_precision + micro_recall))
+
+    precision = _safe_divide(tp, tp + fp)
+    recall = _safe_divide(tp, tp + fn)
+    macro_precision = float(precision.mean())
+    macro_recall = float(recall.mean())
+    macro_f = float(_safe_divide(2 * macro_precision * macro_recall,
+                                 macro_precision + macro_recall))
+
+    return ClassificationReport(
+        confusion=confusion,
+        micro_precision=micro_precision,
+        micro_recall=micro_recall,
+        micro_f=micro_f,
+        macro_precision=macro_precision,
+        macro_recall=macro_recall,
+        macro_f=macro_f,
+    )
+
+
+def micro_f_score(true_floors: Mapping[str, int],
+                  predicted_floors: Mapping[str, int]) -> float:
+    """Shortcut for the micro-F score alone."""
+    return evaluate_predictions(true_floors, predicted_floors).micro_f
+
+
+def macro_f_score(true_floors: Mapping[str, int],
+                  predicted_floors: Mapping[str, int]) -> float:
+    """Shortcut for the macro-F score alone."""
+    return evaluate_predictions(true_floors, predicted_floors).macro_f

@@ -1,0 +1,32 @@
+"""A small NumPy neural-network substrate for the paper's DNN baselines."""
+
+from .initializers import glorot_uniform, he_uniform, zeros
+from .layers import Conv1D, Dense, Dropout, Flatten, Layer, Parameter, ReLU, Sigmoid, Tanh
+from .losses import Loss, MeanSquaredError, SoftmaxCrossEntropy, softmax
+from .network import Sequential, TrainingHistory, train_network
+from .optim import SGD, Adam, Optimizer
+
+__all__ = [
+    "glorot_uniform",
+    "he_uniform",
+    "zeros",
+    "Parameter",
+    "Layer",
+    "Dense",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "Dropout",
+    "Conv1D",
+    "Flatten",
+    "Loss",
+    "MeanSquaredError",
+    "SoftmaxCrossEntropy",
+    "softmax",
+    "Sequential",
+    "TrainingHistory",
+    "train_network",
+    "Optimizer",
+    "SGD",
+    "Adam",
+]

@@ -1,0 +1,259 @@
+"""Layers of the NumPy neural-network substrate.
+
+The GRAFICS paper compares against DNN baselines (Scalable-DNN, stacked
+autoencoders, a 1-D convolutional autoencoder).  No deep-learning framework is
+available offline, so this module provides the handful of layers those
+baselines need, with explicit forward/backward passes.  Layers follow a small
+protocol: ``forward(x, training)`` caches what ``backward(grad)`` needs, and
+``parameters()`` exposes ``Parameter`` objects that optimisers update.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .initializers import glorot_uniform, he_uniform, zeros
+
+__all__ = [
+    "Parameter",
+    "Layer",
+    "Dense",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "Dropout",
+    "Conv1D",
+    "Flatten",
+]
+
+
+@dataclass
+class Parameter:
+    """A trainable tensor with its accumulated gradient."""
+
+    value: np.ndarray
+    grad: np.ndarray = field(init=False)
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        self.grad = np.zeros_like(self.value)
+
+    def zero_grad(self) -> None:
+        self.grad.fill(0.0)
+
+
+class Layer(ABC):
+    """Base class for all layers."""
+
+    @abstractmethod
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Compute the layer output; cache anything backward() needs."""
+
+    @abstractmethod
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Back-propagate ``grad`` (dL/d output) and return dL/d input."""
+
+    def parameters(self) -> list[Parameter]:
+        """Trainable parameters of the layer (empty for activations)."""
+        return []
+
+
+class Dense(Layer):
+    """Fully connected layer ``y = x W + b``."""
+
+    def __init__(self, in_features: int, out_features: int,
+                 rng: np.random.Generator | None = None,
+                 initializer=glorot_uniform) -> None:
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("in_features and out_features must be positive")
+        rng = rng or np.random.default_rng(0)
+        self.weight = Parameter(initializer((in_features, out_features), rng),
+                                name="dense.weight")
+        self.bias = Parameter(zeros((out_features,), rng), name="dense.bias")
+        self._input: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.weight.value.shape[0]:
+            raise ValueError(
+                f"Dense expected input of shape (batch, {self.weight.value.shape[0]}), "
+                f"got {x.shape}")
+        self._input = x if training else None
+        return x @ self.weight.value + self.bias.value
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._input is None:
+            raise RuntimeError("backward() called before a training forward pass")
+        self.weight.grad += self._input.T @ grad
+        self.bias.grad += grad.sum(axis=0)
+        return grad @ self.weight.value.T
+
+    def parameters(self) -> list[Parameter]:
+        return [self.weight, self.bias]
+
+
+class ReLU(Layer):
+    """Rectified linear activation."""
+
+    def __init__(self) -> None:
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        mask = x > 0
+        if training:
+            self._mask = mask
+        return np.where(mask, x, 0.0)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward() called before a training forward pass")
+        return grad * self._mask
+
+
+class Sigmoid(Layer):
+    """Logistic activation."""
+
+    def __init__(self) -> None:
+        self._output: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        out = 1.0 / (1.0 + np.exp(-np.clip(x, -30.0, 30.0)))
+        if training:
+            self._output = out
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._output is None:
+            raise RuntimeError("backward() called before a training forward pass")
+        return grad * self._output * (1.0 - self._output)
+
+
+class Tanh(Layer):
+    """Hyperbolic-tangent activation."""
+
+    def __init__(self) -> None:
+        self._output: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        out = np.tanh(x)
+        if training:
+            self._output = out
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._output is None:
+            raise RuntimeError("backward() called before a training forward pass")
+        return grad * (1.0 - self._output ** 2)
+
+
+class Dropout(Layer):
+    """Inverted dropout: active only during training."""
+
+    def __init__(self, rate: float, rng: np.random.Generator | None = None) -> None:
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("dropout rate must be in [0, 1)")
+        self.rate = rate
+        self._rng = rng or np.random.default_rng(0)
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if not training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad
+        return grad * self._mask
+
+
+class Flatten(Layer):
+    """Flattens ``(batch, length, channels)`` into ``(batch, length*channels)``."""
+
+    def __init__(self) -> None:
+        self._shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if training:
+            self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError("backward() called before a training forward pass")
+        return grad.reshape(self._shape)
+
+
+class Conv1D(Layer):
+    """1-D convolution with 'same' zero padding and stride 1.
+
+    Input shape ``(batch, length, in_channels)``, output
+    ``(batch, length, out_channels)``.  Implemented with an unfold (im2col)
+    so forward and backward are plain matrix products; more than fast enough
+    for the small autoencoder baselines of the paper.
+    """
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int = 3,
+                 rng: np.random.Generator | None = None) -> None:
+        if kernel_size < 1 or kernel_size % 2 == 0:
+            raise ValueError("kernel_size must be a positive odd number")
+        rng = rng or np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.weight = Parameter(
+            he_uniform((kernel_size, in_channels, out_channels), rng),
+            name="conv1d.weight")
+        self.bias = Parameter(zeros((out_channels,), rng), name="conv1d.bias")
+        self._columns: np.ndarray | None = None
+        self._input_shape: tuple[int, ...] | None = None
+
+    def _unfold(self, x: np.ndarray) -> np.ndarray:
+        pad = self.kernel_size // 2
+        padded = np.pad(x, ((0, 0), (pad, pad), (0, 0)))
+        batch, length, _ = x.shape
+        columns = np.empty((batch, length, self.kernel_size, self.in_channels))
+        for offset in range(self.kernel_size):
+            columns[:, :, offset, :] = padded[:, offset:offset + length, :]
+        return columns
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 3 or x.shape[2] != self.in_channels:
+            raise ValueError(
+                f"Conv1D expected input (batch, length, {self.in_channels}), "
+                f"got {x.shape}")
+        columns = self._unfold(x)
+        if training:
+            self._columns = columns
+            self._input_shape = x.shape
+        flat_cols = columns.reshape(x.shape[0], x.shape[1], -1)
+        flat_weight = self.weight.value.reshape(-1, self.out_channels)
+        return flat_cols @ flat_weight + self.bias.value
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._columns is None or self._input_shape is None:
+            raise RuntimeError("backward() called before a training forward pass")
+        batch, length, _ = self._input_shape
+        flat_cols = self._columns.reshape(batch * length, -1)
+        flat_grad = grad.reshape(batch * length, self.out_channels)
+        self.weight.grad += (flat_cols.T @ flat_grad).reshape(self.weight.value.shape)
+        self.bias.grad += flat_grad.sum(axis=0)
+
+        flat_weight = self.weight.value.reshape(-1, self.out_channels)
+        grad_columns = (flat_grad @ flat_weight.T).reshape(
+            batch, length, self.kernel_size, self.in_channels)
+        pad = self.kernel_size // 2
+        grad_padded = np.zeros((batch, length + 2 * pad, self.in_channels))
+        for offset in range(self.kernel_size):
+            grad_padded[:, offset:offset + length, :] += grad_columns[:, :, offset, :]
+        return grad_padded[:, pad:pad + length, :]
+
+    def parameters(self) -> list[Parameter]:
+        return [self.weight, self.bias]

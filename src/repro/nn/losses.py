@@ -1,0 +1,70 @@
+"""Loss functions for the NumPy neural-network substrate."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+__all__ = ["Loss", "MeanSquaredError", "SoftmaxCrossEntropy", "softmax"]
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax with the usual max-shift for numerical stability."""
+    logits = np.asarray(logits, dtype=np.float64)
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+class Loss(ABC):
+    """A differentiable training criterion."""
+
+    @abstractmethod
+    def value(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        """Mean loss over the batch."""
+
+    @abstractmethod
+    def gradient(self, predictions: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        """Gradient of the mean loss with respect to the predictions."""
+
+
+class MeanSquaredError(Loss):
+    """Mean squared error, used by the autoencoder reconstruction objectives."""
+
+    def value(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        predictions = np.asarray(predictions, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.float64)
+        return float(np.mean((predictions - targets) ** 2))
+
+    def gradient(self, predictions: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        predictions = np.asarray(predictions, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.float64)
+        return 2.0 * (predictions - targets) / predictions.size
+
+
+class SoftmaxCrossEntropy(Loss):
+    """Softmax + cross-entropy on integer class targets (from raw logits)."""
+
+    def value(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        probabilities = softmax(predictions)
+        targets = np.asarray(targets, dtype=np.int64)
+        self._check_targets(predictions, targets)
+        picked = probabilities[np.arange(targets.size), targets]
+        return float(-np.mean(np.log(np.maximum(picked, 1e-12))))
+
+    def gradient(self, predictions: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        probabilities = softmax(predictions)
+        targets = np.asarray(targets, dtype=np.int64)
+        self._check_targets(predictions, targets)
+        grad = probabilities
+        grad[np.arange(targets.size), targets] -= 1.0
+        return grad / targets.size
+
+    @staticmethod
+    def _check_targets(predictions: np.ndarray, targets: np.ndarray) -> None:
+        if targets.ndim != 1 or targets.shape[0] != predictions.shape[0]:
+            raise ValueError("targets must be a 1-D array of class indices, one "
+                             "per prediction row")
+        if targets.min(initial=0) < 0 or targets.max(initial=0) >= predictions.shape[1]:
+            raise ValueError("target class index out of range")

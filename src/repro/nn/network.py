@@ -1,0 +1,131 @@
+"""Sequential network container and mini-batch training loop."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .layers import Layer, Parameter
+from .losses import Loss, softmax
+from .optim import Adam, Optimizer
+
+__all__ = ["Sequential", "TrainingHistory", "train_network"]
+
+
+class Sequential(Layer):
+    """A plain stack of layers applied in order."""
+
+    def __init__(self, layers: Sequence[Layer]) -> None:
+        if not layers:
+            raise ValueError("Sequential needs at least one layer")
+        self.layers = list(layers)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        out = np.asarray(x, dtype=np.float64)
+        for layer in self.layers:
+            out = layer.forward(out, training=training)
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def parameters(self) -> list[Parameter]:
+        params: list[Parameter] = []
+        for layer in self.layers:
+            params.extend(layer.parameters())
+        return params
+
+    # Convenience inference helpers -----------------------------------------
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Forward pass in inference mode."""
+        return self.forward(x, training=False)
+
+    def predict_classes(self, x: np.ndarray) -> np.ndarray:
+        """Argmax over the output logits."""
+        return np.argmax(self.predict(x), axis=1)
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Softmax class probabilities from the output logits."""
+        return softmax(self.predict(x))
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch training (and optional validation) losses."""
+
+    train_loss: list[float] = field(default_factory=list)
+    validation_loss: list[float] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        if not self.train_loss:
+            raise ValueError("no epochs were recorded")
+        return self.train_loss[-1]
+
+
+def train_network(network: Sequential, loss: Loss, inputs: np.ndarray,
+                  targets: np.ndarray, epochs: int = 50, batch_size: int = 32,
+                  optimizer: Optimizer | None = None,
+                  validation: tuple[np.ndarray, np.ndarray] | None = None,
+                  shuffle: bool = True,
+                  seed: int | None = 0) -> TrainingHistory:
+    """Mini-batch training loop.
+
+    Parameters
+    ----------
+    network:
+        The model to train (modified in place).
+    loss:
+        Training criterion.
+    inputs, targets:
+        Training data; ``targets`` is whatever the loss expects (class indices
+        for cross-entropy, arrays for MSE).
+    epochs, batch_size:
+        Loop dimensions.
+    optimizer:
+        Defaults to Adam with its default learning rate over the network's
+        parameters.
+    validation:
+        Optional ``(inputs, targets)`` evaluated (without training) per epoch.
+    shuffle:
+        Whether to reshuffle the training set every epoch.
+    seed:
+        Seed of the shuffling generator.
+    """
+    inputs = np.asarray(inputs, dtype=np.float64)
+    targets = np.asarray(targets)
+    if inputs.shape[0] != targets.shape[0]:
+        raise ValueError("inputs and targets must have the same number of rows")
+    if epochs < 1 or batch_size < 1:
+        raise ValueError("epochs and batch_size must be positive")
+
+    optimizer = optimizer or Adam(network.parameters())
+    rng = np.random.default_rng(seed)
+    history = TrainingHistory()
+    count = inputs.shape[0]
+
+    for _ in range(epochs):
+        order = rng.permutation(count) if shuffle else np.arange(count)
+        epoch_loss = 0.0
+        batches = 0
+        for start in range(0, count, batch_size):
+            batch_index = order[start:start + batch_size]
+            x = inputs[batch_index]
+            y = targets[batch_index]
+            optimizer.zero_grad()
+            predictions = network.forward(x, training=True)
+            epoch_loss += loss.value(predictions, y)
+            network.backward(loss.gradient(predictions, y))
+            optimizer.step()
+            batches += 1
+        history.train_loss.append(epoch_loss / max(batches, 1))
+        if validation is not None:
+            val_x, val_y = validation
+            val_pred = network.forward(np.asarray(val_x, dtype=np.float64),
+                                       training=False)
+            history.validation_loss.append(loss.value(val_pred, np.asarray(val_y)))
+    return history

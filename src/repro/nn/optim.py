@@ -1,0 +1,93 @@
+"""Optimisers for the NumPy neural-network substrate."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+
+import numpy as np
+
+from .layers import Parameter
+
+__all__ = ["Optimizer", "SGD", "Adam"]
+
+
+class Optimizer(ABC):
+    """Updates a fixed set of parameters from their accumulated gradients."""
+
+    def __init__(self, parameters: Sequence[Parameter]) -> None:
+        if not parameters:
+            raise ValueError("optimizer needs at least one parameter")
+        self.parameters = list(parameters)
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters:
+            parameter.zero_grad()
+
+    @abstractmethod
+    def step(self) -> None:
+        """Apply one update using the currently accumulated gradients."""
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(self, parameters: Sequence[Parameter], learning_rate: float = 0.01,
+                 momentum: float = 0.0, weight_decay: float = 0.0) -> None:
+        super().__init__(parameters)
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.value) for p in self.parameters]
+
+    def step(self) -> None:
+        for parameter, velocity in zip(self.parameters, self._velocity):
+            grad = parameter.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * parameter.value
+            if self.momentum:
+                velocity *= self.momentum
+                velocity -= self.learning_rate * grad
+                parameter.value += velocity
+            else:
+                parameter.value -= self.learning_rate * grad
+
+
+class Adam(Optimizer):
+    """Adam optimiser (Kingma & Ba, 2015)."""
+
+    def __init__(self, parameters: Sequence[Parameter], learning_rate: float = 0.001,
+                 beta1: float = 0.9, beta2: float = 0.999,
+                 epsilon: float = 1e-8, weight_decay: float = 0.0) -> None:
+        super().__init__(parameters)
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError("beta1 and beta2 must be in [0, 1)")
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self.weight_decay = weight_decay
+        self._step_count = 0
+        self._m = [np.zeros_like(p.value) for p in self.parameters]
+        self._v = [np.zeros_like(p.value) for p in self.parameters]
+
+    def step(self) -> None:
+        self._step_count += 1
+        t = self._step_count
+        for parameter, m, v in zip(self.parameters, self._m, self._v):
+            grad = parameter.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * parameter.value
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad ** 2
+            m_hat = m / (1.0 - self.beta1 ** t)
+            v_hat = v / (1.0 - self.beta2 ** t)
+            parameter.value -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)

@@ -1,0 +1,6 @@
+"""Embedding visualisation: t-SNE, PCA projection and ASCII scatter rendering."""
+
+from .projections import pca_project, scatter_to_text
+from .tsne import TSNE, TSNEConfig
+
+__all__ = ["TSNE", "TSNEConfig", "pca_project", "scatter_to_text"]

@@ -1,0 +1,54 @@
+"""Simple linear projections and text rendering of 2-D embeddings.
+
+Complements the t-SNE module: PCA gives a fast deterministic 2-D view of the
+learned embeddings, and :func:`scatter_to_text` renders a labeled 2-D scatter
+as an ASCII grid so that examples and benchmark scripts can show the floor
+separation without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["pca_project", "scatter_to_text"]
+
+
+def pca_project(embeddings: np.ndarray, n_components: int = 2) -> np.ndarray:
+    """Project embeddings onto their top principal components."""
+    embeddings = np.asarray(embeddings, dtype=np.float64)
+    if embeddings.ndim != 2:
+        raise ValueError("embeddings must be a 2-D array")
+    if not 1 <= n_components <= embeddings.shape[1]:
+        raise ValueError("n_components must be between 1 and the embedding dim")
+    centred = embeddings - embeddings.mean(axis=0, keepdims=True)
+    _, _, vt = np.linalg.svd(centred, full_matrices=False)
+    return centred @ vt[:n_components].T
+
+
+def scatter_to_text(points: np.ndarray, labels: Sequence[int],
+                    width: int = 60, height: int = 24) -> str:
+    """Render labeled 2-D points as an ASCII scatter plot.
+
+    Each cell shows the digit of the (modulo-10) floor label of the last point
+    that fell into it; empty cells are dots.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    labels = list(labels)
+    if points.ndim != 2 or points.shape[1] != 2:
+        raise ValueError("points must be a (n, 2) array")
+    if len(labels) != points.shape[0]:
+        raise ValueError("labels must align with points")
+    if width < 2 or height < 2:
+        raise ValueError("width and height must be at least 2")
+
+    mins = points.min(axis=0)
+    maxs = points.max(axis=0)
+    spans = np.where(maxs - mins > 0, maxs - mins, 1.0)
+    grid = [["." for _ in range(width)] for _ in range(height)]
+    for (x, y), label in zip(points, labels):
+        column = int((x - mins[0]) / spans[0] * (width - 1))
+        row = int((y - mins[1]) / spans[1] * (height - 1))
+        grid[height - 1 - row][column] = str(int(label) % 10)
+    return "\n".join("".join(row) for row in grid)

@@ -1,0 +1,176 @@
+"""End-to-end tests for every baseline classifier on a small building.
+
+Each baseline must (a) respect the shared FloorClassifier contract, (b) fail
+cleanly when misused, and (c) reach clearly-above-chance accuracy on the easy
+shared fixture (three well-separated floors).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    AutoencoderProxClassifier,
+    GraficsClassifier,
+    MatrixProxClassifier,
+    MDSProxClassifier,
+    SAEClassifier,
+    ScalableDNNClassifier,
+)
+from repro.core import GraficsConfig
+from repro.core.embedding import EmbeddingConfig
+
+
+def fast_factories():
+    """Factories configured for speed; accuracy thresholds are lenient."""
+    fast_embedding = EmbeddingConfig(samples_per_edge=40.0, seed=0)
+    return {
+        "grafics": lambda: GraficsClassifier(GraficsConfig(embedding=fast_embedding)),
+        "grafics-line": lambda: GraficsClassifier(
+            GraficsConfig(embedder="line", embedding=fast_embedding)),
+        "matrix": MatrixProxClassifier,
+        "mds": MDSProxClassifier,
+        "autoencoder": lambda: AutoencoderProxClassifier(epochs=8, seed=0),
+        "sae": lambda: SAEClassifier(pretrain_epochs=4, train_epochs=15, seed=0),
+        "scalable-dnn": lambda: ScalableDNNClassifier(pretrain_epochs=4,
+                                                      train_epochs=15, seed=0),
+    }
+
+
+@pytest.fixture(scope="module")
+def shared_split(small_split):
+    return small_split
+
+
+# Minimum accuracy each method must reach on the easy fixture.  GRAFICS with
+# LINE and the conv-autoencoder are genuinely weak with only 4 labels/floor
+# (exactly the paper's observation in Fig. 13 and Fig. 11), so their bars are
+# at/near chance: the test checks the contract, not their quality.
+ACCURACY_FLOOR = {
+    "grafics": 0.85,
+    "grafics-line": 0.30,
+    "matrix": 0.55,
+    "mds": 0.55,
+    "autoencoder": 0.34,
+    "sae": 0.55,
+    "scalable-dnn": 0.55,
+}
+
+
+@pytest.mark.parametrize("name", list(fast_factories()))
+def test_fit_predict_contract_and_accuracy(name, shared_split):
+    classifier = fast_factories()[name]()
+    classifier.fit(list(shared_split.train_records), shared_split.labels)
+    test_records = [r.without_floor() for r in shared_split.test_records]
+    predictions = classifier.predict(test_records)
+
+    assert set(predictions) == {r.record_id for r in test_records}
+    truth = shared_split.test_ground_truth()
+    known_floors = set(truth.values())
+    assert set(predictions.values()) <= known_floors
+
+    accuracy = np.mean([predictions[rid] == floor for rid, floor in truth.items()])
+    assert accuracy >= ACCURACY_FLOOR[name], f"{name} accuracy {accuracy:.2f}"
+
+
+@pytest.mark.parametrize("name", ["matrix", "mds", "autoencoder", "sae",
+                                  "scalable-dnn", "grafics"])
+def test_predict_before_fit_raises(name):
+    classifier = fast_factories()[name]()
+    with pytest.raises(RuntimeError):
+        classifier.predict([])
+
+
+@pytest.mark.parametrize("name", ["matrix", "scalable-dnn", "grafics"])
+def test_fit_rejects_bad_labels(name, shared_split):
+    classifier = fast_factories()[name]()
+    with pytest.raises(ValueError):
+        classifier.fit(list(shared_split.train_records), {})
+    with pytest.raises(ValueError):
+        classifier.fit(list(shared_split.train_records), {"unknown-record": 0})
+
+
+def test_fit_predict_helper(shared_split):
+    classifier = MatrixProxClassifier()
+    predictions = classifier.fit_predict(
+        list(shared_split.train_records), shared_split.labels,
+        [r.without_floor() for r in shared_split.test_records])
+    assert len(predictions) == len(shared_split.test_records)
+
+
+def test_grafics_adapter_exposes_training_assignments(shared_split):
+    classifier = GraficsClassifier(GraficsConfig(
+        embedding=EmbeddingConfig(samples_per_edge=40.0, seed=0)))
+    with pytest.raises(RuntimeError):
+        classifier.training_assignments()
+    classifier.fit(list(shared_split.train_records), shared_split.labels)
+    assignments = classifier.training_assignments()
+    assert set(assignments) == {r.record_id for r in shared_split.train_records}
+
+
+def test_grafics_adapter_names():
+    assert GraficsClassifier().name == "GRAFICS"
+    assert "line" in GraficsClassifier(GraficsConfig(embedder="line")).name
+    assert GraficsClassifier(name="custom").name == "custom"
+
+
+def test_supervised_baselines_predict_only_known_floors(shared_split):
+    classifier = ScalableDNNClassifier(pretrain_epochs=2, train_epochs=5, seed=0)
+    classifier.fit(list(shared_split.train_records), shared_split.labels)
+    predictions = classifier.predict(
+        [r.without_floor() for r in shared_split.test_records[:10]])
+    assert set(predictions.values()) <= set(shared_split.labels.values())
+
+
+def test_autoencoder_reconstruction_learns(shared_split):
+    from repro.baselines.autoencoder import ConvAutoencoder
+    from repro.baselines.base import MatrixFeaturizer
+
+    features = MatrixFeaturizer().fit_transform(
+        list(shared_split.train_records)[:60])
+    autoencoder = ConvAutoencoder(num_features=features.shape[1],
+                                  embedding_dimension=8, epochs=1, seed=0)
+    before = np.mean((autoencoder.reconstruct(features) - features) ** 2)
+    autoencoder.fit(features)
+    after = np.mean((autoencoder.reconstruct(features) - features) ** 2)
+    assert after < before
+    assert autoencoder.encode(features).shape == (features.shape[0], 8)
+
+
+def test_autoencoder_requires_four_conv_blocks():
+    from repro.baselines.autoencoder import ConvAutoencoder
+
+    with pytest.raises(ValueError):
+        ConvAutoencoder(num_features=10, channels=(8, 8))
+
+
+def test_sae_stacked_encoder_shapes(shared_split):
+    from repro.baselines.base import MatrixFeaturizer
+    from repro.baselines.sae import StackedAutoencoder
+
+    features = MatrixFeaturizer().fit_transform(
+        list(shared_split.train_records)[:50])
+    stacked = StackedAutoencoder(features.shape[1], layer_sizes=(16, 8),
+                                 epochs_per_layer=2, seed=0)
+    with pytest.raises(RuntimeError):
+        stacked.encoder()
+    stacked.fit(features)
+    codes = stacked.encode(features)
+    assert codes.shape == (features.shape[0], 8)
+
+
+def test_grafics_line_recovers_with_more_labels(small_building):
+    """Paper Fig. 13: LINE inside GRAFICS improves a lot with more labels."""
+    from repro.data import make_experiment_split
+
+    split = make_experiment_split(small_building, labels_per_floor=20, seed=0)
+    classifier = GraficsClassifier(GraficsConfig(
+        embedder="line",
+        embedding=EmbeddingConfig(samples_per_edge=100.0, seed=0)))
+    classifier.fit(list(split.train_records), split.labels)
+    predictions = classifier.predict(
+        [r.without_floor() for r in split.test_records])
+    truth = split.test_ground_truth()
+    accuracy = np.mean([predictions[rid] == floor for rid, floor in truth.items()])
+    assert accuracy > 0.6

@@ -1,0 +1,111 @@
+"""Tests for the dense-matrix featurizer and classical MDS."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.base import MatrixFeaturizer
+from repro.baselines.mds import ClassicalMDS, cosine_dissimilarity
+from repro.core.types import SignalRecord
+
+
+def record(rid, rss, floor=None):
+    return SignalRecord(record_id=rid, rss=rss, floor=floor)
+
+
+class TestMatrixFeaturizer:
+    def test_unfitted_raises(self):
+        featurizer = MatrixFeaturizer()
+        with pytest.raises(RuntimeError):
+            featurizer.transform([record("r", {"a": -40.0})])
+        with pytest.raises(RuntimeError):
+            featurizer.num_features
+
+    def test_fit_learns_vocabulary(self):
+        featurizer = MatrixFeaturizer()
+        featurizer.fit([record("r1", {"a": -40.0, "b": -60.0}),
+                        record("r2", {"c": -50.0})])
+        assert featurizer.mac_order == ["a", "b", "c"]
+        assert featurizer.num_features == 3
+
+    def test_normalisation_range(self):
+        featurizer = MatrixFeaturizer()
+        features = featurizer.fit_transform([
+            record("r1", {"a": -30.0, "b": -120.0}),
+            record("r2", {"a": -75.0}),
+        ])
+        assert features.min() >= 0.0
+        assert features.max() <= 1.0
+        assert features[0, 0] == pytest.approx(1.0)   # -30 dBm -> 1
+        assert features[1, 1] == pytest.approx(0.0)   # missing -> 0
+
+    def test_unknown_macs_in_transform_ignored(self):
+        featurizer = MatrixFeaturizer()
+        featurizer.fit([record("r1", {"a": -40.0})])
+        features = featurizer.transform([record("x", {"a": -50.0, "new": -30.0})])
+        assert features.shape == (1, 1)
+
+    def test_requires_macs(self):
+        featurizer = MatrixFeaturizer()
+        with pytest.raises(ValueError):
+            featurizer.fit([])
+
+
+class TestCosineDissimilarity:
+    def test_identical_rows_zero(self):
+        a = np.array([[1.0, 2.0, 3.0]])
+        assert cosine_dissimilarity(a)[0, 0] == pytest.approx(0.0)
+
+    def test_orthogonal_rows_one(self):
+        a = np.array([[1.0, 0.0], [0.0, 1.0]])
+        assert cosine_dissimilarity(a)[0, 1] == pytest.approx(1.0)
+
+    def test_zero_rows_handled(self):
+        a = np.array([[0.0, 0.0], [1.0, 0.0]])
+        d = cosine_dissimilarity(a)
+        assert np.isfinite(d).all()
+
+    def test_rectangular(self):
+        a = np.random.default_rng(0).normal(size=(4, 3))
+        b = np.random.default_rng(1).normal(size=(6, 3))
+        assert cosine_dissimilarity(a, b).shape == (4, 6)
+
+
+class TestClassicalMDS:
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            ClassicalMDS(dimension=0)
+
+    def test_recovers_euclidean_configuration(self):
+        rng = np.random.default_rng(0)
+        points = rng.normal(size=(20, 2))
+        from scipy.spatial.distance import cdist
+
+        mds = ClassicalMDS(dimension=2)
+        embedding = mds.fit(cdist(points, points))
+        recovered = cdist(embedding, embedding)
+        np.testing.assert_allclose(recovered, cdist(points, points), atol=1e-6)
+
+    def test_out_of_sample_consistent_with_fit(self):
+        rng = np.random.default_rng(1)
+        points = rng.normal(size=(15, 3))
+        from scipy.spatial.distance import cdist
+
+        mds = ClassicalMDS(dimension=3)
+        train_embedding = mds.fit(cdist(points, points))
+        projected = mds.transform(cdist(points, points))
+        np.testing.assert_allclose(projected, train_embedding, atol=1e-6)
+
+    def test_requires_square_matrix(self):
+        with pytest.raises(ValueError):
+            ClassicalMDS().fit(np.zeros((3, 4)))
+
+    def test_transform_before_fit(self):
+        with pytest.raises(RuntimeError):
+            ClassicalMDS().transform(np.zeros((1, 3)))
+
+    def test_dimension_larger_than_points_padded(self):
+        mds = ClassicalMDS(dimension=8)
+        embedding = mds.fit(np.array([[0.0, 1.0], [1.0, 0.0]]))
+        assert embedding.shape == (2, 8)

@@ -1,0 +1,71 @@
+"""Tests for the shared Prox model and pseudo-labeling utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.prox import ProximityFloorModel
+from repro.baselines.pseudo_label import assign_pseudo_labels
+
+
+class TestProximityFloorModel:
+    def test_fit_predict_on_separated_blobs(self):
+        rng = np.random.default_rng(0)
+        floor0 = rng.normal([0.0, 0.0], 0.2, size=(15, 2))
+        floor1 = rng.normal([6.0, 6.0], 0.2, size=(15, 2))
+        embeddings = np.vstack([floor0, floor1])
+        ids = [f"r{i}" for i in range(30)]
+        model = ProximityFloorModel().fit(ids, embeddings, {"r0": 0, "r15": 1})
+        predictions = model.predict(np.array([[0.1, 0.1], [5.8, 6.1]]))
+        np.testing.assert_array_equal(predictions, [0, 1])
+
+    def test_training_assignments(self):
+        rng = np.random.default_rng(1)
+        embeddings = np.vstack([rng.normal(0, 0.1, size=(10, 3)),
+                                rng.normal(5, 0.1, size=(10, 3))])
+        ids = [f"r{i}" for i in range(20)]
+        model = ProximityFloorModel().fit(ids, embeddings, {"r0": 3, "r10": 7})
+        assignments = model.training_assignments()
+        assert set(assignments.values()) == {3, 7}
+        assert all(assignments[f"r{i}"] == 3 for i in range(10))
+        assert all(assignments[f"r{i}"] == 7 for i in range(10, 20))
+
+    def test_unfitted_raises(self):
+        model = ProximityFloorModel()
+        with pytest.raises(RuntimeError):
+            model.predict(np.zeros((1, 2)))
+        with pytest.raises(RuntimeError):
+            model.training_assignments()
+
+
+class TestAssignPseudoLabels:
+    def test_true_labels_preserved(self):
+        embeddings = np.array([[0.0], [1.0], [10.0]])
+        labels = assign_pseudo_labels(["a", "b", "c"], embeddings,
+                                      {"a": 1, "c": 2})
+        assert labels["a"] == 1
+        assert labels["c"] == 2
+
+    def test_nearest_labeled_neighbor_wins(self):
+        embeddings = np.array([[0.0], [0.4], [10.0], [9.5]])
+        labels = assign_pseudo_labels(["a", "b", "c", "d"], embeddings,
+                                      {"a": 0, "c": 1})
+        assert labels["b"] == 0
+        assert labels["d"] == 1
+
+    def test_all_records_labeled(self):
+        rng = np.random.default_rng(0)
+        ids = [f"r{i}" for i in range(25)]
+        embeddings = rng.normal(size=(25, 4))
+        labels = assign_pseudo_labels(ids, embeddings, {"r3": 0, "r11": 1})
+        assert set(labels) == set(ids)
+        assert set(labels.values()) <= {0, 1}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            assign_pseudo_labels(["a"], np.zeros((1, 2)), {})
+        with pytest.raises(ValueError):
+            assign_pseudo_labels(["a"], np.zeros((1, 2)), {"zzz": 0})
+        with pytest.raises(ValueError):
+            assign_pseudo_labels(["a", "b"], np.zeros((3, 2)), {"a": 0})

@@ -1,0 +1,66 @@
+"""Shared fixtures for the test suite.
+
+Expensive artefacts (synthetic building, trained GRAFICS model) are session
+scoped so the many tests that need "some trained model" share one instance.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import GRAFICS, GraficsConfig, EmbeddingConfig, SignalRecord
+from repro.core.types import FingerprintDataset
+from repro.data import make_experiment_split, small_test_building
+
+
+def make_record(record_id: str, rss: dict[str, float], floor: int | None = None,
+                **kwargs) -> SignalRecord:
+    """Convenience constructor used across test modules."""
+    return SignalRecord(record_id=record_id, rss=rss, floor=floor, **kwargs)
+
+
+@pytest.fixture(scope="session")
+def tiny_records() -> list[SignalRecord]:
+    """Six hand-written records on two 'floors' with partially shared MACs."""
+    return [
+        make_record("a0", {"m1": -50.0, "m2": -60.0}, floor=0),
+        make_record("a1", {"m2": -55.0, "m3": -65.0}, floor=0),
+        make_record("a2", {"m1": -52.0, "m3": -70.0}, floor=0),
+        make_record("b0", {"m4": -48.0, "m5": -58.0}, floor=1),
+        make_record("b1", {"m5": -62.0, "m6": -72.0}, floor=1),
+        make_record("b2", {"m4": -51.0, "m6": -66.0}, floor=1),
+    ]
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset(tiny_records) -> FingerprintDataset:
+    return FingerprintDataset(records=list(tiny_records), building_id="tiny")
+
+
+@pytest.fixture(scope="session")
+def small_building() -> FingerprintDataset:
+    """A small synthetic three-floor building (fast to embed and cluster)."""
+    return small_test_building(num_floors=3, records_per_floor=50,
+                               aps_per_floor=25, seed=11)
+
+
+@pytest.fixture(scope="session")
+def small_split(small_building):
+    """The paper's protocol applied to the small building (4 labels/floor)."""
+    return make_experiment_split(small_building, train_ratio=0.7,
+                                 labels_per_floor=4, seed=0)
+
+
+@pytest.fixture(scope="session")
+def fast_config() -> GraficsConfig:
+    """A GRAFICS configuration tuned for test speed, not accuracy."""
+    return GraficsConfig(
+        embedding=EmbeddingConfig(samples_per_edge=60.0, batch_size=256, seed=0))
+
+
+@pytest.fixture(scope="session")
+def trained_grafics(small_split, fast_config) -> GRAFICS:
+    """A GRAFICS model trained once and shared by read-only tests."""
+    model = GRAFICS(fast_config)
+    model.fit(list(small_split.train_records), small_split.labels)
+    return model

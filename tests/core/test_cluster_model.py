@@ -1,0 +1,95 @@
+"""Tests for the nearest-centroid floor classifier (paper Section V-B)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.clustering.hierarchical import ProximityClustering
+from repro.core.clustering.model import ClusterModel, FloorCluster
+from repro.core.embedding.base import EmbeddingConfig, GraphEmbedding
+
+
+def cluster(cluster_id, floor, centroid, members=("x",)):
+    return FloorCluster(cluster_id=cluster_id, floor=floor,
+                        centroid=np.asarray(centroid, dtype=float),
+                        member_record_ids=tuple(members))
+
+
+class TestClusterModel:
+    def test_requires_clusters(self):
+        with pytest.raises(ValueError):
+            ClusterModel([])
+
+    def test_predict_nearest_centroid(self):
+        model = ClusterModel([
+            cluster(0, 0, [0.0, 0.0], members=("a",)),
+            cluster(1, 1, [10.0, 0.0], members=("b",)),
+        ])
+        assert model.predict(np.array([1.0, 0.0])) == 0
+        assert model.predict(np.array([9.0, 0.0])) == 1
+
+    def test_predict_batch(self):
+        model = ClusterModel([
+            cluster(0, 2, [0.0, 0.0]),
+            cluster(1, 5, [4.0, 4.0]),
+        ])
+        floors = model.predict_batch(np.array([[0.1, 0.1], [3.9, 4.2]]))
+        np.testing.assert_array_equal(floors, [2, 5])
+
+    def test_predict_with_distance(self):
+        model = ClusterModel([cluster(0, 3, [1.0, 1.0])])
+        floor, distance = model.predict_with_distance(np.array([4.0, 5.0]))
+        assert floor == 3
+        assert distance == pytest.approx(5.0)
+
+    def test_dimension_mismatch(self):
+        model = ClusterModel([cluster(0, 0, [0.0, 0.0])])
+        with pytest.raises(ValueError):
+            model.predict_batch(np.zeros((2, 3)))
+
+    def test_floors_and_centroids(self):
+        model = ClusterModel([
+            cluster(0, 1, [0.0, 0.0]),
+            cluster(1, 1, [1.0, 1.0]),
+            cluster(2, 4, [2.0, 2.0]),
+        ])
+        assert model.floors == [1, 4]
+        assert model.num_clusters == 3
+        assert model.centroid_matrix().shape == (3, 2)
+
+    def test_cluster_for(self):
+        model = ClusterModel([cluster(0, 0, [0.0], members=("a", "b"))])
+        assert model.cluster_for("a").floor == 0
+        assert model.cluster_for("nope") is None
+
+    def test_multiple_clusters_same_floor(self):
+        """Several labeled samples per floor mean several clusters per floor."""
+        model = ClusterModel([
+            cluster(0, 7, [0.0, 0.0]),
+            cluster(1, 7, [10.0, 10.0]),
+        ])
+        assert model.predict(np.array([9.0, 9.0])) == 7
+        assert model.predict(np.array([0.5, 0.0])) == 7
+
+
+class TestFromClustering:
+    def test_centroids_are_member_means(self):
+        rng = np.random.default_rng(0)
+        points = np.vstack([rng.normal(0.0, 0.1, size=(10, 3)),
+                            rng.normal(5.0, 0.1, size=(10, 3))])
+        ids = [f"r{i}" for i in range(20)]
+        clustering = ProximityClustering().fit(ids, points, {"r0": 0, "r10": 1})
+
+        record_index = {rid: i for i, rid in enumerate(ids)}
+        embedding = GraphEmbedding(ego=points, context=points.copy(),
+                                   record_index=record_index, mac_index={},
+                                   config=EmbeddingConfig(dimension=3))
+        model = ClusterModel.from_clustering(clustering, embedding)
+        assert model.num_clusters == 2
+        for floor_cluster in model.clusters:
+            member_rows = [record_index[m]
+                           for m in floor_cluster.member_record_ids]
+            np.testing.assert_allclose(floor_cluster.centroid,
+                                       points[member_rows].mean(axis=0))
+            assert floor_cluster.size == len(member_rows)

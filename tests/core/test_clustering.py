@@ -1,0 +1,158 @@
+"""Tests for the proximity-based hierarchical clustering (paper Section IV-C)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.clustering.hierarchical import (
+    ProximityClustering,
+    average_pairwise_distance,
+)
+
+
+def blob(center, count, spread, rng):
+    return center + rng.normal(0.0, spread, size=(count, len(center)))
+
+
+class TestAveragePairwiseDistance:
+    def test_matches_manual_computation(self):
+        a = np.array([[0.0, 0.0], [1.0, 0.0]])
+        b = np.array([[0.0, 3.0]])
+        manual = (3.0 + np.sqrt(10.0)) / 2.0
+        assert average_pairwise_distance(a, b) == pytest.approx(manual)
+
+    def test_single_vectors(self):
+        assert average_pairwise_distance(np.array([1.0, 0.0]),
+                                         np.array([4.0, 4.0])) == pytest.approx(5.0)
+
+
+class TestValidation:
+    def test_requires_labels(self):
+        clustering = ProximityClustering()
+        with pytest.raises(ValueError):
+            clustering.fit(["a", "b"], np.zeros((2, 2)), {})
+
+    def test_rejects_unknown_labeled_ids(self):
+        clustering = ProximityClustering()
+        with pytest.raises(ValueError):
+            clustering.fit(["a"], np.zeros((1, 2)), {"zzz": 0})
+
+    def test_rejects_duplicate_ids(self):
+        clustering = ProximityClustering()
+        with pytest.raises(ValueError):
+            clustering.fit(["a", "a"], np.zeros((2, 2)), {"a": 0})
+
+    def test_rejects_misshaped_embeddings(self):
+        clustering = ProximityClustering()
+        with pytest.raises(ValueError):
+            clustering.fit(["a", "b"], np.zeros((3, 2)), {"a": 0})
+
+
+class TestClusteringBehaviour:
+    def test_two_well_separated_blobs(self):
+        rng = np.random.default_rng(0)
+        points = np.vstack([blob([0.0, 0.0], 20, 0.1, rng),
+                            blob([10.0, 10.0], 20, 0.1, rng)])
+        ids = [f"r{i}" for i in range(40)]
+        labels = {"r0": 0, "r20": 1}
+        result = ProximityClustering().fit(ids, points, labels)
+        assert result.num_clusters == 2
+        for i in range(20):
+            assert result.predicted_floor(f"r{i}") == 0
+        for i in range(20, 40):
+            assert result.predicted_floor(f"r{i}") == 1
+
+    def test_multiple_labels_per_floor_allowed(self):
+        rng = np.random.default_rng(1)
+        points = np.vstack([blob([0.0, 0.0], 15, 0.1, rng),
+                            blob([8.0, 8.0], 15, 0.1, rng)])
+        ids = [f"r{i}" for i in range(30)]
+        labels = {"r0": 0, "r1": 0, "r15": 1, "r16": 1}
+        result = ProximityClustering().fit(ids, points, labels)
+        # One cluster per labeled sample.
+        assert result.num_clusters == 4
+        assert result.floors() == [0, 1]
+        for i in range(15):
+            assert result.predicted_floor(f"r{i}") == 0
+        for i in range(15, 30):
+            assert result.predicted_floor(f"r{i}") == 1
+
+    def test_each_cluster_has_exactly_one_label(self):
+        rng = np.random.default_rng(2)
+        points = rng.normal(size=(25, 4))
+        ids = [f"r{i}" for i in range(25)]
+        labels = {"r0": 0, "r5": 1, "r10": 2}
+        result = ProximityClustering().fit(ids, points, labels)
+        assert result.num_clusters == len(labels)
+        for cluster_id, members in result.cluster_members.items():
+            labeled_members = [m for m in members if m in labels]
+            assert len(labeled_members) == 1
+            assert result.cluster_labels[cluster_id] == labels[labeled_members[0]]
+
+    def test_every_record_assigned_exactly_once(self):
+        rng = np.random.default_rng(3)
+        points = rng.normal(size=(18, 3))
+        ids = [f"r{i}" for i in range(18)]
+        labels = {"r0": 0, "r9": 1}
+        result = ProximityClustering().fit(ids, points, labels)
+        assert set(result.assignments) == set(ids)
+        all_members = [m for members in result.cluster_members.values()
+                       for m in members]
+        assert sorted(all_members) == sorted(ids)
+
+    def test_single_record_single_label(self):
+        result = ProximityClustering().fit(["only"], np.zeros((1, 2)), {"only": 4})
+        assert result.num_clusters == 1
+        assert result.predicted_floor("only") == 4
+
+    def test_merge_history_and_fraction_views(self):
+        rng = np.random.default_rng(4)
+        points = np.vstack([blob([0.0, 0.0], 10, 0.1, rng),
+                            blob([5.0, 5.0], 10, 0.1, rng)])
+        ids = [f"r{i}" for i in range(20)]
+        result = ProximityClustering().fit(ids, points, {"r0": 0, "r10": 1})
+        assert len(result.merges) == 18  # 20 singletons -> 2 clusters
+        start = result.assignments_at_fraction(0.0)
+        assert len(set(start.values())) == 20
+        end = result.assignments_at_fraction(1.0)
+        assert len(set(end.values())) == 2
+        mid = result.assignments_at_fraction(0.5)
+        assert 2 <= len(set(mid.values())) <= 20
+        with pytest.raises(ValueError):
+            result.assignments_at_fraction(1.5)
+
+    def test_merge_distances_reported(self):
+        rng = np.random.default_rng(5)
+        points = rng.normal(size=(10, 2))
+        ids = [f"r{i}" for i in range(10)]
+        result = ProximityClustering().fit(ids, points, {"r0": 0})
+        assert all(step.distance >= 0 for step in result.merges)
+        assert all(step.merged_size >= 2 for step in result.merges)
+
+
+class TestClusteringProperties:
+    @given(st.integers(min_value=6, max_value=30),
+           st.integers(min_value=1, max_value=4),
+           st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_invariants_on_random_data(self, count, num_labels, seed):
+        rng = np.random.default_rng(seed)
+        points = rng.normal(size=(count, 3))
+        ids = [f"r{i}" for i in range(count)]
+        label_positions = rng.choice(count, size=min(num_labels, count),
+                                     replace=False)
+        labels = {f"r{int(p)}": int(i % 3) for i, p in enumerate(label_positions)}
+        result = ProximityClustering().fit(ids, points, labels)
+        # Exactly one cluster per labeled record, every record assigned,
+        # every cluster labeled with its labeled member's floor.
+        assert result.num_clusters == len(labels)
+        assert set(result.assignments) == set(ids)
+        for cluster_id, members in result.cluster_members.items():
+            labeled = [m for m in members if m in labels]
+            assert len(labeled) == 1
+            assert result.cluster_labels[cluster_id] == labels[labeled[0]]
+        for rid, floor in labels.items():
+            assert result.predicted_floor(rid) == floor

@@ -1,0 +1,126 @@
+"""Tests for the LINE and E-LINE embedders (paper Section IV-B, V-A)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.embedding import ELINEEmbedder, EmbeddingConfig, LINEEmbedder
+from repro.core.graph import build_graph
+from repro.core.types import SignalRecord
+
+
+def record(rid, rss, floor=None):
+    return SignalRecord(record_id=rid, rss=rss, floor=floor)
+
+
+FAST = EmbeddingConfig(samples_per_edge=30.0, seed=0, batch_size=128)
+
+
+@pytest.fixture(scope="module")
+def two_floor_graph():
+    """Two 'floors' with internally-overlapping but mutually-disjoint MAC sets."""
+    records = []
+    for i in range(8):
+        records.append(record(f"f0-{i}", {f"a{j}": -50.0 - j
+                                          for j in range(i % 3, i % 3 + 3)}))
+        records.append(record(f"f1-{i}", {f"b{j}": -50.0 - j
+                                          for j in range(i % 3, i % 3 + 3)}))
+    return build_graph(records)
+
+
+class TestLINEEmbedder:
+    def test_unknown_order_rejected(self):
+        with pytest.raises(ValueError):
+            LINEEmbedder(order="third")
+
+    @pytest.mark.parametrize("order", ["first", "second", "combined"])
+    def test_fit_produces_addressable_embeddings(self, two_floor_graph, order):
+        embedding = LINEEmbedder(FAST, order=order).fit(two_floor_graph)
+        assert embedding.dimension == FAST.dimension
+        vec = embedding.record_vector("f0-0")
+        assert vec.shape == (FAST.dimension,)
+        assert embedding.mac_vector("a0").shape == (FAST.dimension,)
+        assert np.isfinite(vec).all()
+
+    def test_unknown_record_raises(self, two_floor_graph):
+        embedding = LINEEmbedder(FAST).fit(two_floor_graph)
+        with pytest.raises(KeyError):
+            embedding.record_vector("missing")
+        with pytest.raises(KeyError):
+            embedding.mac_vector("missing")
+
+
+class TestELINEEmbedder:
+    def test_fit_separates_disjoint_floors(self, two_floor_graph):
+        config = EmbeddingConfig(samples_per_edge=150.0, seed=0, dropout=0.0)
+        embedding = ELINEEmbedder(config).fit(two_floor_graph)
+        f0 = embedding.record_matrix([f"f0-{i}" for i in range(8)])
+        f1 = embedding.record_matrix([f"f1-{i}" for i in range(8)])
+        within = np.linalg.norm(f0 - f0.mean(axis=0), axis=1).mean()
+        between = np.linalg.norm(f0.mean(axis=0) - f1.mean(axis=0))
+        assert between > within
+
+    def test_record_matrix_row_alignment(self, two_floor_graph):
+        embedding = ELINEEmbedder(FAST).fit(two_floor_graph)
+        ids = ["f0-0", "f1-3", "f0-5"]
+        matrix = embedding.record_matrix(ids)
+        for row, rid in zip(matrix, ids):
+            np.testing.assert_array_equal(row, embedding.record_vector(rid))
+
+    def test_training_loss_recorded(self, two_floor_graph):
+        embedding = ELINEEmbedder(FAST).fit(two_floor_graph)
+        assert len(embedding.training_loss) > 0
+        assert all(np.isfinite(embedding.training_loss))
+
+
+class TestIncrementalEmbedding:
+    def test_embed_new_nodes_keeps_existing_frozen(self, two_floor_graph):
+        embedder = ELINEEmbedder(FAST)
+        embedding = embedder.fit(two_floor_graph)
+        old_vector = embedding.record_vector("f0-0").copy()
+
+        new_record = record("online-1", {"a0": -55.0, "a1": -60.0})
+        two_floor_graph.add_record(new_record)
+        try:
+            enlarged = embedder.embed_new_nodes(two_floor_graph, embedding,
+                                                ["online-1"])
+            assert enlarged.has_record("online-1")
+            np.testing.assert_array_equal(enlarged.record_vector("f0-0"),
+                                          old_vector)
+            assert np.isfinite(enlarged.record_vector("online-1")).all()
+            # The original embedding object is untouched.
+            assert not embedding.has_record("online-1")
+        finally:
+            two_floor_graph.remove_record("online-1")
+
+    def test_new_record_lands_near_its_neighborhood(self, two_floor_graph):
+        config = EmbeddingConfig(samples_per_edge=150.0, seed=0, dropout=0.0)
+        embedder = ELINEEmbedder(config)
+        embedding = embedder.fit(two_floor_graph)
+        new_record = record("online-2", {"a0": -50.0, "a1": -52.0, "a2": -54.0})
+        two_floor_graph.add_record(new_record)
+        try:
+            enlarged = embedder.embed_new_nodes(two_floor_graph, embedding,
+                                                ["online-2"])
+            vec = enlarged.record_vector("online-2")
+            f0_centroid = enlarged.record_matrix(
+                [f"f0-{i}" for i in range(8)]).mean(axis=0)
+            f1_centroid = enlarged.record_matrix(
+                [f"f1-{i}" for i in range(8)]).mean(axis=0)
+            assert np.linalg.norm(vec - f0_centroid) < np.linalg.norm(vec - f1_centroid)
+        finally:
+            two_floor_graph.remove_record("online-2")
+
+    def test_embed_new_nodes_validation(self, two_floor_graph):
+        embedder = ELINEEmbedder(FAST)
+        embedding = embedder.fit(two_floor_graph)
+        with pytest.raises(ValueError):
+            embedder.embed_new_nodes(two_floor_graph, embedding, ["f0-0"])
+        with pytest.raises(ValueError):
+            embedder.embed_new_nodes(two_floor_graph, embedding, ["not-there"])
+
+    def test_empty_new_ids_is_noop(self, two_floor_graph):
+        embedder = ELINEEmbedder(FAST)
+        embedding = embedder.fit(two_floor_graph)
+        assert embedder.embed_new_nodes(two_floor_graph, embedding, []) is embedding

@@ -1,0 +1,179 @@
+"""Tests for the bipartite graph model (paper Section IV-A)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.graph import BipartiteGraph, NodeKind, build_graph
+from repro.core.types import SignalRecord
+from repro.core.weighting import OffsetWeight
+
+
+def record(rid, rss, floor=None):
+    return SignalRecord(record_id=rid, rss=rss, floor=floor)
+
+
+class TestConstruction:
+    def test_build_from_records(self, tiny_records):
+        graph = build_graph(tiny_records)
+        assert graph.num_records == 6
+        assert graph.num_macs == 6
+        assert graph.num_edges == sum(len(r) for r in tiny_records)
+
+    def test_build_from_dataset(self, tiny_dataset):
+        graph = build_graph(tiny_dataset)
+        assert graph.num_records == len(tiny_dataset)
+
+    def test_edge_weights_use_weight_function(self):
+        graph = build_graph([record("r1", {"a": -66.0})],
+                            weight_function=OffsetWeight(offset=120.0))
+        assert graph.edge_weight("a", "r1") == pytest.approx(54.0)
+
+    def test_duplicate_record_rejected(self):
+        graph = build_graph([record("r1", {"a": -40.0})])
+        with pytest.raises(ValueError):
+            graph.add_record(record("r1", {"b": -40.0}))
+
+    def test_shared_macs_create_shared_nodes(self):
+        graph = build_graph([record("r1", {"a": -40.0}),
+                             record("r2", {"a": -50.0})])
+        assert graph.num_macs == 1
+        mac_node = graph.get_node(NodeKind.MAC, "a")
+        assert graph.degree(mac_node.index) == 2
+
+    def test_invalid_rss_raises(self):
+        graph = BipartiteGraph(weight_function=OffsetWeight(offset=50.0))
+        with pytest.raises(ValueError):
+            graph.add_record(record("r1", {"a": -80.0}))
+
+
+class TestQueries:
+    def test_get_missing_node(self, tiny_records):
+        graph = build_graph(tiny_records)
+        with pytest.raises(KeyError):
+            graph.get_node(NodeKind.MAC, "zzz")
+        with pytest.raises(KeyError):
+            graph.node_at(10_000)
+
+    def test_edge_weight_missing(self, tiny_records):
+        graph = build_graph(tiny_records)
+        with pytest.raises(KeyError):
+            graph.edge_weight("m1", "b0")
+
+    def test_neighbors_and_degrees(self, tiny_records):
+        graph = build_graph(tiny_records)
+        node = graph.get_node(NodeKind.RECORD, "a0")
+        neighbors = graph.neighbors(node.index)
+        assert len(neighbors) == 2
+        assert graph.degree(node.index) == 2
+        assert graph.weighted_degree(node.index) == pytest.approx(sum(neighbors.values()))
+
+    def test_total_weight_matches_sum_of_edges(self, tiny_records):
+        graph = build_graph(tiny_records)
+        assert graph.total_weight == pytest.approx(
+            sum(e.weight for e in graph.edges()))
+
+    def test_edge_arrays_alignment(self, tiny_records):
+        graph = build_graph(tiny_records)
+        sources, targets, weights = graph.edge_arrays()
+        assert sources.shape == targets.shape == weights.shape
+        for s, t, w in zip(sources, targets, weights):
+            assert graph.node_at(int(s)).kind is NodeKind.MAC
+            assert graph.node_at(int(t)).kind is NodeKind.RECORD
+            assert w > 0
+
+    def test_degree_array_covers_capacity(self, tiny_records):
+        graph = build_graph(tiny_records)
+        degrees = graph.degree_array()
+        assert degrees.shape == (graph.index_capacity,)
+        assert degrees.sum() == pytest.approx(2 * graph.total_weight)
+
+    def test_index_maps(self, tiny_records):
+        graph = build_graph(tiny_records)
+        assert set(graph.record_index_map()) == {r.record_id for r in tiny_records}
+        assert set(graph.mac_index_map()) == {"m1", "m2", "m3", "m4", "m5", "m6"}
+
+    def test_connected_components(self, tiny_records):
+        graph = build_graph(tiny_records)
+        components = graph.connected_components()
+        # Floors 0 and 1 use disjoint MAC sets, so there are two components.
+        assert len(components) == 2
+        assert sorted(len(c) for c in components) == [6, 6]
+
+    def test_to_networkx(self, tiny_records):
+        nx_graph = build_graph(tiny_records).to_networkx()
+        assert nx_graph.number_of_nodes() == 12
+        assert nx_graph.number_of_edges() == sum(len(r) for r in tiny_records)
+
+
+class TestMutation:
+    def test_remove_record(self, tiny_records):
+        graph = build_graph(tiny_records)
+        edges_before = graph.num_edges
+        graph.remove_record("a0")
+        assert graph.num_records == 5
+        assert graph.num_edges == edges_before - 2
+        assert not graph.has_node(NodeKind.RECORD, "a0")
+
+    def test_remove_mac_models_ap_removal(self, tiny_records):
+        graph = build_graph(tiny_records)
+        graph.remove_mac("m2")
+        assert not graph.has_node(NodeKind.MAC, "m2")
+        node = graph.get_node(NodeKind.RECORD, "a1")
+        assert graph.degree(node.index) == 1
+
+    def test_indices_not_reused_after_removal(self, tiny_records):
+        graph = build_graph(tiny_records)
+        capacity_before = graph.index_capacity
+        graph.remove_record("a0")
+        new_node = graph.add_record(record("c0", {"m1": -44.0}))
+        assert new_node.index >= capacity_before
+
+    def test_incremental_add_creates_new_macs(self, tiny_records):
+        graph = build_graph(tiny_records)
+        graph.add_record(record("new", {"m1": -50.0, "brand-new-mac": -60.0}))
+        assert graph.has_node(NodeKind.MAC, "brand-new-mac")
+        assert graph.num_records == 7
+
+
+@st.composite
+def random_records(draw):
+    macs = "abcdefgh"
+    count = draw(st.integers(min_value=1, max_value=12))
+    records = []
+    for i in range(count):
+        size = draw(st.integers(min_value=1, max_value=len(macs)))
+        chosen = draw(st.permutations(list(macs)))[:size]
+        rss = {m: float(draw(st.integers(min_value=-100, max_value=-30)))
+               for m in chosen}
+        records.append(record(f"r{i}", rss))
+    return records
+
+
+class TestGraphProperties:
+    @given(random_records())
+    @settings(max_examples=40, deadline=None)
+    def test_counts_consistent(self, records):
+        graph = build_graph(records)
+        assert graph.num_records == len(records)
+        assert graph.num_edges == sum(len(r) for r in records)
+        all_macs = {m for r in records for m in r.rss}
+        assert graph.num_macs == len(all_macs)
+        # Weighted degree of each record node equals the sum of its weights.
+        weight = OffsetWeight()
+        for r in records:
+            node = graph.get_node(NodeKind.RECORD, r.record_id)
+            expected = sum(weight(v) for v in r.rss.values())
+            assert graph.weighted_degree(node.index) == pytest.approx(expected)
+
+    @given(random_records())
+    @settings(max_examples=20, deadline=None)
+    def test_removal_restores_counts(self, records):
+        graph = build_graph(records)
+        target = records[0]
+        graph.remove_record(target.record_id)
+        assert graph.num_records == len(records) - 1
+        assert graph.num_edges == sum(len(r) for r in records) - len(target)

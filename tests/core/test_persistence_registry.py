@@ -1,0 +1,145 @@
+"""Tests for model persistence and the multi-building service."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import GRAFICS, GraficsConfig, EmbeddingConfig, UnknownEnvironmentError
+from repro.core.persistence import load_model, save_model
+from repro.core.registry import MultiBuildingFloorService
+from repro.core.weighting import PowerWeight
+from repro.data import make_experiment_split, sample_labels, small_test_building
+
+
+class TestPersistence:
+    def test_unfitted_model_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_model(GRAFICS(), tmp_path / "model.npz")
+
+    def test_round_trip_preserves_predictions(self, trained_grafics, small_split,
+                                               tmp_path):
+        path = tmp_path / "grafics.npz"
+        save_model(trained_grafics, path)
+        restored = load_model(path)
+
+        assert restored.is_fitted
+        assert restored.cluster_model.num_clusters == \
+            trained_grafics.cluster_model.num_clusters
+        assert restored.graph.num_records == trained_grafics.graph.num_records
+        assert restored.graph.num_edges == trained_grafics.graph.num_edges
+
+        # Training-record embeddings survive (up to row reordering).
+        some_id = small_split.train_records[0].record_id
+        np.testing.assert_allclose(restored.record_embedding(some_id),
+                                   trained_grafics.record_embedding(some_id))
+
+        # Online predictions from the restored model match the original.
+        probes = [r.without_floor() for r in small_split.test_records[:10]]
+        original = [p.floor for p in trained_grafics.predict_batch(probes)]
+        reloaded = [p.floor for p in restored.predict_batch(probes)]
+        agreement = np.mean([a == b for a, b in zip(original, reloaded)])
+        assert agreement >= 0.9
+
+    def test_custom_weight_function_round_trip(self, small_split, tmp_path):
+        config = GraficsConfig(
+            weight_function=PowerWeight(),
+            embedding=EmbeddingConfig(samples_per_edge=15.0, seed=0))
+        model = GRAFICS(config).fit(list(small_split.train_records),
+                                    small_split.labels)
+        path = tmp_path / "power.npz"
+        save_model(model, path)
+        restored = load_model(path)
+        assert isinstance(restored.config.weight_function, PowerWeight)
+
+    def test_unknown_custom_weight_function_rejected(self, small_split, tmp_path):
+        from repro.core.weighting import WeightFunction
+
+        class Odd(WeightFunction):
+            def __call__(self, rss: float) -> float:
+                return abs(rss)
+
+        config = GraficsConfig(
+            weight_function=Odd(),
+            embedding=EmbeddingConfig(samples_per_edge=15.0, seed=0))
+        model = GRAFICS(config).fit(list(small_split.train_records),
+                                    small_split.labels)
+        with pytest.raises(ValueError, match="custom weight function"):
+            save_model(model, tmp_path / "custom.npz")
+
+
+class TestMultiBuildingFloorService:
+    @pytest.fixture(scope="class")
+    def service(self):
+        config = GraficsConfig(
+            embedding=EmbeddingConfig(samples_per_edge=40.0, seed=0))
+        service = MultiBuildingFloorService(config)
+        held_out = {}
+        for building_id, seed in (("bldg-east", 31), ("bldg-west", 32)):
+            dataset = small_test_building(num_floors=3, records_per_floor=40,
+                                          aps_per_floor=20, seed=seed,
+                                          building_id=building_id)
+            split = make_experiment_split(dataset, labels_per_floor=4, seed=0)
+            training = dataset.subset(split.train_records)
+            service.fit_building(training, split.labels)
+            held_out[building_id] = list(split.test_records)
+        service._held_out = held_out  # stashed for the tests below
+        return service
+
+    def test_min_overlap_validation(self):
+        with pytest.raises(ValueError):
+            MultiBuildingFloorService(min_overlap=0.0)
+
+    def test_building_ids(self, service):
+        assert service.building_ids == ["bldg-east", "bldg-west"]
+        assert service.model_for("bldg-east").is_fitted
+        with pytest.raises(KeyError):
+            service.model_for("nowhere")
+
+    def test_identify_building(self, service):
+        for building_id, records in service._held_out.items():
+            probe = records[0].without_floor()
+            identified, overlap = service.identify_building(probe)
+            assert identified == building_id
+            assert overlap > 0.5
+
+    def test_predict_routes_to_correct_building(self, service):
+        for building_id, records in service._held_out.items():
+            probes = records[:8]
+            predictions = service.predict_batch(
+                [p.without_floor() for p in probes])
+            assert all(p.building_id == building_id for p in predictions)
+            assert all(p.mac_overlap > 0.5 for p in predictions)
+            floor_accuracy = np.mean([prediction.floor == probe.floor
+                                      for prediction, probe
+                                      in zip(predictions, probes)])
+            assert floor_accuracy > 0.6
+
+    def test_unknown_environment_rejected(self, service):
+        from repro import SignalRecord
+
+        alien = SignalRecord(record_id="alien", rss={"mars-ap": -50.0})
+        with pytest.raises(UnknownEnvironmentError):
+            service.predict(alien)
+
+    def test_empty_service_rejects_queries(self):
+        from repro import SignalRecord
+
+        service = MultiBuildingFloorService()
+        with pytest.raises(RuntimeError):
+            service.identify_building(SignalRecord(record_id="x",
+                                                   rss={"a": -40.0}))
+
+    def test_fit_corpus_requires_labels_per_building(self):
+        service = MultiBuildingFloorService()
+        dataset = small_test_building(num_floors=2, records_per_floor=10,
+                                      aps_per_floor=8, building_id="lonely")
+        with pytest.raises(ValueError, match="no labels provided"):
+            service.fit_corpus([dataset], {})
+
+    def test_predict_batch(self, service):
+        records = service._held_out["bldg-east"]
+        probes = [r.without_floor() for r in records[2:6]]
+        predictions = service.predict_batch(probes)
+        assert len(predictions) == 4
+        assert all(p.building_id == "bldg-east" for p in predictions)

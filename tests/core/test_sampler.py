@@ -1,0 +1,134 @@
+"""Tests for alias sampling, edge sampling and negative sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.embedding.sampler import (
+    AliasTable,
+    EdgeSampler,
+    NegativeSampler,
+    unigram_power_distribution,
+)
+
+
+class TestAliasTable:
+    def test_rejects_bad_weights(self):
+        with pytest.raises(ValueError):
+            AliasTable(np.array([]))
+        with pytest.raises(ValueError):
+            AliasTable(np.array([1.0, -1.0]))
+        with pytest.raises(ValueError):
+            AliasTable(np.array([0.0, 0.0]))
+        with pytest.raises(ValueError):
+            AliasTable(np.ones((2, 2)))
+
+    def test_single_outcome(self):
+        table = AliasTable(np.array([3.0]))
+        rng = np.random.default_rng(0)
+        assert set(table.sample(100, rng).tolist()) == {0}
+
+    def test_probabilities_normalised(self):
+        table = AliasTable(np.array([1.0, 3.0]))
+        assert table.probabilities == pytest.approx([0.25, 0.75])
+
+    def test_sample_count_validation(self):
+        table = AliasTable(np.array([1.0, 1.0]))
+        with pytest.raises(ValueError):
+            table.sample(-1, np.random.default_rng(0))
+        assert table.sample(0, np.random.default_rng(0)).size == 0
+
+    def test_empirical_distribution_matches(self):
+        weights = np.array([1.0, 2.0, 7.0])
+        table = AliasTable(weights)
+        rng = np.random.default_rng(42)
+        samples = table.sample(60_000, rng)
+        counts = np.bincount(samples, minlength=3) / samples.size
+        np.testing.assert_allclose(counts, weights / weights.sum(), atol=0.01)
+
+    def test_zero_weight_entries_never_sampled(self):
+        table = AliasTable(np.array([0.0, 1.0, 0.0, 1.0]))
+        rng = np.random.default_rng(1)
+        samples = table.sample(5_000, rng)
+        assert set(np.unique(samples).tolist()) <= {1, 3}
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1,
+                    max_size=20).filter(lambda w: sum(w) > 0))
+    @settings(max_examples=40, deadline=None)
+    def test_samples_are_valid_indices(self, weights):
+        table = AliasTable(np.array(weights))
+        rng = np.random.default_rng(0)
+        samples = table.sample(200, rng)
+        assert samples.min() >= 0
+        assert samples.max() < len(weights)
+        assert all(weights[i] > 0 for i in np.unique(samples))
+
+
+class TestUnigramPowerDistribution:
+    def test_power_applied(self):
+        degrees = np.array([0.0, 1.0, 16.0])
+        weights = unigram_power_distribution(degrees, power=0.75)
+        assert weights[0] == 0.0
+        assert weights[1] == pytest.approx(1.0)
+        assert weights[2] == pytest.approx(8.0)
+
+    def test_negative_degrees_rejected(self):
+        with pytest.raises(ValueError):
+            unigram_power_distribution(np.array([-1.0]))
+
+
+class TestEdgeSampler:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            EdgeSampler(np.array([0]), np.array([1, 2]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            EdgeSampler(np.array([], dtype=int), np.array([], dtype=int),
+                        np.array([]))
+
+    def test_directed_samples_cover_both_directions(self):
+        sampler = EdgeSampler(np.array([0]), np.array([1]), np.array([1.0]))
+        rng = np.random.default_rng(0)
+        heads, tails = sampler.sample(2_000, rng)
+        assert set(zip(heads.tolist(), tails.tolist())) == {(0, 1), (1, 0)}
+        # Directions should be roughly balanced.
+        assert 0.4 < np.mean(heads == 0) < 0.6
+
+    def test_weighted_edges_sampled_proportionally(self):
+        sampler = EdgeSampler(np.array([0, 2]), np.array([1, 3]),
+                              np.array([1.0, 9.0]))
+        rng = np.random.default_rng(3)
+        heads, tails = sampler.sample(20_000, rng)
+        heavy = np.mean((heads == 2) | (heads == 3))
+        assert heavy == pytest.approx(0.9, abs=0.02)
+
+
+class TestNegativeSampler:
+    def test_requires_some_degree(self):
+        with pytest.raises(ValueError):
+            NegativeSampler(np.zeros(4))
+
+    def test_shape(self):
+        sampler = NegativeSampler(np.array([1.0, 2.0, 3.0]))
+        rng = np.random.default_rng(0)
+        negatives = sampler.sample(7, 5, rng)
+        assert negatives.shape == (7, 5)
+        assert negatives.min() >= 0
+        assert negatives.max() <= 2
+
+    def test_zero_degree_nodes_excluded(self):
+        sampler = NegativeSampler(np.array([0.0, 5.0, 0.0, 5.0]))
+        rng = np.random.default_rng(0)
+        negatives = sampler.sample(500, 3, rng)
+        assert set(np.unique(negatives).tolist()) <= {1, 3}
+
+    def test_power_law_bias(self):
+        degrees = np.array([1.0, 81.0])
+        sampler = NegativeSampler(degrees, power=0.75)
+        rng = np.random.default_rng(0)
+        negatives = sampler.sample(30_000, 1, rng).ravel()
+        observed = np.mean(negatives == 1)
+        expected = 27.0 / 28.0  # 81^0.75 / (1 + 81^0.75)
+        assert observed == pytest.approx(expected, abs=0.01)

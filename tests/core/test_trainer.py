@@ -1,0 +1,147 @@
+"""Tests for the shared edge-sampling SGD engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.embedding.base import EmbeddingConfig
+from repro.core.embedding.trainer import EdgeSamplingTrainer, ObjectiveTerms, sigmoid
+from repro.core.graph import build_graph
+from repro.core.types import SignalRecord
+
+
+def record(rid, rss):
+    return SignalRecord(record_id=rid, rss=rss)
+
+
+@pytest.fixture()
+def small_graph(tiny_records):
+    return build_graph(tiny_records)
+
+
+class TestSigmoid:
+    def test_range_and_midpoint(self):
+        assert sigmoid(np.array([0.0])) == pytest.approx(0.5)
+        values = sigmoid(np.array([-1000.0, 1000.0]))
+        assert 0.0 <= values[0] < 1e-6
+        assert 1.0 - 1e-6 < values[1] <= 1.0
+
+    def test_no_overflow_warning(self):
+        with np.errstate(over="raise"):
+            sigmoid(np.array([-1e9, 1e9]))
+
+
+class TestObjectiveTerms:
+    def test_requires_at_least_one_term(self):
+        with pytest.raises(ValueError):
+            ObjectiveTerms(first_order=False, second_order=False, symmetric=False)
+
+
+class TestEmbeddingConfig:
+    @pytest.mark.parametrize("kwargs", [
+        {"dimension": 0},
+        {"learning_rate": 0.0},
+        {"negative_samples": 0},
+        {"samples_per_edge": 0.0},
+        {"batch_size": 0},
+        {"dropout": 1.0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            EmbeddingConfig(**kwargs)
+
+
+class TestEdgeSamplingTrainer:
+    def test_rejects_empty_graph(self):
+        from repro.core.graph import BipartiteGraph
+
+        with pytest.raises(ValueError):
+            EdgeSamplingTrainer(BipartiteGraph(), EmbeddingConfig(),
+                                ObjectiveTerms())
+
+    def test_initial_embeddings_shape(self, small_graph):
+        config = EmbeddingConfig(dimension=6, seed=0)
+        trainer = EdgeSamplingTrainer(small_graph, config, ObjectiveTerms())
+        ego, context = trainer.initial_embeddings()
+        assert ego.shape == (small_graph.index_capacity, 6)
+        assert context.shape == ego.shape
+        assert not np.array_equal(ego, context)
+
+    def test_total_samples_scales_with_edges(self, small_graph):
+        config = EmbeddingConfig(samples_per_edge=10.0)
+        trainer = EdgeSamplingTrainer(small_graph, config, ObjectiveTerms())
+        assert trainer.total_samples() == 10 * small_graph.num_edges
+
+    def test_training_reduces_loss(self, small_graph):
+        config = EmbeddingConfig(samples_per_edge=200.0, seed=0, dropout=0.0,
+                                 batch_size=64)
+        trainer = EdgeSamplingTrainer(small_graph, config,
+                                      ObjectiveTerms(second_order=True,
+                                                     symmetric=True))
+        ego, context = trainer.initial_embeddings()
+        losses = trainer.train(ego, context)
+        assert len(losses) > 3
+        early = np.mean(losses[:3])
+        late = np.mean(losses[-3:])
+        assert late < early
+
+    def test_shape_validation(self, small_graph):
+        config = EmbeddingConfig(seed=0)
+        trainer = EdgeSamplingTrainer(small_graph, config, ObjectiveTerms())
+        ego, context = trainer.initial_embeddings()
+        with pytest.raises(ValueError):
+            trainer.train(ego, context[:, :4])
+        with pytest.raises(ValueError):
+            trainer.train(ego[:2], context[:2])
+        with pytest.raises(ValueError):
+            trainer.train(ego, context, trainable=np.ones(3, dtype=bool))
+
+    def test_frozen_rows_never_change(self, small_graph):
+        config = EmbeddingConfig(samples_per_edge=50.0, seed=0)
+        trainer = EdgeSamplingTrainer(small_graph, config, ObjectiveTerms())
+        ego, context = trainer.initial_embeddings()
+        trainable = np.zeros(small_graph.index_capacity, dtype=bool)
+        trainable[:2] = True
+        ego_before, context_before = ego.copy(), context.copy()
+        trainer.train(ego, context, trainable=trainable)
+        np.testing.assert_array_equal(ego[~trainable], ego_before[~trainable])
+        np.testing.assert_array_equal(context[~trainable],
+                                      context_before[~trainable])
+        assert not np.array_equal(ego[trainable], ego_before[trainable])
+
+    def test_restrict_to_nodes_limits_positive_edges(self, small_graph):
+        config = EmbeddingConfig(seed=0)
+        from repro.core.graph import NodeKind
+
+        node = small_graph.get_node(NodeKind.RECORD, "a0")
+        trainer = EdgeSamplingTrainer(small_graph, config, ObjectiveTerms(),
+                                      restrict_to_nodes=np.array([node.index]))
+        assert trainer.num_sampled_edges == small_graph.degree(node.index)
+
+    def test_restrict_to_isolated_nodes_rejected(self, small_graph):
+        config = EmbeddingConfig(seed=0)
+        unused_index = small_graph.index_capacity  # beyond live nodes
+        with pytest.raises((ValueError, IndexError)):
+            EdgeSamplingTrainer(small_graph, config, ObjectiveTerms(),
+                                restrict_to_nodes=np.array([unused_index + 5]))
+
+    def test_second_order_pulls_neighbors_together(self):
+        """Two records sharing all MACs should end closer than unrelated ones."""
+        records = [
+            record("x1", {"a": -50.0, "b": -55.0}),
+            record("x2", {"a": -52.0, "b": -57.0}),
+            record("y1", {"c": -50.0, "d": -55.0}),
+            record("y2", {"c": -52.0, "d": -57.0}),
+        ]
+        graph = build_graph(records)
+        config = EmbeddingConfig(samples_per_edge=400.0, seed=1, dropout=0.0)
+        trainer = EdgeSamplingTrainer(graph, config,
+                                      ObjectiveTerms(second_order=True,
+                                                     symmetric=True))
+        ego, context = trainer.initial_embeddings()
+        trainer.train(ego, context)
+        index = graph.record_index_map()
+        same = np.linalg.norm(ego[index["x1"]] - ego[index["x2"]])
+        cross = np.linalg.norm(ego[index["x1"]] - ego[index["y1"]])
+        assert same < cross

@@ -1,0 +1,169 @@
+"""Unit and property tests for SignalRecord / FingerprintDataset."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.types import MISSING_RSS, FingerprintDataset, SignalRecord, records_to_matrix
+
+
+def record(rid, rss, floor=None, **kw):
+    return SignalRecord(record_id=rid, rss=rss, floor=floor, **kw)
+
+
+class TestSignalRecord:
+    def test_requires_readings(self):
+        with pytest.raises(ValueError):
+            record("empty", {})
+
+    def test_basic_properties(self):
+        r = record("r1", {"a": -40.0, "b": -70.0}, floor=2, device="d1",
+                   timestamp=3.0)
+        assert len(r) == 2
+        assert r.macs == frozenset({"a", "b"})
+        assert r.is_labeled
+        assert r.device == "d1"
+
+    def test_unlabeled(self):
+        assert not record("r1", {"a": -40.0}).is_labeled
+
+    def test_rss_is_copied(self):
+        source = {"a": -40.0}
+        r = record("r1", source)
+        source["b"] = -50.0
+        assert "b" not in r.rss
+
+    def test_overlap_ratio_identical(self):
+        r1 = record("r1", {"a": -40.0, "b": -50.0})
+        r2 = record("r2", {"a": -45.0, "b": -55.0})
+        assert r1.overlap_ratio(r2) == 1.0
+
+    def test_overlap_ratio_disjoint(self):
+        r1 = record("r1", {"a": -40.0})
+        r2 = record("r2", {"b": -40.0})
+        assert r1.overlap_ratio(r2) == 0.0
+
+    def test_overlap_ratio_partial(self):
+        r1 = record("r1", {"a": -40.0, "b": -50.0})
+        r2 = record("r2", {"b": -45.0, "c": -55.0})
+        assert r1.overlap_ratio(r2) == pytest.approx(1.0 / 3.0)
+
+    def test_restrict_to_keeps_subset(self):
+        r = record("r1", {"a": -40.0, "b": -50.0, "c": -60.0}, floor=1)
+        restricted = r.restrict_to({"a", "c"})
+        assert restricted is not None
+        assert restricted.macs == frozenset({"a", "c"})
+        assert restricted.floor == 1
+
+    def test_restrict_to_empty_returns_none(self):
+        r = record("r1", {"a": -40.0})
+        assert r.restrict_to({"zzz"}) is None
+
+    def test_without_floor(self):
+        r = record("r1", {"a": -40.0}, floor=3)
+        stripped = r.without_floor()
+        assert stripped.floor is None
+        assert stripped.rss == r.rss
+        assert stripped.record_id == r.record_id
+
+    @given(st.sets(st.text(min_size=1, max_size=4), min_size=1, max_size=8),
+           st.sets(st.text(min_size=1, max_size=4), min_size=1, max_size=8))
+    @settings(max_examples=50, deadline=None)
+    def test_overlap_ratio_properties(self, macs_a, macs_b):
+        r1 = record("r1", {m: -50.0 for m in macs_a})
+        r2 = record("r2", {m: -60.0 for m in macs_b})
+        ratio = r1.overlap_ratio(r2)
+        assert 0.0 <= ratio <= 1.0
+        assert ratio == pytest.approx(r2.overlap_ratio(r1))
+        if macs_a == macs_b:
+            assert ratio == 1.0
+
+
+class TestFingerprintDataset:
+    def test_duplicate_ids_rejected(self):
+        r = record("r1", {"a": -40.0})
+        with pytest.raises(ValueError):
+            FingerprintDataset(records=[r, record("r1", {"b": -40.0})])
+
+    def test_add_rejects_duplicates(self):
+        ds = FingerprintDataset(records=[record("r1", {"a": -40.0})])
+        with pytest.raises(ValueError):
+            ds.add(record("r1", {"b": -40.0}))
+
+    def test_container_protocol(self, tiny_dataset):
+        assert len(tiny_dataset) == 6
+        assert tiny_dataset[0].record_id == "a0"
+        assert [r.record_id for r in tiny_dataset][:2] == ["a0", "a1"]
+
+    def test_macs_preserve_first_appearance_order(self, tiny_dataset):
+        assert tiny_dataset.macs == ["m1", "m2", "m3", "m4", "m5", "m6"]
+
+    def test_floors_sorted(self, tiny_dataset):
+        assert tiny_dataset.floors == [0, 1]
+
+    def test_labeled_unlabeled_partition(self):
+        ds = FingerprintDataset(records=[
+            record("r1", {"a": -40.0}, floor=0),
+            record("r2", {"a": -42.0}),
+        ])
+        assert [r.record_id for r in ds.labeled_records] == ["r1"]
+        assert [r.record_id for r in ds.unlabeled_records] == ["r2"]
+
+    def test_records_on_floor(self, tiny_dataset):
+        assert len(tiny_dataset.records_on_floor(0)) == 3
+        assert len(tiny_dataset.records_on_floor(7)) == 0
+
+    def test_subset_keeps_metadata(self, tiny_dataset):
+        subset = tiny_dataset.subset(tiny_dataset.records[:2])
+        assert len(subset) == 2
+        assert subset.building_id == tiny_dataset.building_id
+
+    def test_restrict_macs_drops_empty_records(self, tiny_dataset):
+        restricted = tiny_dataset.restrict_macs({"m1"})
+        ids = {r.record_id for r in restricted}
+        assert ids == {"a0", "a2"}
+
+    def test_to_matrix_shape(self, tiny_dataset):
+        matrix, macs = tiny_dataset.to_matrix()
+        assert matrix.shape == (6, 6)
+        assert macs == tiny_dataset.macs
+
+
+class TestRecordsToMatrix:
+    def test_missing_values_filled(self):
+        records = [record("r1", {"a": -40.0}), record("r2", {"b": -50.0})]
+        matrix, macs = records_to_matrix(records)
+        assert macs == ["a", "b"]
+        assert matrix[0, 0] == -40.0
+        assert matrix[0, 1] == MISSING_RSS
+        assert matrix[1, 0] == MISSING_RSS
+
+    def test_explicit_mac_order_ignores_unknown(self):
+        records = [record("r1", {"a": -40.0, "zzz": -40.0})]
+        matrix, macs = records_to_matrix(records, mac_order=["a", "b"])
+        assert macs == ["a", "b"]
+        assert matrix.shape == (1, 2)
+        assert matrix[0, 1] == MISSING_RSS
+
+    def test_custom_missing_value(self):
+        records = [record("r1", {"a": -40.0})]
+        matrix, _ = records_to_matrix(records, mac_order=["a", "b"],
+                                      missing_value=0.0)
+        assert matrix[0, 1] == 0.0
+
+    @given(st.lists(st.sets(st.sampled_from("abcdef"), min_size=1, max_size=5),
+                    min_size=1, max_size=10))
+    @settings(max_examples=40, deadline=None)
+    def test_matrix_round_trip_of_present_values(self, mac_sets):
+        records = [record(f"r{i}", {m: -40.0 - i for m in macs})
+                   for i, macs in enumerate(mac_sets)]
+        matrix, macs = records_to_matrix(records)
+        for i, r in enumerate(records):
+            for mac, rss in r.rss.items():
+                assert matrix[i, macs.index(mac)] == rss
+        # Entries not present in a record must carry the sentinel.
+        present = sum(len(r.rss) for r in records)
+        assert np.sum(matrix != MISSING_RSS) == present

@@ -1,0 +1,80 @@
+"""Tests for the edge-weight functions (paper Eq. 1–2 and Fig. 16)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.weighting import (
+    ClippedOffsetWeight,
+    OffsetWeight,
+    PowerWeight,
+    get_weight_function,
+)
+
+
+class TestOffsetWeight:
+    def test_paper_default(self):
+        f = OffsetWeight()
+        assert f(-66.0) == pytest.approx(54.0)
+        assert f(-120.0 + 1e-9) > 0
+
+    def test_custom_offset(self):
+        assert OffsetWeight(offset=100.0)(-40.0) == pytest.approx(60.0)
+
+    def test_preserves_rss_differences(self):
+        f = OffsetWeight()
+        assert f(-40.0) - f(-70.0) == pytest.approx(30.0)
+
+    def test_validate_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            OffsetWeight(offset=50.0).validate(-60.0)
+
+    @given(st.floats(min_value=-119.0, max_value=-1.0))
+    @settings(max_examples=50)
+    def test_positive_over_valid_rss_range(self, rss):
+        assert OffsetWeight()(rss) > 0
+
+
+class TestPowerWeight:
+    def test_dbm_to_milliwatt(self):
+        g = PowerWeight()
+        assert g(-30.0) == pytest.approx(1e-3)
+        assert g(0.0) == pytest.approx(1.0)
+
+    def test_squashes_differences(self):
+        """The paper's Fig. 16 rationale: g makes typical RSS nearly equal."""
+        g = PowerWeight()
+        f = OffsetWeight()
+        g_spread = g(-40.0) - g(-90.0)
+        f_spread = f(-40.0) - f(-90.0)
+        assert g_spread < 1e-3
+        assert f_spread == pytest.approx(50.0)
+
+    @given(st.floats(min_value=-120.0, max_value=0.0))
+    @settings(max_examples=50)
+    def test_always_positive(self, rss):
+        assert PowerWeight()(rss) > 0
+
+
+class TestClippedOffsetWeight:
+    def test_clips_below_offset(self):
+        w = ClippedOffsetWeight(offset=120.0, min_weight=1.0)
+        assert w(-127.0) == 1.0
+        assert w(-60.0) == pytest.approx(60.0)
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert isinstance(get_weight_function("offset"), OffsetWeight)
+        assert isinstance(get_weight_function("power"), PowerWeight)
+        assert isinstance(get_weight_function("clipped-offset"), ClippedOffsetWeight)
+
+    def test_kwargs_forwarded(self):
+        f = get_weight_function("offset", offset=110.0)
+        assert f(-10.0) == pytest.approx(100.0)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown weight function"):
+            get_weight_function("nope")

@@ -1,0 +1,133 @@
+"""Tests for the dataset loaders and writers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.types import FingerprintDataset, SignalRecord
+from repro.data.loaders import (
+    load_jsonl,
+    load_long_csv,
+    load_wide_csv,
+    save_jsonl,
+    save_wide_csv,
+)
+
+
+@pytest.fixture()
+def dataset():
+    records = [
+        SignalRecord(record_id="r1", rss={"WAP001": -45.0, "WAP002": -60.0},
+                     floor=0, device="d1", timestamp=1.5),
+        SignalRecord(record_id="r2", rss={"WAP002": -55.0, "WAP003": -70.0},
+                     floor=2),
+        SignalRecord(record_id="r3", rss={"WAP001": -48.0}),
+    ]
+    return FingerprintDataset(records=records, building_id="loader-test",
+                              floor_names={0: "G", 2: "2F"},
+                              metadata={"source": "unit-test"})
+
+
+class TestJsonl:
+    def test_round_trip(self, dataset, tmp_path):
+        path = tmp_path / "data.jsonl"
+        save_jsonl(dataset, path)
+        loaded = load_jsonl(path)
+        assert loaded.building_id == "loader-test"
+        assert loaded.floor_names == {0: "G", 2: "2F"}
+        assert loaded.metadata["source"] == "unit-test"
+        assert len(loaded) == 3
+        for original, restored in zip(dataset, loaded):
+            assert restored.record_id == original.record_id
+            assert restored.rss == original.rss
+            assert restored.floor == original.floor
+            assert restored.device == original.device
+
+    def test_blank_lines_ignored(self, dataset, tmp_path):
+        path = tmp_path / "data.jsonl"
+        save_jsonl(dataset, path)
+        path.write_text(path.read_text() + "\n\n")
+        assert len(load_jsonl(path)) == 3
+
+    def test_invalid_json_reports_line(self, tmp_path):
+        path = tmp_path / "broken.jsonl"
+        path.write_text('{"type": "record", "record_id": "r1"\n')
+        with pytest.raises(ValueError, match="invalid JSON"):
+            load_jsonl(path)
+
+    def test_unknown_row_type(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "mystery"}\n')
+        with pytest.raises(ValueError, match="unknown row type"):
+            load_jsonl(path)
+
+
+class TestWideCsv:
+    def test_round_trip(self, dataset, tmp_path):
+        path = tmp_path / "wide.csv"
+        save_wide_csv(dataset, path)
+        loaded = load_wide_csv(path, record_id_column="RECORD_ID")
+        assert len(loaded) == 3
+        by_id = {r.record_id: r for r in loaded}
+        assert by_id["r1"].rss == dataset[0].rss
+        assert by_id["r1"].floor == 0
+        assert by_id["r3"].floor is None
+
+    def test_not_detected_sentinel_skipped(self, tmp_path):
+        path = tmp_path / "uji.csv"
+        path.write_text("WAP001,WAP002,FLOOR\n-50,100,1\n100,-70,2\n")
+        loaded = load_wide_csv(path)
+        assert loaded[0].rss == {"WAP001": -50.0}
+        assert loaded[1].rss == {"WAP002": -70.0}
+        assert loaded[0].floor == 1
+
+    def test_rows_with_no_detections_dropped(self, tmp_path):
+        path = tmp_path / "sparse.csv"
+        path.write_text("WAP001,FLOOR\n100,1\n-60,0\n")
+        loaded = load_wide_csv(path)
+        assert len(loaded) == 1
+
+    def test_missing_ap_columns(self, tmp_path):
+        path = tmp_path / "noaps.csv"
+        path.write_text("FOO,FLOOR\n1,2\n")
+        with pytest.raises(ValueError, match="no AP columns"):
+            load_wide_csv(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty CSV"):
+            load_wide_csv(path)
+
+
+class TestLongCsv:
+    def test_basic_load(self, tmp_path):
+        path = tmp_path / "long.csv"
+        path.write_text(
+            "record_id,mac,rss,floor\n"
+            "r1,aa,-50,1\n"
+            "r1,bb,-60,\n"
+            "r2,aa,-55,0\n")
+        loaded = load_long_csv(path)
+        assert len(loaded) == 2
+        by_id = {r.record_id: r for r in loaded}
+        assert by_id["r1"].rss == {"aa": -50.0, "bb": -60.0}
+        assert by_id["r1"].floor == 1
+        assert by_id["r2"].floor == 0
+
+    def test_conflicting_floors_rejected(self, tmp_path):
+        path = tmp_path / "conflict.csv"
+        path.write_text(
+            "record_id,mac,rss,floor\n"
+            "r1,aa,-50,1\n"
+            "r1,bb,-60,2\n")
+        with pytest.raises(ValueError, match="conflicting floors"):
+            load_long_csv(path)
+
+    def test_custom_column_names(self, tmp_path):
+        path = tmp_path / "custom.csv"
+        path.write_text("rid,bssid,level,storey\nx,aa,-40,3\n")
+        loaded = load_long_csv(path, record_column="rid", mac_column="bssid",
+                               rss_column="level", floor_column="storey")
+        assert loaded[0].record_id == "x"
+        assert loaded[0].floor == 3

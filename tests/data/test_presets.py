@@ -1,0 +1,67 @@
+"""Tests for the dataset presets mirroring the paper's corpora."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.presets import (
+    dense_mall_floor,
+    hong_kong_like_buildings,
+    microsoft_like_campus,
+    small_test_building,
+    three_story_campus_building,
+)
+
+
+class TestMicrosoftLikeCampus:
+    def test_building_count_and_heterogeneity(self):
+        datasets = microsoft_like_campus(num_buildings=4, records_per_floor=10,
+                                         seed=0)
+        assert len(datasets) == 4
+        floor_counts = {len(d.floors) for d in datasets}
+        assert all(2 <= len(d.floors) <= 12 for d in datasets)
+        assert len(floor_counts) >= 2  # heterogeneous heights
+        assert len({d.building_id for d in datasets}) == 4
+
+    def test_deterministic(self):
+        a = microsoft_like_campus(num_buildings=2, records_per_floor=5, seed=3)
+        b = microsoft_like_campus(num_buildings=2, records_per_floor=5, seed=3)
+        assert [r.rss for r in a[0]][:5] == [r.rss for r in b[0]][:5]
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            microsoft_like_campus(num_buildings=0)
+
+
+class TestHongKongLikeBuildings:
+    def test_five_facilities(self):
+        datasets = hong_kong_like_buildings(records_per_floor=5, seed=1)
+        assert len(datasets) == 5
+        ids = {d.building_id for d in datasets}
+        assert ids == {"hk-office-a", "hk-office-b", "hk-hospital",
+                       "hk-mall-a", "hk-mall-b"}
+        by_id = {d.building_id: d for d in datasets}
+        assert len(by_id["hk-office-a"].floors) == 10
+        assert len(by_id["hk-mall-a"].floors) == 4
+
+
+class TestSingleBuildingPresets:
+    def test_three_story_campus(self):
+        dataset = three_story_campus_building(records_per_floor=20)
+        assert dataset.floors == [0, 1, 2]
+        assert len(dataset) == 60
+
+    def test_dense_mall_floor_statistics(self):
+        dataset = dense_mall_floor(num_records=300, num_aps=120, seed=3)
+        assert len(dataset.floors) == 1
+        assert len(dataset) == 300
+        assert len(dataset.macs) > 60
+        # Records are sparse relative to the floor's MAC vocabulary (Fig. 1a).
+        mean_size = sum(len(r) for r in dataset) / len(dataset)
+        assert mean_size < 0.5 * len(dataset.macs)
+
+    def test_small_test_building_is_small(self):
+        dataset = small_test_building(num_floors=2, records_per_floor=10,
+                                      aps_per_floor=8)
+        assert len(dataset) == 20
+        assert len(dataset.macs) <= 16

@@ -1,0 +1,84 @@
+"""Tests for the multi-floor propagation model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.propagation import PropagationModel, PropagationParameters
+
+
+class TestParameters:
+    @pytest.mark.parametrize("kwargs", [
+        {"path_loss_exponent": 0.0},
+        {"floor_attenuation_db": -1.0},
+        {"horizontal_attenuation_db_per_m": -0.1},
+        {"shadowing_sigma_db": -1.0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            PropagationParameters(**kwargs)
+
+
+class TestMeanRSS:
+    def test_decreases_with_distance(self):
+        model = PropagationModel()
+        distances = np.array([1.0, 5.0, 20.0, 60.0])
+        rss = model.mean_rss(distances, np.zeros(4))
+        assert np.all(np.diff(rss) < 0)
+
+    def test_decreases_with_floor_difference(self):
+        model = PropagationModel()
+        rss = model.mean_rss(np.full(4, 10.0), np.array([0, 1, 2, 3]),
+                             horizontal_distance_m=np.full(4, 10.0))
+        assert np.all(np.diff(rss) < 0)
+        params = model.parameters
+        assert rss[0] - rss[1] == pytest.approx(params.floor_attenuation_db)
+
+    def test_reference_value(self):
+        params = PropagationParameters(tx_power_dbm=18.0, reference_loss_db=40.0,
+                                       path_loss_exponent=3.0,
+                                       horizontal_attenuation_db_per_m=0.0)
+        model = PropagationModel(params)
+        assert model.mean_rss(np.array([1.0]), np.array([0]))[0] == pytest.approx(-22.0)
+        assert model.mean_rss(np.array([10.0]), np.array([0]))[0] == pytest.approx(-52.0)
+
+    def test_horizontal_attenuation_term(self):
+        params = PropagationParameters(horizontal_attenuation_db_per_m=0.5)
+        model = PropagationModel(params)
+        near = model.mean_rss(np.array([10.0]), np.array([0]),
+                              horizontal_distance_m=np.array([0.0]))[0]
+        far = model.mean_rss(np.array([10.0]), np.array([0]),
+                             horizontal_distance_m=np.array([20.0]))[0]
+        assert near - far == pytest.approx(10.0)
+
+    def test_sub_metre_distances_clamped(self):
+        model = PropagationModel()
+        close = model.mean_rss(np.array([0.01]), np.array([0]))
+        at_one = model.mean_rss(np.array([1.0]), np.array([0]))
+        assert close[0] == pytest.approx(at_one[0])
+
+
+class TestSampling:
+    def test_shadowing_adds_variance(self):
+        model = PropagationModel(PropagationParameters(shadowing_sigma_db=6.0))
+        rng = np.random.default_rng(0)
+        samples = model.sample_rss(np.full(5000, 10.0), np.zeros(5000), rng)
+        assert samples.std() == pytest.approx(6.0, rel=0.1)
+
+    def test_device_bias_shifts_mean(self):
+        model = PropagationModel(PropagationParameters(shadowing_sigma_db=0.0))
+        rng = np.random.default_rng(0)
+        base = model.sample_rss(np.array([10.0]), np.array([0]), rng)
+        biased = model.sample_rss(np.array([10.0]), np.array([0]), rng,
+                                  device_bias_db=7.0)
+        assert biased[0] - base[0] == pytest.approx(7.0)
+
+    def test_detectability_threshold(self):
+        model = PropagationModel(PropagationParameters(noise_floor_dbm=-95.0))
+        rss = np.array([-94.0, -95.0, -96.0])
+        np.testing.assert_array_equal(model.is_detectable(rss),
+                                      [True, True, False])
+        np.testing.assert_array_equal(
+            model.is_detectable(rss, sensitivity_offset_db=0.5),
+            [True, False, False])

@@ -1,0 +1,153 @@
+"""Tests for train/test splitting and label-budget sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.types import FingerprintDataset, SignalRecord
+from repro.data.splits import (
+    make_experiment_split,
+    sample_labels,
+    subsample_macs,
+    train_test_split,
+)
+
+
+def build_dataset(per_floor=20, floors=3, macs_per_floor=5):
+    records = []
+    for floor in range(floors):
+        for i in range(per_floor):
+            rss = {f"f{floor}-m{j}": -50.0 - j for j in range(macs_per_floor)}
+            records.append(SignalRecord(record_id=f"f{floor}-r{i}", rss=rss,
+                                        floor=floor))
+    return FingerprintDataset(records=records, building_id="split-test")
+
+
+class TestTrainTestSplit:
+    def test_ratio_validation(self):
+        with pytest.raises(ValueError):
+            train_test_split(build_dataset(), train_ratio=1.0)
+
+    def test_partition_is_disjoint_and_complete(self):
+        dataset = build_dataset()
+        train, test = train_test_split(dataset, train_ratio=0.7, seed=0)
+        train_ids = {r.record_id for r in train}
+        test_ids = {r.record_id for r in test}
+        assert not train_ids & test_ids
+        assert train_ids | test_ids == {r.record_id for r in dataset}
+
+    def test_stratification_keeps_floors_in_both_parts(self):
+        dataset = build_dataset(per_floor=10, floors=4)
+        train, test = train_test_split(dataset, train_ratio=0.7, seed=1)
+        assert {r.floor for r in train} == {0, 1, 2, 3}
+        assert {r.floor for r in test} == {0, 1, 2, 3}
+
+    def test_ratio_approximately_respected(self):
+        dataset = build_dataset(per_floor=100, floors=2)
+        train, test = train_test_split(dataset, train_ratio=0.7, seed=2)
+        assert len(train) == pytest.approx(140, abs=2)
+        assert len(test) == pytest.approx(60, abs=2)
+
+    def test_unstratified_split(self):
+        dataset = build_dataset(per_floor=10, floors=2)
+        train, test = train_test_split(dataset, train_ratio=0.5, seed=0,
+                                       stratify_by_floor=False)
+        assert len(train) + len(test) == 20
+
+    def test_deterministic_given_seed(self):
+        dataset = build_dataset()
+        first = train_test_split(dataset, seed=5)
+        second = train_test_split(dataset, seed=5)
+        assert [r.record_id for r in first[0]] == [r.record_id for r in second[0]]
+
+    def test_empty_dataset(self):
+        train, test = train_test_split(FingerprintDataset(), seed=0)
+        assert train == [] and test == []
+
+
+class TestSampleLabels:
+    def test_budget_respected_per_floor(self):
+        dataset = build_dataset(per_floor=20, floors=3)
+        labels = sample_labels(list(dataset), labels_per_floor=4, seed=0)
+        assert len(labels) == 12
+        per_floor = {}
+        for rid, floor in labels.items():
+            per_floor.setdefault(floor, []).append(rid)
+        assert all(len(v) == 4 for v in per_floor.values())
+
+    def test_labels_match_ground_truth(self):
+        dataset = build_dataset()
+        labels = sample_labels(list(dataset), labels_per_floor=2, seed=0)
+        truth = {r.record_id: r.floor for r in dataset}
+        assert all(truth[rid] == floor for rid, floor in labels.items())
+
+    def test_budget_larger_than_floor(self):
+        dataset = build_dataset(per_floor=3, floors=2)
+        labels = sample_labels(list(dataset), labels_per_floor=10, seed=0)
+        assert len(labels) == 6
+
+    def test_requires_ground_truth(self):
+        records = [SignalRecord(record_id="r", rss={"a": -40.0})]
+        with pytest.raises(ValueError):
+            sample_labels(records, labels_per_floor=1)
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            sample_labels(list(build_dataset()), labels_per_floor=0)
+
+
+class TestSubsampleMacs:
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            subsample_macs(build_dataset(), 0.0)
+
+    def test_full_fraction_returns_same_dataset(self):
+        dataset = build_dataset()
+        assert subsample_macs(dataset, 1.0) is dataset
+
+    def test_fraction_reduces_vocabulary(self):
+        dataset = build_dataset(macs_per_floor=10)
+        reduced = subsample_macs(dataset, 0.4, seed=0)
+        assert len(reduced.macs) == pytest.approx(0.4 * len(dataset.macs), abs=1)
+        assert set(reduced.macs) <= set(dataset.macs)
+
+    def test_empty_records_dropped(self):
+        dataset = build_dataset(macs_per_floor=2)
+        reduced = subsample_macs(dataset, 0.2, seed=1)
+        assert all(len(r) >= 1 for r in reduced)
+
+
+class TestMakeExperimentSplit:
+    def test_protocol_fields(self):
+        dataset = build_dataset(per_floor=20, floors=3)
+        split = make_experiment_split(dataset, train_ratio=0.7,
+                                      labels_per_floor=4, seed=0)
+        assert split.num_labeled == 12
+        train_ids = {r.record_id for r in split.train_records}
+        assert set(split.labels) <= train_ids
+        assert not train_ids & {r.record_id for r in split.test_records}
+        assert set(split.test_ground_truth().values()) == {0, 1, 2}
+
+    def test_mac_fraction_applied(self):
+        dataset = build_dataset(macs_per_floor=10)
+        split = make_experiment_split(dataset, mac_fraction=0.3, seed=0)
+        observed_macs = {m for r in split.train_records for m in r.rss}
+        observed_macs |= {m for r in split.test_records for m in r.rss}
+        assert len(observed_macs) <= 0.4 * 30
+
+    @given(st.integers(min_value=2, max_value=6),
+           st.integers(min_value=1, max_value=5),
+           st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=20, deadline=None)
+    def test_labels_always_within_training(self, floors, budget, seed):
+        dataset = build_dataset(per_floor=8, floors=floors)
+        split = make_experiment_split(dataset, labels_per_floor=budget, seed=seed)
+        train_ids = {r.record_id for r in split.train_records}
+        assert set(split.labels) <= train_ids
+        labels_per_floor: dict[int, int] = {}
+        for floor in split.labels.values():
+            labels_per_floor[floor] = labels_per_floor.get(floor, 0) + 1
+        assert all(v <= budget for v in labels_per_floor.values())

@@ -1,0 +1,110 @@
+"""Tests for dataset statistics (paper Fig. 1 and Fig. 9)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.types import FingerprintDataset, SignalRecord
+from repro.data.stats import (
+    EmpiricalCDF,
+    building_summary,
+    overlap_ratio_cdf,
+    record_size_cdf,
+    summarize_corpus,
+)
+
+
+def record(rid, macs, floor=None):
+    return SignalRecord(record_id=rid, rss={m: -50.0 for m in macs}, floor=floor)
+
+
+class TestEmpiricalCDF:
+    def test_requires_observations(self):
+        with pytest.raises(ValueError):
+            EmpiricalCDF(())
+
+    def test_evaluate(self):
+        cdf = EmpiricalCDF((1.0, 2.0, 3.0, 4.0))
+        assert cdf.evaluate(0.5) == 0.0
+        assert cdf.evaluate(2.0) == 0.5
+        assert cdf.evaluate(10.0) == 1.0
+
+    def test_quantiles_and_moments(self):
+        cdf = EmpiricalCDF((1.0, 2.0, 3.0, 4.0))
+        assert cdf.median == pytest.approx(2.5)
+        assert cdf.mean == pytest.approx(2.5)
+        assert cdf.quantile(0.0) == 1.0
+        assert cdf.quantile(1.0) == 4.0
+        with pytest.raises(ValueError):
+            cdf.quantile(1.5)
+
+    def test_as_curve_monotone(self):
+        cdf = EmpiricalCDF(tuple(float(x) for x in range(10)))
+        curve = cdf.as_curve(points=20)
+        ys = [y for _, y in curve]
+        assert ys == sorted(ys)
+        assert ys[-1] == 1.0
+
+
+class TestRecordSizeCDF:
+    def test_counts_macs_per_record(self):
+        records = [record("r1", ["a"]), record("r2", ["a", "b", "c"])]
+        cdf = record_size_cdf(records)
+        assert cdf.values == (1.0, 3.0)
+
+    def test_accepts_dataset(self, tiny_dataset):
+        assert record_size_cdf(tiny_dataset).mean == pytest.approx(2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            record_size_cdf([])
+
+
+class TestOverlapRatioCDF:
+    def test_exact_enumeration(self):
+        records = [record("r1", ["a", "b"]), record("r2", ["b", "c"]),
+                   record("r3", ["x", "y"])]
+        cdf = overlap_ratio_cdf(records)
+        assert len(cdf.values) == 3
+        assert max(cdf.values) == pytest.approx(1.0 / 3.0)
+        assert min(cdf.values) == 0.0
+
+    def test_sampled_when_too_many_pairs(self):
+        records = [record(f"r{i}", [f"m{i % 7}", f"m{(i + 1) % 7}"])
+                   for i in range(60)]
+        cdf = overlap_ratio_cdf(records, max_pairs=100, seed=0)
+        assert len(cdf.values) == 100
+        assert all(0.0 <= v <= 1.0 for v in cdf.values)
+
+    def test_needs_two_records(self):
+        with pytest.raises(ValueError):
+            overlap_ratio_cdf([record("r1", ["a"])])
+
+
+class TestBuildingSummary:
+    def test_single_building(self):
+        dataset = FingerprintDataset(
+            records=[record("r1", ["a", "b"], floor=0),
+                     record("r2", ["b", "c"], floor=2)],
+            building_id="b1", metadata={"area_m2": 1200.0})
+        summary = building_summary(dataset)
+        assert summary.building_id == "b1"
+        assert summary.num_floors == 2
+        assert summary.num_macs == 3
+        assert summary.num_records == 2
+        assert summary.area_m2 == 1200.0
+        assert summary.as_row()["floors"] == 2
+
+    def test_missing_area(self):
+        dataset = FingerprintDataset(records=[record("r1", ["a"], floor=0)])
+        assert building_summary(dataset).area_m2 is None
+
+    def test_corpus_sorted_by_floors(self):
+        tall = FingerprintDataset(
+            records=[record(f"r{f}", ["a"], floor=f) for f in range(5)],
+            building_id="tall")
+        short = FingerprintDataset(
+            records=[record(f"r{f}", ["a"], floor=f) for f in range(2)],
+            building_id="short")
+        summaries = summarize_corpus([tall, short])
+        assert [s.building_id for s in summaries] == ["short", "tall"]

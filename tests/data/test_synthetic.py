@@ -1,0 +1,143 @@
+"""Tests for the synthetic crowdsourced dataset generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.propagation import PropagationParameters
+from repro.data.synthetic import (
+    AccessPoint,
+    BuildingSpec,
+    DevicePopulation,
+    SyntheticBuilding,
+    generate_building,
+)
+
+
+class TestSpecValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"num_floors": 0},
+        {"aps_per_floor": 0},
+        {"records_per_floor": 0},
+        {"ap_churn_fraction": 1.5},
+    ])
+    def test_building_spec(self, kwargs):
+        with pytest.raises(ValueError):
+            BuildingSpec(**kwargs)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"num_devices": 0},
+        {"max_macs_low": 0},
+        {"max_macs_low": 10, "max_macs_high": 5},
+        {"detection_probability_low": 0.0},
+        {"detection_probability_low": 0.9, "detection_probability_high": 0.5},
+    ])
+    def test_device_population(self, kwargs):
+        with pytest.raises(ValueError):
+            DevicePopulation(**kwargs)
+
+    def test_area(self):
+        assert BuildingSpec(width_m=50.0, depth_m=20.0).area_m2 == 1000.0
+
+
+class TestAccessPoint:
+    def test_activity_window(self):
+        ap = AccessPoint(mac="m", floor=0, x=0, y=0, z=0,
+                         installed_at=0.2, removed_at=0.8)
+        assert not ap.is_active(0.1)
+        assert ap.is_active(0.5)
+        assert not ap.is_active(0.9)
+
+    def test_never_removed(self):
+        ap = AccessPoint(mac="m", floor=0, x=0, y=0, z=0)
+        assert ap.is_active(0.0) and ap.is_active(1.0)
+
+
+@pytest.fixture(scope="module")
+def small_spec():
+    return BuildingSpec(building_id="gen-test", num_floors=3, width_m=40.0,
+                        depth_m=25.0, aps_per_floor=15, records_per_floor=30,
+                        devices=DevicePopulation(num_devices=8))
+
+
+class TestGeneration:
+    def test_record_counts_and_floors(self, small_spec):
+        dataset = generate_building(small_spec, seed=0)
+        assert len(dataset) == 3 * 30
+        assert dataset.floors == [0, 1, 2]
+        for floor in range(3):
+            assert len(dataset.records_on_floor(floor)) == 30
+
+    def test_every_record_nonempty_and_within_vocab(self, small_spec):
+        building = SyntheticBuilding(small_spec, seed=0)
+        dataset = building.generate()
+        macs = {ap.mac for ap in building.access_points}
+        for record in dataset:
+            assert len(record) >= 1
+            assert set(record.rss) <= macs
+            assert all(v < 0 for v in record.rss.values())
+            assert record.device is not None
+            assert 0.0 <= record.timestamp <= 1.0
+
+    def test_deterministic_given_seed(self, small_spec):
+        a = generate_building(small_spec, seed=5)
+        b = generate_building(small_spec, seed=5)
+        assert [r.record_id for r in a] == [r.record_id for r in b]
+        assert all(ra.rss == rb.rss for ra, rb in zip(a, b))
+
+    def test_different_seeds_differ(self, small_spec):
+        a = generate_building(small_spec, seed=1)
+        b = generate_building(small_spec, seed=2)
+        assert any(ra.rss != rb.rss for ra, rb in zip(a, b))
+
+    def test_scan_cap_respected(self):
+        spec = BuildingSpec(building_id="cap", num_floors=1, width_m=20.0,
+                            depth_m=20.0, aps_per_floor=60, records_per_floor=40,
+                            devices=DevicePopulation(num_devices=5,
+                                                     max_macs_low=5,
+                                                     max_macs_high=10,
+                                                     detection_probability_low=0.95,
+                                                     detection_probability_high=1.0))
+        dataset = generate_building(spec, seed=0)
+        assert max(len(r) for r in dataset) <= 10
+
+    def test_metadata_populated(self, small_spec):
+        dataset = generate_building(small_spec, seed=0)
+        assert dataset.metadata["synthetic"] is True
+        assert dataset.metadata["num_floors"] == 3
+        assert dataset.metadata["area_m2"] == small_spec.area_m2
+        assert dataset.building_id == "gen-test"
+        assert dataset.floor_names[0] == "F1"
+
+    def test_ap_churn_creates_inactive_windows(self):
+        spec = BuildingSpec(building_id="churn", num_floors=2,
+                            aps_per_floor=20, records_per_floor=10,
+                            ap_churn_fraction=0.5)
+        building = SyntheticBuilding(spec, seed=0)
+        churned = [ap for ap in building.access_points
+                   if ap.installed_at > 0 or ap.removed_at is not None]
+        assert len(churned) == 2 * 10  # half of the APs on each floor
+
+    def test_floor_signal_is_informative(self, small_spec):
+        """Records should observe mostly same-floor APs (floor attenuation)."""
+        building = SyntheticBuilding(small_spec, seed=0)
+        dataset = building.generate()
+        ap_floor = {ap.mac: ap.floor for ap in building.access_points}
+        same_floor_fraction = np.mean([
+            np.mean([ap_floor[m] == r.floor for m in r.rss]) for r in dataset])
+        chance = 1.0 / small_spec.num_floors
+        assert same_floor_fraction > chance + 0.1
+
+    def test_device_heterogeneity_affects_record_sizes(self):
+        spec = BuildingSpec(building_id="devices", num_floors=1, width_m=30.0,
+                            depth_m=30.0, aps_per_floor=40,
+                            records_per_floor=200,
+                            devices=DevicePopulation(num_devices=20))
+        dataset = generate_building(spec, seed=3)
+        sizes_by_device: dict[str, list[int]] = {}
+        for record in dataset:
+            sizes_by_device.setdefault(record.device, []).append(len(record))
+        means = [np.mean(sizes) for sizes in sizes_by_device.values()
+                 if len(sizes) >= 5]
+        assert max(means) - min(means) > 2.0

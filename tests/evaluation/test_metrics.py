@@ -1,0 +1,117 @@
+"""Tests for the micro/macro classification metrics (paper Section VI-A)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation.metrics import (
+    ConfusionMatrix,
+    evaluate_predictions,
+    macro_f_score,
+    micro_f_score,
+)
+
+
+class TestConfusionMatrix:
+    def test_from_labels(self):
+        cm = ConfusionMatrix.from_labels([0, 0, 1, 1], [0, 1, 1, 1])
+        np.testing.assert_array_equal(cm.counts, [[1, 1], [0, 2]])
+        np.testing.assert_array_equal(cm.true_positives(), [1, 2])
+        np.testing.assert_array_equal(cm.false_positives(), [0, 1])
+        np.testing.assert_array_equal(cm.false_negatives(), [1, 0])
+        np.testing.assert_array_equal(cm.support(), [2, 2])
+
+    def test_explicit_floor_list(self):
+        cm = ConfusionMatrix.from_labels([2], [2], floors=[0, 1, 2])
+        assert cm.counts.shape == (3, 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConfusionMatrix.from_labels([0], [0, 1])
+        with pytest.raises(ValueError):
+            ConfusionMatrix.from_labels([], [])
+        with pytest.raises(ValueError):
+            ConfusionMatrix(floors=(0, 1), counts=np.zeros((3, 3)))
+
+
+class TestEvaluatePredictions:
+    def test_perfect_prediction(self):
+        truth = {"a": 0, "b": 1, "c": 2}
+        report = evaluate_predictions(truth, dict(truth))
+        assert report.micro_f == 1.0
+        assert report.macro_f == 1.0
+        assert report.accuracy == 1.0
+
+    def test_hand_computed_example(self):
+        # Floor 0: 2 samples, one correct; floor 1: 2 samples, both predicted 0/1.
+        truth = {"a": 0, "b": 0, "c": 1, "d": 1}
+        predicted = {"a": 0, "b": 1, "c": 1, "d": 1}
+        report = evaluate_predictions(truth, predicted)
+        # Per floor: P0 = 1/1, R0 = 1/2; P1 = 2/3, R1 = 2/2.
+        per_floor = report.per_floor()
+        assert per_floor[0]["precision"] == pytest.approx(1.0)
+        assert per_floor[0]["recall"] == pytest.approx(0.5)
+        assert per_floor[1]["precision"] == pytest.approx(2 / 3)
+        assert per_floor[1]["recall"] == pytest.approx(1.0)
+        assert report.micro_f == pytest.approx(0.75)
+        macro_p = (1.0 + 2 / 3) / 2
+        macro_r = (0.5 + 1.0) / 2
+        assert report.macro_f == pytest.approx(2 * macro_p * macro_r
+                                               / (macro_p + macro_r))
+
+    def test_micro_equals_accuracy_for_single_label(self):
+        truth = {"a": 0, "b": 1, "c": 2, "d": 1}
+        predicted = {"a": 1, "b": 1, "c": 2, "d": 0}
+        report = evaluate_predictions(truth, predicted)
+        assert report.micro_f == pytest.approx(report.accuracy)
+        assert report.micro_precision == pytest.approx(report.micro_recall)
+
+    def test_missing_predictions_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_predictions({"a": 0, "b": 1}, {"a": 0})
+
+    def test_extra_predictions_ignored(self):
+        report = evaluate_predictions({"a": 0}, {"a": 0, "zzz": 5})
+        assert report.micro_f == 1.0
+
+    def test_shortcut_functions(self):
+        truth = {"a": 0, "b": 1}
+        predicted = {"a": 0, "b": 0}
+        assert micro_f_score(truth, predicted) == pytest.approx(0.5)
+        assert 0.0 <= macro_f_score(truth, predicted) <= 1.0
+
+    def test_as_dict_keys(self):
+        report = evaluate_predictions({"a": 0}, {"a": 0})
+        row = report.as_dict()
+        assert set(row) == {"micro_precision", "micro_recall", "micro_f",
+                            "macro_precision", "macro_recall", "macro_f",
+                            "accuracy"}
+
+    def test_unpredicted_floor_macro_penalty(self):
+        """A floor never predicted still counts in the macro average."""
+        truth = {"a": 0, "b": 1, "c": 1}
+        predicted = {"a": 1, "b": 1, "c": 1}
+        report = evaluate_predictions(truth, predicted)
+        assert report.macro_recall == pytest.approx(0.5)
+        assert report.macro_f < report.micro_f + 1e-9
+
+
+class TestMetricProperties:
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=4),
+                              st.integers(min_value=0, max_value=4)),
+                    min_size=1, max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_bounds_and_symmetry(self, pairs):
+        truth = {f"r{i}": t for i, (t, _) in enumerate(pairs)}
+        predicted = {f"r{i}": p for i, (_, p) in enumerate(pairs)}
+        report = evaluate_predictions(truth, predicted)
+        for value in report.as_dict().values():
+            assert 0.0 <= value <= 1.0
+        # Micro precision == recall == accuracy for single-label multi-class.
+        assert report.micro_precision == pytest.approx(report.micro_recall)
+        assert report.micro_f == pytest.approx(report.accuracy)
+        if all(t == p for t, p in pairs):
+            assert report.macro_f == 1.0

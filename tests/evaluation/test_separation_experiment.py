@@ -1,0 +1,158 @@
+"""Tests for cluster-separation metrics and the experiment harness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.base import FloorClassifier
+from repro.core.types import FingerprintDataset, SignalRecord
+from repro.evaluation.experiment import (
+    ExperimentProtocol,
+    compare_methods,
+    format_table,
+    run_corpus,
+    run_repeated,
+    run_single_trial,
+)
+from repro.evaluation.separation import (
+    evaluate_separation,
+    intra_inter_distance_ratio,
+    nearest_neighbor_purity,
+    silhouette_score,
+)
+
+
+def blob_data(seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.normal([0, 0], 0.2, size=(20, 2))
+    b = rng.normal([8, 8], 0.2, size=(20, 2))
+    embeddings = np.vstack([a, b])
+    labels = [0] * 20 + [1] * 20
+    return embeddings, labels
+
+
+def mixed_data(seed=0):
+    rng = np.random.default_rng(seed)
+    embeddings = rng.normal(size=(40, 2))
+    labels = [0, 1] * 20
+    return embeddings, labels
+
+
+class TestSeparationMetrics:
+    def test_separated_blobs_score_well(self):
+        embeddings, labels = blob_data()
+        assert silhouette_score(embeddings, labels) > 0.8
+        assert intra_inter_distance_ratio(embeddings, labels) < 0.2
+        assert nearest_neighbor_purity(embeddings, labels) == 1.0
+
+    def test_mixed_data_scores_poorly(self):
+        embeddings, labels = mixed_data()
+        assert silhouette_score(embeddings, labels) < 0.2
+        assert intra_inter_distance_ratio(embeddings, labels) > 0.8
+        assert nearest_neighbor_purity(embeddings, labels) < 0.8
+
+    def test_separated_better_than_mixed(self):
+        good = evaluate_separation("good", *blob_data())
+        bad = evaluate_separation("bad", *mixed_data())
+        assert good.silhouette > bad.silhouette
+        assert good.intra_inter_ratio < bad.intra_inter_ratio
+        assert good.nn_purity >= bad.nn_purity
+        assert good.as_row()["method"] == "good"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            silhouette_score(np.zeros((3, 2)), [0, 0, 0])
+        with pytest.raises(ValueError):
+            silhouette_score(np.zeros((1, 2)), [0])
+        with pytest.raises(ValueError):
+            nearest_neighbor_purity(np.zeros((4, 2)), [0, 0, 1, 1], k=0)
+
+
+class MajorityLabelClassifier(FloorClassifier):
+    """Trivial classifier used to exercise the harness deterministically."""
+
+    name = "majority"
+
+    def __init__(self) -> None:
+        self._floor = None
+
+    def fit(self, train_records, labels):
+        labels = self.check_labels(train_records, labels)
+        values = list(labels.values())
+        self._floor = max(set(values), key=values.count)
+        return self
+
+    def predict(self, records):
+        return {r.record_id: self._floor for r in records}
+
+
+def toy_dataset(per_floor=12, floors=3):
+    records = []
+    for floor in range(floors):
+        for i in range(per_floor):
+            records.append(SignalRecord(
+                record_id=f"f{floor}-r{i}",
+                rss={f"f{floor}-m{j}": -50.0 - j for j in range(4)},
+                floor=floor))
+    return FingerprintDataset(records=records, building_id="toy")
+
+
+class TestExperimentHarness:
+    def test_protocol_overrides(self):
+        protocol = ExperimentProtocol(labels_per_floor=4)
+        changed = protocol.with_overrides(labels_per_floor=10, train_ratio=0.5)
+        assert changed.labels_per_floor == 10
+        assert changed.train_ratio == 0.5
+        assert protocol.labels_per_floor == 4  # original untouched
+
+    def test_run_single_trial_report(self):
+        report = run_single_trial(MajorityLabelClassifier, toy_dataset(),
+                                  ExperimentProtocol(), seed=0)
+        # Majority classifier gets roughly one floor in three right.
+        assert 0.2 <= report.micro_f <= 0.5
+
+    def test_run_repeated_aggregates(self):
+        result = run_repeated("majority", MajorityLabelClassifier, toy_dataset(),
+                              ExperimentProtocol(repetitions=3))
+        assert result.trials == 3
+        assert 0.0 <= result.micro_f <= 1.0
+        assert result.micro_f_std >= 0.0
+        assert result.as_row()["method"] == "majority"
+
+    def test_run_corpus_averages_buildings(self):
+        datasets = [toy_dataset(), toy_dataset(per_floor=8, floors=2)]
+        result = run_corpus("majority", MajorityLabelClassifier, datasets,
+                            ExperimentProtocol(repetitions=2))
+        assert result.trials == 4
+
+    def test_run_corpus_requires_datasets(self):
+        with pytest.raises(ValueError):
+            run_corpus("majority", MajorityLabelClassifier, [],
+                       ExperimentProtocol())
+
+    def test_compare_methods(self):
+        results = compare_methods({"m1": MajorityLabelClassifier,
+                                   "m2": MajorityLabelClassifier},
+                                  [toy_dataset()],
+                                  ExperimentProtocol(repetitions=1))
+        assert [r.method for r in results] == ["m1", "m2"]
+
+
+class TestFormatTable:
+    def test_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_alignment_and_columns(self):
+        rows = [{"method": "GRAFICS", "micro_f": 0.96},
+                {"method": "SAE", "micro_f": 0.5}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "GRAFICS" in lines[2]
+        assert all(len(line) == len(lines[0]) for line in lines[2:])
+
+    def test_column_selection(self):
+        rows = [{"a": 1, "b": 2}]
+        text = format_table(rows, columns=["b"])
+        assert "a" not in text.splitlines()[0]

@@ -1,0 +1,86 @@
+"""Property-based integration tests over randomly generated record sets.
+
+These tests assert structural invariants of the whole pipeline (it runs, it
+predicts only known floors, labeled records keep their floor) rather than
+accuracy, so they hold for arbitrary — even adversarial — inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import GRAFICS, GraficsConfig, EmbeddingConfig, SignalRecord
+
+FAST = GraficsConfig(embedding=EmbeddingConfig(samples_per_edge=10.0,
+                                               batch_size=64, seed=0))
+
+
+@st.composite
+def random_building(draw):
+    """A random small multi-floor record set with per-floor MAC pools."""
+    num_floors = draw(st.integers(min_value=2, max_value=3))
+    per_floor = draw(st.integers(min_value=4, max_value=8))
+    shared_macs = [f"shared-{i}" for i in range(draw(st.integers(0, 3)))]
+    records = []
+    for floor in range(num_floors):
+        floor_macs = [f"f{floor}-m{i}" for i in range(6)]
+        for r in range(per_floor):
+            pool = floor_macs + shared_macs
+            size = draw(st.integers(min_value=1, max_value=len(pool)))
+            chosen = draw(st.permutations(pool))[:size]
+            rss = {m: float(draw(st.integers(min_value=-95, max_value=-35)))
+                   for m in chosen}
+            records.append(SignalRecord(record_id=f"f{floor}-r{r}", rss=rss,
+                                        floor=floor))
+    return records
+
+
+class TestPipelineProperties:
+    @given(random_building(), st.integers(min_value=1, max_value=3),
+           st.integers(min_value=0, max_value=100))
+    @settings(max_examples=15, deadline=None)
+    def test_fit_and_transductive_labels_are_valid(self, records, budget, seed):
+        rng = np.random.default_rng(seed)
+        by_floor: dict[int, list[SignalRecord]] = {}
+        for record in records:
+            by_floor.setdefault(record.floor, []).append(record)
+        labels = {}
+        for floor, floor_records in by_floor.items():
+            picks = rng.choice(len(floor_records),
+                               size=min(budget, len(floor_records)),
+                               replace=False)
+            for p in picks:
+                labels[floor_records[int(p)].record_id] = floor
+
+        model = GRAFICS(FAST).fit(records, labels)
+        assignments = model.training_floor_assignments()
+
+        # Every training record gets a virtual label drawn from the real floors.
+        assert set(assignments) == {r.record_id for r in records}
+        assert set(assignments.values()) <= set(by_floor)
+        # Labeled records always keep their own label (clustering constraint).
+        for rid, floor in labels.items():
+            assert assignments[rid] == floor
+        # The number of clusters equals the number of labeled samples.
+        assert model.cluster_model.num_clusters == len(labels)
+
+    @given(random_building())
+    @settings(max_examples=10, deadline=None)
+    def test_online_prediction_returns_known_floor(self, records):
+        labels = {}
+        seen_floors = set()
+        for record in records:
+            if record.floor not in seen_floors:
+                labels[record.record_id] = record.floor
+                seen_floors.add(record.floor)
+        model = GRAFICS(FAST).fit(records, labels)
+
+        # Build an online sample out of MACs that exist in the training graph.
+        template = records[-1]
+        online = SignalRecord(record_id="online-probe", rss=dict(template.rss))
+        prediction = model.predict(online)
+        assert prediction.floor in set(seen_floors)
+        # Non-persistent prediction leaves the graph unchanged.
+        assert model.graph.num_records == len(records)

@@ -1,0 +1,185 @@
+"""Tests for the NumPy neural-network layers, including numerical gradient checks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Conv1D, Dense, Dropout, Flatten, ReLU, Sigmoid, Tanh
+
+
+def numerical_gradient(function, array, epsilon=1e-6):
+    """Central-difference gradient of a scalar function w.r.t. an array."""
+    grad = np.zeros_like(array)
+    flat = array.ravel()
+    grad_flat = grad.ravel()
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + epsilon
+        plus = function()
+        flat[i] = original - epsilon
+        minus = function()
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * epsilon)
+    return grad
+
+
+class TestDense:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            Dense(0, 4)
+        layer = Dense(3, 4)
+        with pytest.raises(ValueError):
+            layer.forward(np.zeros((2, 5)))
+
+    def test_forward_linear(self):
+        layer = Dense(2, 3, rng=np.random.default_rng(0))
+        x = np.array([[1.0, 2.0]])
+        expected = x @ layer.weight.value + layer.bias.value
+        np.testing.assert_allclose(layer.forward(x), expected)
+
+    def test_backward_requires_training_forward(self):
+        layer = Dense(2, 2)
+        layer.forward(np.zeros((1, 2)), training=False)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((1, 2)))
+
+    def test_gradient_check(self):
+        rng = np.random.default_rng(1)
+        layer = Dense(4, 3, rng=rng)
+        x = rng.normal(size=(5, 4))
+        target = rng.normal(size=(5, 3))
+
+        def loss():
+            out = layer.forward(x, training=True)
+            return 0.5 * np.sum((out - target) ** 2)
+
+        out = layer.forward(x, training=True)
+        grad_out = out - target
+        layer.weight.zero_grad()
+        layer.bias.zero_grad()
+        grad_input = layer.backward(grad_out)
+
+        np.testing.assert_allclose(
+            layer.weight.grad, numerical_gradient(loss, layer.weight.value),
+            atol=1e-5)
+        np.testing.assert_allclose(
+            layer.bias.grad, numerical_gradient(loss, layer.bias.value),
+            atol=1e-5)
+        np.testing.assert_allclose(grad_input, numerical_gradient(loss, x),
+                                   atol=1e-5)
+
+
+class TestActivations:
+    @pytest.mark.parametrize("layer_cls", [ReLU, Sigmoid, Tanh])
+    def test_gradient_check(self, layer_cls):
+        rng = np.random.default_rng(2)
+        layer = layer_cls()
+        x = rng.normal(size=(4, 6))
+        target = rng.normal(size=(4, 6))
+
+        def loss():
+            return 0.5 * np.sum((layer.forward(x, training=True) - target) ** 2)
+
+        out = layer.forward(x, training=True)
+        grad_input = layer.backward(out - target)
+        np.testing.assert_allclose(grad_input, numerical_gradient(loss, x),
+                                   atol=1e-5)
+
+    def test_relu_zeroes_negatives(self):
+        out = ReLU().forward(np.array([[-1.0, 2.0]]))
+        np.testing.assert_array_equal(out, [[0.0, 2.0]])
+
+    def test_sigmoid_range(self):
+        out = Sigmoid().forward(np.array([[-100.0, 0.0, 100.0]]))
+        assert out[0, 0] < 1e-6
+        assert out[0, 1] == pytest.approx(0.5)
+        assert out[0, 2] > 1 - 1e-6
+
+    def test_backward_before_forward_raises(self):
+        for layer in (ReLU(), Sigmoid(), Tanh(), Flatten()):
+            with pytest.raises(RuntimeError):
+                layer.backward(np.zeros((1, 2)))
+
+
+class TestDropout:
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+    def test_inference_is_identity(self):
+        layer = Dropout(0.5)
+        x = np.ones((3, 4))
+        np.testing.assert_array_equal(layer.forward(x, training=False), x)
+
+    def test_training_preserves_expectation(self):
+        layer = Dropout(0.5, rng=np.random.default_rng(0))
+        x = np.ones((200, 50))
+        out = layer.forward(x, training=True)
+        assert out.mean() == pytest.approx(1.0, abs=0.05)
+        assert np.any(out == 0.0)
+
+    def test_backward_masks_gradient(self):
+        layer = Dropout(0.5, rng=np.random.default_rng(0))
+        x = np.ones((10, 10))
+        out = layer.forward(x, training=True)
+        grad = layer.backward(np.ones_like(x))
+        np.testing.assert_array_equal(grad == 0.0, out == 0.0)
+
+
+class TestFlatten:
+    def test_round_trip(self):
+        layer = Flatten()
+        x = np.arange(24, dtype=float).reshape(2, 4, 3)
+        out = layer.forward(x, training=True)
+        assert out.shape == (2, 12)
+        back = layer.backward(out)
+        np.testing.assert_array_equal(back, x)
+
+
+class TestConv1D:
+    def test_kernel_validation(self):
+        with pytest.raises(ValueError):
+            Conv1D(1, 2, kernel_size=2)
+
+    def test_input_validation(self):
+        layer = Conv1D(2, 3)
+        with pytest.raises(ValueError):
+            layer.forward(np.zeros((1, 5, 4)))
+
+    def test_output_shape_same_padding(self):
+        layer = Conv1D(2, 5, kernel_size=3, rng=np.random.default_rng(0))
+        out = layer.forward(np.zeros((4, 11, 2)))
+        assert out.shape == (4, 11, 5)
+
+    def test_matches_manual_convolution(self):
+        layer = Conv1D(1, 1, kernel_size=3, rng=np.random.default_rng(0))
+        layer.weight.value[:] = np.array([1.0, 2.0, 3.0]).reshape(3, 1, 1)
+        layer.bias.value[:] = 0.5
+        x = np.array([[[1.0], [2.0], [3.0]]])
+        out = layer.forward(x)
+        # position 0: 0*1 + 1*2 + 2*3 + 0.5 ; position 1: 1*1 + 2*2 + 3*3 + 0.5
+        np.testing.assert_allclose(out[0, :, 0], [8.5, 14.5, 8.5])
+
+    def test_gradient_check(self):
+        rng = np.random.default_rng(3)
+        layer = Conv1D(2, 3, kernel_size=3, rng=rng)
+        x = rng.normal(size=(2, 6, 2))
+        target = rng.normal(size=(2, 6, 3))
+
+        def loss():
+            return 0.5 * np.sum((layer.forward(x, training=True) - target) ** 2)
+
+        out = layer.forward(x, training=True)
+        layer.weight.zero_grad()
+        layer.bias.zero_grad()
+        grad_input = layer.backward(out - target)
+
+        np.testing.assert_allclose(
+            layer.weight.grad, numerical_gradient(loss, layer.weight.value),
+            atol=1e-5)
+        np.testing.assert_allclose(
+            layer.bias.grad, numerical_gradient(loss, layer.bias.value),
+            atol=1e-5)
+        np.testing.assert_allclose(grad_input, numerical_gradient(loss, x),
+                                   atol=1e-5)

@@ -1,0 +1,169 @@
+"""Tests for losses, optimisers and initialisers of the NN substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    MeanSquaredError,
+    Parameter,
+    SGD,
+    SoftmaxCrossEntropy,
+    glorot_uniform,
+    he_uniform,
+    softmax,
+    zeros,
+)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        probs = softmax(np.array([[1.0, 2.0, 3.0], [0.0, 0.0, 0.0]]))
+        np.testing.assert_allclose(probs.sum(axis=1), [1.0, 1.0])
+
+    def test_stable_for_large_logits(self):
+        probs = softmax(np.array([[1000.0, 0.0]]))
+        assert np.isfinite(probs).all()
+        assert probs[0, 0] == pytest.approx(1.0)
+
+
+class TestMeanSquaredError:
+    def test_value(self):
+        loss = MeanSquaredError()
+        assert loss.value(np.array([[1.0, 2.0]]), np.array([[0.0, 0.0]])) == \
+            pytest.approx(2.5)
+
+    def test_gradient_matches_numerical(self):
+        rng = np.random.default_rng(0)
+        loss = MeanSquaredError()
+        predictions = rng.normal(size=(3, 4))
+        targets = rng.normal(size=(3, 4))
+        grad = loss.gradient(predictions, targets)
+        eps = 1e-6
+        numerical = np.zeros_like(predictions)
+        for i in np.ndindex(predictions.shape):
+            p = predictions.copy()
+            p[i] += eps
+            plus = loss.value(p, targets)
+            p[i] -= 2 * eps
+            minus = loss.value(p, targets)
+            numerical[i] = (plus - minus) / (2 * eps)
+        np.testing.assert_allclose(grad, numerical, atol=1e-6)
+
+
+class TestSoftmaxCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        loss = SoftmaxCrossEntropy()
+        logits = np.array([[10.0, -10.0], [-10.0, 10.0]])
+        assert loss.value(logits, np.array([0, 1])) < 1e-3
+
+    def test_uniform_prediction_log_n(self):
+        loss = SoftmaxCrossEntropy()
+        logits = np.zeros((4, 3))
+        assert loss.value(logits, np.array([0, 1, 2, 0])) == pytest.approx(np.log(3))
+
+    def test_target_validation(self):
+        loss = SoftmaxCrossEntropy()
+        with pytest.raises(ValueError):
+            loss.value(np.zeros((2, 3)), np.array([0]))
+        with pytest.raises(ValueError):
+            loss.value(np.zeros((2, 3)), np.array([0, 3]))
+
+    def test_gradient_matches_numerical(self):
+        rng = np.random.default_rng(1)
+        loss = SoftmaxCrossEntropy()
+        logits = rng.normal(size=(5, 4))
+        targets = np.array([0, 1, 2, 3, 1])
+        grad = loss.gradient(logits.copy(), targets)
+        eps = 1e-6
+        numerical = np.zeros_like(logits)
+        for i in np.ndindex(logits.shape):
+            p = logits.copy()
+            p[i] += eps
+            plus = loss.value(p, targets)
+            p = logits.copy()
+            p[i] -= eps
+            minus = loss.value(p, targets)
+            numerical[i] = (plus - minus) / (2 * eps)
+        np.testing.assert_allclose(grad, numerical, atol=1e-5)
+
+
+def quadratic_problem():
+    """A parameter whose loss is ||value - target||^2 for optimiser tests."""
+    target = np.array([1.0, -2.0, 3.0])
+    parameter = Parameter(np.zeros(3))
+
+    def step_gradient():
+        parameter.zero_grad()
+        parameter.grad += 2.0 * (parameter.value - target)
+
+    return parameter, target, step_gradient
+
+
+class TestOptimizers:
+    def test_requires_parameters(self):
+        with pytest.raises(ValueError):
+            SGD([])
+
+    @pytest.mark.parametrize("factory", [
+        lambda p: SGD([p], learning_rate=0.1),
+        lambda p: SGD([p], learning_rate=0.05, momentum=0.9),
+        lambda p: Adam([p], learning_rate=0.2),
+    ])
+    def test_converges_on_quadratic(self, factory):
+        parameter, target, compute_grad = quadratic_problem()
+        optimizer = factory(parameter)
+        for _ in range(200):
+            compute_grad()
+            optimizer.step()
+        np.testing.assert_allclose(parameter.value, target, atol=1e-2)
+
+    def test_sgd_hyperparameter_validation(self):
+        parameter = Parameter(np.zeros(2))
+        with pytest.raises(ValueError):
+            SGD([parameter], learning_rate=0.0)
+        with pytest.raises(ValueError):
+            SGD([parameter], momentum=1.0)
+
+    def test_adam_hyperparameter_validation(self):
+        parameter = Parameter(np.zeros(2))
+        with pytest.raises(ValueError):
+            Adam([parameter], learning_rate=0.0)
+        with pytest.raises(ValueError):
+            Adam([parameter], beta1=1.0)
+
+    def test_weight_decay_shrinks_parameters(self):
+        parameter = Parameter(np.array([10.0]))
+        optimizer = SGD([parameter], learning_rate=0.1, weight_decay=0.5)
+        parameter.zero_grad()
+        optimizer.step()
+        assert parameter.value[0] < 10.0
+
+    def test_zero_grad(self):
+        parameter = Parameter(np.zeros(3))
+        parameter.grad += 5.0
+        optimizer = SGD([parameter], learning_rate=0.1)
+        optimizer.zero_grad()
+        np.testing.assert_array_equal(parameter.grad, np.zeros(3))
+
+
+class TestInitializers:
+    def test_shapes(self):
+        rng = np.random.default_rng(0)
+        assert glorot_uniform((3, 4), rng).shape == (3, 4)
+        assert he_uniform((3, 4), rng).shape == (3, 4)
+        assert zeros((5,), rng).shape == (5,)
+
+    def test_glorot_bounds(self):
+        rng = np.random.default_rng(0)
+        values = glorot_uniform((100, 100), rng)
+        limit = np.sqrt(6.0 / 200)
+        assert np.abs(values).max() <= limit
+
+    def test_conv_fan_computation(self):
+        rng = np.random.default_rng(0)
+        values = he_uniform((3, 4, 8), rng)
+        assert values.shape == (3, 4, 8)
+        assert np.abs(values).max() <= np.sqrt(6.0 / 12)

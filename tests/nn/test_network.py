@@ -1,0 +1,111 @@
+"""Tests for the Sequential container and the training loop."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    Dense,
+    MeanSquaredError,
+    ReLU,
+    Sequential,
+    SoftmaxCrossEntropy,
+    Tanh,
+    train_network,
+)
+
+
+def make_classification_data(count=200, seed=0):
+    """Two interleaved 2-D Gaussian classes (linearly separable with margin)."""
+    rng = np.random.default_rng(seed)
+    x0 = rng.normal(loc=[-2.0, 0.0], scale=0.5, size=(count // 2, 2))
+    x1 = rng.normal(loc=[2.0, 0.0], scale=0.5, size=(count // 2, 2))
+    inputs = np.vstack([x0, x1])
+    targets = np.array([0] * (count // 2) + [1] * (count // 2))
+    return inputs, targets
+
+
+class TestSequential:
+    def test_requires_layers(self):
+        with pytest.raises(ValueError):
+            Sequential([])
+
+    def test_forward_composes_layers(self):
+        rng = np.random.default_rng(0)
+        dense = Dense(2, 3, rng=rng)
+        network = Sequential([dense, ReLU()])
+        x = rng.normal(size=(4, 2))
+        expected = np.maximum(dense.forward(x), 0.0)
+        np.testing.assert_allclose(network.forward(x), expected)
+
+    def test_parameters_collected_from_all_layers(self):
+        network = Sequential([Dense(2, 3), ReLU(), Dense(3, 1)])
+        assert len(network.parameters()) == 4
+
+    def test_nested_sequential(self):
+        inner = Sequential([Dense(2, 4), Tanh()])
+        outer = Sequential([inner, Dense(4, 2)])
+        assert len(outer.parameters()) == 4
+        assert outer.forward(np.zeros((1, 2))).shape == (1, 2)
+
+    def test_predict_helpers(self):
+        network = Sequential([Dense(2, 3, rng=np.random.default_rng(0))])
+        x = np.zeros((5, 2))
+        assert network.predict(x).shape == (5, 3)
+        assert network.predict_classes(x).shape == (5,)
+        proba = network.predict_proba(x)
+        np.testing.assert_allclose(proba.sum(axis=1), np.ones(5))
+
+
+class TestTrainNetwork:
+    def test_input_validation(self):
+        network = Sequential([Dense(2, 2)])
+        with pytest.raises(ValueError):
+            train_network(network, MeanSquaredError(), np.zeros((3, 2)),
+                          np.zeros((4, 2)))
+        with pytest.raises(ValueError):
+            train_network(network, MeanSquaredError(), np.zeros((3, 2)),
+                          np.zeros((3, 2)), epochs=0)
+
+    def test_classification_reaches_high_accuracy(self):
+        inputs, targets = make_classification_data()
+        rng = np.random.default_rng(1)
+        network = Sequential([Dense(2, 16, rng=rng), ReLU(),
+                              Dense(16, 2, rng=rng)])
+        history = train_network(network, SoftmaxCrossEntropy(), inputs, targets,
+                                epochs=40, batch_size=16, seed=0)
+        predictions = network.predict_classes(inputs)
+        assert np.mean(predictions == targets) > 0.95
+        assert history.train_loss[-1] < history.train_loss[0]
+
+    def test_autoencoder_reconstruction_improves(self):
+        rng = np.random.default_rng(2)
+        data = rng.normal(size=(120, 10))
+        network = Sequential([Dense(10, 4, rng=rng), Tanh(),
+                              Dense(4, 10, rng=rng)])
+        loss = MeanSquaredError()
+        initial = loss.value(network.predict(data), data)
+        history = train_network(network, loss, data, data, epochs=60,
+                                batch_size=20,
+                                optimizer=Adam(network.parameters(),
+                                               learning_rate=5e-3),
+                                seed=0)
+        final = loss.value(network.predict(data), data)
+        assert final < initial * 0.8
+        assert history.final_loss == history.train_loss[-1]
+
+    def test_validation_loss_tracked(self):
+        inputs, targets = make_classification_data(count=80)
+        network = Sequential([Dense(2, 4, rng=np.random.default_rng(0)), ReLU(),
+                              Dense(4, 2, rng=np.random.default_rng(1))])
+        history = train_network(network, SoftmaxCrossEntropy(), inputs, targets,
+                                epochs=5, validation=(inputs, targets), seed=0)
+        assert len(history.validation_loss) == 5
+
+    def test_history_requires_epochs(self):
+        from repro.nn.network import TrainingHistory
+
+        with pytest.raises(ValueError):
+            TrainingHistory().final_loss

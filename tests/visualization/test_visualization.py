@@ -1,0 +1,95 @@
+"""Tests for t-SNE, PCA projection and ASCII scatter rendering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.evaluation.separation import nearest_neighbor_purity
+from repro.visualization import TSNE, TSNEConfig, pca_project, scatter_to_text
+
+
+def labeled_blobs(seed=0, count=30, dim=8, separation=12.0):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(0.0, 0.5, size=(count, dim))
+    b = rng.normal(separation / np.sqrt(dim), 0.5, size=(count, dim))
+    return np.vstack([a, b]), [0] * count + [1] * count
+
+
+class TestTSNEConfig:
+    @pytest.mark.parametrize("kwargs", [
+        {"n_components": 0},
+        {"perplexity": 0.0},
+        {"iterations": 0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            TSNEConfig(**kwargs)
+
+
+class TestTSNE:
+    def test_requires_enough_points(self):
+        with pytest.raises(ValueError):
+            TSNE().fit_transform(np.zeros((2, 4)))
+
+    def test_output_shape_and_centering(self):
+        embeddings, _ = labeled_blobs(count=15)
+        projection = TSNE(TSNEConfig(iterations=60, seed=0)).fit_transform(embeddings)
+        assert projection.shape == (30, 2)
+        np.testing.assert_allclose(projection.mean(axis=0), [0.0, 0.0], atol=1e-8)
+        assert np.isfinite(projection).all()
+
+    def test_preserves_blob_structure(self):
+        embeddings, labels = labeled_blobs(count=25)
+        projection = TSNE(TSNEConfig(iterations=250, seed=0,
+                                     perplexity=15.0)).fit_transform(embeddings)
+        assert nearest_neighbor_purity(projection, labels) > 0.9
+
+    def test_deterministic_given_seed(self):
+        embeddings, _ = labeled_blobs(count=10)
+        config = TSNEConfig(iterations=50, seed=3)
+        first = TSNE(config).fit_transform(embeddings)
+        second = TSNE(config).fit_transform(embeddings)
+        np.testing.assert_allclose(first, second)
+
+
+class TestPCAProject:
+    def test_shape_and_variance_ordering(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(100, 5)) * np.array([10.0, 5.0, 1.0, 0.5, 0.1])
+        projection = pca_project(data, n_components=2)
+        assert projection.shape == (100, 2)
+        assert projection[:, 0].var() >= projection[:, 1].var()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pca_project(np.zeros(5))
+        with pytest.raises(ValueError):
+            pca_project(np.zeros((4, 2)), n_components=3)
+
+    def test_preserves_separation(self):
+        embeddings, labels = labeled_blobs()
+        projection = pca_project(embeddings, n_components=2)
+        assert nearest_neighbor_purity(projection, labels) > 0.9
+
+
+class TestScatterToText:
+    def test_dimensions(self):
+        points = np.array([[0.0, 0.0], [1.0, 1.0]])
+        text = scatter_to_text(points, [0, 1], width=20, height=10)
+        lines = text.splitlines()
+        assert len(lines) == 10
+        assert all(len(line) == 20 for line in lines)
+
+    def test_labels_rendered(self):
+        points = np.array([[0.0, 0.0], [1.0, 1.0], [0.5, 0.5]])
+        text = scatter_to_text(points, [0, 1, 2])
+        assert "0" in text and "1" in text and "2" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            scatter_to_text(np.zeros((2, 3)), [0, 1])
+        with pytest.raises(ValueError):
+            scatter_to_text(np.zeros((2, 2)), [0])
+        with pytest.raises(ValueError):
+            scatter_to_text(np.zeros((2, 2)), [0, 1], width=1)
