@@ -1,0 +1,157 @@
+"""Serving-subsystem benchmark: routing speedup and end-to-end throughput.
+
+Two measurements back the serving layer introduced for the production
+deployment of the paper's online phase (Section V):
+
+1. **Routing** — building attribution via the inverted MAC→building index
+   (:class:`repro.serving.MacInvertedRouter`) against the reference linear
+   vocabulary scan, at a registry size comparable to the paper's 204-building
+   Microsoft corpus.  The inverted index must be at least 3x faster.
+
+2. **Serving** — end-to-end throughput of :class:`FloorServingService`
+   (router + cache + grouped batch dispatch) against the sequential
+   ``MultiBuildingFloorService.predict`` loop, with cold and warm caches,
+   while asserting the served predictions are identical to the reference.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro import GraficsConfig, EmbeddingConfig, SignalRecord
+from repro.core.registry import MultiBuildingFloorService
+from repro.data import make_experiment_split, small_test_building
+from repro.serving import FloorServingService, LinearScanRouter, MacInvertedRouter
+
+from conftest import save_table
+
+NUM_BUILDINGS = 60          # >= 50 per the acceptance criterion
+MACS_PER_BUILDING = 150
+SHARED_MACS = 40
+NUM_PROBES = 1000
+MACS_PER_PROBE = 25
+TIMING_REPEATS = 3
+
+
+def _synthetic_vocabularies() -> dict[str, list[str]]:
+    rng = random.Random(0)
+    shared = [f"shared-ap-{i}" for i in range(SHARED_MACS)]
+    vocabularies = {}
+    for b in range(NUM_BUILDINGS):
+        own = [f"b{b:03d}-ap-{i}" for i in range(MACS_PER_BUILDING)]
+        vocabularies[f"building-{b:03d}"] = own + rng.sample(shared, 10)
+    return vocabularies
+
+
+def _synthetic_probes(vocabularies: dict[str, list[str]]) -> list[SignalRecord]:
+    rng = random.Random(1)
+    building_ids = list(vocabularies)
+    probes = []
+    for i in range(NUM_PROBES):
+        home = vocabularies[rng.choice(building_ids)]
+        macs = rng.sample(home, MACS_PER_PROBE)
+        probes.append(SignalRecord(
+            record_id=f"probe-{i}",
+            rss={mac: rng.uniform(-90.0, -35.0) for mac in macs}))
+    return probes
+
+
+def _best_of(callable_, repeats: int = TIMING_REPEATS) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_routing_speedup_at_scale():
+    """Inverted MAC index must beat the linear scan >= 3x at 60 buildings."""
+    vocabularies = _synthetic_vocabularies()
+    linear = LinearScanRouter()
+    inverted = MacInvertedRouter()
+    for building_id, vocabulary in vocabularies.items():
+        linear.add_building(building_id, vocabulary)
+        inverted.add_building(building_id, vocabulary)
+    probes = _synthetic_probes(vocabularies)
+
+    # Both implementations must agree before their speed is compared.
+    assert inverted.route_batch(probes) == linear.route_batch(probes)
+
+    linear_seconds = _best_of(lambda: linear.route_batch(probes))
+    inverted_seconds = _best_of(lambda: inverted.route_batch(probes))
+    speedup = linear_seconds / inverted_seconds
+
+    rows = [
+        {"router": "linear vocabulary scan",
+         "seconds": round(linear_seconds, 4),
+         "per_probe_us": round(linear_seconds / NUM_PROBES * 1e6, 1)},
+        {"router": "inverted MAC index",
+         "seconds": round(inverted_seconds, 4),
+         "per_probe_us": round(inverted_seconds / NUM_PROBES * 1e6, 1)},
+        {"router": "speedup", "seconds": round(speedup, 1), "per_probe_us": ""},
+    ]
+    save_table("serving_routing_speedup", rows,
+               columns=["router", "seconds", "per_probe_us"],
+               header=f"Routing {NUM_PROBES} probes across {NUM_BUILDINGS} "
+                      "buildings")
+
+    assert speedup >= 3.0, (
+        f"inverted routing is only {speedup:.1f}x faster than the linear scan")
+
+
+def test_serving_throughput():
+    """End-to-end service throughput vs the sequential reference loop."""
+    config = GraficsConfig(
+        embedding=EmbeddingConfig(samples_per_edge=40.0, seed=0))
+    registry = MultiBuildingFloorService(config)
+    probes = []
+    for b, seed in ((0, 61), (1, 62), (2, 63)):
+        dataset = small_test_building(num_floors=3, records_per_floor=40,
+                                      aps_per_floor=20, seed=seed,
+                                      building_id=f"bench-{b}")
+        split = make_experiment_split(dataset, labels_per_floor=4, seed=0)
+        registry.fit_building(dataset.subset(split.train_records), split.labels)
+        probes.extend(r.without_floor() for r in split.test_records[:12])
+
+    service = FloorServingService(registry=registry)
+
+    start = time.perf_counter()
+    reference = [registry.predict(record) for record in probes]
+    sequential_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    cold = service.predict_batch(probes)
+    cold_seconds = time.perf_counter() - start
+    assert cold == reference  # serving must not change any prediction
+
+    start = time.perf_counter()
+    warm = service.predict_batch(probes)
+    warm_seconds = time.perf_counter() - start
+    assert warm == reference
+
+    snapshot = service.telemetry_snapshot()
+    latency = snapshot["latency"]["request_seconds"]
+    rows = [
+        {"path": "sequential registry.predict loop",
+         "seconds": round(sequential_seconds, 3),
+         "records_per_s": round(len(probes) / sequential_seconds, 1)},
+        {"path": "FloorServingService cold cache",
+         "seconds": round(cold_seconds, 3),
+         "records_per_s": round(len(probes) / cold_seconds, 1)},
+        {"path": "FloorServingService warm cache",
+         "seconds": round(warm_seconds, 3),
+         "records_per_s": round(len(probes) / warm_seconds, 1)},
+        {"path": "cache hit rate",
+         "seconds": snapshot["cache"]["hit_rate"], "records_per_s": ""},
+        {"path": "request p50 / p95 (s)",
+         "seconds": f"{latency['p50']:.4f} / {latency['p95']:.4f}",
+         "records_per_s": ""},
+    ]
+    save_table("serving_throughput", rows,
+               columns=["path", "seconds", "records_per_s"],
+               header=f"Serving {len(probes)} probes across 3 buildings")
+
+    assert warm_seconds < cold_seconds
+    assert snapshot["cache"]["hit_rate"] >= 0.5

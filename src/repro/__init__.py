@@ -8,7 +8,10 @@ floor-labeled samples per floor.
 Public entry points:
 
 * :class:`repro.GRAFICS` / :class:`repro.GraficsConfig` — the end-to-end system.
+* :class:`repro.FloorServingService` — the production serving stack (routing,
+  caching, micro-batching, telemetry, hot swap).
 * :mod:`repro.core` — graph, embeddings, clustering, online inference.
+* :mod:`repro.serving` — router, prediction cache, micro-batcher, telemetry.
 * :mod:`repro.data` — synthetic crowdsourced datasets, loaders, splits, statistics.
 * :mod:`repro.baselines` — Scalable-DNN, SAE, Autoencoder+Prox, MDS+Prox, matrix+Prox.
 * :mod:`repro.evaluation` — micro/macro F metrics and the experiment harness.
@@ -32,8 +35,11 @@ from .core import (
     UnknownEnvironmentError,
     build_graph,
     load_model,
+    load_registry,
     save_model,
+    save_registry,
 )
+from .serving import FloorServingService, ServingConfig, ServingResult
 
 __version__ = "1.0.0"
 
@@ -53,7 +59,12 @@ __all__ = [
     "FloorPrediction",
     "UnknownEnvironmentError",
     "MultiBuildingFloorService",
+    "FloorServingService",
+    "ServingConfig",
+    "ServingResult",
     "save_model",
     "load_model",
+    "save_registry",
+    "load_registry",
     "__version__",
 ]

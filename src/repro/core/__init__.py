@@ -4,7 +4,7 @@ from .clustering import ClusterModel, ClusteringResult, ProximityClustering
 from .embedding import ELINEEmbedder, EmbeddingConfig, GraphEmbedding, LINEEmbedder
 from .graph import BipartiteGraph, Edge, Node, NodeKind, build_graph
 from .inference import FloorPrediction, OnlineInferenceEngine, UnknownEnvironmentError
-from .persistence import load_model, save_model
+from .persistence import load_model, load_registry, save_model, save_registry
 from .pipeline import GRAFICS, GraficsConfig
 from .registry import BuildingPrediction, MultiBuildingFloorService
 from .types import FingerprintDataset, SignalRecord, records_to_matrix
@@ -21,6 +21,8 @@ __all__ = [
     "GraficsConfig",
     "save_model",
     "load_model",
+    "save_registry",
+    "load_registry",
     "MultiBuildingFloorService",
     "BuildingPrediction",
     "BipartiteGraph",

@@ -84,12 +84,6 @@ class ELINEEmbedder(GraphEmbedder):
         rng = np.random.default_rng(self.config.seed)
         scale = self.config.init_scale / dim
 
-        ego = rng.uniform(-scale, scale, size=(capacity, dim))
-        context = rng.uniform(-scale, scale, size=(capacity, dim))
-        old_rows = min(embedding.ego.shape[0], capacity)
-        ego[:old_rows] = embedding.ego[:old_rows]
-        context[:old_rows] = embedding.context[:old_rows]
-
         trainable = np.zeros(capacity, dtype=bool)
         for record_id in new_ids:
             node = graph.get_node(NodeKind.RECORD, record_id)
@@ -99,6 +93,21 @@ class ELINEEmbedder(GraphEmbedder):
         for mac_node in graph.mac_nodes():
             if mac_node.key not in known_macs:
                 trainable[mac_node.index] = True
+
+        # Frozen rows are copied; only the trainable rows draw fresh random
+        # vectors.  Drawing a full capacity-sized matrix instead would tie
+        # the initialisation (and hence the prediction) to how many retired
+        # indices the graph has accumulated, making repeated online
+        # predictions of the same record drift apart.  Rows that are neither
+        # frozen nor trainable are retired indices; they are never read.
+        ego = np.zeros((capacity, dim))
+        context = np.zeros((capacity, dim))
+        old_rows = min(embedding.ego.shape[0], capacity)
+        ego[:old_rows] = embedding.ego[:old_rows]
+        context[:old_rows] = embedding.context[:old_rows]
+        for index in np.flatnonzero(trainable):
+            ego[index] = rng.uniform(-scale, scale, size=dim)
+            context[index] = rng.uniform(-scale, scale, size=dim)
 
         # The objective restricted to the new nodes only involves their own
         # incident edges, so the positive sampler is built over that subset:

@@ -133,17 +133,30 @@ class EdgeSampler:
 
 
 class NegativeSampler:
-    """Samples negative nodes from ``Pr(z) ∝ d_z^{3/4}``."""
+    """Samples negative nodes from ``Pr(z) ∝ d_z^{3/4}``.
+
+    The alias table is built over the *positive-degree* indices only and the
+    drawn positions are mapped back to the original index space.  Zero-degree
+    slots could never be sampled anyway, but keeping them inside the table
+    would make the RNG consumption (``rng.integers(0, table_size)``) depend
+    on how many retired node indices the graph has accumulated — repeated
+    online predictions on the same model would then drift apart.  Compacting
+    makes sampling a function of the live degree distribution alone, and is
+    bit-for-bit identical to the uncompacted table when no degree is zero
+    (the offline training case).
+    """
 
     def __init__(self, degrees: np.ndarray, power: float = 0.75) -> None:
         weights = unigram_power_distribution(degrees, power=power)
-        if weights.sum() <= 0:
+        live = np.flatnonzero(weights > 0)
+        if live.size == 0:
             raise ValueError("cannot build a NegativeSampler: all degrees are zero")
-        self._table = AliasTable(weights)
+        self._live = live
+        self._table = AliasTable(weights[live])
 
     def sample(self, count: int, negatives_per_example: int,
                rng: np.random.Generator) -> np.ndarray:
         """Return an ``(count, negatives_per_example)`` array of node indices."""
         total = count * negatives_per_example
-        flat = self._table.sample(total, rng)
+        flat = self._live[self._table.sample(total, rng)]
         return flat.reshape(count, negatives_per_example)

@@ -84,14 +84,43 @@ class OnlineInferenceEngine:
             that subsequent samples can benefit from the added connectivity;
             when ``False`` (default) the graph is restored afterwards.
         """
-        return self.predict_batch([record], persist=persist)[0]
+        return self._predict_group([record], persist=persist)[0]
 
     def predict_batch(self, records: Sequence[SignalRecord],
-                      persist: bool = False) -> list[FloorPrediction]:
-        """Predict the floors of a batch of new RF samples."""
+                      persist: bool = False,
+                      independent: bool = False) -> list[FloorPrediction]:
+        """Predict the floors of a batch of new RF samples.
+
+        Parameters
+        ----------
+        records:
+            The online measurements.
+        persist:
+            Keep the records (and their embeddings) in the model afterwards.
+        independent:
+            When ``False`` (default) the whole batch is embedded jointly in
+            one SGD run over the union of the new nodes' edges — the
+            transductive fast path used by the experiment harness, where
+            batch members reinforce each other through shared MACs.  When
+            ``True`` every record is embedded on its own against the frozen
+            model, exactly as :meth:`predict` would: the result for a record
+            does not depend on which other records happen to share its
+            batch, and ``predict_batch(rs, independent=True)`` is identical
+            to ``[predict(r) for r in rs]``.  The serving layer uses this
+            mode so that micro-batching and caching never change what a
+            request would have received on its own.
+        """
         records = list(records)
         if not records:
             return []
+        if independent:
+            return [self._predict_group([record], persist=persist)[0]
+                    for record in records]
+        return self._predict_group(records, persist=persist)
+
+    def _predict_group(self, records: Sequence[SignalRecord],
+                       persist: bool = False) -> list[FloorPrediction]:
+        """Embed ``records`` jointly against the frozen model and classify them."""
         known_macs = set(self.graph.mac_index_map())
         for record in records:
             if self.graph.has_node(NodeKind.RECORD, record.record_id):

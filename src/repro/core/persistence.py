@@ -18,7 +18,10 @@ caller to rebuild the configuration manually after loading.
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
+import tempfile
 from dataclasses import asdict
 from pathlib import Path
 
@@ -29,11 +32,14 @@ from .clustering.model import ClusterModel, FloorCluster
 from .embedding.base import EmbeddingConfig, GraphEmbedding
 from .graph import BipartiteGraph, NodeKind
 from .pipeline import GRAFICS, GraficsConfig
+from .registry import MultiBuildingFloorService
 from .weighting import ClippedOffsetWeight, OffsetWeight, PowerWeight, WeightFunction
 
-__all__ = ["save_model", "load_model"]
+__all__ = ["save_model", "load_model", "save_registry", "load_registry"]
 
 _FORMAT_VERSION = 1
+_REGISTRY_FORMAT_VERSION = 1
+_REGISTRY_MANIFEST = "manifest.json"
 
 
 def _weight_function_to_dict(weight_function: WeightFunction) -> dict:
@@ -198,3 +204,95 @@ def load_model(path: str | Path) -> GRAFICS:
     model.clustering = clustering
     model.cluster_model = cluster_model
     return model
+
+
+# --------------------------------------------------------------- registries
+def _registry_model_filename(building_id: str) -> str:
+    """Stable, filesystem-safe filename for one building's model.
+
+    Derived from the building id (not from its position in the registry) so
+    that re-saving a reordered or partially retrained registry only ever
+    overwrites a building's file with a newer model of the *same* building.
+    A crash between the per-building writes and the manifest swap then
+    leaves the old manifest pointing at the right buildings — possibly a
+    fresher model for some, never another building's model.
+    """
+    digest = hashlib.sha1(building_id.encode("utf-8")).hexdigest()[:16]
+    return f"building-{digest}.npz"
+
+
+def _atomic_save_model(model: GRAFICS, path: Path) -> None:
+    """Write a model file via a same-directory temp file and atomic rename."""
+    # The suffix must stay ".npz" or np.savez would append one and the
+    # rename would move the wrong (empty) file.
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp.npz")
+    os.close(fd)
+    try:
+        save_model(model, tmp_name)
+        os.replace(tmp_name, path)
+    except BaseException:
+        if os.path.exists(tmp_name):
+            os.unlink(tmp_name)
+        raise
+
+
+def save_registry(service: MultiBuildingFloorService, directory: str | Path) -> None:
+    """Serialise a whole multi-building registry to ``directory``.
+
+    Each building's model becomes one ``.npz`` file (via :func:`save_model`)
+    and a ``manifest.json`` records building ids, their attribution
+    vocabularies and the registration order — the order is part of the
+    attribution semantics (it breaks overlap ties), so it must survive the
+    round trip.  Every file is written to a temporary name and atomically
+    renamed, model files are named after the building id rather than its
+    position, and the manifest is swapped in last: a crash mid-save leaves
+    the directory loading either the old registry or the new one per
+    building, never a model filed under another building's id.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    buildings = []
+    for building_id, vocabulary in service.vocabularies.items():
+        filename = _registry_model_filename(building_id)
+        _atomic_save_model(service.model_for(building_id),
+                           directory / filename)
+        buildings.append({
+            "building_id": building_id,
+            "file": filename,
+            "vocabulary": sorted(vocabulary),
+        })
+    manifest = {
+        "format_version": _REGISTRY_FORMAT_VERSION,
+        "min_overlap": service.min_overlap,
+        "buildings": buildings,
+    }
+    tmp_path = directory / (_REGISTRY_MANIFEST + ".tmp")
+    tmp_path.write_text(json.dumps(manifest, indent=2))
+    tmp_path.replace(directory / _REGISTRY_MANIFEST)
+
+
+def load_registry(directory: str | Path,
+                  config: GraficsConfig | None = None) -> MultiBuildingFloorService:
+    """Restore a registry saved with :func:`save_registry`.
+
+    ``config`` only affects buildings trained *after* loading; the restored
+    per-building models keep the configurations they were trained with.
+    """
+    directory = Path(directory)
+    manifest_path = directory / _REGISTRY_MANIFEST
+    if not manifest_path.is_file():
+        raise FileNotFoundError(
+            f"{directory} does not contain a registry manifest "
+            f"({_REGISTRY_MANIFEST})")
+    manifest = json.loads(manifest_path.read_text())
+    if manifest.get("format_version") != _REGISTRY_FORMAT_VERSION:
+        raise ValueError(f"unsupported registry format version "
+                         f"{manifest.get('format_version')!r}")
+
+    service = MultiBuildingFloorService(config,
+                                        min_overlap=manifest["min_overlap"])
+    for blob in manifest["buildings"]:
+        model = load_model(directory / blob["file"])
+        service.install_model(blob["building_id"], model,
+                              vocabulary=blob["vocabulary"])
+    return service

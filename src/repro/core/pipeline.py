@@ -173,9 +173,16 @@ class GRAFICS:
         return self.engine.predict(record, persist=persist)
 
     def predict_batch(self, records: Sequence[SignalRecord],
-                      persist: bool = False) -> list[FloorPrediction]:
-        """Predict the floors of several new RF samples in one embedding pass."""
-        return self.engine.predict_batch(records, persist=persist)
+                      persist: bool = False,
+                      independent: bool = False) -> list[FloorPrediction]:
+        """Predict the floors of several new RF samples in one embedding pass.
+
+        ``independent=True`` embeds each record on its own (deterministic
+        regardless of batch composition) instead of jointly; see
+        :meth:`OnlineInferenceEngine.predict_batch`.
+        """
+        return self.engine.predict_batch(records, persist=persist,
+                                         independent=independent)
 
     def predict_floors(self, records: Sequence[SignalRecord]) -> np.ndarray:
         """Convenience wrapper returning only the predicted floor numbers."""
@@ -183,6 +190,12 @@ class GRAFICS:
         return np.array([p.floor for p in predictions], dtype=np.int64)
 
     # ----------------------------------------------------------- introspection
+    @property
+    def known_macs(self) -> frozenset[str]:
+        """The MAC vocabulary of the training graph (building attribution key)."""
+        self._require_fitted()
+        return frozenset(self.graph.mac_index_map())
+
     def training_floor_assignments(self) -> dict[str, int]:
         """Virtual floor labels assigned to every training record by clustering."""
         self._require_fitted()

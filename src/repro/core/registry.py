@@ -60,9 +60,34 @@ class MultiBuildingFloorService:
         """Train (or retrain) the model of one building."""
         model = GRAFICS(self.config)
         model.fit(dataset, labels)
-        self._models[dataset.building_id] = model
-        self._vocabularies[dataset.building_id] = frozenset(dataset.macs)
+        self.install_model(dataset.building_id, model,
+                           vocabulary=frozenset(dataset.macs))
         return model
+
+    def install_model(self, building_id: str, model: GRAFICS,
+                      vocabulary: Iterable[str] | None = None) -> None:
+        """Install an already-trained model for a building (hot swap).
+
+        Replacing an existing building keeps its registration order, so the
+        attribution tie-break between buildings is unaffected by retraining.
+        When ``vocabulary`` is ``None`` it is taken from the model's training
+        graph.
+        """
+        if not model.is_fitted:
+            raise ValueError(
+                f"cannot install an unfitted model for building {building_id!r}")
+        vocab = (frozenset(vocabulary) if vocabulary is not None
+                 else model.known_macs)
+        self._models[building_id] = model
+        self._vocabularies[building_id] = vocab
+
+    def remove_building(self, building_id: str) -> None:
+        """Forget a building's model and vocabulary."""
+        try:
+            del self._models[building_id]
+            del self._vocabularies[building_id]
+        except KeyError:
+            raise KeyError(f"no trained model for building {building_id!r}") from None
 
     def fit_corpus(self, datasets: Iterable[FingerprintDataset],
                    labels_by_building: Mapping[str, Mapping[str, int]]) -> None:
@@ -87,6 +112,17 @@ class MultiBuildingFloorService:
         except KeyError:
             raise KeyError(f"no trained model for building {building_id!r}") from None
 
+    def vocabulary_for(self, building_id: str) -> frozenset[str]:
+        try:
+            return self._vocabularies[building_id]
+        except KeyError:
+            raise KeyError(f"no trained model for building {building_id!r}") from None
+
+    @property
+    def vocabularies(self) -> dict[str, frozenset[str]]:
+        """Building vocabularies in registration order (the tie-break order)."""
+        return dict(self._vocabularies)
+
     def identify_building(self, record: SignalRecord) -> tuple[str, float]:
         """Attribute a sample to the building with the largest MAC overlap.
 
@@ -97,6 +133,10 @@ class MultiBuildingFloorService:
         if not self._models:
             raise RuntimeError("no buildings have been trained yet")
         macs = set(record.rss)
+        if not macs:
+            raise UnknownEnvironmentError(
+                f"record {record.record_id!r} carries no RSS readings and "
+                "cannot be attributed to any building")
         best_building, best_overlap = None, 0.0
         for building_id, vocabulary in self._vocabularies.items():
             overlap = len(macs & vocabulary) / len(macs)
@@ -120,5 +160,29 @@ class MultiBuildingFloorService:
                                   distance=prediction.distance)
 
     def predict_batch(self, records: Iterable[SignalRecord]) -> list[BuildingPrediction]:
-        """Predict building + floor for several samples."""
-        return [self.predict(record) for record in records]
+        """Predict building + floor for several samples.
+
+        Records are grouped by attributed building and each group is sent
+        through that model's batched inference path, so per-sample overheads
+        (graph bookkeeping, known-MAC lookups) are paid once per building
+        rather than once per record.  Predictions are identical to calling
+        :meth:`predict` on each record in turn, in the input order.
+        """
+        records = list(records)
+        routed = [self.identify_building(record) for record in records]
+        groups: dict[str, list[int]] = {}
+        for position, (building_id, _) in enumerate(routed):
+            groups.setdefault(building_id, []).append(position)
+
+        results: list[BuildingPrediction | None] = [None] * len(records)
+        for building_id, positions in groups.items():
+            floor_predictions = self._models[building_id].predict_batch(
+                [records[i] for i in positions], independent=True)
+            for position, floor_prediction in zip(positions, floor_predictions):
+                results[position] = BuildingPrediction(
+                    record_id=floor_prediction.record_id,
+                    building_id=building_id,
+                    floor=floor_prediction.floor,
+                    mac_overlap=routed[position][1],
+                    distance=floor_prediction.distance)
+        return results

@@ -1,0 +1,120 @@
+"""Micro-batching of serving requests, bucketed per building.
+
+Per-record inference pays fixed overheads (routing, graph bookkeeping,
+telemetry) for every request.  The batcher coalesces incoming requests into
+per-building batches and releases a batch when either trigger fires:
+
+* **size** — the batch reached ``max_batch_size`` and is released
+  immediately by :meth:`enqueue`;
+* **deadline** — the *oldest* request in the batch has waited
+  ``max_delay_seconds``; :meth:`due` releases such batches, bounding the
+  extra latency any request can pay for the privilege of being batched.
+
+The batcher is deliberately synchronous and clock-injected: the serving
+façade (or an event loop around it) decides when to call :meth:`due`, and
+tests can drive both triggers deterministically with a fake clock.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+__all__ = ["Batch", "MicroBatcher"]
+
+
+@dataclass(frozen=True)
+class Batch:
+    """A released per-building batch and the trigger that released it."""
+
+    building_id: str
+    items: tuple
+    reason: str  # "size" | "deadline" | "drain"
+
+
+@dataclass
+class _Bucket:
+    items: list = field(default_factory=list)
+    oldest_at: float = 0.0
+
+
+class MicroBatcher:
+    """Coalesces per-building work items with size- and deadline-triggered flush."""
+
+    def __init__(self, max_batch_size: int = 32,
+                 max_delay_seconds: float = 0.05,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be at least 1")
+        if max_delay_seconds < 0.0:
+            raise ValueError("max_delay_seconds must be non-negative")
+        self.max_batch_size = max_batch_size
+        self.max_delay_seconds = max_delay_seconds
+        self._clock = clock
+        self._buckets: OrderedDict[str, _Bucket] = OrderedDict()
+        self.enqueued_total = 0
+        self.flushes_by_reason = {"size": 0, "deadline": 0, "drain": 0}
+
+    # ------------------------------------------------------------------ state
+    @property
+    def pending_count(self) -> int:
+        return sum(len(bucket.items) for bucket in self._buckets.values())
+
+    def pending_by_building(self) -> dict[str, int]:
+        return {building_id: len(bucket.items)
+                for building_id, bucket in self._buckets.items()}
+
+    def next_deadline(self) -> float | None:
+        """Absolute clock time at which the oldest pending batch becomes due."""
+        if not self._buckets:
+            return None
+        oldest = min(bucket.oldest_at for bucket in self._buckets.values())
+        return oldest + self.max_delay_seconds
+
+    # ---------------------------------------------------------------- intake
+    def enqueue(self, building_id: str, item: object,
+                now: float | None = None) -> Batch | None:
+        """Add one item; returns the full batch when the size trigger fires."""
+        now = self._clock() if now is None else now
+        bucket = self._buckets.get(building_id)
+        if bucket is None:
+            bucket = _Bucket(oldest_at=now)
+            self._buckets[building_id] = bucket
+        bucket.items.append(item)
+        self.enqueued_total += 1
+        if len(bucket.items) >= self.max_batch_size:
+            return self._release(building_id, "size")
+        return None
+
+    # ---------------------------------------------------------------- release
+    def _release(self, building_id: str, reason: str) -> Batch:
+        bucket = self._buckets.pop(building_id)
+        self.flushes_by_reason[reason] += 1
+        return Batch(building_id=building_id, items=tuple(bucket.items),
+                     reason=reason)
+
+    def due(self, now: float | None = None) -> list[Batch]:
+        """Release every batch whose oldest item has exceeded the deadline."""
+        now = self._clock() if now is None else now
+        expired = [building_id
+                   for building_id, bucket in self._buckets.items()
+                   if now - bucket.oldest_at >= self.max_delay_seconds]
+        return [self._release(building_id, "deadline")
+                for building_id in expired]
+
+    def drain(self) -> list[Batch]:
+        """Release everything that is pending, regardless of triggers."""
+        return [self._release(building_id, "drain")
+                for building_id in list(self._buckets)]
+
+    def evict(self, building_id: str) -> tuple:
+        """Remove and return a building's pending items without flushing them.
+
+        Used when a building disappears from the registry: its queued work
+        can no longer be dispatched and must be handed back to the caller
+        (e.g. to reject the requests) instead of silently vanishing.
+        """
+        bucket = self._buckets.pop(building_id, None)
+        return tuple(bucket.items) if bucket is not None else ()

@@ -1,0 +1,149 @@
+"""Bounded LRU/TTL prediction cache for the serving layer.
+
+Crowdsourced positioning traffic is heavily repetitive: many phones standing
+in the same spot report near-identical RSS vectors.  The cache exploits this
+by keying predictions on a *canonical fingerprint* — the attributed building
+plus the record's MAC set with RSS values quantised to a configurable step —
+so two scans that differ only by sub-quantum RSS noise share one entry.
+
+Entries are evicted least-recently-used once ``max_entries`` is exceeded and
+expire after ``ttl_seconds`` (model hot-swaps additionally invalidate every
+entry of the swapped building).  The clock is injectable so tests can drive
+TTL expiry deterministically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from collections import OrderedDict
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from ..core.types import SignalRecord
+
+__all__ = ["fingerprint_key", "PredictionCache"]
+
+
+def fingerprint_key(building_id: str, record: SignalRecord,
+                    quantum: float = 1.0) -> str:
+    """Canonical cache key for a record attributed to a building.
+
+    The key hashes ``(building, sorted MAC:quantised-RSS pairs)``; the record
+    id deliberately does not participate, so re-submissions of the same
+    physical fingerprint by different requests share a cache entry.
+    """
+    if quantum <= 0.0:
+        raise ValueError("quantum must be positive")
+    parts = [building_id]
+    rss = record.rss
+    for mac in sorted(rss):
+        parts.append(f"{mac}:{round(rss[mac] / quantum)}")
+    return hashlib.sha1("\x1f".join(parts).encode("utf-8")).hexdigest()
+
+
+@dataclass
+class _Entry:
+    value: object
+    building_id: str | None
+    inserted_at: float
+
+
+class PredictionCache:
+    """A bounded LRU cache with optional TTL expiry.
+
+    Parameters
+    ----------
+    max_entries:
+        Hard capacity; inserting beyond it evicts the least recently used
+        entry.
+    ttl_seconds:
+        Entries older than this are treated as absent (and dropped) on
+        lookup.  ``None`` disables expiry.
+    clock:
+        Monotonic time source, injectable for tests.
+    """
+
+    def __init__(self, max_entries: int = 4096,
+                 ttl_seconds: float | None = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be at least 1")
+        if ttl_seconds is not None and ttl_seconds <= 0.0:
+            raise ValueError("ttl_seconds must be positive (or None)")
+        self.max_entries = max_entries
+        self.ttl_seconds = ttl_seconds
+        self._clock = clock
+        self._entries: OrderedDict[str, _Entry] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.expirations = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        entry = self._entries.get(key)
+        return entry is not None and not self._expired(entry)
+
+    def _expired(self, entry: _Entry) -> bool:
+        return (self.ttl_seconds is not None
+                and self._clock() - entry.inserted_at >= self.ttl_seconds)
+
+    # ------------------------------------------------------------------ API
+    def get(self, key: str) -> object | None:
+        """Look up ``key``; counts a hit or miss and refreshes LRU order."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        if self._expired(entry):
+            del self._entries[key]
+            self.expirations += 1
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry.value
+
+    def put(self, key: str, value: object,
+            building_id: str | None = None) -> None:
+        """Insert or refresh an entry, evicting LRU entries past capacity."""
+        self._entries[key] = _Entry(value=value, building_id=building_id,
+                                    inserted_at=self._clock())
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def invalidate_building(self, building_id: str) -> int:
+        """Drop every entry cached for ``building_id`` (model hot swap)."""
+        stale = [key for key, entry in self._entries.items()
+                 if entry.building_id == building_id]
+        for key in stale:
+            del self._entries[key]
+        self.invalidations += len(stale)
+        return len(stale)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    # ----------------------------------------------------------- statistics
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def stats(self) -> dict[str, float | int]:
+        return {
+            "entries": len(self._entries),
+            "max_entries": self.max_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hit_rate, 4),
+            "evictions": self.evictions,
+            "expirations": self.expirations,
+            "invalidations": self.invalidations,
+        }

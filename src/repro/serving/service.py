@@ -1,0 +1,370 @@
+"""The serving façade: router → cache → batcher → per-building engines.
+
+:class:`FloorServingService` wraps a :class:`MultiBuildingFloorService`
+registry with the production plumbing the research pipeline lacks:
+
+* **routing** — building attribution via the O(|record.rss|) inverted MAC
+  index (:mod:`repro.serving.router`), kept exactly equivalent to the
+  registry's reference linear scan;
+* **caching** — a bounded LRU/TTL prediction cache keyed on the canonical
+  quantised fingerprint (:mod:`repro.serving.cache`);
+* **micro-batching** — an asynchronous ``submit``/``poll``/``drain`` intake
+  that coalesces requests into per-building batches with size- and
+  deadline-triggered dispatch (:mod:`repro.serving.batcher`);
+* **telemetry** — counters and latency histograms for every stage
+  (:mod:`repro.serving.telemetry`);
+* **hot swap** — per-building retrain-and-replace through the persistence
+  layer, atomic with respect to concurrent serving calls.
+
+The synchronous :meth:`predict` / :meth:`predict_batch` path computes
+predictions identical to the sequential
+``MultiBuildingFloorService.predict`` reference — per-record incremental
+embedding is deterministic and independent of batch composition — which is
+what makes the cache and the grouped dispatch safe to layer on top.  The
+one deliberate deviation: with caching enabled, records that agree on the
+quantised fingerprint (RSS rounded to ``rss_quantum``) share one cached
+prediction instead of each being recomputed.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Callable, Iterable, Mapping, Sequence
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+from ..core.inference import UnknownEnvironmentError
+from ..core.persistence import _atomic_save_model, load_model
+from ..core.pipeline import GRAFICS, GraficsConfig
+from ..core.registry import BuildingPrediction, MultiBuildingFloorService
+from ..core.types import FingerprintDataset, SignalRecord
+from .batcher import Batch, MicroBatcher
+from .cache import PredictionCache, fingerprint_key
+from .router import MacInvertedRouter
+from .telemetry import ServingTelemetry
+
+__all__ = ["ServingConfig", "ServingResult", "FloorServingService"]
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Tunables of the serving stack."""
+
+    max_batch_size: int = 32
+    max_delay_seconds: float = 0.05
+    cache_entries: int = 4096
+    cache_ttl_seconds: float | None = None
+    rss_quantum: float = 1.0
+    enable_cache: bool = True
+
+    def __post_init__(self) -> None:
+        # The other fields are validated by the components they configure;
+        # the quantum would otherwise only fail on the first cached lookup.
+        if self.rss_quantum <= 0.0:
+            raise ValueError("rss_quantum must be positive")
+
+
+@dataclass(frozen=True)
+class ServingResult:
+    """Outcome of one asynchronously submitted request."""
+
+    record_id: str
+    prediction: BuildingPrediction | None
+    source: str  # "cache" | "batch" | "rejected"
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.prediction is not None
+
+
+class FloorServingService:
+    """Production serving stack over a multi-building GRAFICS registry."""
+
+    def __init__(self, registry: MultiBuildingFloorService | None = None,
+                 config: ServingConfig | None = None,
+                 grafics_config: GraficsConfig | None = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.registry = registry or MultiBuildingFloorService(grafics_config)
+        self.config = config or ServingConfig()
+        self._clock = clock
+        self._lock = threading.RLock()
+        self.router = MacInvertedRouter.from_vocabularies(
+            self.registry.vocabularies, min_overlap=self.registry.min_overlap)
+        self.cache = PredictionCache(max_entries=self.config.cache_entries,
+                                     ttl_seconds=self.config.cache_ttl_seconds,
+                                     clock=clock)
+        self.batcher = MicroBatcher(max_batch_size=self.config.max_batch_size,
+                                    max_delay_seconds=self.config.max_delay_seconds,
+                                    clock=clock)
+        self.telemetry = ServingTelemetry(clock=clock)
+        self._completed: list[ServingResult] = []
+
+    # ----------------------------------------------------- building lifecycle
+    @property
+    def building_ids(self) -> list[str]:
+        return self.registry.building_ids
+
+    def fit_building(self, dataset: FingerprintDataset,
+                     labels: Mapping[str, int]) -> GRAFICS:
+        """Train a building in place and register it for routing."""
+        with self._lock:
+            model = self.registry.fit_building(dataset, labels)
+            self._register(dataset.building_id)
+            return model
+
+    def fit_corpus(self, datasets: Iterable[FingerprintDataset],
+                   labels_by_building: Mapping[str, Mapping[str, int]]) -> None:
+        for dataset in datasets:
+            try:
+                labels = labels_by_building[dataset.building_id]
+            except KeyError:
+                raise ValueError(
+                    f"no labels provided for building {dataset.building_id!r}"
+                ) from None
+            self.fit_building(dataset, labels)
+
+    def install_building(self, building_id: str, model: GRAFICS,
+                         vocabulary: Iterable[str] | None = None) -> None:
+        """Atomically (re)place a building's model — the hot-swap primitive.
+
+        The registry entry, the router index and the cache are updated under
+        one lock, so a concurrent ``predict`` sees either the old model or
+        the new one, never a mix.  Requests already queued for the building
+        were routed against the old vocabulary; they are re-routed against
+        the new one (and re-queued, dispatched or rejected accordingly), so
+        no dispatched result ever pairs the new model's prediction with a
+        stale pre-swap routing decision.
+        """
+        with self._lock:
+            self.registry.install_model(building_id, model,
+                                        vocabulary=vocabulary)
+            self.router.add_building(building_id,
+                                     self.registry.vocabulary_for(building_id))
+            self.cache.invalidate_building(building_id)
+            self.telemetry.increment("hot_swaps_total")
+            for record, _, _ in self.batcher.evict(building_id):
+                result = self._route_and_enqueue(record)
+                if result is not None:
+                    self._completed.append(result)
+
+    def load_building(self, building_id: str, path: str | Path) -> GRAFICS:
+        """Hot-swap a building from a model saved via the persistence layer."""
+        model = load_model(path)
+        self.install_building(building_id, model)
+        return model
+
+    def retrain_building(self, dataset: FingerprintDataset,
+                         labels: Mapping[str, int],
+                         model_path: str | Path | None = None) -> GRAFICS:
+        """Retrain one building off to the side, then hot-swap it in.
+
+        Training happens on a fresh :class:`GRAFICS` instance, so the live
+        model keeps serving until the replacement is ready.  When
+        ``model_path`` is given the new model is round-tripped through
+        :func:`save_model`/:func:`load_model` (written to a temporary file
+        and atomically renamed), so what goes live is exactly what a later
+        restart would load from disk.
+        """
+        with self.telemetry.time("retrain_seconds"):
+            model = GRAFICS(self.registry.config)
+            model.fit(dataset, labels)
+            if model_path is not None:
+                model_path = Path(model_path)
+                _atomic_save_model(model, model_path)
+                model = load_model(model_path)
+        self.install_building(dataset.building_id, model,
+                              vocabulary=frozenset(dataset.macs))
+        return model
+
+    def evict_building(self, building_id: str) -> None:
+        """Remove a building from serving entirely.
+
+        Requests already queued for the building can no longer be served;
+        they surface from the next :meth:`poll`/:meth:`drain` as rejected
+        results rather than crashing the dispatch or vanishing.
+        """
+        with self._lock:
+            self.registry.remove_building(building_id)
+            self.router.remove_building(building_id)
+            self.cache.invalidate_building(building_id)
+            for record, _, _ in self.batcher.evict(building_id):
+                self.telemetry.increment("rejections_total")
+                self._completed.append(ServingResult(
+                    record_id=record.record_id, prediction=None,
+                    source="rejected",
+                    error=f"building {building_id!r} was evicted before the "
+                          "request was dispatched"))
+
+    def _register(self, building_id: str) -> None:
+        self.router.add_building(building_id,
+                                 self.registry.vocabulary_for(building_id))
+        self.cache.invalidate_building(building_id)
+
+    # ------------------------------------------------------ synchronous path
+    def predict(self, record: SignalRecord) -> BuildingPrediction:
+        """Route, consult the cache and predict one sample synchronously."""
+        return self.predict_batch([record])[0]
+
+    def predict_batch(self, records: Sequence[SignalRecord]) -> list[BuildingPrediction]:
+        """Predict several samples, grouped per attributed building.
+
+        Every prediction actually computed is identical to the sequential
+        ``MultiBuildingFloorService.predict`` reference path, in input
+        order; with the cache enabled, a record whose *quantised* fingerprint
+        (RSS rounded to ``rss_quantum``) matches a cached entry is served
+        that entry instead of being recomputed — exact re-submissions always
+        get the identical prediction, while records differing only by
+        sub-quantum RSS noise deliberately share one.  Set
+        ``enable_cache=False`` (or shrink ``rss_quantum``) for strict
+        per-record recomputation.  Raises :class:`UnknownEnvironmentError`
+        on the first record that cannot be attributed, mirroring the
+        reference.
+        """
+        records = list(records)
+        with self._lock, self.telemetry.time("request_seconds"):
+            self.telemetry.increment("requests_total", len(records))
+            routed = []
+            for record in records:
+                try:
+                    routed.append(self.router.route(record))
+                except UnknownEnvironmentError:
+                    self.telemetry.increment("rejections_total")
+                    raise
+
+            results: list[BuildingPrediction | None] = [None] * len(records)
+            misses: dict[str, list[int]] = {}
+            keys: list[str | None] = [None] * len(records)
+            for position, (record, decision) in enumerate(zip(records, routed)):
+                if self.config.enable_cache:
+                    key = fingerprint_key(decision.building_id, record,
+                                          quantum=self.config.rss_quantum)
+                    keys[position] = key
+                    cached = self.cache.get(key)
+                    if cached is not None:
+                        self.telemetry.increment("cache_hits_total")
+                        results[position] = replace(cached,
+                                                    record_id=record.record_id)
+                        continue
+                    self.telemetry.increment("cache_misses_total")
+                misses.setdefault(decision.building_id, []).append(position)
+
+            for building_id, positions in misses.items():
+                batch = [records[i] for i in positions]
+                with self.telemetry.time("batch_seconds"):
+                    floor_predictions = self.registry.model_for(
+                        building_id).predict_batch(batch, independent=True)
+                self.telemetry.increment("batches_total")
+                self.telemetry.increment("batched_records_total", len(batch))
+                for position, floor_prediction in zip(positions,
+                                                      floor_predictions):
+                    prediction = BuildingPrediction(
+                        record_id=floor_prediction.record_id,
+                        building_id=building_id,
+                        floor=floor_prediction.floor,
+                        mac_overlap=routed[position].overlap,
+                        distance=floor_prediction.distance)
+                    results[position] = prediction
+                    if self.config.enable_cache:
+                        self.cache.put(keys[position], prediction,
+                                       building_id=building_id)
+
+            self.telemetry.increment("predictions_total", len(records))
+            return results
+
+    # ---------------------------------------------------- micro-batched path
+    def submit(self, record: SignalRecord) -> ServingResult | None:
+        """Submit one request to the micro-batching intake.
+
+        Returns immediately with a :class:`ServingResult` when the request
+        is served from cache or rejected; returns ``None`` when it was
+        queued (its result will surface from :meth:`poll` or
+        :meth:`drain`).  A size-triggered batch is dispatched inline.
+        """
+        with self._lock:
+            self.telemetry.increment("requests_total")
+            return self._route_and_enqueue(record)
+
+    def _route_and_enqueue(self, record: SignalRecord) -> ServingResult | None:
+        """Route one record through cache/batcher; result if served/rejected."""
+        try:
+            decision = self.router.route(record)
+        except UnknownEnvironmentError as error:
+            self.telemetry.increment("rejections_total")
+            return ServingResult(record_id=record.record_id,
+                                 prediction=None, source="rejected",
+                                 error=str(error))
+
+        key = None
+        if self.config.enable_cache:
+            key = fingerprint_key(decision.building_id, record,
+                                  quantum=self.config.rss_quantum)
+            cached = self.cache.get(key)
+            if cached is not None:
+                self.telemetry.increment("cache_hits_total")
+                self.telemetry.increment("predictions_total")
+                return ServingResult(
+                    record_id=record.record_id,
+                    prediction=replace(cached, record_id=record.record_id),
+                    source="cache")
+            self.telemetry.increment("cache_misses_total")
+
+        full = self.batcher.enqueue(decision.building_id,
+                                    (record, decision, key))
+        if full is not None:
+            self._dispatch(full)
+        return None
+
+    def poll(self) -> list[ServingResult]:
+        """Dispatch deadline-expired batches and collect finished results."""
+        with self._lock:
+            for batch in self.batcher.due():
+                self._dispatch(batch)
+            completed, self._completed = self._completed, []
+            return completed
+
+    def drain(self) -> list[ServingResult]:
+        """Flush every pending batch and collect all finished results."""
+        with self._lock:
+            for batch in self.batcher.drain():
+                self._dispatch(batch)
+            completed, self._completed = self._completed, []
+            return completed
+
+    @property
+    def pending_count(self) -> int:
+        return self.batcher.pending_count
+
+    def _dispatch(self, batch: Batch) -> None:
+        """Run one per-building batch through the engine and buffer results."""
+        records = [record for record, _, _ in batch.items]
+        with self.telemetry.time("batch_seconds"):
+            floor_predictions = self.registry.model_for(
+                batch.building_id).predict_batch(records, independent=True)
+        self.telemetry.increment("batches_total")
+        self.telemetry.increment("batched_records_total", len(records))
+        self.telemetry.increment(f"batch_flush_{batch.reason}_total")
+        self.telemetry.increment("predictions_total", len(records))
+        for (record, decision, key), floor_prediction in zip(batch.items,
+                                                             floor_predictions):
+            prediction = BuildingPrediction(
+                record_id=floor_prediction.record_id,
+                building_id=batch.building_id,
+                floor=floor_prediction.floor,
+                mac_overlap=decision.overlap,
+                distance=floor_prediction.distance)
+            if self.config.enable_cache and key is not None:
+                self.cache.put(key, prediction, building_id=batch.building_id)
+            self._completed.append(ServingResult(record_id=record.record_id,
+                                                 prediction=prediction,
+                                                 source="batch"))
+
+    # ---------------------------------------------------------- observability
+    def telemetry_snapshot(self) -> dict[str, object]:
+        """Telemetry counters/latencies plus cache and batcher gauges."""
+        snapshot = self.telemetry.snapshot()
+        snapshot["cache"] = self.cache.stats()
+        snapshot["pending"] = self.batcher.pending_by_building()
+        snapshot["buildings"] = len(self.registry.building_ids)
+        return snapshot

@@ -1,0 +1,133 @@
+"""Serving telemetry: latency histograms, throughput counters, snapshots.
+
+Everything the serving façade observes — request counts, cache hit rates,
+batch flushes, rejections, per-stage latencies — funnels through one
+:class:`ServingTelemetry` instance whose :meth:`~ServingTelemetry.snapshot`
+returns a plain nested dict, ready for a metrics endpoint, a log line or a
+benchmark table.  Histograms use fixed exponential bucket bounds so memory
+stays constant no matter how much traffic flows through.
+"""
+
+from __future__ import annotations
+
+import bisect
+import time
+from collections.abc import Callable, Sequence
+from contextlib import contextmanager
+
+__all__ = ["LatencyHistogram", "ServingTelemetry"]
+
+#: Exponential bucket upper bounds in seconds (250µs … ~8s), tuned for the
+#: online-inference latencies measured by ``bench_online_inference``.
+_DEFAULT_BOUNDS = (0.00025, 0.0005, 0.001, 0.002, 0.004, 0.008, 0.016,
+                   0.032, 0.064, 0.128, 0.256, 0.512, 1.024, 2.048, 4.096,
+                   8.192)
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram with conservative percentile estimates."""
+
+    def __init__(self, bounds: Sequence[float] = _DEFAULT_BOUNDS) -> None:
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError("bounds must be a non-empty ascending sequence")
+        self.bounds = tuple(float(b) for b in bounds)
+        # One extra overflow bucket for observations above the last bound.
+        self._counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+
+    def record(self, seconds: float) -> None:
+        if seconds < 0.0:
+            raise ValueError("latency cannot be negative")
+        bucket = bisect.bisect_left(self.bounds, seconds)
+        self._counts[bucket] += 1
+        self.count += 1
+        self.total += seconds
+        self.min = min(self.min, seconds)
+        self.max = max(self.max, seconds)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Upper bound of the bucket holding the ``q``-quantile observation.
+
+        Conservative (never under-reports); the overflow bucket reports the
+        exact observed maximum.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = max(1, int(round(q * self.count)))
+        cumulative = 0
+        for bucket, count in enumerate(self._counts):
+            cumulative += count
+            if cumulative >= rank:
+                if bucket < len(self.bounds):
+                    return self.bounds[bucket]
+                return self.max
+        return self.max
+
+    def snapshot(self) -> dict[str, float | int]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min if self.count else 0.0,
+            "max": self.max,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
+        }
+
+
+class ServingTelemetry:
+    """Counters plus named latency histograms behind one ``snapshot()``."""
+
+    def __init__(self, clock: Callable[[], float] = time.monotonic) -> None:
+        self._clock = clock
+        self._counters: dict[str, int] = {}
+        self._histograms: dict[str, LatencyHistogram] = {}
+        self._started_at = clock()
+
+    # --------------------------------------------------------------- counters
+    def increment(self, name: str, amount: int = 1) -> None:
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def counter(self, name: str) -> int:
+        return self._counters.get(name, 0)
+
+    # ------------------------------------------------------------- histograms
+    def histogram(self, name: str) -> LatencyHistogram:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = LatencyHistogram()
+        return histogram
+
+    def observe(self, name: str, seconds: float) -> None:
+        self.histogram(name).record(seconds)
+
+    @contextmanager
+    def time(self, name: str):
+        """Context manager recording the elapsed time into ``name``."""
+        started = self._clock()
+        try:
+            yield
+        finally:
+            self.observe(name, self._clock() - started)
+
+    # ---------------------------------------------------------------- export
+    def snapshot(self) -> dict[str, object]:
+        """A plain-dict view of every counter and histogram, plus uptime."""
+        uptime = self._clock() - self._started_at
+        predictions = self._counters.get("predictions_total", 0)
+        return {
+            "uptime_seconds": uptime,
+            "throughput_rps": predictions / uptime if uptime > 0 else 0.0,
+            "counters": dict(sorted(self._counters.items())),
+            "latency": {name: histogram.snapshot()
+                        for name, histogram in sorted(self._histograms.items())},
+        }

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro import GRAFICS, GraficsConfig, EmbeddingConfig, UnknownEnvironmentError
-from repro.core.persistence import load_model, save_model
+from repro.core.persistence import load_model, load_registry, save_model, save_registry
 from repro.core.registry import MultiBuildingFloorService
 from repro.core.weighting import PowerWeight
 from repro.data import make_experiment_split, sample_labels, small_test_building
@@ -68,24 +68,25 @@ class TestPersistence:
             save_model(model, tmp_path / "custom.npz")
 
 
-class TestMultiBuildingFloorService:
-    @pytest.fixture(scope="class")
-    def service(self):
-        config = GraficsConfig(
-            embedding=EmbeddingConfig(samples_per_edge=40.0, seed=0))
-        service = MultiBuildingFloorService(config)
-        held_out = {}
-        for building_id, seed in (("bldg-east", 31), ("bldg-west", 32)):
-            dataset = small_test_building(num_floors=3, records_per_floor=40,
-                                          aps_per_floor=20, seed=seed,
-                                          building_id=building_id)
-            split = make_experiment_split(dataset, labels_per_floor=4, seed=0)
-            training = dataset.subset(split.train_records)
-            service.fit_building(training, split.labels)
-            held_out[building_id] = list(split.test_records)
-        service._held_out = held_out  # stashed for the tests below
-        return service
+@pytest.fixture(scope="module")
+def service():
+    config = GraficsConfig(
+        embedding=EmbeddingConfig(samples_per_edge=40.0, seed=0))
+    service = MultiBuildingFloorService(config)
+    held_out = {}
+    for building_id, seed in (("bldg-east", 31), ("bldg-west", 32)):
+        dataset = small_test_building(num_floors=3, records_per_floor=40,
+                                      aps_per_floor=20, seed=seed,
+                                      building_id=building_id)
+        split = make_experiment_split(dataset, labels_per_floor=4, seed=0)
+        training = dataset.subset(split.train_records)
+        service.fit_building(training, split.labels)
+        held_out[building_id] = list(split.test_records)
+    service._held_out = held_out  # stashed for the tests below
+    return service
 
+
+class TestMultiBuildingFloorService:
     def test_min_overlap_validation(self):
         with pytest.raises(ValueError):
             MultiBuildingFloorService(min_overlap=0.0)
@@ -143,3 +144,91 @@ class TestMultiBuildingFloorService:
         predictions = service.predict_batch(probes)
         assert len(predictions) == 4
         assert all(p.building_id == "bldg-east" for p in predictions)
+
+    def test_empty_rss_record_rejected_not_crashing(self, service):
+        """Regression: an empty-RSS record used to ZeroDivisionError in
+        identify_building; it must be rejected as an unknown environment."""
+        from repro import SignalRecord
+
+        probe = SignalRecord(record_id="hollow", rss={"m": -50.0})
+        probe.rss.clear()  # defeat the constructor's non-empty validation
+        with pytest.raises(UnknownEnvironmentError, match="no RSS readings"):
+            service.identify_building(probe)
+        with pytest.raises(UnknownEnvironmentError, match="no RSS readings"):
+            service.predict(probe)
+
+    def test_grouped_predict_batch_matches_sequential(self, service):
+        """Satellite: the grouped batch path must reproduce per-record
+        ``predict`` exactly, for an interleaved multi-building stream."""
+        east = service._held_out["bldg-east"][:5]
+        west = service._held_out["bldg-west"][:5]
+        probes = [r.without_floor()
+                  for pair in zip(east, west) for r in pair]
+        sequential = [service.predict(record) for record in probes]
+        assert service.predict_batch(probes) == sequential
+
+    def test_install_model_requires_fitted(self):
+        service = MultiBuildingFloorService()
+        with pytest.raises(ValueError, match="unfitted"):
+            service.install_model("b", GRAFICS())
+
+    def test_remove_building(self, service):
+        scratch = MultiBuildingFloorService(service.config)
+        for building_id in service.building_ids:
+            scratch.install_model(building_id, service.model_for(building_id),
+                                  vocabulary=service.vocabulary_for(building_id))
+        scratch.remove_building("bldg-east")
+        assert scratch.building_ids == ["bldg-west"]
+        with pytest.raises(KeyError):
+            scratch.remove_building("bldg-east")
+
+
+class TestRegistryPersistence:
+    def test_round_trip_preserves_service(self, service, tmp_path):
+        directory = tmp_path / "registry"
+        save_registry(service, directory)
+        restored = load_registry(directory)
+
+        assert restored.building_ids == service.building_ids
+        assert restored.min_overlap == service.min_overlap
+        # Registration (tie-break) order survives the round trip.
+        assert list(restored.vocabularies) == list(service.vocabularies)
+        assert restored.vocabularies == service.vocabularies
+
+        for building_id, records in service._held_out.items():
+            probes = [r.without_floor() for r in records[:3]]
+            original = service.predict_batch(probes)
+            reloaded = restored.predict_batch(probes)
+            assert [p.building_id for p in reloaded] == \
+                [p.building_id for p in original]
+            assert [p.mac_overlap for p in reloaded] == \
+                [p.mac_overlap for p in original]
+            floors_agree = np.mean([a.floor == b.floor
+                                    for a, b in zip(original, reloaded)])
+            assert floors_agree >= 0.6
+
+    def test_missing_manifest_rejected(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_registry(tmp_path)
+
+    def test_resave_after_reorder_keeps_models_with_their_buildings(
+            self, service, tmp_path):
+        """Model files are named by building id, so overwriting a registry
+        whose registration order changed can never file one building's
+        model under another building's id."""
+        directory = tmp_path / "registry"
+        save_registry(service, directory)
+
+        reordered = MultiBuildingFloorService(service.config,
+                                              min_overlap=service.min_overlap)
+        for building_id in reversed(service.building_ids):
+            reordered.install_model(building_id,
+                                    service.model_for(building_id),
+                                    vocabulary=service.vocabulary_for(building_id))
+        save_registry(reordered, directory)
+
+        restored = load_registry(directory)
+        assert list(restored.vocabularies) == list(reordered.vocabularies)
+        for building_id, records in service._held_out.items():
+            probe = records[0].without_floor()
+            assert restored.predict(probe).building_id == building_id

@@ -1,0 +1,48 @@
+"""Shared fixtures for the serving-subsystem tests.
+
+The two-building registry is expensive (two GRAFICS trainings), so it is
+session scoped and treated as read-only; tests that need to mutate a
+registry (hot swap, eviction) clone it via
+``serving_helpers.clone_registry``, which shares the trained models but not
+the registration bookkeeping.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from serving_helpers import FakeClock  # noqa: E402
+
+from repro import GraficsConfig, EmbeddingConfig  # noqa: E402
+from repro.core.registry import MultiBuildingFloorService  # noqa: E402
+from repro.data import make_experiment_split, small_test_building  # noqa: E402
+
+
+@pytest.fixture()
+def fake_clock() -> FakeClock:
+    return FakeClock()
+
+
+@pytest.fixture(scope="session")
+def serving_corpus():
+    """Two trained buildings plus their held-out probes and training data."""
+    config = GraficsConfig(
+        embedding=EmbeddingConfig(samples_per_edge=40.0, seed=0))
+    registry = MultiBuildingFloorService(config)
+    held_out = {}
+    training = {}
+    for building_id, seed in (("bldg-north", 41), ("bldg-south", 42)):
+        dataset = small_test_building(num_floors=3, records_per_floor=40,
+                                      aps_per_floor=20, seed=seed,
+                                      building_id=building_id)
+        split = make_experiment_split(dataset, labels_per_floor=4, seed=0)
+        registry.fit_building(dataset.subset(split.train_records), split.labels)
+        held_out[building_id] = [r.without_floor() for r in split.test_records]
+        training[building_id] = (dataset.subset(split.train_records),
+                                 split.labels)
+    return registry, held_out, training

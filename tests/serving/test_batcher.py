@@ -1,0 +1,101 @@
+"""Micro-batcher tests: size trigger, deadline trigger, drain, bookkeeping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serving import MicroBatcher
+
+from serving_helpers import FakeClock
+
+
+class TestValidation:
+    def test_max_batch_size_validated(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(max_batch_size=0)
+
+    def test_max_delay_validated(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(max_delay_seconds=-1.0)
+
+
+class TestSizeTrigger:
+    def test_batch_released_at_max_size(self):
+        batcher = MicroBatcher(max_batch_size=3, max_delay_seconds=10.0,
+                               clock=FakeClock())
+        assert batcher.enqueue("east", "r1") is None
+        assert batcher.enqueue("east", "r2") is None
+        batch = batcher.enqueue("east", "r3")
+        assert batch is not None
+        assert batch.building_id == "east"
+        assert batch.items == ("r1", "r2", "r3")
+        assert batch.reason == "size"
+        assert batcher.pending_count == 0
+        assert batcher.flushes_by_reason["size"] == 1
+
+    def test_buildings_batch_independently(self):
+        batcher = MicroBatcher(max_batch_size=2, max_delay_seconds=10.0,
+                               clock=FakeClock())
+        assert batcher.enqueue("east", "e1") is None
+        assert batcher.enqueue("west", "w1") is None
+        assert batcher.pending_by_building() == {"east": 1, "west": 1}
+        batch = batcher.enqueue("east", "e2")
+        assert batch.building_id == "east"
+        assert batcher.pending_by_building() == {"west": 1}
+
+
+class TestDeadlineTrigger:
+    def test_due_after_max_delay(self):
+        clock = FakeClock()
+        batcher = MicroBatcher(max_batch_size=10, max_delay_seconds=0.05,
+                               clock=clock)
+        batcher.enqueue("east", "r1")
+        clock.advance(0.02)
+        batcher.enqueue("east", "r2")
+        assert batcher.due() == []  # oldest item is only 0.02s old
+        clock.advance(0.03)  # oldest item now exactly at the deadline
+        batches = batcher.due()
+        assert len(batches) == 1
+        assert batches[0].items == ("r1", "r2")
+        assert batches[0].reason == "deadline"
+        assert batcher.flushes_by_reason["deadline"] == 1
+
+    def test_deadline_counts_from_oldest_item(self):
+        clock = FakeClock()
+        batcher = MicroBatcher(max_batch_size=10, max_delay_seconds=0.05,
+                               clock=clock)
+        batcher.enqueue("east", "r1")
+        clock.advance(0.04)
+        # A fresh arrival must not reset the oldest item's deadline.
+        batcher.enqueue("east", "r2")
+        clock.advance(0.01)
+        assert len(batcher.due()) == 1
+
+    def test_next_deadline(self):
+        clock = FakeClock(start=100.0)
+        batcher = MicroBatcher(max_batch_size=10, max_delay_seconds=0.05,
+                               clock=clock)
+        assert batcher.next_deadline() is None
+        batcher.enqueue("east", "r1")
+        assert batcher.next_deadline() == pytest.approx(100.05)
+
+
+class TestDrain:
+    def test_drain_releases_everything(self):
+        batcher = MicroBatcher(max_batch_size=10, max_delay_seconds=10.0,
+                               clock=FakeClock())
+        batcher.enqueue("east", "e1")
+        batcher.enqueue("west", "w1")
+        batcher.enqueue("west", "w2")
+        batches = {b.building_id: b for b in batcher.drain()}
+        assert batches["east"].items == ("e1",)
+        assert batches["west"].items == ("w1", "w2")
+        assert all(b.reason == "drain" for b in batches.values())
+        assert batcher.pending_count == 0
+        assert batcher.drain() == []
+
+    def test_enqueued_total(self):
+        batcher = MicroBatcher(max_batch_size=10, clock=FakeClock())
+        batcher.enqueue("east", "e1")
+        batcher.enqueue("east", "e2")
+        assert batcher.enqueued_total == 2

@@ -1,0 +1,110 @@
+"""Prediction-cache tests: fingerprints, LRU eviction, TTL expiry, stats."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SignalRecord
+from repro.serving import PredictionCache, fingerprint_key
+
+from serving_helpers import FakeClock
+
+
+def record(record_id: str, rss: dict) -> SignalRecord:
+    return SignalRecord(record_id=record_id, rss=rss)
+
+
+class TestFingerprintKey:
+    def test_mac_order_is_canonicalised(self):
+        a = record("a", {"m1": -50.0, "m2": -60.0})
+        b = record("b", {"m2": -60.0, "m1": -50.0})
+        assert fingerprint_key("bldg", a) == fingerprint_key("bldg", b)
+
+    def test_record_id_does_not_participate(self):
+        a = record("user-1", {"m1": -50.0})
+        b = record("user-2", {"m1": -50.0})
+        assert fingerprint_key("bldg", a) == fingerprint_key("bldg", b)
+
+    def test_quantisation_merges_subquantum_noise(self):
+        a = record("a", {"m1": -50.2})
+        b = record("b", {"m1": -49.9})
+        c = record("c", {"m1": -50.6})
+        assert fingerprint_key("bldg", a, quantum=1.0) == \
+            fingerprint_key("bldg", b, quantum=1.0)
+        assert fingerprint_key("bldg", a, quantum=1.0) != \
+            fingerprint_key("bldg", c, quantum=1.0)
+
+    def test_building_distinguishes_keys(self):
+        a = record("a", {"m1": -50.0})
+        assert fingerprint_key("east", a) != fingerprint_key("west", a)
+
+    def test_invalid_quantum_rejected(self):
+        with pytest.raises(ValueError):
+            fingerprint_key("bldg", record("a", {"m1": -50.0}), quantum=0.0)
+
+
+class TestPredictionCache:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PredictionCache(max_entries=0)
+        with pytest.raises(ValueError):
+            PredictionCache(ttl_seconds=0.0)
+
+    def test_hit_and_miss_counters(self):
+        cache = PredictionCache(max_entries=4)
+        assert cache.get("k") is None
+        cache.put("k", "value")
+        assert cache.get("k") == "value"
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_lru_eviction_order(self):
+        cache = PredictionCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refreshes "a"; "b" is now LRU
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1 and cache.get("c") == 3
+        assert cache.evictions == 1
+        assert len(cache) == 2
+
+    def test_ttl_expiry(self):
+        clock = FakeClock()
+        cache = PredictionCache(max_entries=4, ttl_seconds=10.0, clock=clock)
+        cache.put("k", "value")
+        clock.advance(9.99)
+        assert cache.get("k") == "value"
+        clock.advance(0.02)
+        assert cache.get("k") is None
+        assert cache.expirations == 1
+        assert "k" not in cache
+
+    def test_put_refreshes_ttl(self):
+        clock = FakeClock()
+        cache = PredictionCache(max_entries=4, ttl_seconds=10.0, clock=clock)
+        cache.put("k", "old")
+        clock.advance(8.0)
+        cache.put("k", "new")
+        clock.advance(8.0)
+        assert cache.get("k") == "new"
+
+    def test_invalidate_building(self):
+        cache = PredictionCache(max_entries=8)
+        cache.put("k1", 1, building_id="east")
+        cache.put("k2", 2, building_id="west")
+        cache.put("k3", 3, building_id="east")
+        assert cache.invalidate_building("east") == 2
+        assert cache.get("k1") is None and cache.get("k3") is None
+        assert cache.get("k2") == 2
+        assert cache.invalidations == 2
+
+    def test_stats_snapshot(self):
+        cache = PredictionCache(max_entries=8)
+        cache.put("k", 1)
+        cache.get("k")
+        cache.get("missing")
+        stats = cache.stats()
+        assert stats["entries"] == 1
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["hit_rate"] == pytest.approx(0.5)

@@ -1,0 +1,82 @@
+"""Telemetry tests: counters, histograms, timing and snapshot export."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serving import LatencyHistogram, ServingTelemetry
+
+from serving_helpers import FakeClock
+
+
+class TestLatencyHistogram:
+    def test_bounds_validated(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram(bounds=[])
+        with pytest.raises(ValueError):
+            LatencyHistogram(bounds=[0.2, 0.1])
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().record(-0.1)
+
+    def test_empty_snapshot(self):
+        snapshot = LatencyHistogram().snapshot()
+        assert snapshot["count"] == 0
+        assert snapshot["p50"] == 0.0
+        assert snapshot["min"] == 0.0
+
+    def test_counts_and_mean(self):
+        histogram = LatencyHistogram(bounds=[0.01, 0.1, 1.0])
+        for value in (0.005, 0.05, 0.5):
+            histogram.record(value)
+        assert histogram.count == 3
+        assert histogram.mean == pytest.approx(0.185)
+        assert histogram.min == pytest.approx(0.005)
+        assert histogram.max == pytest.approx(0.5)
+
+    def test_percentiles_are_monotone_and_conservative(self):
+        histogram = LatencyHistogram(bounds=[0.01, 0.1, 1.0])
+        for _ in range(98):
+            histogram.record(0.005)
+        histogram.record(0.5)
+        histogram.record(0.05)
+        p50, p95, p99 = (histogram.percentile(q) for q in (0.5, 0.95, 0.99))
+        assert p50 <= p95 <= p99
+        assert p50 == pytest.approx(0.01)   # bucket upper bound >= true 0.005
+        assert p99 == pytest.approx(0.1)
+
+    def test_overflow_bucket_reports_observed_max(self):
+        histogram = LatencyHistogram(bounds=[0.01])
+        histogram.record(7.5)
+        assert histogram.percentile(0.99) == pytest.approx(7.5)
+
+
+class TestServingTelemetry:
+    def test_counters(self):
+        telemetry = ServingTelemetry(clock=FakeClock())
+        telemetry.increment("requests_total")
+        telemetry.increment("requests_total", 4)
+        assert telemetry.counter("requests_total") == 5
+        assert telemetry.counter("never-touched") == 0
+
+    def test_time_context_manager_uses_injected_clock(self):
+        clock = FakeClock()
+        telemetry = ServingTelemetry(clock=clock)
+        with telemetry.time("request_seconds"):
+            clock.advance(0.25)
+        histogram = telemetry.histogram("request_seconds")
+        assert histogram.count == 1
+        assert histogram.total == pytest.approx(0.25)
+
+    def test_snapshot_structure_and_throughput(self):
+        clock = FakeClock()
+        telemetry = ServingTelemetry(clock=clock)
+        telemetry.increment("predictions_total", 50)
+        telemetry.observe("request_seconds", 0.002)
+        clock.advance(10.0)
+        snapshot = telemetry.snapshot()
+        assert snapshot["uptime_seconds"] == pytest.approx(10.0)
+        assert snapshot["throughput_rps"] == pytest.approx(5.0)
+        assert snapshot["counters"]["predictions_total"] == 50
+        assert snapshot["latency"]["request_seconds"]["count"] == 1
