@@ -1,0 +1,195 @@
+"""Streaming-subsystem benchmark: ingestion throughput and swap latency.
+
+Two measurements back the continuous-learning layer:
+
+1. **Ingestion** — records/s through the filter → window → drift
+   maintenance path (prediction disabled), i.e. the fixed per-record cost
+   a deployment pays just to keep sliding windows and drift statistics
+   current under crowdsourced traffic.
+
+2. **Drift → retrain → swap** — end-to-end latency of the reactive path:
+   from the first record of an AP-churn burst to the completed atomic hot
+   swap of the drifted building, plus the retrain step on its own.
+
+Run standalone (``--smoke`` for the CI-sized variant) or via pytest; both
+print one machine-readable JSON summary line prefixed ``BENCH_JSON`` like
+the serving-throughput benchmark's table output, so CI logs can be
+scraped for regressions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import time
+
+from repro import (
+    EmbeddingConfig,
+    FloorServingService,
+    GraficsConfig,
+    SignalRecord,
+    StreamConfig,
+)
+from repro.data import make_experiment_split, small_test_building
+from repro.stream import (
+    ContinuousLearningPipeline,
+    DriftConfig,
+    SchedulerConfig,
+    WindowConfig,
+)
+
+from conftest import save_table
+
+FULL = {"stream_records": 2000, "window": 256, "records_per_floor": 40}
+SMOKE = {"stream_records": 300, "window": 64, "records_per_floor": 25}
+
+MIN_RECORDS_PER_S = 50.0       # sanity floor, far below real throughput
+MAX_SWAP_LATENCY_S = 120.0
+
+
+def _trained_service(records_per_floor):
+    config = GraficsConfig(
+        embedding=EmbeddingConfig(samples_per_edge=8.0, seed=0),
+        allow_unreachable_clusters=True)
+    service = FloorServingService(grafics_config=config)
+    dataset = small_test_building(num_floors=2,
+                                  records_per_floor=records_per_floor,
+                                  aps_per_floor=10, seed=50,
+                                  building_id="stream-bldg")
+    split = make_experiment_split(dataset, labels_per_floor=4, seed=0)
+    service.fit_building(dataset.subset(split.train_records), split.labels)
+    return service, split
+
+
+def _stream(split, count, prefix, rename=None, label_every=3, rng_seed=0):
+    rng = random.Random(rng_seed)
+    pool = list(split.test_records)
+    records = []
+    for i in range(count):
+        base = pool[i % len(pool)]
+        rss = {}
+        for mac, value in base.rss.items():
+            if rename is not None:
+                mac = rename.get(mac, mac)
+            rss[mac] = value + rng.uniform(-2.5, 2.5)
+        records.append(SignalRecord(
+            record_id=f"{prefix}{i:06d}", rss=rss,
+            floor=base.floor if i % label_every == 0 else None))
+    return records
+
+
+def _stream_config(window, min_window_records):
+    return StreamConfig(
+        window=WindowConfig(max_records=window),
+        drift=DriftConfig(vocabulary_jaccard_min=0.6, min_window_macs=8),
+        scheduler=SchedulerConfig(min_window_records=min_window_records,
+                                  min_labeled_records=2, warm_start=True),
+        predict=False)
+
+
+def measure_ingestion(sizes) -> dict:
+    """Records/s through the filter + window + drift maintenance path."""
+    service, split = _trained_service(sizes["records_per_floor"])
+    pipeline = ContinuousLearningPipeline(
+        service, _stream_config(sizes["window"], sizes["window"] * 10))
+    records = _stream(split, sizes["stream_records"], "ingest-")
+
+    start = time.perf_counter()
+    results = pipeline.process_stream(records)
+    seconds = time.perf_counter() - start
+
+    accepted = sum(r.accepted for r in results)
+    window = pipeline.windows.window_for("stream-bldg")
+    return {
+        "records": len(records),
+        "accepted": accepted,
+        "seconds": round(seconds, 4),
+        "records_per_s": round(len(records) / seconds, 1),
+        "window_records": len(window),
+        "window_nodes": window.node_count,
+        "evicted": window.evicted_total,
+        "pruned_macs": window.pruned_macs_total,
+    }
+
+
+def measure_drift_retrain_swap(sizes) -> dict:
+    """Latency from the start of an AP-churn burst to the completed swap."""
+    service, split = _trained_service(sizes["records_per_floor"])
+    pipeline = ContinuousLearningPipeline(
+        service, _stream_config(sizes["window"], min_window_records=16))
+
+    # Warm the window with in-distribution traffic, then churn half the APs.
+    pipeline.process_stream(_stream(split, sizes["window"] // 2, "warm-"))
+    macs = sorted({mac for record in split.test_records for mac in record.rss})
+    rename = {mac: f"{mac}-new" for mac in macs[: len(macs) // 2]}
+    churned = _stream(split, 4 * sizes["window"], "churn-", rename=rename,
+                      rng_seed=1)
+
+    burst_started = time.perf_counter()
+    swap_latency = None
+    records_to_swap = 0
+    for record in churned:
+        result = pipeline.process(record)
+        records_to_swap += 1
+        if result.swapped:
+            swap_latency = time.perf_counter() - burst_started
+            retrain_seconds = result.retrain.duration_seconds
+            break
+    if swap_latency is None:
+        raise AssertionError("AP churn never triggered a retrain + hot swap")
+
+    return {
+        "records_until_swap": records_to_swap,
+        "swap_latency_s": round(swap_latency, 4),
+        "retrain_s": round(retrain_seconds, 4),
+        "window_records_at_swap": result.retrain.window_records,
+        "trigger": result.retrain.trigger,
+    }
+
+
+def run(sizes, label) -> dict:
+    ingestion = measure_ingestion(sizes)
+    swap = measure_drift_retrain_swap(sizes)
+    summary = {"benchmark": "stream_ingestion", "mode": label,
+               "ingestion": ingestion, "drift_retrain_swap": swap}
+
+    rows = [
+        {"metric": "ingestion records/s",
+         "value": ingestion["records_per_s"]},
+        {"metric": "ingestion window nodes (bounded)",
+         "value": ingestion["window_nodes"]},
+        {"metric": "records from churn start to swap",
+         "value": swap["records_until_swap"]},
+        {"metric": "drift->retrain->swap latency (s)",
+         "value": swap["swap_latency_s"]},
+        {"metric": "retrain step alone (s)", "value": swap["retrain_s"]},
+    ]
+    save_table("stream_ingestion", rows, columns=["metric", "value"],
+               header=f"Streaming ingestion ({label}: "
+                      f"{sizes['stream_records']} records, window "
+                      f"{sizes['window']})")
+    print("BENCH_JSON " + json.dumps(summary))
+
+    assert ingestion["records_per_s"] >= MIN_RECORDS_PER_S
+    assert ingestion["window_records"] <= sizes["window"]
+    assert swap["swap_latency_s"] <= MAX_SWAP_LATENCY_S
+    return summary
+
+
+def test_stream_ingestion_and_swap_latency():
+    """Pytest entry point (full sizes)."""
+    run(FULL, "full")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (seconds, not minutes)")
+    args = parser.parse_args(argv)
+    run(SMOKE if args.smoke else FULL, "smoke" if args.smoke else "full")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

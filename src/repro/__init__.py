@@ -12,6 +12,9 @@ Public entry points:
   caching, micro-batching, telemetry, hot swap).
 * :mod:`repro.core` — graph, embeddings, clustering, online inference.
 * :mod:`repro.serving` — router, prediction cache, micro-batcher, telemetry.
+* :mod:`repro.stream` — streaming ingestion, sliding-window graph
+  maintenance, drift detection and continuous-learning retrains
+  (:class:`repro.ContinuousLearningPipeline`).
 * :mod:`repro.data` — synthetic crowdsourced datasets, loaders, splits, statistics.
 * :mod:`repro.baselines` — Scalable-DNN, SAE, Autoencoder+Prox, MDS+Prox, matrix+Prox.
 * :mod:`repro.evaluation` — micro/macro F metrics and the experiment harness.
@@ -40,8 +43,9 @@ from .core import (
     save_registry,
 )
 from .serving import FloorServingService, ServingConfig, ServingResult
+from .stream import ContinuousLearningPipeline, StreamConfig, StreamResult
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "GRAFICS",
@@ -62,6 +66,9 @@ __all__ = [
     "FloorServingService",
     "ServingConfig",
     "ServingResult",
+    "ContinuousLearningPipeline",
+    "StreamConfig",
+    "StreamResult",
     "save_model",
     "load_model",
     "save_registry",

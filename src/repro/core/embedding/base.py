@@ -132,8 +132,16 @@ class GraphEmbedder(ABC):
         self.config = config or EmbeddingConfig()
 
     @abstractmethod
-    def fit(self, graph: BipartiteGraph) -> GraphEmbedding:
-        """Learn embeddings for every node currently in the graph."""
+    def fit(self, graph: BipartiteGraph,
+            warm_start: GraphEmbedding | None = None) -> GraphEmbedding:
+        """Learn embeddings for every node currently in the graph.
+
+        ``warm_start`` optionally carries the embedding of a previous fit;
+        nodes surviving from the previous graph are initialised from their
+        old vectors (continuous-learning retrains converge from where the
+        previous model left off), while nodes new to the graph are
+        initialised randomly as usual.
+        """
 
     @staticmethod
     def _index_maps(graph: BipartiteGraph) -> tuple[dict[str, int], dict[str, int]]:

@@ -24,7 +24,7 @@ from dataclasses import replace
 import numpy as np
 
 from ..graph import BipartiteGraph, NodeKind
-from .base import EmbeddingConfig, GraphEmbedder, GraphEmbedding
+from .base import GraphEmbedder, GraphEmbedding
 from .trainer import EdgeSamplingTrainer, ObjectiveTerms
 
 __all__ = ["ELINEEmbedder"]
@@ -35,10 +35,17 @@ _ELINE_TERMS = ObjectiveTerms(first_order=False, second_order=True, symmetric=Tr
 class ELINEEmbedder(GraphEmbedder):
     """E-LINE graph embedding (second-order + symmetric ego/context term)."""
 
-    def fit(self, graph: BipartiteGraph) -> GraphEmbedding:
-        """Learn E-LINE embeddings for every node currently in ``graph``."""
+    def fit(self, graph: BipartiteGraph,
+            warm_start: GraphEmbedding | None = None) -> GraphEmbedding:
+        """Learn E-LINE embeddings for every node currently in ``graph``.
+
+        With ``warm_start`` the ego/context vectors of nodes that also exist
+        in the previous embedding are used as the starting point (streaming
+        retrains, Section V-A): surviving records and MACs resume from their
+        learned positions instead of re-converging from random noise.
+        """
         trainer = EdgeSamplingTrainer(graph, self.config, _ELINE_TERMS)
-        ego, context = trainer.initial_embeddings()
+        ego, context = trainer.initial_embeddings(warm_start=warm_start)
         losses = trainer.train(ego, context)
         record_index, mac_index = self._index_maps(graph)
         return GraphEmbedding(ego=ego, context=context,

@@ -37,10 +37,11 @@ class LINEEmbedder(GraphEmbedder):
             raise ValueError(f"unknown LINE order {order!r}; known: {known}")
         self.order = order
 
-    def fit(self, graph: BipartiteGraph) -> GraphEmbedding:
+    def fit(self, graph: BipartiteGraph,
+            warm_start: GraphEmbedding | None = None) -> GraphEmbedding:
         """Learn LINE embeddings for every node of ``graph``."""
         trainer = EdgeSamplingTrainer(graph, self.config, _ORDERS[self.order])
-        ego, context = trainer.initial_embeddings()
+        ego, context = trainer.initial_embeddings(warm_start=warm_start)
         losses = trainer.train(ego, context)
         record_index, mac_index = self._index_maps(graph)
         return GraphEmbedding(ego=ego, context=context,

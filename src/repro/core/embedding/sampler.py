@@ -48,14 +48,14 @@ class AliasTable:
         probabilities = probabilities.copy()
         while small and large:
             s = small.pop()
-            l = large.pop()
+            g = large.pop()
             self._prob[s] = probabilities[s]
-            self._alias[s] = l
-            probabilities[l] = probabilities[l] - (1.0 - probabilities[s])
-            if probabilities[l] < 1.0:
-                small.append(l)
+            self._alias[s] = g
+            probabilities[g] = probabilities[g] - (1.0 - probabilities[s])
+            if probabilities[g] < 1.0:
+                small.append(g)
             else:
-                large.append(l)
+                large.append(g)
         for leftover in large + small:
             self._prob[leftover] = 1.0
             self._alias[leftover] = leftover

@@ -26,7 +26,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..graph import BipartiteGraph
+from ..graph import BipartiteGraph, NodeKind
 from .base import EmbeddingConfig
 from .sampler import EdgeSampler, NegativeSampler
 
@@ -96,13 +96,38 @@ class EdgeSamplingTrainer:
         return self._num_sampled_edges
 
     # ------------------------------------------------------------------ setup
-    def initial_embeddings(self) -> tuple[np.ndarray, np.ndarray]:
-        """Uniformly initialised ego and context matrices sized to the graph."""
+    def initial_embeddings(self, warm_start=None) -> tuple[np.ndarray, np.ndarray]:
+        """Uniformly initialised ego and context matrices sized to the graph.
+
+        Parameters
+        ----------
+        warm_start:
+            Optional :class:`GraphEmbedding` from a previous fit.  Nodes of
+            the current graph whose ``(kind, key)`` also appears in the
+            previous embedding start from their previous vectors instead of
+            random initialisation; nodes new to the graph keep the random
+            draw.  The full random matrices are drawn either way, so the RNG
+            stream — and therefore everything sampled after initialisation —
+            is identical with and without a warm start.
+        """
         capacity = self.graph.index_capacity
         dim = self.config.dimension
         scale = self.config.init_scale / dim
         ego = self._rng.uniform(-scale, scale, size=(capacity, dim))
         context = self._rng.uniform(-scale, scale, size=(capacity, dim))
+        if warm_start is not None:
+            if warm_start.dimension != dim:
+                raise ValueError(
+                    f"warm-start embedding has dimension {warm_start.dimension}, "
+                    f"expected {dim}")
+            for node in self.graph.nodes():
+                index_map = (warm_start.record_index
+                             if node.kind is NodeKind.RECORD
+                             else warm_start.mac_index)
+                old_row = index_map.get(node.key)
+                if old_row is not None:
+                    ego[node.index] = warm_start.ego[old_row]
+                    context[node.index] = warm_start.context[old_row]
         return ego, context
 
     def total_samples(self) -> int:

@@ -157,10 +157,28 @@ class BipartiteGraph:
     def add_records(self, records: Iterable[SignalRecord]) -> list[Node]:
         return [self.add_record(record) for record in records]
 
-    def remove_record(self, record_id: str) -> None:
-        """Remove a record node and all of its edges."""
+    def remove_record(self, record_id: str,
+                      prune_orphaned_macs: bool = False) -> list[str]:
+        """Remove a record node and all of its edges.
+
+        With ``prune_orphaned_macs`` MAC nodes left without any incident edge
+        by the removal are removed too (their keys are returned).  This is
+        what keeps the graph's memory bounded under sliding-window streaming
+        ingestion: a window eviction takes the record *and* any AP that only
+        that record ever observed with it.
+        """
         node = self.get_node(NodeKind.RECORD, record_id)
+        neighbor_indices = list(self._adjacency[node.index])
         self._remove_node(node)
+        if not prune_orphaned_macs:
+            return []
+        pruned = []
+        for index in neighbor_indices:
+            mac_node = self._nodes_by_index.get(index)
+            if mac_node is not None and not self._adjacency[index]:
+                self._remove_node(mac_node)
+                pruned.append(mac_node.key)
+        return pruned
 
     def remove_mac(self, mac: str) -> None:
         """Remove a MAC node (models AP removal) and all of its edges."""

@@ -100,7 +100,8 @@ class GRAFICS:
 
     # ---------------------------------------------------------------- training
     def fit(self, records: FingerprintDataset | Sequence[SignalRecord],
-            labels: Mapping[str, int] | None = None) -> "GRAFICS":
+            labels: Mapping[str, int] | None = None,
+            warm_start: GraphEmbedding | None = None) -> "GRAFICS":
         """Run the offline training phase.
 
         Parameters
@@ -115,6 +116,13 @@ class GRAFICS:
             Mapping record id -> floor for the few labeled samples.  When
             ``None``, the labels are taken from records whose ``floor``
             attribute is set (useful for fully labeled toy examples).
+        warm_start:
+            Optional embedding of a previously trained model.  Records and
+            MACs shared with the previous graph start training from their
+            old vectors — the continuous-learning retrain path, where most
+            of the sliding window survives from one model generation to the
+            next.  Clustering and inference are unaffected beyond the
+            embedding initialisation.
         """
         record_list = list(records.records if isinstance(records, FingerprintDataset)
                            else records)
@@ -135,7 +143,7 @@ class GRAFICS:
         self.graph = build_graph(record_list,
                                  weight_function=self.config.weight_function)
         self._embedder = self.config.make_embedder()
-        self.embedding = self._embedder.fit(self.graph)
+        self.embedding = self._embedder.fit(self.graph, warm_start=warm_start)
 
         record_ids = [r.record_id for r in record_list]
         vectors = self.embedding.record_matrix(record_ids)

@@ -1,6 +1,13 @@
 """Synthetic crowdsourced RF datasets, loaders, splits and statistics."""
 
-from .loaders import load_jsonl, load_long_csv, load_wide_csv, save_jsonl, save_wide_csv
+from .loaders import (
+    iter_jsonl,
+    load_jsonl,
+    load_long_csv,
+    load_wide_csv,
+    save_jsonl,
+    save_wide_csv,
+)
 from .presets import (
     dense_mall_floor,
     hong_kong_like_buildings,
@@ -58,6 +65,7 @@ __all__ = [
     "summarize_corpus",
     "save_jsonl",
     "load_jsonl",
+    "iter_jsonl",
     "load_wide_csv",
     "save_wide_csv",
     "load_long_csv",

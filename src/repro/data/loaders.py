@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import csv
 import json
-from collections.abc import Iterable, Sequence
+from collections.abc import Callable, Iterator
 from pathlib import Path
 
 from ..core.types import FingerprintDataset, SignalRecord
@@ -28,6 +28,7 @@ from ..core.types import FingerprintDataset, SignalRecord
 __all__ = [
     "save_jsonl",
     "load_jsonl",
+    "iter_jsonl",
     "load_wide_csv",
     "save_wide_csv",
     "load_long_csv",
@@ -60,13 +61,18 @@ def save_jsonl(dataset: FingerprintDataset, path: str | Path) -> None:
             handle.write(json.dumps(row) + "\n")
 
 
-def load_jsonl(path: str | Path) -> FingerprintDataset:
-    """Read a dataset previously written by :func:`save_jsonl`."""
+def iter_jsonl(path: str | Path,
+               on_header: Callable[[dict], object] | None = None,
+               ) -> Iterator[SignalRecord]:
+    """Stream the records of a JSON-lines file one at a time.
+
+    Unlike :func:`load_jsonl` this never materialises the whole dataset:
+    records are yielded as they are parsed, so a streaming ingestor can
+    replay arbitrarily large corpus files in bounded memory.  The optional
+    ``on_header`` callback receives the header row (a plain dict) when one
+    is encountered; header-less files are accepted.
+    """
     path = Path(path)
-    records: list[SignalRecord] = []
-    building_id = path.stem
-    floor_names: dict[int, str] = {}
-    metadata: dict[str, object] = {}
     with path.open("r", encoding="utf-8") as handle:
         for line_number, line in enumerate(handle, start=1):
             line = line.strip()
@@ -78,22 +84,32 @@ def load_jsonl(path: str | Path) -> FingerprintDataset:
                 raise ValueError(f"{path}:{line_number}: invalid JSON") from exc
             kind = row.get("type", "record")
             if kind == "header":
-                building_id = row.get("building_id", building_id)
-                floor_names = {int(k): v
-                               for k, v in row.get("floor_names", {}).items()}
-                metadata = dict(row.get("metadata", {}))
+                if on_header is not None:
+                    on_header(row)
             elif kind == "record":
-                records.append(SignalRecord(
+                yield SignalRecord(
                     record_id=str(row["record_id"]),
                     rss={str(m): float(v) for m, v in row["rss"].items()},
                     floor=None if row.get("floor") is None else int(row["floor"]),
                     device=row.get("device"),
                     timestamp=row.get("timestamp"),
-                ))
+                )
             else:
                 raise ValueError(f"{path}:{line_number}: unknown row type {kind!r}")
-    return FingerprintDataset(records=records, building_id=building_id,
-                              floor_names=floor_names, metadata=metadata)
+
+
+def load_jsonl(path: str | Path) -> FingerprintDataset:
+    """Read a dataset previously written by :func:`save_jsonl`."""
+    path = Path(path)
+    header: dict = {}
+    records = list(iter_jsonl(path, on_header=header.update))
+    return FingerprintDataset(
+        records=records,
+        building_id=header.get("building_id", path.stem),
+        floor_names={int(k): v
+                     for k, v in header.get("floor_names", {}).items()},
+        metadata=dict(header.get("metadata", {})),
+    )
 
 
 def load_wide_csv(path: str | Path, floor_column: str = "FLOOR",

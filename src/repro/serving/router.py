@@ -157,18 +157,23 @@ class MacInvertedRouter(Router):
 
     def add_building(self, building_id: str, vocabulary: Iterable[str]) -> None:
         vocab = frozenset(vocabulary)
-        if building_id in self._vocabularies:
-            stale = self._vocabularies[building_id] - vocab
-            for mac in stale:
+        previous = self._vocabularies.get(building_id)
+        if previous is not None:
+            # Hot swap: touch only the postings that actually changed, so a
+            # retrain whose vocabulary mostly survives costs O(|delta|), not
+            # O(|vocabulary|), and routing stays correct mid-churn.
+            for mac in previous - vocab:
                 buildings = self._index[mac]
                 buildings.discard(building_id)
                 if not buildings:
                     del self._index[mac]
+            added = vocab - previous
         else:
             self._positions[building_id] = self._next_position
             self._next_position += 1
+            added = vocab
         self._vocabularies[building_id] = vocab
-        for mac in vocab:
+        for mac in added:
             self._index.setdefault(mac, set()).add(building_id)
 
     def remove_building(self, building_id: str) -> None:

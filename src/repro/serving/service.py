@@ -157,7 +157,8 @@ class FloorServingService:
 
     def retrain_building(self, dataset: FingerprintDataset,
                          labels: Mapping[str, int],
-                         model_path: str | Path | None = None) -> GRAFICS:
+                         model_path: str | Path | None = None,
+                         warm_start: bool = False) -> GRAFICS:
         """Retrain one building off to the side, then hot-swap it in.
 
         Training happens on a fresh :class:`GRAFICS` instance, so the live
@@ -165,11 +166,19 @@ class FloorServingService:
         ``model_path`` is given the new model is round-tripped through
         :func:`save_model`/:func:`load_model` (written to a temporary file
         and atomically renamed), so what goes live is exactly what a later
-        restart would load from disk.
+        restart would load from disk.  ``warm_start=True`` initialises the
+        embedding from the building's currently installed model (nodes
+        surviving the retrain resume from their learned vectors) — the
+        continuous-learning path, where retrains happen on a sliding window
+        that mostly overlaps the previous one.
         """
+        previous_embedding = None
+        if warm_start and dataset.building_id in self.registry.building_ids:
+            previous_embedding = self.registry.model_for(
+                dataset.building_id).embedding
         with self.telemetry.time("retrain_seconds"):
             model = GRAFICS(self.registry.config)
-            model.fit(dataset, labels)
+            model.fit(dataset, labels, warm_start=previous_embedding)
             if model_path is not None:
                 model_path = Path(model_path)
                 _atomic_save_model(model, model_path)

@@ -90,6 +90,7 @@ class ServingTelemetry:
     def __init__(self, clock: Callable[[], float] = time.monotonic) -> None:
         self._clock = clock
         self._counters: dict[str, int] = {}
+        self._gauges: dict[str, float] = {}
         self._histograms: dict[str, LatencyHistogram] = {}
         self._started_at = clock()
 
@@ -99,6 +100,19 @@ class ServingTelemetry:
 
     def counter(self, name: str) -> int:
         return self._counters.get(name, 0)
+
+    # ----------------------------------------------------------------- gauges
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set a point-in-time measurement (window sizes, buffer depths...).
+
+        Unlike counters, gauges overwrite: the snapshot reports the latest
+        value, which is what streaming maintenance loops need for quantities
+        that go both up and down.
+        """
+        self._gauges[name] = float(value)
+
+    def gauge(self, name: str, default: float = 0.0) -> float:
+        return self._gauges.get(name, default)
 
     # ------------------------------------------------------------- histograms
     def histogram(self, name: str) -> LatencyHistogram:
@@ -128,6 +142,7 @@ class ServingTelemetry:
             "uptime_seconds": uptime,
             "throughput_rps": predictions / uptime if uptime > 0 else 0.0,
             "counters": dict(sorted(self._counters.items())),
+            "gauges": dict(sorted(self._gauges.items())),
             "latency": {name: histogram.snapshot()
                         for name, histogram in sorted(self._histograms.items())},
         }

@@ -1,0 +1,57 @@
+"""Streaming ingestion and continuous learning over the serving stack.
+
+The offline pipeline (:mod:`repro.core`) trains from a static dataset; the
+serving layer (:mod:`repro.serving`) serves trained models.  This package
+closes the loop for the paper's actual setting — crowdsourced records
+arriving continuously while APs come and go (Sections III-A and V-A):
+
+* :mod:`~repro.stream.filters` — pluggable record quality filters
+  (minimum readings, RSS plausibility bounds, quantised-fingerprint dedup);
+* :mod:`~repro.stream.ingest` — filter chain + building attribution +
+  bounded per-building record buffers;
+* :mod:`~repro.stream.window` — sliding-window bipartite graphs with
+  orphaned-MAC pruning (bounded memory under unbounded traffic);
+* :mod:`~repro.stream.drift` — typed drift events from MAC-vocabulary
+  churn, router rejection rate and prediction-distance quantile shift;
+* :mod:`~repro.stream.scheduler` — drift/cadence-triggered retraining,
+  warm-started from the previous embedding and atomically hot-swapped;
+* :mod:`~repro.stream.pipeline` — :class:`ContinuousLearningPipeline`,
+  the façade driving all of the above one record at a time.
+"""
+
+from .drift import DriftConfig, DriftDetector, DriftEvent, DriftKind
+from .filters import (
+    MinReadingsFilter,
+    NearDuplicateFilter,
+    QualityFilter,
+    RssBoundsFilter,
+    default_filters,
+)
+from .ingest import IngestDecision, StreamIngestor
+from .pipeline import ContinuousLearningPipeline, StreamConfig, StreamResult
+from .scheduler import RetrainReport, RetrainScheduler, SchedulerConfig
+from .window import SlidingWindowGraph, WindowConfig, WindowEviction, WindowManager
+
+__all__ = [
+    "ContinuousLearningPipeline",
+    "StreamConfig",
+    "StreamResult",
+    "QualityFilter",
+    "MinReadingsFilter",
+    "RssBoundsFilter",
+    "NearDuplicateFilter",
+    "default_filters",
+    "IngestDecision",
+    "StreamIngestor",
+    "WindowConfig",
+    "WindowEviction",
+    "SlidingWindowGraph",
+    "WindowManager",
+    "DriftKind",
+    "DriftEvent",
+    "DriftConfig",
+    "DriftDetector",
+    "SchedulerConfig",
+    "RetrainReport",
+    "RetrainScheduler",
+]

@@ -1,0 +1,227 @@
+"""Drift detection over the live stream: when is a model going stale?
+
+Three independent signals, each emitting a typed :class:`DriftEvent` when
+it crosses its threshold:
+
+* **MAC-vocabulary churn** — Jaccard similarity between the vocabulary a
+  building's model was trained on and the vocabulary its sliding window
+  observes now.  APs being installed or removed (paper Section III-A) pull
+  the similarity down.
+* **Router rejection rate** — fraction of recent records no building could
+  claim.  A rising rate means traffic the registry does not cover (a new
+  wing, a new building, or severe vocabulary drift everywhere).
+* **Prediction-distance shift** — per building, a high quantile of the
+  nearest-centroid distances of recent predictions, compared against a
+  baseline captured right after the model went live.  Confidently clustered
+  traffic sits close to a centroid; drifted traffic lands far from all.
+
+Events are *latched*: once a (building, kind) pair fires it stays quiet
+until the metric recovers or :meth:`DriftDetector.reset_building` is called
+after a hot swap, so a persistently drifted building does not emit one
+event per record while its retrain is pending.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+__all__ = ["DriftKind", "DriftEvent", "DriftConfig", "DriftDetector"]
+
+
+class DriftKind(str, Enum):
+    """The typed reasons a drift event can fire."""
+
+    MAC_CHURN = "mac_churn"
+    ROUTER_REJECTION = "router_rejection"
+    DISTANCE_SHIFT = "distance_shift"
+
+
+@dataclass(frozen=True)
+class DriftEvent:
+    """One threshold crossing observed on the stream."""
+
+    kind: DriftKind
+    building_id: str | None  # None for registry-wide signals (rejections)
+    value: float             # the metric that crossed
+    threshold: float
+    detail: str
+
+
+@dataclass(frozen=True)
+class DriftConfig:
+    """Thresholds and window sizes of the three detectors.
+
+    Attributes
+    ----------
+    vocabulary_jaccard_min:
+        Fire :attr:`DriftKind.MAC_CHURN` when the Jaccard similarity of
+        trained vs. window vocabulary drops below this.
+    min_window_macs:
+        Suppress churn checks until the window has seen this many MACs
+        (a nearly empty window trivially mismatches any vocabulary).
+    vocabulary_warmup_records:
+        Suppress churn checks until a building's window holds this many
+        records — while the window is still filling, its vocabulary is a
+        subset of the trained one and Jaccard would under-read.  Enforced
+        by the pipeline, which owns the window sizes.
+    rejection_window / rejection_rate_max / min_rejection_observations:
+        Sliding window of routing outcomes; fire
+        :attr:`DriftKind.ROUTER_REJECTION` when the rejection fraction over
+        the window exceeds the maximum (after enough observations).
+    distance_window / distance_quantile / distance_ratio_max /
+    baseline_observations:
+        Per building, the first ``baseline_observations`` prediction
+        distances after (re)install freeze a baseline quantile; fire
+        :attr:`DriftKind.DISTANCE_SHIFT` when the same quantile over the
+        most recent ``distance_window`` distances exceeds
+        ``distance_ratio_max`` times the baseline.
+    """
+
+    vocabulary_jaccard_min: float = 0.6
+    min_window_macs: int = 8
+    vocabulary_warmup_records: int = 24
+    rejection_window: int = 100
+    rejection_rate_max: float = 0.3
+    min_rejection_observations: int = 20
+    distance_window: int = 64
+    distance_quantile: float = 0.9
+    distance_ratio_max: float = 1.5
+    baseline_observations: int = 24
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.vocabulary_jaccard_min <= 1.0:
+            raise ValueError("vocabulary_jaccard_min must be in (0, 1]")
+        if not 0.0 < self.rejection_rate_max <= 1.0:
+            raise ValueError("rejection_rate_max must be in (0, 1]")
+        if not 0.0 < self.distance_quantile < 1.0:
+            raise ValueError("distance_quantile must be in (0, 1)")
+        if self.distance_ratio_max <= 1.0:
+            raise ValueError("distance_ratio_max must exceed 1.0")
+        if self.vocabulary_warmup_records < 0:
+            raise ValueError("vocabulary_warmup_records must be non-negative")
+        if not 1 <= self.min_rejection_observations <= self.rejection_window:
+            raise ValueError("min_rejection_observations must be in "
+                             "[1, rejection_window] or the rejection "
+                             "detector could never fire")
+        if not 1 <= self.baseline_observations <= self.distance_window:
+            raise ValueError("baseline_observations must be in "
+                             "[1, distance_window] or no baseline would "
+                             "ever be captured")
+
+
+class DriftDetector:
+    """Tracks churn, rejections and distance quantiles; emits typed events."""
+
+    def __init__(self, config: DriftConfig | None = None) -> None:
+        self.config = config or DriftConfig()
+        self._rejections: deque[bool] = deque(
+            maxlen=self.config.rejection_window)
+        self._distances: dict[str, deque[float]] = {}
+        self._baselines: dict[str, float] = {}
+        self._latched: set[tuple[str | None, DriftKind]] = set()
+        self.events_total: dict[str, int] = {kind.value: 0
+                                             for kind in DriftKind}
+
+    # ---------------------------------------------------------------- helpers
+    def _fire(self, kind: DriftKind, building_id: str | None, value: float,
+              threshold: float, detail: str) -> DriftEvent | None:
+        key = (building_id, kind)
+        if key in self._latched:
+            return None
+        self._latched.add(key)
+        self.events_total[kind.value] += 1
+        return DriftEvent(kind=kind, building_id=building_id, value=value,
+                          threshold=threshold, detail=detail)
+
+    def _recover(self, kind: DriftKind, building_id: str | None) -> None:
+        self._latched.discard((building_id, kind))
+
+    # -------------------------------------------------------------- detectors
+    def check_vocabulary(self, building_id: str,
+                         trained: Iterable[str],
+                         observed: Iterable[str]) -> DriftEvent | None:
+        """Compare trained vs. window MAC vocabulary (Jaccard similarity)."""
+        trained, observed = set(trained), set(observed)
+        if len(observed) < self.config.min_window_macs:
+            return None
+        union = trained | observed
+        jaccard = len(trained & observed) / len(union) if union else 1.0
+        if jaccard < self.config.vocabulary_jaccard_min:
+            return self._fire(
+                DriftKind.MAC_CHURN, building_id, jaccard,
+                self.config.vocabulary_jaccard_min,
+                f"building {building_id!r}: trained/window vocabulary "
+                f"Jaccard {jaccard:.2f} < "
+                f"{self.config.vocabulary_jaccard_min:.2f} "
+                f"({len(trained)} trained MACs, {len(observed)} observed)")
+        self._recover(DriftKind.MAC_CHURN, building_id)
+        return None
+
+    def observe_routing(self, accepted: bool) -> DriftEvent | None:
+        """Feed one routing outcome into the registry-wide rejection window."""
+        self._rejections.append(not accepted)
+        count = len(self._rejections)
+        if count < self.config.min_rejection_observations:
+            return None
+        rate = sum(self._rejections) / count
+        if rate > self.config.rejection_rate_max:
+            return self._fire(
+                DriftKind.ROUTER_REJECTION, None, rate,
+                self.config.rejection_rate_max,
+                f"router rejected {rate:.0%} of the last {count} records "
+                f"(threshold {self.config.rejection_rate_max:.0%})")
+        self._recover(DriftKind.ROUTER_REJECTION, None)
+        return None
+
+    def observe_distance(self, building_id: str,
+                         distance: float) -> DriftEvent | None:
+        """Feed one prediction's nearest-centroid distance for a building."""
+        window = self._distances.get(building_id)
+        if window is None:
+            window = self._distances[building_id] = deque(
+                maxlen=self.config.distance_window)
+        window.append(float(distance))
+
+        baseline = self._baselines.get(building_id)
+        if baseline is None:
+            if len(window) >= self.config.baseline_observations:
+                self._baselines[building_id] = float(np.quantile(
+                    window, self.config.distance_quantile))
+            return None
+        if len(window) < window.maxlen:
+            return None
+        current = float(np.quantile(window, self.config.distance_quantile))
+        # A baseline of exactly zero only happens on degenerate toy data;
+        # fall back to an absolute comparison against the ratio itself.
+        ratio = current / baseline if baseline > 0.0 else float(current > 0.0)
+        if ratio > self.config.distance_ratio_max:
+            return self._fire(
+                DriftKind.DISTANCE_SHIFT, building_id, ratio,
+                self.config.distance_ratio_max,
+                f"building {building_id!r}: p{self.config.distance_quantile:.0%}"
+                f" prediction distance {current:.4f} is {ratio:.2f}x the "
+                f"post-install baseline {baseline:.4f}")
+        self._recover(DriftKind.DISTANCE_SHIFT, building_id)
+        return None
+
+    # -------------------------------------------------------------- lifecycle
+    def reset_building(self, building_id: str) -> None:
+        """Forget a building's baselines/latches after its model hot-swapped."""
+        self._distances.pop(building_id, None)
+        self._baselines.pop(building_id, None)
+        for kind in DriftKind:
+            self._latched.discard((building_id, kind))
+
+    def stats(self) -> dict[str, object]:
+        return {
+            "events_total": dict(self.events_total),
+            "latched": sorted(f"{b}:{k.value}" for b, k in self._latched),
+            "rejection_rate": (sum(self._rejections) / len(self._rejections)
+                               if self._rejections else 0.0),
+            "distance_baselines": dict(self._baselines),
+        }

@@ -1,0 +1,141 @@
+"""Pluggable quality filters for streaming ingestion.
+
+Crowdsourced RSS streams are noisy: truncated scans with one or two
+readings, malformed RSS values outside any plausible dBm range, and heavy
+bursts of near-identical fingerprints from phones sitting still.  Each
+filter inspects one :class:`SignalRecord` and either admits it (``None``)
+or rejects it with a short machine-readable reason that the ingestor turns
+into a per-reason telemetry counter.
+
+Filters are deliberately tiny, stateful-where-needed objects so deployments
+can compose their own chain; :func:`default_filters` builds the chain the
+paper's online phase implies (minimum record size + near-duplicate dedup).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import OrderedDict
+
+from ..core.types import SignalRecord
+from ..serving.cache import fingerprint_key
+
+__all__ = [
+    "QualityFilter",
+    "MinReadingsFilter",
+    "RssBoundsFilter",
+    "NearDuplicateFilter",
+    "default_filters",
+]
+
+
+class QualityFilter(ABC):
+    """One stage of the ingestion filter chain."""
+
+    #: Short identifier used in telemetry counters and rejection reasons.
+    name: str = "filter"
+
+    @abstractmethod
+    def admit(self, record: SignalRecord) -> str | None:
+        """Return ``None`` to admit ``record``, or a rejection reason."""
+
+    def reset(self) -> None:
+        """Drop any internal state (stateless filters need not override)."""
+
+
+class MinReadingsFilter(QualityFilter):
+    """Reject records sensing fewer than ``min_readings`` MACs.
+
+    A record with one or two readings barely constrains its position in the
+    bipartite graph (paper Fig. 1a shows the record-size distribution);
+    admitting it adds a near-isolated node that dilutes the embedding.
+    """
+
+    name = "min_readings"
+
+    def __init__(self, min_readings: int = 3) -> None:
+        if min_readings < 1:
+            raise ValueError("min_readings must be at least 1")
+        self.min_readings = min_readings
+
+    def admit(self, record: SignalRecord) -> str | None:
+        if len(record.rss) < self.min_readings:
+            return (f"record senses {len(record.rss)} MACs, "
+                    f"fewer than the minimum {self.min_readings}")
+        return None
+
+
+class RssBoundsFilter(QualityFilter):
+    """Reject records carrying RSS readings outside a plausible dBm range.
+
+    The lower bound also protects the graph: the default edge weight
+    ``f(RSS) = RSS + 120`` must stay strictly positive, so readings at or
+    below -120 dBm would crash ``add_record`` deep inside the window
+    maintainer instead of being counted here.
+    """
+
+    name = "rss_bounds"
+
+    def __init__(self, min_rss: float = -119.0, max_rss: float = 0.0) -> None:
+        if min_rss >= max_rss:
+            raise ValueError("min_rss must be below max_rss")
+        self.min_rss = min_rss
+        self.max_rss = max_rss
+
+    def admit(self, record: SignalRecord) -> str | None:
+        for mac, rss in record.rss.items():
+            if not self.min_rss <= rss <= self.max_rss:
+                return (f"RSS {rss!r} for MAC {mac!r} outside plausible "
+                        f"range [{self.min_rss}, {self.max_rss}]")
+        return None
+
+
+class NearDuplicateFilter(QualityFilter):
+    """Reject records whose quantised fingerprint was seen recently.
+
+    Reuses the serving cache's canonical fingerprint key (MAC set + RSS
+    rounded to ``quantum``): two scans that differ only by sub-quantum noise
+    map to the same key.  The filter remembers the last ``capacity`` keys in
+    LRU order — the prediction cache makes duplicates cheap to *serve*, but
+    letting them into the training window would let one stationary phone
+    crowd out genuine spatial coverage.
+    """
+
+    name = "near_duplicate"
+
+    #: Scope mixed into the fingerprint key; dedup happens before building
+    #: attribution, so the key must not depend on a building id.
+    _SCOPE = "ingest"
+
+    def __init__(self, capacity: int = 2048, quantum: float = 1.0) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        if quantum <= 0.0:
+            raise ValueError("quantum must be positive")
+        self.capacity = capacity
+        self.quantum = quantum
+        self._seen: OrderedDict[str, None] = OrderedDict()
+
+    def admit(self, record: SignalRecord) -> str | None:
+        key = fingerprint_key(self._SCOPE, record, quantum=self.quantum)
+        if key in self._seen:
+            self._seen.move_to_end(key)
+            return "near-duplicate of a recently ingested fingerprint"
+        self._seen[key] = None
+        while len(self._seen) > self.capacity:
+            self._seen.popitem(last=False)
+        return None
+
+    def reset(self) -> None:
+        self._seen.clear()
+
+
+def default_filters(min_readings: int = 3,
+                    dedup_capacity: int = 2048,
+                    dedup_quantum: float = 1.0) -> list[QualityFilter]:
+    """The standard ingestion chain: size check, bounds check, dedup."""
+    return [
+        MinReadingsFilter(min_readings=min_readings),
+        RssBoundsFilter(),
+        NearDuplicateFilter(capacity=dedup_capacity, quantum=dedup_quantum),
+    ]

@@ -1,0 +1,206 @@
+"""The continuous-learning façade: ingest → window → drift → retrain → swap.
+
+:class:`ContinuousLearningPipeline` closes the loop the offline pipeline
+leaves open: crowdsourced records flow in continuously, are quality
+filtered and attributed to buildings, kept in bounded sliding-window
+graphs, watched for drift, and — when a building drifts or a retrain
+cadence fires — its model is rebuilt from the window off to the side and
+atomically hot-swapped into the serving stack, cache and router included.
+
+One synchronous :meth:`process` call advances the whole machine by one
+record and reports everything that happened (prediction, evictions, drift
+events, retrain outcome), which keeps the subsystem deterministic and
+trivially drivable from tests, benchmarks, or an outer event loop feeding
+it from :func:`repro.data.iter_jsonl` replay or a network intake.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from ..core.inference import UnknownEnvironmentError
+from ..core.registry import BuildingPrediction
+from ..core.types import SignalRecord
+from ..serving.service import FloorServingService
+from .drift import DriftConfig, DriftDetector, DriftEvent
+from .filters import QualityFilter, default_filters
+from .ingest import StreamIngestor
+from .scheduler import RetrainReport, RetrainScheduler, SchedulerConfig
+from .window import WindowConfig, WindowEviction, WindowManager
+
+__all__ = ["StreamConfig", "StreamResult", "ContinuousLearningPipeline"]
+
+
+@dataclass(frozen=True)
+class StreamConfig:
+    """Tunables of the whole continuous-learning pipeline."""
+
+    window: WindowConfig = field(default_factory=WindowConfig)
+    drift: DriftConfig = field(default_factory=DriftConfig)
+    scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
+    buffer_capacity: int = 1024
+    #: Predict each admitted record through the serving stack (feeds the
+    #: distance-shift detector and returns the prediction to the caller).
+    #: Disable for pure ingestion workloads that only maintain windows.
+    predict: bool = True
+
+
+@dataclass(frozen=True)
+class StreamResult:
+    """Everything one :meth:`ContinuousLearningPipeline.process` call did."""
+
+    record_id: str
+    accepted: bool
+    building_id: str | None = None
+    rejected_by: str | None = None
+    reason: str | None = None
+    prediction: BuildingPrediction | None = None
+    eviction: WindowEviction = field(default_factory=WindowEviction)
+    drift_events: tuple[DriftEvent, ...] = ()
+    retrain: RetrainReport | None = None
+
+    @property
+    def swapped(self) -> bool:
+        return self.retrain is not None and self.retrain.swapped
+
+
+class ContinuousLearningPipeline:
+    """Drives a :class:`FloorServingService` from a live record stream."""
+
+    def __init__(self, service: FloorServingService,
+                 config: StreamConfig | None = None,
+                 filters: list[QualityFilter] | None = None) -> None:
+        self.service = service
+        self.config = config or StreamConfig()
+        self.ingestor = StreamIngestor(
+            attribute=lambda record: service.router.route(record).building_id,
+            filters=filters if filters is not None else default_filters(),
+            buffer_capacity=self.config.buffer_capacity)
+        self.windows = WindowManager(config=self.config.window)
+        self.drift = DriftDetector(self.config.drift)
+        self.scheduler = RetrainScheduler(service, self.windows,
+                                          self.config.scheduler)
+        self.drift_events: list[DriftEvent] = []
+        self.processed_total = 0
+
+    # ------------------------------------------------------------------ drive
+    def process(self, record: SignalRecord,
+                building_id: str | None = None) -> StreamResult:
+        """Advance the pipeline by one record; never raises on stream input."""
+        self.processed_total += 1
+        telemetry = self.service.telemetry
+        telemetry.increment("stream_records_total")
+
+        decision = self.ingestor.submit(record, building_id=building_id)
+        events: list[DriftEvent] = []
+        if not decision.accepted:
+            telemetry.increment(f"stream_rejected_{decision.filter_name}_total")
+            if decision.filter_name == "router":
+                self._note(events, self.drift.observe_routing(False))
+            self._finish(events)
+            return StreamResult(record_id=record.record_id, accepted=False,
+                                rejected_by=decision.filter_name,
+                                reason=decision.reason,
+                                drift_events=tuple(events))
+
+        telemetry.increment("stream_accepted_total")
+        self._note(events, self.drift.observe_routing(True))
+        building = decision.building_id
+        window = self.windows.window_for(building)
+        prediction: BuildingPrediction | None = None
+        eviction = WindowEviction()
+        for buffered in self.ingestor.drain(building):
+            if window.has_record(buffered.record_id):
+                # A client retry (same id, fresh scan) slipping past the
+                # fingerprint dedup must not crash the stream; count it.
+                telemetry.increment("stream_rejected_duplicate_id_total")
+                if buffered.record_id == record.record_id:
+                    self._finish(events)
+                    return StreamResult(
+                        record_id=record.record_id, accepted=False,
+                        building_id=building, rejected_by="window",
+                        reason=f"record {record.record_id!r} is already in "
+                               f"the window of building {building!r}",
+                        drift_events=tuple(events))
+                continue
+            if self.config.predict:
+                prediction = self._predict(buffered)
+                if prediction is not None:
+                    self._note(events, self.drift.observe_distance(
+                        building, prediction.distance))
+            eviction = self.windows.append(building, buffered)
+            self.scheduler.note_append(building)
+
+        if len(window) >= self.config.drift.vocabulary_warmup_records:
+            try:
+                trained = self.service.registry.vocabulary_for(building)
+            except KeyError:
+                # Explicit building_id for a building with no model yet: the
+                # window accumulates toward a bootstrap retrain, and there is
+                # no trained vocabulary to drift from.
+                trained = None
+            if trained is not None:
+                self._note(events, self.drift.check_vocabulary(
+                    building, trained, window.mac_vocabulary))
+
+        for event in events:
+            self.scheduler.note_drift(event)
+        retrain = self.scheduler.maybe_retrain(building)
+        if retrain is not None and retrain.swapped:
+            self.drift.reset_building(building)
+            telemetry.increment("stream_retrains_total")
+
+        self._finish(events)
+        return StreamResult(record_id=record.record_id, accepted=True,
+                            building_id=building, prediction=prediction,
+                            eviction=eviction, drift_events=tuple(events),
+                            retrain=retrain)
+
+    def process_stream(self, records: Iterable[SignalRecord],
+                       building_id: str | None = None) -> list[StreamResult]:
+        """Process many records; returns one result per record, in order."""
+        return [self.process(record, building_id=building_id)
+                for record in records]
+
+    # ---------------------------------------------------------------- helpers
+    def _predict(self, record: SignalRecord) -> BuildingPrediction | None:
+        try:
+            return self.service.predict(record)
+        except UnknownEnvironmentError:
+            # The ingest-time routing decision can go stale if a hot swap
+            # shrank the vocabulary between attribution and prediction.
+            return None
+        except (ValueError, KeyError, RuntimeError):
+            # A failed prediction (id collision with a model's training
+            # records after a swap, a building installed with no model, ...)
+            # must not kill the stream; the record still feeds the window.
+            self.service.telemetry.increment("stream_predict_errors_total")
+            return None
+
+    @staticmethod
+    def _note(events: list[DriftEvent], event: DriftEvent | None) -> None:
+        if event is not None:
+            events.append(event)
+
+    def _finish(self, events: list[DriftEvent]) -> None:
+        telemetry = self.service.telemetry
+        for event in events:
+            telemetry.increment("drift_events_total")
+            telemetry.increment(f"drift_{event.kind.value}_total")
+        self.drift_events.extend(events)
+        telemetry.set_gauge("stream_window_records", self.windows.total_records)
+        telemetry.set_gauge("stream_window_nodes", self.windows.total_nodes)
+        telemetry.set_gauge("stream_buffered_records",
+                            self.ingestor.buffered_count)
+
+    # ---------------------------------------------------------- observability
+    def stats(self) -> dict[str, object]:
+        """One nested dict describing every stage (for logs and dashboards)."""
+        return {
+            "processed": self.processed_total,
+            "ingest": self.ingestor.stats(),
+            "windows": self.windows.stats(),
+            "drift": self.drift.stats(),
+            "scheduler": self.scheduler.stats(),
+        }

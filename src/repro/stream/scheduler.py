@@ -1,0 +1,196 @@
+"""Retrain scheduling: turning drift signals into atomic hot swaps.
+
+The scheduler owns the decision *when* a building's model is rebuilt from
+its sliding window and *how*: off to the side on a fresh ``GRAFICS``
+instance (the live model keeps serving), warm-started from the previous
+embedding for nodes surviving the window, then atomically installed through
+``FloorServingService.retrain_building`` → ``install_building`` — which
+also invalidates that building's cache entries and updates its router
+postings incrementally.
+
+Triggers are (a) drift events targeted at a building and (b) an optional
+every-N-records cadence.  Guards keep retrains sane: a minimum window size,
+a minimum number of floor-labeled records in the window (crowdsourced
+labels ride in on the records themselves), and a per-building cooldown so
+one noisy signal cannot thrash the trainer.  Every decision — including the
+refusals — is recorded as a :class:`RetrainReport` for observability.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from ..serving.service import FloorServingService
+from .drift import DriftEvent
+from .window import WindowManager
+
+__all__ = ["SchedulerConfig", "RetrainReport", "RetrainScheduler"]
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Triggers and guards of the retrain scheduler.
+
+    Attributes
+    ----------
+    retrain_every_records:
+        Optional cadence trigger: retrain a building every N records
+        appended to its window, drift or not.  ``None`` disables it.
+    min_window_records:
+        Refuse to retrain from a window smaller than this.
+    min_labeled_records:
+        Refuse to retrain unless the window holds at least this many
+        floor-labeled records (GRAFICS needs labels to name clusters).
+    cooldown_records:
+        After a retrain, ignore further triggers for the building until
+        this many new records were appended to its window.
+    warm_start:
+        Initialise the retrain from the previous model's embeddings for
+        surviving nodes (see ``GRAFICS.fit(warm_start=...)``).
+    """
+
+    retrain_every_records: int | None = None
+    min_window_records: int = 32
+    min_labeled_records: int = 2
+    cooldown_records: int = 0
+    warm_start: bool = True
+
+    def __post_init__(self) -> None:
+        if (self.retrain_every_records is not None
+                and self.retrain_every_records < 1):
+            raise ValueError("retrain_every_records must be positive (or None)")
+        if self.min_window_records < 1:
+            raise ValueError("min_window_records must be at least 1")
+        if self.min_labeled_records < 1:
+            raise ValueError("min_labeled_records must be at least 1")
+        if self.cooldown_records < 0:
+            raise ValueError("cooldown_records must be non-negative")
+
+
+@dataclass(frozen=True)
+class RetrainReport:
+    """One scheduling decision: a completed swap or a refused trigger."""
+
+    building_id: str
+    trigger: str                 # "drift:<kind>" | "record_count"
+    swapped: bool
+    window_records: int = 0
+    labeled_records: int = 0
+    duration_seconds: float = 0.0
+    skipped_reason: str | None = None
+
+
+class RetrainScheduler:
+    """Decides when to rebuild a building from its window and hot-swap it."""
+
+    def __init__(self, service: FloorServingService, windows: WindowManager,
+                 config: SchedulerConfig | None = None,
+                 clock: Callable[[], float] = time.perf_counter) -> None:
+        self.service = service
+        self.windows = windows
+        self.config = config or SchedulerConfig()
+        self._clock = clock
+        self._pending: dict[str, str] = {}       # building -> trigger
+        self._appended: dict[str, int] = {}      # records since last retrain
+        self._last_skip: dict[str, str] = {}     # building -> last skip reason
+        self.history: list[RetrainReport] = []
+        self.retrains_total = 0
+
+    # ---------------------------------------------------------------- signals
+    def note_drift(self, event: DriftEvent) -> None:
+        """Mark a building for retraining because a drift event targeted it.
+
+        Registry-wide events (``building_id is None``, e.g. rejection-rate
+        drift) have no building to retrain; they are surfaced to operators
+        through the pipeline's results and stats instead.
+        """
+        if event.building_id is None:
+            return
+        self._pending.setdefault(event.building_id,
+                                 f"drift:{event.kind.value}")
+
+    def note_append(self, building_id: str) -> None:
+        """Count one record appended to a building's window (cadence/cooldown)."""
+        self._appended[building_id] = self._appended.get(building_id, 0) + 1
+        every = self.config.retrain_every_records
+        if (every is not None
+                and self._appended[building_id] % every == 0):
+            self._pending.setdefault(building_id, "record_count")
+
+    # ----------------------------------------------------------------- action
+    def maybe_retrain(self, building_id: str) -> RetrainReport | None:
+        """Retrain + hot-swap ``building_id`` if it is due; report what happened.
+
+        Returns ``None`` when nothing was pending.  A pending trigger that
+        fails a guard (cooldown, window too small, too few labels) *stays
+        pending* — drift events latch in the detector, so dropping the
+        trigger here would lose the drift forever even after enough data
+        arrived.  The first refusal per distinct reason is recorded as a
+        skip report so operators can see why nothing swapped; repeats of
+        the same reason return ``None`` instead of flooding the history.
+        """
+        trigger = self._pending.get(building_id)
+        if trigger is None:
+            return None
+
+        appended = self._appended.get(building_id, 0)
+        if 0 < appended <= self.config.cooldown_records:
+            return None  # stays pending until the cooldown elapses
+
+        window = self.windows.window_for(building_id)
+        if len(window) < self.config.min_window_records:
+            return self._skip("window", RetrainReport(
+                building_id=building_id, trigger=trigger, swapped=False,
+                window_records=len(window),
+                skipped_reason=f"window holds {len(window)} records, "
+                               f"needs {self.config.min_window_records}"))
+
+        labels = {record.record_id: record.floor
+                  for record in window.records if record.floor is not None}
+        if len(labels) < self.config.min_labeled_records:
+            return self._skip("labels", RetrainReport(
+                building_id=building_id, trigger=trigger, swapped=False,
+                window_records=len(window), labeled_records=len(labels),
+                skipped_reason=f"window holds {len(labels)} labeled records, "
+                               f"needs {self.config.min_labeled_records}"))
+
+        del self._pending[building_id]
+        self._last_skip.pop(building_id, None)
+        dataset = window.as_dataset(building_id)
+        started = self._clock()
+        self.service.retrain_building(dataset, labels,
+                                      warm_start=self.config.warm_start)
+        duration = self._clock() - started
+        self._appended[building_id] = 0
+        self.retrains_total += 1
+        report = RetrainReport(
+            building_id=building_id, trigger=trigger, swapped=True,
+            window_records=len(window), labeled_records=len(labels),
+            duration_seconds=duration)
+        self.history.append(report)
+        return report
+
+    def _skip(self, guard: str,
+              report: RetrainReport) -> RetrainReport | None:
+        """Record one skip per guard transition; the trigger stays pending."""
+        if self._last_skip.get(report.building_id) == guard:
+            return None
+        self._last_skip[report.building_id] = guard
+        self.history.append(report)
+        return report
+
+    # ------------------------------------------------------------------ state
+    @property
+    def pending(self) -> dict[str, str]:
+        return dict(self._pending)
+
+    def stats(self) -> dict[str, object]:
+        swapped = [r for r in self.history if r.swapped]
+        return {
+            "retrains_total": self.retrains_total,
+            "skipped_total": len(self.history) - len(swapped),
+            "pending": dict(self._pending),
+            "last_retrain": (swapped[-1].building_id if swapped else None),
+        }

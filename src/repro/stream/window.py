@@ -1,0 +1,185 @@
+"""Sliding-window bipartite graphs: bounded memory under unbounded traffic.
+
+Each building accumulates a live :class:`BipartiteGraph` over the most
+recent records only.  Appending past the window bound (record count and/or
+record age) evicts the oldest records through
+``BipartiteGraph.remove_record`` with orphaned-MAC pruning, so an AP that
+was only ever observed by since-evicted records leaves the graph with them
+— exactly the AP-removal adaptivity of paper Section III-A, driven
+continuously instead of by hand.  The window owns the record objects too,
+so the retrain scheduler can turn it into a training dataset at any moment.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from ..core.graph import BipartiteGraph, NodeKind
+from ..core.types import FingerprintDataset, SignalRecord
+from ..core.weighting import WeightFunction
+
+__all__ = ["WindowConfig", "WindowEviction", "SlidingWindowGraph", "WindowManager"]
+
+
+@dataclass(frozen=True)
+class WindowConfig:
+    """Bounds of a per-building sliding window.
+
+    Attributes
+    ----------
+    max_records:
+        Hard cap on live records; appending the ``max_records + 1``-th
+        record evicts the oldest.
+    max_age_seconds:
+        Optional age bound (by arrival time on the injected clock); expired
+        records are evicted on :meth:`SlidingWindowGraph.expire` and
+        opportunistically on every append.
+    """
+
+    max_records: int = 512
+    max_age_seconds: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_records < 1:
+            raise ValueError("max_records must be at least 1")
+        if self.max_age_seconds is not None and self.max_age_seconds <= 0.0:
+            raise ValueError("max_age_seconds must be positive (or None)")
+
+
+@dataclass(frozen=True)
+class WindowEviction:
+    """What one maintenance step removed from the window."""
+
+    record_ids: tuple[str, ...] = ()
+    pruned_macs: tuple[str, ...] = ()
+
+    def __bool__(self) -> bool:
+        return bool(self.record_ids)
+
+
+@dataclass
+class _Slot:
+    record: SignalRecord
+    arrived_at: float
+
+
+class SlidingWindowGraph:
+    """One building's recent records as an incrementally maintained graph."""
+
+    def __init__(self, config: WindowConfig | None = None,
+                 weight_function: WeightFunction | None = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.config = config or WindowConfig()
+        self.graph = BipartiteGraph(weight_function=weight_function)
+        self._clock = clock
+        self._slots: deque[_Slot] = deque()
+        self.appended_total = 0
+        self.evicted_total = 0
+        self.pruned_macs_total = 0
+
+    # ---------------------------------------------------------------- content
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    @property
+    def records(self) -> list[SignalRecord]:
+        """Live records, oldest first (the retraining order)."""
+        return [slot.record for slot in self._slots]
+
+    def has_record(self, record_id: str) -> bool:
+        return self.graph.has_node(NodeKind.RECORD, record_id)
+
+    @property
+    def mac_vocabulary(self) -> frozenset[str]:
+        """MACs currently observed by at least one live record."""
+        return frozenset(self.graph.mac_index_map())
+
+    @property
+    def node_count(self) -> int:
+        """Live graph nodes (records + MACs) — the bounded-memory metric."""
+        return self.graph.num_nodes
+
+    def as_dataset(self, building_id: str) -> FingerprintDataset:
+        """The live window as a training dataset (records in window order)."""
+        return FingerprintDataset(records=self.records,
+                                  building_id=building_id)
+
+    # ----------------------------------------------------------- maintenance
+    def append(self, record: SignalRecord,
+               now: float | None = None) -> WindowEviction:
+        """Add one record, then evict whatever the bounds no longer admit."""
+        if self.graph.has_node(NodeKind.RECORD, record.record_id):
+            raise ValueError(
+                f"record {record.record_id!r} is already in the window")
+        now = self._clock() if now is None else now
+        self.graph.add_record(record)
+        self._slots.append(_Slot(record=record, arrived_at=now))
+        self.appended_total += 1
+        return self._evict(now)
+
+    def expire(self, now: float | None = None) -> WindowEviction:
+        """Evict records that aged out (for idle buildings between appends)."""
+        return self._evict(self._clock() if now is None else now)
+
+    def _evict(self, now: float) -> WindowEviction:
+        evicted: list[str] = []
+        pruned: list[str] = []
+        while self._slots:
+            over_count = len(self._slots) > self.config.max_records
+            over_age = (self.config.max_age_seconds is not None
+                        and now - self._slots[0].arrived_at
+                        >= self.config.max_age_seconds)
+            if not (over_count or over_age):
+                break
+            slot = self._slots.popleft()
+            pruned.extend(self.graph.remove_record(slot.record.record_id,
+                                                   prune_orphaned_macs=True))
+            evicted.append(slot.record.record_id)
+        self.evicted_total += len(evicted)
+        self.pruned_macs_total += len(pruned)
+        return WindowEviction(record_ids=tuple(evicted),
+                              pruned_macs=tuple(pruned))
+
+
+@dataclass
+class WindowManager:
+    """Per-building windows created on demand with one shared configuration."""
+
+    config: WindowConfig = field(default_factory=WindowConfig)
+    weight_function: WeightFunction | None = None
+    clock: Callable[[], float] = time.monotonic
+    _windows: dict[str, SlidingWindowGraph] = field(default_factory=dict)
+
+    def window_for(self, building_id: str) -> SlidingWindowGraph:
+        window = self._windows.get(building_id)
+        if window is None:
+            window = self._windows[building_id] = SlidingWindowGraph(
+                self.config, weight_function=self.weight_function,
+                clock=self.clock)
+        return window
+
+    def append(self, building_id: str, record: SignalRecord) -> WindowEviction:
+        return self.window_for(building_id).append(record)
+
+    @property
+    def building_ids(self) -> list[str]:
+        return list(self._windows)
+
+    @property
+    def total_nodes(self) -> int:
+        return sum(w.node_count for w in self._windows.values())
+
+    @property
+    def total_records(self) -> int:
+        return sum(len(w) for w in self._windows.values())
+
+    def stats(self) -> dict[str, dict[str, int]]:
+        return {building_id: {"records": len(window),
+                              "macs": window.graph.num_macs,
+                              "nodes": window.node_count,
+                              "evicted": window.evicted_total,
+                              "pruned_macs": window.pruned_macs_total}
+                for building_id, window in self._windows.items()}

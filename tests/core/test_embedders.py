@@ -124,3 +124,64 @@ class TestIncrementalEmbedding:
         embedder = ELINEEmbedder(FAST)
         embedding = embedder.fit(two_floor_graph)
         assert embedder.embed_new_nodes(two_floor_graph, embedding, []) is embedding
+
+
+class TestWarmStart:
+    """Warm-start initialisation for continuous-learning retrains."""
+
+    def test_warm_start_is_deterministic(self, two_floor_graph):
+        embedder = ELINEEmbedder(FAST)
+        previous = embedder.fit(two_floor_graph)
+        once = ELINEEmbedder(FAST).fit(two_floor_graph, warm_start=previous)
+        twice = ELINEEmbedder(FAST).fit(two_floor_graph, warm_start=previous)
+        assert np.array_equal(once.ego, twice.ego)
+        assert np.array_equal(once.context, twice.context)
+
+    def test_warm_start_changes_initialisation(self, two_floor_graph):
+        embedder = ELINEEmbedder(FAST)
+        previous = embedder.fit(two_floor_graph)
+        cold = ELINEEmbedder(FAST).fit(two_floor_graph)
+        warm = ELINEEmbedder(FAST).fit(two_floor_graph, warm_start=previous)
+        assert not np.array_equal(cold.ego, warm.ego)
+
+    def test_surviving_nodes_start_from_previous_vectors(self, two_floor_graph):
+        from repro.core.embedding.trainer import EdgeSamplingTrainer, ObjectiveTerms
+
+        embedder = ELINEEmbedder(FAST)
+        previous = embedder.fit(two_floor_graph)
+        trainer = EdgeSamplingTrainer(two_floor_graph, FAST,
+                                      ObjectiveTerms(second_order=True))
+        ego, context = trainer.initial_embeddings(warm_start=previous)
+        for record_id, row in previous.record_index.items():
+            assert np.array_equal(ego[row], previous.ego[row])
+            assert np.array_equal(context[row], previous.context[row])
+
+    def test_new_nodes_keep_random_initialisation(self, two_floor_graph):
+        """A node absent from the previous embedding draws a fresh vector."""
+        from repro.core.embedding.trainer import EdgeSamplingTrainer, ObjectiveTerms
+        from repro.core.graph import build_graph as rebuild
+
+        embedder = ELINEEmbedder(FAST)
+        previous = embedder.fit(two_floor_graph)
+        enlarged = rebuild(
+            [record(n.key, {m: -50.0 for m in ("a0", "a1")})
+             for n in two_floor_graph.record_nodes()]
+            + [record("brand-new", {"a0": -40.0, "never-seen": -45.0})])
+        trainer = EdgeSamplingTrainer(enlarged, FAST,
+                                      ObjectiveTerms(second_order=True))
+        ego, _ = trainer.initial_embeddings(warm_start=previous)
+        new_index = enlarged.record_index_map()["brand-new"]
+        scale = FAST.init_scale / FAST.dimension
+        assert np.all(np.abs(ego[new_index]) <= scale)
+        assert not np.array_equal(ego[new_index], np.zeros(FAST.dimension))
+
+    def test_dimension_mismatch_rejected(self, two_floor_graph):
+        previous = ELINEEmbedder(FAST).fit(two_floor_graph)
+        smaller = EmbeddingConfig(dimension=4, samples_per_edge=30.0, seed=0)
+        with pytest.raises(ValueError, match="dimension"):
+            ELINEEmbedder(smaller).fit(two_floor_graph, warm_start=previous)
+
+    def test_line_supports_warm_start_too(self, two_floor_graph):
+        previous = LINEEmbedder(FAST).fit(two_floor_graph)
+        warm = LINEEmbedder(FAST).fit(two_floor_graph, warm_start=previous)
+        assert warm.dimension == previous.dimension

@@ -1,0 +1,156 @@
+"""Property tests for graph churn under interleaved add/remove operations.
+
+The streaming window maintainer leans on three invariants of
+:class:`BipartiteGraph` that these tests pin down under arbitrary
+interleavings of ``add_record`` / ``remove_record`` / ``remove_mac``:
+
+1. a retired dense index is never reused (embedding matrices indexed by
+   node index stay valid across removals);
+2. ``edge_arrays()`` and ``degree_array()`` always agree with a
+   from-scratch rebuild of the surviving structure;
+3. orphaned-MAC pruning removes exactly the MACs no live record still
+   senses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.graph import BipartiteGraph, NodeKind
+from repro.core.types import SignalRecord
+
+MACS = [f"ap-{i}" for i in range(8)]
+
+
+class _Mirror:
+    """Reference bookkeeping: what the graph should contain after each op."""
+
+    def __init__(self):
+        self.records: dict[str, dict[str, float]] = {}  # rid -> live edges
+        self.macs: set[str] = set()                     # live MAC nodes
+
+    def add_record(self, rid, rss):
+        self.records[rid] = dict(rss)
+        self.macs.update(rss)
+
+    def remove_record(self, rid, prune):
+        rss = self.records.pop(rid)
+        if prune:
+            for mac in rss:
+                if mac in self.macs and not any(
+                        mac in other for other in self.records.values()):
+                    self.macs.discard(mac)
+
+    def remove_mac(self, mac):
+        self.macs.discard(mac)
+        for rss in self.records.values():
+            rss.pop(mac, None)
+
+    def edges(self):
+        return {(mac, rid): rss[mac]
+                for rid, rss in self.records.items() for mac in rss}
+
+
+def _assert_consistent(graph: BipartiteGraph, mirror: _Mirror):
+    # Node sets match the mirror exactly.
+    assert {n.key for n in graph.record_nodes()} == set(mirror.records)
+    assert {n.key for n in graph.mac_nodes()} == mirror.macs
+
+    # Live indices are unique and within capacity.
+    live_indices = [n.index for n in graph.nodes()]
+    assert len(live_indices) == len(set(live_indices))
+    assert all(0 <= i < graph.index_capacity for i in live_indices)
+
+    # edge_arrays agrees with the mirror's surviving edge set.
+    sources, targets, weights = graph.edge_arrays()
+    observed = {}
+    for s, t, w in zip(sources, targets, weights):
+        mac = graph.node_at(int(s))
+        rid = graph.node_at(int(t))
+        assert mac.kind is NodeKind.MAC and rid.kind is NodeKind.RECORD
+        observed[(mac.key, rid.key)] = float(w)
+    expected = {key: rss + 120.0 for key, rss in mirror.edges().items()}
+    assert observed.keys() == expected.keys()
+    for key, weight in expected.items():
+        assert observed[key] == weight
+
+    # degree_array: zeros on retired indices, weighted degrees on live ones.
+    degrees = graph.degree_array()
+    assert degrees.shape == (graph.index_capacity,)
+    expected_degrees = np.zeros(graph.index_capacity)
+    for (mac, rid), weight in expected.items():
+        expected_degrees[graph.get_node(NodeKind.MAC, mac).index] += weight
+        expected_degrees[graph.get_node(NodeKind.RECORD, rid).index] += weight
+    assert np.allclose(degrees, expected_degrees)
+
+    # ...and everything matches a graph rebuilt from scratch.
+    rebuilt = BipartiteGraph()
+    for rid, rss in mirror.records.items():
+        if rss:
+            rebuilt.add_record(SignalRecord(record_id=rid, rss=rss))
+    assert graph.num_edges == rebuilt.num_edges
+    assert graph.total_weight == rebuilt.total_weight
+
+
+@given(st.data())
+@settings(max_examples=40, deadline=None)
+def test_interleaved_churn_matches_rebuild_and_never_reuses_indices(data):
+    graph = BipartiteGraph()
+    mirror = _Mirror()
+    retired: set[int] = set()
+    next_rid = 0
+
+    num_ops = data.draw(st.integers(min_value=1, max_value=40), label="num_ops")
+    for _ in range(num_ops):
+        choices = ["add"]
+        if mirror.records:
+            choices.append("remove_record")
+        if mirror.macs:
+            choices.append("remove_mac")
+        op = data.draw(st.sampled_from(choices), label="op")
+
+        if op == "add":
+            macs = data.draw(st.lists(st.sampled_from(MACS), min_size=1,
+                                      max_size=4, unique=True), label="macs")
+            rss = {mac: -40.0 - 2.0 * i for i, mac in enumerate(macs)}
+            rid = f"r{next_rid}"
+            next_rid += 1
+            before = graph.index_capacity
+            node = graph.add_record(SignalRecord(record_id=rid, rss=rss))
+            mirror.add_record(rid, rss)
+            # Fresh nodes only ever take fresh indices.
+            assert node.index >= before
+            assert node.index not in retired
+            for mac in rss:
+                assert graph.get_node(NodeKind.MAC, mac).index not in retired
+        elif op == "remove_record":
+            rid = data.draw(st.sampled_from(sorted(mirror.records)),
+                            label="remove_record")
+            prune = data.draw(st.booleans(), label="prune")
+            doomed = {mac for mac in mirror.records[rid]
+                      if mac in mirror.macs and not any(
+                          mac in other for other_id, other
+                          in mirror.records.items() if other_id != rid)}
+            retired.add(graph.get_node(NodeKind.RECORD, rid).index)
+            if prune:
+                retired.update(graph.get_node(NodeKind.MAC, mac).index
+                               for mac in doomed)
+            pruned = graph.remove_record(rid, prune_orphaned_macs=prune)
+            mirror.remove_record(rid, prune)
+            if prune:
+                assert set(pruned) == doomed
+            else:
+                assert pruned == []
+        else:
+            mac = data.draw(st.sampled_from(sorted(mirror.macs)),
+                            label="remove_mac")
+            retired.add(graph.get_node(NodeKind.MAC, mac).index)
+            graph.remove_mac(mac)
+            mirror.remove_mac(mac)
+
+        _assert_consistent(graph, mirror)
+
+    # Capacity counts every index ever assigned; retired ones stay burned.
+    assert graph.index_capacity == graph.num_nodes + len(retired)

@@ -9,7 +9,7 @@ from repro import GRAFICS, GraficsConfig, EmbeddingConfig, UnknownEnvironmentErr
 from repro.core.persistence import load_model, load_registry, save_model, save_registry
 from repro.core.registry import MultiBuildingFloorService
 from repro.core.weighting import PowerWeight
-from repro.data import make_experiment_split, sample_labels, small_test_building
+from repro.data import make_experiment_split, small_test_building
 
 
 class TestPersistence:

@@ -6,6 +6,7 @@ import pytest
 
 from repro.core.types import FingerprintDataset, SignalRecord
 from repro.data.loaders import (
+    iter_jsonl,
     load_jsonl,
     load_long_csv,
     load_wide_csv,
@@ -60,6 +61,51 @@ class TestJsonl:
         path.write_text('{"type": "mystery"}\n')
         with pytest.raises(ValueError, match="unknown row type"):
             load_jsonl(path)
+
+
+class TestIterJsonl:
+    def test_streams_records_lazily(self, dataset, tmp_path):
+        path = tmp_path / "data.jsonl"
+        save_jsonl(dataset, path)
+        iterator = iter_jsonl(path)
+        first = next(iterator)
+        assert first.record_id == "r1"
+        assert first.rss == dataset[0].rss
+        rest = list(iterator)
+        assert [r.record_id for r in rest] == ["r2", "r3"]
+
+    def test_header_callback_and_skip(self, dataset, tmp_path):
+        path = tmp_path / "data.jsonl"
+        save_jsonl(dataset, path)
+        header: dict = {}
+        records = list(iter_jsonl(path, on_header=header.update))
+        assert header["building_id"] == "loader-test"
+        assert len(records) == 3
+        # Without a callback the header row is silently skipped.
+        assert len(list(iter_jsonl(path))) == 3
+
+    def test_headerless_file_accepted(self, tmp_path):
+        path = tmp_path / "bare.jsonl"
+        path.write_text('{"type": "record", "record_id": "x", '
+                        '"rss": {"a": -40.0}}\n')
+        records = list(iter_jsonl(path))
+        assert len(records) == 1 and records[0].floor is None
+
+    def test_load_jsonl_reuses_streaming_parser(self, dataset, tmp_path):
+        """load_jsonl is a thin materialisation of iter_jsonl."""
+        path = tmp_path / "data.jsonl"
+        save_jsonl(dataset, path)
+        streamed = list(iter_jsonl(path))
+        loaded = load_jsonl(path)
+        assert [r.record_id for r in streamed] == \
+            [r.record_id for r in loaded.records]
+        assert all(s.rss == m.rss for s, m in zip(streamed, loaded.records))
+
+    def test_invalid_json_reports_line(self, tmp_path):
+        path = tmp_path / "broken.jsonl"
+        path.write_text('{"type": "record"\n')
+        with pytest.raises(ValueError, match="broken.jsonl:1"):
+            list(iter_jsonl(path))
 
 
 class TestWideCsv:

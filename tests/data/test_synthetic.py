@@ -5,7 +5,6 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.data.propagation import PropagationParameters
 from repro.data.synthetic import (
     AccessPoint,
     BuildingSpec,

@@ -5,6 +5,7 @@ from __future__ import annotations
 import random
 
 import pytest
+from serving_helpers import FakeClock, make_service
 
 from repro import SignalRecord, UnknownEnvironmentError
 from repro.serving import LinearScanRouter, MacInvertedRouter
@@ -126,3 +127,66 @@ class TestAttribution:
         decisions = inverted.route_batch([record("r1", ["m1"]),
                                           record("r2", ["m2"])])
         assert [d.building_id for d in decisions] == ["a", "b"]
+
+
+class TestHotSwapPostings:
+    """Incremental posting updates must equal a from-scratch rebuild."""
+
+    def test_incremental_updates_match_fresh_rebuild(self):
+        rng = random.Random(3)
+        alphabet = [f"ap-{i}" for i in range(40)]
+        router = MacInvertedRouter()
+        vocabularies: dict[str, list[str]] = {}
+        for step in range(120):
+            building_id = f"b{rng.randint(0, 9)}"
+            action = rng.random()
+            if action < 0.25 and building_id in vocabularies:
+                router.remove_building(building_id)
+                del vocabularies[building_id]
+            else:
+                # Fresh registration or hot swap with a changed vocabulary.
+                vocabulary = rng.sample(alphabet, rng.randint(3, 12))
+                router.add_building(building_id, vocabulary)
+                vocabularies[building_id] = vocabulary
+            if not vocabularies:
+                continue
+            fresh = MacInvertedRouter.from_vocabularies(
+                {b: vocabularies[b] for b in router.building_ids})
+            for i in range(10):
+                probe = record(f"probe-{step}-{i}",
+                               rng.sample(alphabet, rng.randint(1, 6)))
+                try:
+                    expected = fresh.route(probe)
+                except UnknownEnvironmentError:
+                    with pytest.raises(UnknownEnvironmentError):
+                        router.route(probe)
+                    continue
+                assert router.route(probe) == expected
+
+    def test_service_hot_swap_routes_new_vocabulary_immediately(
+            self, serving_corpus):
+        """Regression: a swap with changed MACs must route correctly at once."""
+        registry, held_out, training = serving_corpus
+        service = make_service(registry, FakeClock())
+        old_vocabulary = service.router.vocabulary_for("bldg-north")
+        kept = sorted(old_vocabulary)[: len(old_vocabulary) // 2]
+        replaced = [f"{mac}-replacement" for mac in
+                    sorted(old_vocabulary)[len(old_vocabulary) // 2:]]
+
+        model = service.registry.model_for("bldg-north")
+        service.install_building("bldg-north", model,
+                                 vocabulary=kept + replaced)
+
+        # New MACs route to the swapped building with no rebuild in between.
+        probe = record("new-vocab-probe", replaced[:3])
+        decision = service.router.route(probe)
+        assert decision.building_id == "bldg-north"
+        assert decision.overlap == 1.0
+        # Dropped MACs must stop matching the swapped building.
+        with pytest.raises(UnknownEnvironmentError):
+            service.router.route(record(
+                "stale-probe", sorted(old_vocabulary - frozenset(kept))[:3]))
+        # Surviving MACs still route, and the tie-break position is kept.
+        assert service.router.building_ids[0] == "bldg-north"
+        assert service.router.route(
+            record("kept-probe", kept[:3])).building_id == "bldg-north"

@@ -80,3 +80,12 @@ class TestServingTelemetry:
         assert snapshot["throughput_rps"] == pytest.approx(5.0)
         assert snapshot["counters"]["predictions_total"] == 50
         assert snapshot["latency"]["request_seconds"]["count"] == 1
+
+    def test_gauges_overwrite_and_export(self):
+        telemetry = ServingTelemetry(clock=FakeClock())
+        telemetry.set_gauge("stream_window_records", 128)
+        telemetry.set_gauge("stream_window_records", 96)  # down is fine
+        assert telemetry.gauge("stream_window_records") == 96.0
+        assert telemetry.gauge("never-set", default=-1.0) == -1.0
+        snapshot = telemetry.snapshot()
+        assert snapshot["gauges"] == {"stream_window_records": 96.0}

@@ -1,0 +1,18 @@
+"""Shared fixtures for the streaming/continuous-learning tests."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from stream_helpers import train_service  # noqa: E402
+
+
+@pytest.fixture()
+def fresh_service():
+    """A freshly trained one-building service (mutable per test)."""
+    return train_service()

@@ -1,0 +1,121 @@
+"""Drift-detector tests: churn, rejection rate, distance shift, latching."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.stream import DriftConfig, DriftDetector, DriftKind
+
+
+class TestVocabularyChurn:
+    def test_fires_below_jaccard_threshold(self):
+        detector = DriftDetector(DriftConfig(vocabulary_jaccard_min=0.6,
+                                             min_window_macs=2))
+        trained = {f"ap-{i}" for i in range(10)}
+        observed = {f"ap-{i}" for i in range(5)} | {f"new-{i}" for i in range(5)}
+        event = detector.check_vocabulary("A", trained, observed)
+        assert event is not None
+        assert event.kind is DriftKind.MAC_CHURN
+        assert event.building_id == "A"
+        assert event.value == pytest.approx(5 / 15)
+
+    def test_quiet_when_vocabulary_stable(self):
+        detector = DriftDetector(DriftConfig(min_window_macs=2))
+        trained = {f"ap-{i}" for i in range(10)}
+        assert detector.check_vocabulary("A", trained, trained) is None
+
+    def test_small_windows_suppressed(self):
+        detector = DriftDetector(DriftConfig(min_window_macs=8))
+        assert detector.check_vocabulary("A", {"x", "y"}, {"a", "b"}) is None
+
+    def test_latched_until_recovery(self):
+        detector = DriftDetector(DriftConfig(vocabulary_jaccard_min=0.6,
+                                             min_window_macs=1))
+        trained = {f"ap-{i}" for i in range(10)}
+        drifted = {f"new-{i}" for i in range(10)}
+        assert detector.check_vocabulary("A", trained, drifted) is not None
+        # Still drifted: latched, no event spam.
+        assert detector.check_vocabulary("A", trained, drifted) is None
+        # Recovery unlatches, a later drift fires again.
+        assert detector.check_vocabulary("A", trained, trained) is None
+        assert detector.check_vocabulary("A", trained, drifted) is not None
+        assert detector.events_total[DriftKind.MAC_CHURN.value] == 2
+
+    def test_latches_are_per_building(self):
+        detector = DriftDetector(DriftConfig(vocabulary_jaccard_min=0.6,
+                                             min_window_macs=1))
+        trained = {f"ap-{i}" for i in range(10)}
+        drifted = {f"new-{i}" for i in range(10)}
+        assert detector.check_vocabulary("A", trained, drifted) is not None
+        assert detector.check_vocabulary("B", trained, drifted) is not None
+
+
+class TestRejectionRate:
+    def test_fires_above_threshold_after_min_observations(self):
+        detector = DriftDetector(DriftConfig(rejection_window=20,
+                                             rejection_rate_max=0.3,
+                                             min_rejection_observations=10))
+        events = [detector.observe_routing(False) for _ in range(9)]
+        assert all(e is None for e in events)  # below min observations
+        event = detector.observe_routing(False)
+        assert event is not None
+        assert event.kind is DriftKind.ROUTER_REJECTION
+        assert event.building_id is None
+        assert event.value == pytest.approx(1.0)
+
+    def test_quiet_under_threshold(self):
+        detector = DriftDetector(DriftConfig(rejection_window=20,
+                                             rejection_rate_max=0.5,
+                                             min_rejection_observations=10))
+        for i in range(40):
+            assert detector.observe_routing(i % 4 != 0) is None  # 25% rejected
+
+
+class TestDistanceShift:
+    CONFIG = DriftConfig(distance_window=8, baseline_observations=4,
+                         distance_quantile=0.75, distance_ratio_max=1.5)
+
+    def test_fires_when_quantile_exceeds_baseline_ratio(self):
+        detector = DriftDetector(self.CONFIG)
+        for _ in range(4):
+            assert detector.observe_distance("A", 1.0) is None  # baseline
+        events = [detector.observe_distance("A", 10.0) for _ in range(8)]
+        fired = [e for e in events if e is not None]
+        assert len(fired) == 1  # latched after the first firing
+        assert fired[0].kind is DriftKind.DISTANCE_SHIFT
+        assert fired[0].value > 1.5
+
+    def test_stable_distances_never_fire(self):
+        detector = DriftDetector(self.CONFIG)
+        for _ in range(50):
+            assert detector.observe_distance("A", 1.0) is None
+
+    def test_reset_building_recaptures_baseline(self):
+        detector = DriftDetector(self.CONFIG)
+        for _ in range(4):
+            detector.observe_distance("A", 1.0)
+        fired = [detector.observe_distance("A", 10.0) for _ in range(8)]
+        assert any(fired)
+        detector.reset_building("A")
+        # Post-swap the new model's distances become the new normal.
+        for _ in range(4):
+            assert detector.observe_distance("A", 10.0) is None
+        assert detector.stats()["distance_baselines"]["A"] == pytest.approx(10.0)
+        for _ in range(20):
+            assert detector.observe_distance("A", 10.0) is None
+
+
+class TestConfigValidation:
+    def test_invalid_thresholds_rejected(self):
+        with pytest.raises(ValueError):
+            DriftConfig(vocabulary_jaccard_min=0.0)
+        with pytest.raises(ValueError):
+            DriftConfig(rejection_rate_max=1.5)
+        with pytest.raises(ValueError):
+            DriftConfig(distance_quantile=1.0)
+        with pytest.raises(ValueError):
+            DriftConfig(distance_ratio_max=1.0)
+        with pytest.raises(ValueError):
+            DriftConfig(baseline_observations=100, distance_window=10)
+        with pytest.raises(ValueError):
+            DriftConfig(min_rejection_observations=100, rejection_window=50)

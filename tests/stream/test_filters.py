@@ -1,0 +1,86 @@
+"""Quality-filter tests: size, bounds, near-duplicate dedup."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SignalRecord
+from repro.stream import (
+    MinReadingsFilter,
+    NearDuplicateFilter,
+    RssBoundsFilter,
+    default_filters,
+)
+
+
+def record(rid, rss):
+    return SignalRecord(record_id=rid, rss=rss)
+
+
+class TestMinReadings:
+    def test_rejects_small_records(self):
+        f = MinReadingsFilter(min_readings=3)
+        assert f.admit(record("r", {"a": -40.0, "b": -50.0})) is not None
+        assert f.admit(record("r", {"a": -40.0, "b": -50.0, "c": -60.0})) is None
+
+    def test_validates_threshold(self):
+        with pytest.raises(ValueError):
+            MinReadingsFilter(min_readings=0)
+
+
+class TestRssBounds:
+    def test_rejects_out_of_range_readings(self):
+        f = RssBoundsFilter(min_rss=-100.0, max_rss=-10.0)
+        assert f.admit(record("r", {"a": -105.0})) is not None
+        assert f.admit(record("r", {"a": -5.0})) is not None
+        assert f.admit(record("r", {"a": -55.0})) is None
+
+    def test_default_lower_bound_protects_weight_function(self):
+        # f(RSS) = RSS + 120 must stay positive; -120 would crash add_record.
+        f = RssBoundsFilter()
+        assert f.admit(record("r", {"a": -120.0})) is not None
+        assert f.admit(record("r", {"a": -119.0})) is None
+
+    def test_validates_bounds(self):
+        with pytest.raises(ValueError):
+            RssBoundsFilter(min_rss=-10.0, max_rss=-20.0)
+
+
+class TestNearDuplicate:
+    def test_quantised_duplicates_rejected(self):
+        f = NearDuplicateFilter(capacity=8, quantum=1.0)
+        assert f.admit(record("r1", {"a": -40.0, "b": -60.0})) is None
+        # Sub-quantum noise maps to the same fingerprint.
+        assert f.admit(record("r2", {"a": -40.3, "b": -59.8})) is not None
+        # A genuinely different fingerprint passes.
+        assert f.admit(record("r3", {"a": -48.0, "b": -60.0})) is None
+
+    def test_record_id_does_not_participate(self):
+        f = NearDuplicateFilter()
+        assert f.admit(record("x", {"a": -40.0})) is None
+        assert f.admit(record("y", {"a": -40.0})) is not None
+
+    def test_lru_capacity_forgets_old_fingerprints(self):
+        f = NearDuplicateFilter(capacity=2)
+        assert f.admit(record("r1", {"a": -40.0})) is None
+        assert f.admit(record("r2", {"a": -50.0})) is None
+        assert f.admit(record("r3", {"a": -60.0})) is None  # evicts r1's key
+        assert f.admit(record("r4", {"a": -40.0})) is None  # forgotten → passes
+
+    def test_reset_clears_memory(self):
+        f = NearDuplicateFilter()
+        assert f.admit(record("r1", {"a": -40.0})) is None
+        f.reset()
+        assert f.admit(record("r2", {"a": -40.0})) is None
+
+    def test_validates_parameters(self):
+        with pytest.raises(ValueError):
+            NearDuplicateFilter(capacity=0)
+        with pytest.raises(ValueError):
+            NearDuplicateFilter(quantum=0.0)
+
+
+def test_default_chain_order_and_names():
+    chain = default_filters()
+    assert [f.name for f in chain] == ["min_readings", "rss_bounds",
+                                       "near_duplicate"]

@@ -1,0 +1,97 @@
+"""Ingestor tests: filter chain wiring, attribution, buffers, stats."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SignalRecord, UnknownEnvironmentError
+from repro.stream import MinReadingsFilter, StreamIngestor
+
+
+def record(rid, rss):
+    return SignalRecord(record_id=rid, rss=rss)
+
+
+def attribute_by_prefix(rec):
+    mac = next(iter(rec.rss))
+    if mac.startswith("a-"):
+        return "A"
+    raise UnknownEnvironmentError(f"record {rec.record_id!r} matches nothing")
+
+
+class TestSubmit:
+    def test_rejection_reports_stage_and_reason(self):
+        ingestor = StreamIngestor(filters=[MinReadingsFilter(min_readings=2)])
+        decision = ingestor.submit(record("r", {"a-1": -40.0}), building_id="A")
+        assert not decision.accepted
+        assert decision.filter_name == "min_readings"
+        assert "fewer than" in decision.reason
+        assert ingestor.rejected_by_filter == {"min_readings": 1}
+
+    def test_explicit_building_bypasses_attribution(self):
+        ingestor = StreamIngestor(filters=[])
+        decision = ingestor.submit(record("r", {"x": -40.0}), building_id="B")
+        assert decision.accepted and decision.building_id == "B"
+
+    def test_attribution_function_used_when_no_building_given(self):
+        ingestor = StreamIngestor(attribute=attribute_by_prefix, filters=[])
+        decision = ingestor.submit(record("r", {"a-1": -40.0}))
+        assert decision.accepted and decision.building_id == "A"
+
+    def test_unroutable_counted_not_raised(self):
+        ingestor = StreamIngestor(attribute=attribute_by_prefix, filters=[])
+        decision = ingestor.submit(record("r", {"z-1": -40.0}))
+        assert not decision.accepted
+        assert decision.filter_name == "router"
+        assert ingestor.unroutable_total == 1
+
+    def test_missing_attribution_is_a_programming_error(self):
+        ingestor = StreamIngestor(filters=[])
+        with pytest.raises(ValueError):
+            ingestor.submit(record("r", {"x": -40.0}))
+
+
+class TestBuffers:
+    def test_drain_returns_fifo_and_empties(self):
+        ingestor = StreamIngestor(filters=[])
+        for i in range(3):
+            ingestor.submit(record(f"r{i}", {"x": -40.0 - i}), building_id="A")
+        assert ingestor.buffered_by_building() == {"A": 3}
+        drained = ingestor.drain("A")
+        assert [r.record_id for r in drained] == ["r0", "r1", "r2"]
+        assert ingestor.buffered_count == 0
+        assert ingestor.drain("A") == []
+
+    def test_overflow_drops_oldest_and_counts(self):
+        ingestor = StreamIngestor(filters=[], buffer_capacity=2)
+        for i in range(4):
+            ingestor.submit(record(f"r{i}", {"x": -40.0 - i}), building_id="A")
+        assert ingestor.overflow_total == 2
+        assert [r.record_id for r in ingestor.drain("A")] == ["r2", "r3"]
+
+    def test_drain_all_keyed_by_building(self):
+        ingestor = StreamIngestor(filters=[])
+        ingestor.submit(record("a", {"x": -40.0}), building_id="A")
+        ingestor.submit(record("b", {"y": -40.0}), building_id="B")
+        drained = ingestor.drain_all()
+        assert {k: [r.record_id for r in v] for k, v in drained.items()} == \
+            {"A": ["a"], "B": ["b"]}
+        assert ingestor.buffered_count == 0
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            StreamIngestor(buffer_capacity=0)
+
+
+def test_stats_shape():
+    ingestor = StreamIngestor(attribute=attribute_by_prefix,
+                              filters=[MinReadingsFilter(min_readings=2)])
+    ingestor.submit(record("ok", {"a-1": -40.0, "a-2": -50.0}))
+    ingestor.submit(record("small", {"a-1": -40.0}))
+    ingestor.submit(record("lost", {"z-1": -40.0, "z-2": -50.0}))
+    stats = ingestor.stats()
+    assert stats["submitted"] == 3
+    assert stats["accepted"] == 1
+    assert stats["unroutable"] == 1
+    assert stats["rejected_by_filter"] == {"min_readings": 1}
+    assert stats["buffered"] == 1

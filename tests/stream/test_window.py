@@ -1,0 +1,138 @@
+"""Sliding-window graph tests: eviction, orphan pruning, bounded memory."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SignalRecord, build_graph
+from repro.stream import SlidingWindowGraph, WindowConfig, WindowManager
+
+
+def record(rid, rss, floor=None):
+    return SignalRecord(record_id=rid, rss=rss, floor=floor)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestCountBound:
+    def test_append_within_bound_evicts_nothing(self):
+        window = SlidingWindowGraph(WindowConfig(max_records=3))
+        for i in range(3):
+            eviction = window.append(record(f"r{i}", {"a": -40.0}))
+            assert not eviction
+        assert len(window) == 3
+
+    def test_oldest_record_evicted_past_bound(self):
+        window = SlidingWindowGraph(WindowConfig(max_records=2))
+        window.append(record("r0", {"a": -40.0}))
+        window.append(record("r1", {"a": -41.0}))
+        eviction = window.append(record("r2", {"a": -42.0}))
+        assert eviction.record_ids == ("r0",)
+        assert [r.record_id for r in window.records] == ["r1", "r2"]
+
+    def test_orphaned_macs_pruned_with_their_last_record(self):
+        window = SlidingWindowGraph(WindowConfig(max_records=1))
+        window.append(record("r0", {"only-r0": -40.0, "shared": -50.0}))
+        eviction = window.append(record("r1", {"shared": -45.0}))
+        assert eviction.record_ids == ("r0",)
+        assert eviction.pruned_macs == ("only-r0",)
+        assert window.mac_vocabulary == frozenset({"shared"})
+
+    def test_duplicate_record_id_rejected(self):
+        window = SlidingWindowGraph()
+        window.append(record("r0", {"a": -40.0}))
+        with pytest.raises(ValueError):
+            window.append(record("r0", {"b": -40.0}))
+
+
+class TestAgeBound:
+    def test_expire_by_age(self):
+        clock = FakeClock()
+        window = SlidingWindowGraph(
+            WindowConfig(max_records=100, max_age_seconds=10.0), clock=clock)
+        window.append(record("r0", {"a": -40.0}))
+        clock.now = 5.0
+        window.append(record("r1", {"a": -41.0}))
+        clock.now = 12.0
+        eviction = window.expire()
+        assert eviction.record_ids == ("r0",)
+        assert [r.record_id for r in window.records] == ["r1"]
+
+    def test_append_opportunistically_expires(self):
+        clock = FakeClock()
+        window = SlidingWindowGraph(
+            WindowConfig(max_records=100, max_age_seconds=10.0), clock=clock)
+        window.append(record("r0", {"a": -40.0}))
+        clock.now = 15.0
+        eviction = window.append(record("r1", {"a": -41.0}))
+        assert eviction.record_ids == ("r0",)
+
+
+class TestBoundedMemory:
+    def test_node_count_bounded_under_10x_window_traffic(self):
+        """The acceptance-criterion memory bound, at unit-test scale."""
+        max_records = 25
+        window = SlidingWindowGraph(WindowConfig(max_records=max_records))
+        macs_per_record = 4
+        for i in range(10 * max_records):
+            # Rolling MAC population: APs keep being "installed"/"removed".
+            rss = {f"ap-{(i + j) % 40}": -40.0 - j
+                   for j in range(macs_per_record)}
+            window.append(record(f"r{i}", rss))
+        assert len(window) == max_records
+        live_macs = set()
+        for rec in window.records:
+            live_macs.update(rec.rss)
+        # Pruning keeps the MAC side exactly the union of live records' MACs.
+        assert window.mac_vocabulary == frozenset(live_macs)
+        assert window.node_count == max_records + len(live_macs)
+
+    def test_window_graph_matches_from_scratch_rebuild(self):
+        """The maintained graph equals one rebuilt from the live records."""
+        window = SlidingWindowGraph(WindowConfig(max_records=10))
+        for i in range(35):
+            rss = {f"ap-{(i + j) % 13}": -40.0 - j for j in range(3)}
+            window.append(record(f"r{i}", rss))
+        rebuilt = build_graph(window.records)
+        assert window.graph.num_records == rebuilt.num_records
+        assert window.graph.num_macs == rebuilt.num_macs
+        assert window.graph.num_edges == rebuilt.num_edges
+        assert window.graph.total_weight == pytest.approx(rebuilt.total_weight)
+        for rec in window.records:
+            for mac in rec.rss:
+                assert (window.graph.edge_weight(mac, rec.record_id)
+                        == rebuilt.edge_weight(mac, rec.record_id))
+
+
+class TestManager:
+    def test_windows_created_on_demand_and_aggregated(self):
+        manager = WindowManager(config=WindowConfig(max_records=5))
+        manager.append("A", record("a0", {"x": -40.0}))
+        manager.append("B", record("b0", {"y": -40.0, "z": -50.0}))
+        assert set(manager.building_ids) == {"A", "B"}
+        assert manager.total_records == 2
+        assert manager.total_nodes == 2 + 3
+        stats = manager.stats()
+        assert stats["B"]["macs"] == 2
+
+    def test_as_dataset_preserves_window_order(self):
+        manager = WindowManager(config=WindowConfig(max_records=2))
+        window = manager.window_for("A")
+        window.append(record("r0", {"a": -40.0}))
+        window.append(record("r1", {"a": -41.0}))
+        window.append(record("r2", {"a": -42.0}))
+        dataset = window.as_dataset("A")
+        assert dataset.building_id == "A"
+        assert [r.record_id for r in dataset.records] == ["r1", "r2"]
+
+    def test_config_validated(self):
+        with pytest.raises(ValueError):
+            WindowConfig(max_records=0)
+        with pytest.raises(ValueError):
+            WindowConfig(max_age_seconds=0.0)
