@@ -7,37 +7,41 @@ Reproduction: measure (a) the per-sample latency of the frozen-graph online
 inference and (b) the cost of the naive alternative — refitting the whole
 embedding with the new sample included — and check that online inference is
 at least an order of magnitude cheaper.
+
+Run standalone (``--smoke`` for the CI-sized variant) or via pytest; both
+print one machine-readable JSON summary line prefixed ``BENCH_JSON``, like
+the other serving/stream benchmarks, so CI logs can be scraped for
+regressions.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import time
 
 from repro.core import GRAFICS, GraficsConfig, EmbeddingConfig, build_graph
 from repro.core.embedding import ELINEEmbedder
-from repro.data import make_experiment_split
+from repro.data import make_experiment_split, three_story_campus_building
 
 from conftest import save_table
 
 CONFIG = GraficsConfig(embedding=EmbeddingConfig(samples_per_edge=40.0, seed=0),
                        allow_unreachable_clusters=True)
 
+FULL = {"records_per_floor": 100, "probes": 10}
+SMOKE = {"records_per_floor": 40, "probes": 5}
 
-def test_online_inference_latency(benchmark, campus_building):
-    split = make_experiment_split(campus_building, labels_per_floor=4, seed=0)
+
+def run(sizes, label, dataset=None) -> dict:
+    """Measure online inference vs full refit; print + persist the table."""
+    if dataset is None:
+        dataset = three_story_campus_building(
+            records_per_floor=sizes["records_per_floor"], seed=7)
+    split = make_experiment_split(dataset, labels_per_floor=4, seed=0)
     model = GRAFICS(CONFIG).fit(list(split.train_records), split.labels)
-    probes = [r.without_floor() for r in split.test_records[:20]]
-
-    # Timed: one full online prediction (graph insert + frozen embedding +
-    # nearest-centroid lookup + graph restore).
-    state = {"index": 0}
-
-    def predict_one():
-        probe = probes[state["index"] % len(probes)]
-        state["index"] += 1
-        return model.predict(probe, persist=False)
-
-    benchmark.pedantic(predict_one, rounds=20, iterations=1)
+    probes = [r.without_floor()
+              for r in split.test_records[: sizes["probes"] * 2]]
 
     # Reference: full embedding refit with one extra record.
     graph = build_graph(list(split.train_records) + [probes[0]])
@@ -45,21 +49,47 @@ def test_online_inference_latency(benchmark, campus_building):
     ELINEEmbedder(CONFIG.resolved_embedding_config()).fit(graph)
     full_refit_seconds = time.perf_counter() - start
 
+    # Timed: full online predictions (graph insert + frozen embedding +
+    # nearest-centroid lookup + graph restore), averaged per sample.
     start = time.perf_counter()
-    for probe in probes[:10]:
+    for probe in probes[: sizes["probes"]]:
         model.predict(probe, persist=False)
-    online_seconds = (time.perf_counter() - start) / 10
+    online_seconds = (time.perf_counter() - start) / sizes["probes"]
 
+    speedup = full_refit_seconds / max(online_seconds, 1e-9)
     rows = [
         {"approach": "online frozen-graph embedding (per sample)",
          "seconds": round(online_seconds, 4)},
         {"approach": "full embedding refit (per sample)",
          "seconds": round(full_refit_seconds, 4)},
-        {"approach": "speedup", "seconds": round(full_refit_seconds
-                                                 / max(online_seconds, 1e-9), 1)},
+        {"approach": "speedup", "seconds": round(speedup, 1)},
     ]
     save_table("online_inference_latency", rows,
                columns=["approach", "seconds"],
-               header="Section V-A — online inference vs full refit")
+               header=f"Section V-A — online inference vs full refit ({label})")
+    summary = {"benchmark": "online_inference", "mode": label,
+               "online_seconds_per_sample": round(online_seconds, 6),
+               "full_refit_seconds": round(full_refit_seconds, 4),
+               "speedup": round(speedup, 1)}
+    print("BENCH_JSON " + json.dumps(summary))
 
     assert online_seconds * 10 < full_refit_seconds
+    return summary
+
+
+def test_online_inference_latency(campus_building):
+    """Pytest entry point (full sizes, shared session dataset)."""
+    run(FULL, "full", dataset=campus_building)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (seconds, not minutes)")
+    args = parser.parse_args(argv)
+    run(SMOKE if args.smoke else FULL, "smoke" if args.smoke else "full")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -42,10 +42,15 @@ from .core import (
     save_model,
     save_registry,
 )
-from .serving import FloorServingService, ServingConfig, ServingResult
+from .serving import (
+    FloorServingService,
+    ServingConfig,
+    ServingResult,
+    ShardedServingService,
+)
 from .stream import ContinuousLearningPipeline, StreamConfig, StreamResult
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "GRAFICS",
@@ -64,6 +69,7 @@ __all__ = [
     "UnknownEnvironmentError",
     "MultiBuildingFloorService",
     "FloorServingService",
+    "ShardedServingService",
     "ServingConfig",
     "ServingResult",
     "ContinuousLearningPipeline",

@@ -4,7 +4,14 @@ from .clustering import ClusterModel, ClusteringResult, ProximityClustering
 from .embedding import ELINEEmbedder, EmbeddingConfig, GraphEmbedding, LINEEmbedder
 from .graph import BipartiteGraph, Edge, Node, NodeKind, build_graph
 from .inference import FloorPrediction, OnlineInferenceEngine, UnknownEnvironmentError
-from .persistence import load_model, load_registry, save_model, save_registry
+from .persistence import (
+    load_model,
+    load_registry,
+    load_stream_state,
+    save_model,
+    save_registry,
+    save_stream_state,
+)
 from .pipeline import GRAFICS, GraficsConfig
 from .registry import BuildingPrediction, MultiBuildingFloorService
 from .types import FingerprintDataset, SignalRecord, records_to_matrix
@@ -22,6 +29,8 @@ __all__ = [
     "save_model",
     "load_model",
     "save_registry",
+    "save_stream_state",
+    "load_stream_state",
     "load_registry",
     "MultiBuildingFloorService",
     "BuildingPrediction",

@@ -33,13 +33,26 @@ from .embedding.base import EmbeddingConfig, GraphEmbedding
 from .graph import BipartiteGraph, NodeKind
 from .pipeline import GRAFICS, GraficsConfig
 from .registry import MultiBuildingFloorService
+from .types import SignalRecord
 from .weighting import ClippedOffsetWeight, OffsetWeight, PowerWeight, WeightFunction
 
-__all__ = ["save_model", "load_model", "save_registry", "load_registry"]
+__all__ = [
+    "save_model",
+    "load_model",
+    "save_registry",
+    "load_registry",
+    "save_stream_state",
+    "load_stream_state",
+    "record_to_payload",
+    "record_from_payload",
+    "grafics_config_to_payload",
+    "grafics_config_from_payload",
+]
 
 _FORMAT_VERSION = 1
 _REGISTRY_FORMAT_VERSION = 1
 _REGISTRY_MANIFEST = "manifest.json"
+_STREAM_STATE_VERSION = 1
 
 
 def _weight_function_to_dict(weight_function: WeightFunction) -> dict:
@@ -67,6 +80,34 @@ def _weight_function_from_dict(payload: dict) -> WeightFunction:
     raise ValueError(f"unknown weight function {name!r} in saved model")
 
 
+def grafics_config_to_payload(config: GraficsConfig) -> dict:
+    """A GRAFICS configuration as a JSON-serialisable dict.
+
+    Used inside saved model files and by the stream-state checkpoint, which
+    must restore the *training* configuration too — retrains on a resumed
+    node have to build models with exactly the hyperparameters the
+    uninterrupted node would have used.
+    """
+    return {
+        "embedding_dimension": config.embedding_dimension,
+        "embedder": config.embedder,
+        "allow_unreachable_clusters": config.allow_unreachable_clusters,
+        "weight_function": _weight_function_to_dict(config.weight_function),
+        "embedding": asdict(config.resolved_embedding_config()),
+    }
+
+
+def grafics_config_from_payload(payload: dict) -> GraficsConfig:
+    """Rebuild a GRAFICS configuration written by the payload writer."""
+    return GraficsConfig(
+        embedding_dimension=payload["embedding_dimension"],
+        embedder=payload["embedder"],
+        allow_unreachable_clusters=payload["allow_unreachable_clusters"],
+        weight_function=_weight_function_from_dict(payload["weight_function"]),
+        embedding=EmbeddingConfig(**payload["embedding"]),
+    )
+
+
 def save_model(model: GRAFICS, path: str | Path) -> None:
     """Serialise a fitted GRAFICS model to ``path`` (a ``.npz`` file)."""
     if not model.is_fitted:
@@ -82,13 +123,7 @@ def save_model(model: GRAFICS, path: str | Path) -> None:
     clustering = model.clustering
     metadata = {
         "format_version": _FORMAT_VERSION,
-        "config": {
-            "embedding_dimension": model.config.embedding_dimension,
-            "embedder": model.config.embedder,
-            "allow_unreachable_clusters": model.config.allow_unreachable_clusters,
-            "weight_function": _weight_function_to_dict(model.config.weight_function),
-            "embedding": asdict(model.config.resolved_embedding_config()),
-        },
+        "config": grafics_config_to_payload(model.config),
         "record_index": model.embedding.record_index,
         "mac_index": model.embedding.mac_index,
         "edges": edges,
@@ -116,9 +151,40 @@ def save_model(model: GRAFICS, path: str | Path) -> None:
     )
 
 
-def _rebuild_graph(edges: list, weight_function: WeightFunction) -> BipartiteGraph:
-    """Reconstruct the bipartite graph with the stored edge weights."""
+def _rebuild_graph(edges: list, weight_function: WeightFunction,
+                   record_index: dict | None = None,
+                   mac_index: dict | None = None) -> BipartiteGraph:
+    """Reconstruct the bipartite graph with the stored edge weights.
+
+    When the saved node→row maps are given and contiguous (always true for
+    graphs built by ``GRAFICS.fit``), nodes are recreated in their original
+    index order, so every node lands on exactly the index it had when the
+    model was saved.  This matters beyond aesthetics: online inference seeds
+    its negative sampler over the node index space, so a graph rebuilt in a
+    different order would give subtly different (still valid, but not
+    byte-identical) predictions than the model that was saved — breaking the
+    serving guarantee that a restart serves exactly what the live process
+    served.
+    """
     graph = BipartiteGraph(weight_function=weight_function)
+    if record_index is not None and mac_index is not None:
+        order = sorted(
+            [(row, NodeKind.RECORD, key) for key, row in record_index.items()]
+            + [(row, NodeKind.MAC, key) for key, row in mac_index.items()])
+        if [row for row, _, _ in order] == list(range(len(order))):
+            for _, kind, key in order:
+                if kind is NodeKind.MAC:
+                    graph.add_mac(key)
+                else:
+                    graph._add_node(NodeKind.RECORD, key)  # noqa: SLF001
+            for mac, record_id, weight in edges:
+                graph._set_edge(  # noqa: SLF001
+                    graph.get_node(NodeKind.MAC, mac).index,
+                    graph.get_node(NodeKind.RECORD, record_id).index,
+                    float(weight))
+            return graph
+    # Non-contiguous saved indices (not produced by any current writer):
+    # rebuild in per-record insertion order and let the caller re-map rows.
     per_record: dict[str, dict[str, float]] = {}
     for mac, record_id, weight in edges:
         per_record.setdefault(record_id, {})[mac] = float(weight)
@@ -147,22 +213,18 @@ def load_model(path: str | Path) -> GRAFICS:
         raise ValueError(f"unsupported model format version "
                          f"{metadata.get('format_version')!r}")
 
-    config_blob = metadata["config"]
-    embedding_config = EmbeddingConfig(**config_blob["embedding"])
-    config = GraficsConfig(
-        embedding_dimension=config_blob["embedding_dimension"],
-        embedder=config_blob["embedder"],
-        allow_unreachable_clusters=config_blob["allow_unreachable_clusters"],
-        weight_function=_weight_function_from_dict(config_blob["weight_function"]),
-        embedding=embedding_config,
-    )
+    config = grafics_config_from_payload(metadata["config"])
+    embedding_config = config.embedding
 
-    graph = _rebuild_graph(metadata["edges"], config.weight_function)
-
-    # Dense indices assigned during the rebuild generally differ from the
-    # original ones, so embedding rows are re-ordered to the new indices.
     old_record_index = metadata["record_index"]
     old_mac_index = metadata["mac_index"]
+    graph = _rebuild_graph(metadata["edges"], config.weight_function,
+                           record_index=old_record_index,
+                           mac_index=old_mac_index)
+
+    # Embedding rows are re-ordered to the rebuilt indices.  With the
+    # index-preserving rebuild this is an identity copy; the mapping is kept
+    # for graphs whose saved indices were not contiguous.
     dim = ego.shape[1]
     new_ego = np.zeros((graph.index_capacity, dim))
     new_context = np.zeros((graph.index_capacity, dim))
@@ -296,3 +358,58 @@ def load_registry(directory: str | Path,
         service.install_model(blob["building_id"], model,
                               vocabulary=blob["vocabulary"])
     return service
+
+
+# ------------------------------------------------------------- stream state
+def record_to_payload(record: SignalRecord) -> dict:
+    """One signal record as a JSON-serialisable dict (full round trip)."""
+    return {
+        "record_id": record.record_id,
+        "rss": dict(record.rss),
+        "floor": record.floor,
+        "device": record.device,
+        "timestamp": record.timestamp,
+    }
+
+
+def record_from_payload(payload: dict) -> SignalRecord:
+    """Rebuild a signal record written by :func:`record_to_payload`."""
+    return SignalRecord(
+        record_id=str(payload["record_id"]),
+        rss={str(mac): float(value)
+             for mac, value in payload["rss"].items()},
+        floor=None if payload.get("floor") is None else int(payload["floor"]),
+        device=payload.get("device"),
+        timestamp=payload.get("timestamp"),
+    )
+
+
+def save_stream_state(state: dict, path: str | Path) -> None:
+    """Atomically write a stream-state checkpoint (versioned JSON).
+
+    The payload is whatever the continuous-learning pipeline's
+    ``state_dict()`` collected — per-building windows, drift baselines,
+    scheduler counters, ingest buffers and filter state (see
+    :meth:`repro.stream.ContinuousLearningPipeline.checkpoint`).  Models
+    are *not* in here; they round-trip separately through
+    :func:`save_registry`/:func:`load_registry`.  The file is written to a
+    same-directory temporary name and renamed into place, so a crash
+    mid-checkpoint leaves the previous checkpoint intact, never a torn one.
+    """
+    path = Path(path)
+    payload = {"format_version": _STREAM_STATE_VERSION, "state": state}
+    tmp_path = path.with_name(path.name + ".tmp")
+    tmp_path.write_text(json.dumps(payload, indent=2))
+    tmp_path.replace(path)
+
+
+def load_stream_state(path: str | Path) -> dict:
+    """Read a checkpoint written by :func:`save_stream_state`."""
+    path = Path(path)
+    if not path.is_file():
+        raise FileNotFoundError(f"no stream-state checkpoint at {path}")
+    payload = json.loads(path.read_text())
+    if payload.get("format_version") != _STREAM_STATE_VERSION:
+        raise ValueError(f"unsupported stream-state format version "
+                         f"{payload.get('format_version')!r}")
+    return payload["state"]

@@ -13,17 +13,25 @@ stack able to front a large multi-building registry under heavy traffic:
 * :mod:`~repro.serving.telemetry` — latency histograms, throughput counters
   and ``snapshot()`` export;
 * :mod:`~repro.serving.service` — the :class:`FloorServingService` façade
-  composing all of the above with per-building model hot swap.
+  composing all of the above with per-building model hot swap;
+* :mod:`~repro.serving.sharding` — the same façade hash-partitioned across
+  N :class:`Shard`\\ s, each with its own lock, cache partition, router
+  postings and telemetry (:class:`ShardedServingService`).
 """
 
 from .batcher import Batch, MicroBatcher
 from .cache import PredictionCache, fingerprint_key
 from .router import LinearScanRouter, MacInvertedRouter, Router, RoutingDecision
 from .service import FloorServingService, ServingConfig, ServingResult
+from .sharding import Shard, ShardedRouter, ShardedServingService, shard_index
 from .telemetry import LatencyHistogram, ServingTelemetry
 
 __all__ = [
     "FloorServingService",
+    "ShardedServingService",
+    "Shard",
+    "ShardedRouter",
+    "shard_index",
     "ServingConfig",
     "ServingResult",
     "Router",

@@ -198,23 +198,43 @@ class MacInvertedRouter(Router):
         except KeyError:
             raise KeyError(f"no registered building {building_id!r}") from None
 
-    def route(self, record: SignalRecord) -> RoutingDecision:
-        macs = self._probe_macs(record, len(self._vocabularies))
+    def candidate_hits(self, macs: set[str]) -> dict[str, int]:
+        """Per-building count of the probe MACs present in its vocabulary.
+
+        Only buildings sharing at least one MAC with the probe appear.  This
+        is the shard-local half of attribution: a partitioned deployment
+        (:mod:`repro.serving.sharding`) collects these maps from every shard
+        and runs the selection rule over the union.
+        """
         hits: dict[str, int] = {}
         index = self._index
         for mac in macs:
             for building_id in index.get(mac, ()):
                 hits[building_id] = hits.get(building_id, 0) + 1
+        return hits
 
+    @staticmethod
+    def select_best(hits: dict[str, int],
+                    positions: dict[str, int]) -> tuple[str | None, int]:
+        """The attribution rule over candidate hit counts.
+
+        Picks the building with the most hits; equal counts fall to the
+        earliest-registered building (smallest position) — exactly the
+        strict-improvement linear scan in registration order.
+        """
         best_building, best_hits, best_position = None, 0, -1
-        positions = self._positions
         for building_id, count in hits.items():
             position = positions[building_id]
             if count > best_hits or (count == best_hits
                                      and position < best_position):
                 best_building, best_hits, best_position = \
                     building_id, count, position
+        return best_building, best_hits
 
+    def route(self, record: SignalRecord) -> RoutingDecision:
+        macs = self._probe_macs(record, len(self._vocabularies))
+        hits = self.candidate_hits(macs)
+        best_building, best_hits = self.select_best(hits, self._positions)
         best_overlap = best_hits / len(macs)
         if best_building is None or best_overlap < self.min_overlap:
             self._reject(record, best_overlap)

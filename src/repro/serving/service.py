@@ -47,6 +47,102 @@ from .telemetry import ServingTelemetry
 __all__ = ["ServingConfig", "ServingResult", "FloorServingService"]
 
 
+def _serve_positions(records: Sequence[SignalRecord],
+                     routed: Sequence, positions: Iterable[int],
+                     *, registry: MultiBuildingFloorService,
+                     cache: PredictionCache, telemetry: ServingTelemetry,
+                     config: ServingConfig,
+                     results: list[BuildingPrediction | None]) -> None:
+    """Cache lookups + per-building engine dispatch for a slice of a batch.
+
+    The synchronous serving core, shared verbatim by the one-lock service
+    (slice = the whole batch) and by each shard of the sharded service
+    (slice = that shard's positions): the "predictions byte-identical"
+    guarantee between the two is structural because this is literally the
+    same code.  The caller holds whatever lock guards ``registry``/
+    ``cache``/``telemetry``.
+    """
+    positions = list(positions)
+    misses: dict[str, list[int]] = {}
+    keys: dict[int, str] = {}
+    for position in positions:
+        record, decision = records[position], routed[position]
+        if config.enable_cache:
+            key = fingerprint_key(decision.building_id, record,
+                                  quantum=config.rss_quantum)
+            keys[position] = key
+            cached = cache.get(key)
+            if cached is not None:
+                telemetry.increment("cache_hits_total")
+                results[position] = replace(cached,
+                                            record_id=record.record_id)
+                continue
+            telemetry.increment("cache_misses_total")
+        misses.setdefault(decision.building_id, []).append(position)
+
+    for building_id, miss_positions in misses.items():
+        batch = [records[i] for i in miss_positions]
+        try:
+            model = registry.model_for(building_id)
+        except KeyError:
+            # Only reachable on the sharded service, where a building can
+            # be evicted between routing and the shard lock (the one-lock
+            # service holds its lock across both).  Surface the clean
+            # rejection routing a vanished building would have produced.
+            raise UnknownEnvironmentError(
+                f"building {building_id!r} was evicted between routing "
+                "and dispatch") from None
+        with telemetry.time("batch_seconds"):
+            floor_predictions = model.predict_batch(batch, independent=True)
+        telemetry.increment("batches_total")
+        telemetry.increment("batched_records_total", len(batch))
+        for position, floor_prediction in zip(miss_positions,
+                                              floor_predictions):
+            prediction = BuildingPrediction(
+                record_id=floor_prediction.record_id,
+                building_id=building_id,
+                floor=floor_prediction.floor,
+                mac_overlap=routed[position].overlap,
+                distance=floor_prediction.distance)
+            results[position] = prediction
+            if config.enable_cache:
+                cache.put(keys[position], prediction,
+                          building_id=building_id)
+    telemetry.increment("predictions_total", len(positions))
+
+
+def _dispatch_batch(batch: Batch, *, registry: MultiBuildingFloorService,
+                    cache: PredictionCache, telemetry: ServingTelemetry,
+                    config: ServingConfig,
+                    completed: list[ServingResult]) -> None:
+    """Run one released micro-batch through the engine; buffer its results.
+
+    Shared by the one-lock service and every shard, for the same
+    byte-identity reason as :func:`_serve_positions`.
+    """
+    records = [record for record, _, _ in batch.items]
+    with telemetry.time("batch_seconds"):
+        floor_predictions = registry.model_for(
+            batch.building_id).predict_batch(records, independent=True)
+    telemetry.increment("batches_total")
+    telemetry.increment("batched_records_total", len(records))
+    telemetry.increment(f"batch_flush_{batch.reason}_total")
+    telemetry.increment("predictions_total", len(records))
+    for (record, decision, key), floor_prediction in zip(batch.items,
+                                                         floor_predictions):
+        prediction = BuildingPrediction(
+            record_id=floor_prediction.record_id,
+            building_id=batch.building_id,
+            floor=floor_prediction.floor,
+            mac_overlap=decision.overlap,
+            distance=floor_prediction.distance)
+        if config.enable_cache and key is not None:
+            cache.put(key, prediction, building_id=batch.building_id)
+        completed.append(ServingResult(record_id=record.record_id,
+                                       prediction=prediction,
+                                       source="batch"))
+
+
 @dataclass(frozen=True)
 class ServingConfig:
     """Tunables of the serving stack."""
@@ -105,6 +201,29 @@ class FloorServingService:
     @property
     def building_ids(self) -> list[str]:
         return self.registry.building_ids
+
+    @property
+    def grafics_config(self):
+        """The GRAFICS configuration new and retrained models are built with."""
+        return self.registry.config
+
+    def vocabulary_for(self, building_id: str) -> frozenset[str]:
+        """The attribution vocabulary of one trained building."""
+        return self.registry.vocabulary_for(building_id)
+
+    def model_for(self, building_id: str):
+        """The live model of one trained building."""
+        return self.registry.model_for(building_id)
+
+    def export_registry(self) -> MultiBuildingFloorService:
+        """The registry backing this service, for persistence checkpoints.
+
+        Exists so callers (the stream checkpoint, operational tooling) can
+        treat the one-lock and the sharded service uniformly —
+        :meth:`repro.serving.sharding.ShardedServingService.export_registry`
+        materialises the same view from its shards.
+        """
+        return self.registry
 
     def fit_building(self, dataset: FingerprintDataset,
                      labels: Mapping[str, int]) -> GRAFICS:
@@ -243,43 +362,10 @@ class FloorServingService:
                     raise
 
             results: list[BuildingPrediction | None] = [None] * len(records)
-            misses: dict[str, list[int]] = {}
-            keys: list[str | None] = [None] * len(records)
-            for position, (record, decision) in enumerate(zip(records, routed)):
-                if self.config.enable_cache:
-                    key = fingerprint_key(decision.building_id, record,
-                                          quantum=self.config.rss_quantum)
-                    keys[position] = key
-                    cached = self.cache.get(key)
-                    if cached is not None:
-                        self.telemetry.increment("cache_hits_total")
-                        results[position] = replace(cached,
-                                                    record_id=record.record_id)
-                        continue
-                    self.telemetry.increment("cache_misses_total")
-                misses.setdefault(decision.building_id, []).append(position)
-
-            for building_id, positions in misses.items():
-                batch = [records[i] for i in positions]
-                with self.telemetry.time("batch_seconds"):
-                    floor_predictions = self.registry.model_for(
-                        building_id).predict_batch(batch, independent=True)
-                self.telemetry.increment("batches_total")
-                self.telemetry.increment("batched_records_total", len(batch))
-                for position, floor_prediction in zip(positions,
-                                                      floor_predictions):
-                    prediction = BuildingPrediction(
-                        record_id=floor_prediction.record_id,
-                        building_id=building_id,
-                        floor=floor_prediction.floor,
-                        mac_overlap=routed[position].overlap,
-                        distance=floor_prediction.distance)
-                    results[position] = prediction
-                    if self.config.enable_cache:
-                        self.cache.put(keys[position], prediction,
-                                       building_id=building_id)
-
-            self.telemetry.increment("predictions_total", len(records))
+            _serve_positions(records, routed, range(len(records)),
+                             registry=self.registry, cache=self.cache,
+                             telemetry=self.telemetry, config=self.config,
+                             results=results)
             return results
 
     # ---------------------------------------------------- micro-batched path
@@ -347,27 +433,9 @@ class FloorServingService:
 
     def _dispatch(self, batch: Batch) -> None:
         """Run one per-building batch through the engine and buffer results."""
-        records = [record for record, _, _ in batch.items]
-        with self.telemetry.time("batch_seconds"):
-            floor_predictions = self.registry.model_for(
-                batch.building_id).predict_batch(records, independent=True)
-        self.telemetry.increment("batches_total")
-        self.telemetry.increment("batched_records_total", len(records))
-        self.telemetry.increment(f"batch_flush_{batch.reason}_total")
-        self.telemetry.increment("predictions_total", len(records))
-        for (record, decision, key), floor_prediction in zip(batch.items,
-                                                             floor_predictions):
-            prediction = BuildingPrediction(
-                record_id=floor_prediction.record_id,
-                building_id=batch.building_id,
-                floor=floor_prediction.floor,
-                mac_overlap=decision.overlap,
-                distance=floor_prediction.distance)
-            if self.config.enable_cache and key is not None:
-                self.cache.put(key, prediction, building_id=batch.building_id)
-            self._completed.append(ServingResult(record_id=record.record_id,
-                                                 prediction=prediction,
-                                                 source="batch"))
+        _dispatch_batch(batch, registry=self.registry, cache=self.cache,
+                        telemetry=self.telemetry, config=self.config,
+                        completed=self._completed)
 
     # ---------------------------------------------------------- observability
     def telemetry_snapshot(self) -> dict[str, object]:

@@ -11,8 +11,9 @@ stays constant no matter how much traffic flows through.
 from __future__ import annotations
 
 import bisect
+import threading
 import time
-from collections.abc import Callable, Sequence
+from collections.abc import Callable, Iterable, Sequence
 from contextlib import contextmanager
 
 __all__ = ["LatencyHistogram", "ServingTelemetry"]
@@ -72,6 +73,22 @@ class LatencyHistogram:
                 return self.max
         return self.max
 
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold another histogram's observations into this one.
+
+        Used to aggregate per-shard latency histograms into one fleet view;
+        requires identical bucket bounds so counts add bucket-by-bucket.
+        """
+        if other.bounds != self.bounds:
+            raise ValueError("cannot merge histograms with different bounds")
+        for bucket, count in enumerate(other._counts):  # noqa: SLF001
+            self._counts[bucket] += count
+        self.count += other.count
+        self.total += other.total
+        if other.count:
+            self.min = min(self.min, other.min)
+            self.max = max(self.max, other.max)
+
     def snapshot(self) -> dict[str, float | int]:
         return {
             "count": self.count,
@@ -85,10 +102,16 @@ class LatencyHistogram:
 
 
 class ServingTelemetry:
-    """Counters plus named latency histograms behind one ``snapshot()``."""
+    """Counters plus named latency histograms behind one ``snapshot()``.
+
+    All mutating operations are guarded by an internal mutex, so one
+    telemetry instance can be shared by threads serving different shards
+    (counter increments are read-modify-write and would otherwise race).
+    """
 
     def __init__(self, clock: Callable[[], float] = time.monotonic) -> None:
         self._clock = clock
+        self._mutex = threading.Lock()
         self._counters: dict[str, int] = {}
         self._gauges: dict[str, float] = {}
         self._histograms: dict[str, LatencyHistogram] = {}
@@ -96,7 +119,8 @@ class ServingTelemetry:
 
     # --------------------------------------------------------------- counters
     def increment(self, name: str, amount: int = 1) -> None:
-        self._counters[name] = self._counters.get(name, 0) + amount
+        with self._mutex:
+            self._counters[name] = self._counters.get(name, 0) + amount
 
     def counter(self, name: str) -> int:
         return self._counters.get(name, 0)
@@ -109,7 +133,8 @@ class ServingTelemetry:
         value, which is what streaming maintenance loops need for quantities
         that go both up and down.
         """
-        self._gauges[name] = float(value)
+        with self._mutex:
+            self._gauges[name] = float(value)
 
     def gauge(self, name: str, default: float = 0.0) -> float:
         return self._gauges.get(name, default)
@@ -118,11 +143,15 @@ class ServingTelemetry:
     def histogram(self, name: str) -> LatencyHistogram:
         histogram = self._histograms.get(name)
         if histogram is None:
-            histogram = self._histograms[name] = LatencyHistogram()
+            with self._mutex:
+                histogram = self._histograms.setdefault(name,
+                                                        LatencyHistogram())
         return histogram
 
     def observe(self, name: str, seconds: float) -> None:
-        self.histogram(name).record(seconds)
+        histogram = self.histogram(name)
+        with self._mutex:
+            histogram.record(seconds)
 
     @contextmanager
     def time(self, name: str):
@@ -134,15 +163,71 @@ class ServingTelemetry:
             self.observe(name, self._clock() - started)
 
     # ---------------------------------------------------------------- export
+    def _copy_state(self) -> tuple[dict[str, int], dict[str, float],
+                                   dict[str, LatencyHistogram]]:
+        """A consistent copy of all state, taken under the mutex.
+
+        Snapshots are read by operator/aggregator threads while serving
+        threads keep writing; iterating the live dicts (or merging a live
+        histogram) would race with a first-time counter insert or a
+        concurrent ``record``.
+        """
+        with self._mutex:
+            histograms = {}
+            for name, histogram in self._histograms.items():
+                clone = LatencyHistogram(histogram.bounds)
+                clone.merge(histogram)
+                histograms[name] = clone
+            return dict(self._counters), dict(self._gauges), histograms
+
     def snapshot(self) -> dict[str, object]:
         """A plain-dict view of every counter and histogram, plus uptime."""
+        counters, gauges, histograms = self._copy_state()
         uptime = self._clock() - self._started_at
-        predictions = self._counters.get("predictions_total", 0)
+        predictions = counters.get("predictions_total", 0)
         return {
             "uptime_seconds": uptime,
             "throughput_rps": predictions / uptime if uptime > 0 else 0.0,
-            "counters": dict(sorted(self._counters.items())),
-            "gauges": dict(sorted(self._gauges.items())),
+            "counters": dict(sorted(counters.items())),
+            "gauges": dict(sorted(gauges.items())),
             "latency": {name: histogram.snapshot()
-                        for name, histogram in sorted(self._histograms.items())},
+                        for name, histogram in sorted(histograms.items())},
+        }
+
+    def merged_snapshot(self,
+                        others: Iterable["ServingTelemetry"]) -> dict[str, object]:
+        """This instance's snapshot with other instances' data folded in.
+
+        Counters add, gauges from other instances are kept only where this
+        instance has no value of the same name (per-shard gauges should use
+        distinct names), and histograms of the same name merge bucket-wise.
+        ``uptime_seconds``/``throughput_rps`` stay this instance's view — the
+        aggregating service and its shards share one clock.  Every
+        participant's state is copied under its own mutex first, so the
+        merge never races with concurrent serving threads.
+        """
+        counters, gauges, histograms = self._copy_state()
+        for other in others:
+            other_counters, other_gauges, other_histograms = \
+                other._copy_state()  # noqa: SLF001
+            for name, value in other_counters.items():
+                counters[name] = counters.get(name, 0) + value
+            for name, value in other_gauges.items():
+                gauges.setdefault(name, value)
+            for name, histogram in other_histograms.items():
+                base = histograms.get(name)
+                if base is None:
+                    histograms[name] = histogram
+                else:
+                    base.merge(histogram)
+
+        uptime = self._clock() - self._started_at
+        predictions = counters.get("predictions_total", 0)
+        return {
+            "uptime_seconds": uptime,
+            "throughput_rps": predictions / uptime if uptime > 0 else 0.0,
+            "counters": dict(sorted(counters.items())),
+            "gauges": dict(sorted(gauges.items())),
+            "latency": {name: histogram.snapshot()
+                        for name, histogram in sorted(histograms.items())},
         }

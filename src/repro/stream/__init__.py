@@ -15,11 +15,15 @@ arriving continuously while APs come and go (Sections III-A and V-A):
   churn, router rejection rate and prediction-distance quantile shift;
 * :mod:`~repro.stream.scheduler` — drift/cadence-triggered retraining,
   warm-started from the previous embedding and atomically hot-swapped;
+* :mod:`~repro.stream.executor` — retrain execution off the ingest thread
+  on a worker pool, with generation-fenced atomic installs;
 * :mod:`~repro.stream.pipeline` — :class:`ContinuousLearningPipeline`,
-  the façade driving all of the above one record at a time.
+  the façade driving all of the above one record at a time, with
+  ``checkpoint()``/``resume()`` for restartable mid-stream state.
 """
 
 from .drift import DriftConfig, DriftDetector, DriftEvent, DriftKind
+from .executor import RetrainCompletion, RetrainExecutor, RetrainJob
 from .filters import (
     MinReadingsFilter,
     NearDuplicateFilter,
@@ -36,6 +40,9 @@ __all__ = [
     "ContinuousLearningPipeline",
     "StreamConfig",
     "StreamResult",
+    "RetrainExecutor",
+    "RetrainJob",
+    "RetrainCompletion",
     "QualityFilter",
     "MinReadingsFilter",
     "RssBoundsFilter",

@@ -209,6 +209,41 @@ class DriftDetector:
         self._recover(DriftKind.DISTANCE_SHIFT, building_id)
         return None
 
+    # ------------------------------------------------------------- checkpoint
+    def state_dict(self) -> dict:
+        """Every detector's live state as a JSON-serialisable payload."""
+        return {
+            "rejections": [int(rejected) for rejected in self._rejections],
+            "distances": {building_id: list(window)
+                          for building_id, window in self._distances.items()},
+            "baselines": dict(self._baselines),
+            "latched": sorted(([building_id, kind.value]
+                               for building_id, kind in self._latched),
+                              key=lambda pair: (pair[0] or "", pair[1])),
+            "events_total": dict(self.events_total),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Rebuild windows, baselines and latches from a checkpoint payload.
+
+        Deque bounds come from this detector's *current* configuration, so
+        resuming with a smaller window keeps only the most recent entries.
+        """
+        self._rejections.clear()
+        self._rejections.extend(bool(rejected)
+                                for rejected in state["rejections"])
+        self._distances = {
+            building_id: deque((float(v) for v in values),
+                               maxlen=self.config.distance_window)
+            for building_id, values in state["distances"].items()}
+        self._baselines = {building_id: float(value)
+                           for building_id, value in state["baselines"].items()}
+        self._latched = {(building_id, DriftKind(kind))
+                         for building_id, kind in state["latched"]}
+        self.events_total.update({str(kind): int(count)
+                                  for kind, count in
+                                  state["events_total"].items()})
+
     # -------------------------------------------------------------- lifecycle
     def reset_building(self, building_id: str) -> None:
         """Forget a building's baselines/latches after its model hot-swapped."""

@@ -42,6 +42,13 @@ class QualityFilter(ABC):
     def reset(self) -> None:
         """Drop any internal state (stateless filters need not override)."""
 
+    def state_dict(self) -> dict:
+        """Internal state for a stream checkpoint (stateless: empty)."""
+        return {}
+
+    def restore_state(self, state: dict) -> None:
+        """Rebuild internal state from :meth:`state_dict` (stateless: no-op)."""
+
 
 class MinReadingsFilter(QualityFilter):
     """Reject records sensing fewer than ``min_readings`` MACs.
@@ -128,6 +135,20 @@ class NearDuplicateFilter(QualityFilter):
 
     def reset(self) -> None:
         self._seen.clear()
+
+    def state_dict(self) -> dict:
+        """The recently seen fingerprint keys, oldest first.
+
+        Without this, a resumed pipeline would re-admit the stationary
+        bursts its predecessor had already deduplicated — replay after
+        resume would diverge from the uninterrupted run.
+        """
+        return {"seen": list(self._seen)}
+
+    def restore_state(self, state: dict) -> None:
+        self._seen.clear()
+        for key in state["seen"]:
+            self._seen[str(key)] = None
 
 
 def default_filters(min_readings: int = 3,

@@ -17,6 +17,7 @@ from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass
 
 from ..core.inference import UnknownEnvironmentError
+from ..core.persistence import record_from_payload, record_to_payload
 from ..core.types import SignalRecord
 from .filters import QualityFilter, default_filters
 
@@ -143,3 +144,49 @@ class StreamIngestor:
             "rejected_by_filter": dict(sorted(self.rejected_by_filter.items())),
             "buffered": self.buffered_count,
         }
+
+    # ------------------------------------------------------------- checkpoint
+    def state_dict(self) -> dict:
+        """Counters, live buffers and per-filter state for a checkpoint."""
+        return {
+            "counters": {
+                "submitted": self.submitted_total,
+                "accepted": self.accepted_total,
+                "unroutable": self.unroutable_total,
+                "overflow": self.overflow_total,
+                "rejected_by_filter": dict(self.rejected_by_filter),
+            },
+            "buffers": {building_id: [record_to_payload(record)
+                                      for record in buffer]
+                        for building_id, buffer in self._buffers.items()},
+            "filters": [{"name": stage.name, "state": stage.state_dict()}
+                        for stage in self.filters],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Rebuild counters, buffers and filter state from a checkpoint.
+
+        The resuming ingestor must be configured with the same filter chain
+        (same stages, same order) as the one that checkpointed — the dedup
+        filter's memory is part of the replay semantics, so a mismatched
+        chain is an error rather than a silent divergence.
+        """
+        saved_names = [blob["name"] for blob in state["filters"]]
+        live_names = [stage.name for stage in self.filters]
+        if saved_names != live_names:
+            raise ValueError(
+                f"filter chain mismatch: checkpoint has {saved_names}, "
+                f"this ingestor has {live_names}")
+        for stage, blob in zip(self.filters, state["filters"]):
+            stage.restore_state(blob["state"])
+        counters = state["counters"]
+        self.submitted_total = int(counters["submitted"])
+        self.accepted_total = int(counters["accepted"])
+        self.unroutable_total = int(counters["unroutable"])
+        self.overflow_total = int(counters["overflow"])
+        self.rejected_by_filter = {str(name): int(count)
+                                   for name, count
+                                   in counters["rejected_by_filter"].items()}
+        self._buffers = {
+            building_id: deque(record_from_payload(blob) for blob in blobs)
+            for building_id, blobs in state["buffers"].items()}

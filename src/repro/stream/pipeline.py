@@ -17,17 +17,32 @@ it from :func:`repro.data.iter_jsonl` replay or a network intake.
 from __future__ import annotations
 
 from collections.abc import Iterable
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
 
 from ..core.inference import UnknownEnvironmentError
+from ..core.persistence import (
+    grafics_config_from_payload,
+    grafics_config_to_payload,
+    load_registry,
+    load_stream_state,
+    save_registry,
+    save_stream_state,
+)
 from ..core.registry import BuildingPrediction
 from ..core.types import SignalRecord
-from ..serving.service import FloorServingService
-from .drift import DriftConfig, DriftDetector, DriftEvent
+from ..serving.service import FloorServingService, ServingConfig
+from ..serving.sharding import ShardedServingService
+from .drift import DriftConfig, DriftDetector, DriftEvent, DriftKind
+from .executor import RetrainExecutor
 from .filters import QualityFilter, default_filters
 from .ingest import StreamIngestor
 from .scheduler import RetrainReport, RetrainScheduler, SchedulerConfig
 from .window import WindowConfig, WindowEviction, WindowManager
+
+#: File names inside a checkpoint directory.
+_CHECKPOINT_STATE_FILE = "stream_state.json"
+_CHECKPOINT_REGISTRY_DIR = "registry"
 
 __all__ = ["StreamConfig", "StreamResult", "ContinuousLearningPipeline"]
 
@@ -44,6 +59,17 @@ class StreamConfig:
     #: distance-shift detector and returns the prediction to the caller).
     #: Disable for pure ingestion workloads that only maintain windows.
     predict: bool = True
+    #: Worker threads for background retrains.  ``0`` (the default) trains
+    #: synchronously inside :meth:`ContinuousLearningPipeline.process`;
+    #: ``>= 1`` moves ``GRAFICS`` fits onto a
+    #: :class:`~repro.stream.executor.RetrainExecutor` pool, so a drifted
+    #: building's retrain no longer stalls the ingest loop — the swap lands
+    #: a few ``process`` calls later via ``StreamResult.completed_retrains``.
+    retrain_workers: int = 0
+
+    def __post_init__(self) -> None:
+        if self.retrain_workers < 0:
+            raise ValueError("retrain_workers must be non-negative")
 
 
 @dataclass(frozen=True)
@@ -59,10 +85,14 @@ class StreamResult:
     eviction: WindowEviction = field(default_factory=WindowEviction)
     drift_events: tuple[DriftEvent, ...] = ()
     retrain: RetrainReport | None = None
+    #: Background retrains (possibly of *other* buildings) whose swap landed
+    #: during this call — always empty with synchronous retrains.
+    completed_retrains: tuple[RetrainReport, ...] = ()
 
     @property
     def swapped(self) -> bool:
-        return self.retrain is not None and self.retrain.swapped
+        return ((self.retrain is not None and self.retrain.swapped)
+                or any(report.swapped for report in self.completed_retrains))
 
 
 class ContinuousLearningPipeline:
@@ -79,8 +109,11 @@ class ContinuousLearningPipeline:
             buffer_capacity=self.config.buffer_capacity)
         self.windows = WindowManager(config=self.config.window)
         self.drift = DriftDetector(self.config.drift)
+        self.executor = RetrainExecutor(
+            service, max_workers=self.config.retrain_workers)
         self.scheduler = RetrainScheduler(service, self.windows,
-                                          self.config.scheduler)
+                                          self.config.scheduler,
+                                          executor=self.executor)
         self.drift_events: list[DriftEvent] = []
         self.processed_total = 0
 
@@ -92,6 +125,7 @@ class ContinuousLearningPipeline:
         telemetry = self.service.telemetry
         telemetry.increment("stream_records_total")
 
+        completed = self._collect_completed()
         decision = self.ingestor.submit(record, building_id=building_id)
         events: list[DriftEvent] = []
         if not decision.accepted:
@@ -102,7 +136,8 @@ class ContinuousLearningPipeline:
             return StreamResult(record_id=record.record_id, accepted=False,
                                 rejected_by=decision.filter_name,
                                 reason=decision.reason,
-                                drift_events=tuple(events))
+                                drift_events=tuple(events),
+                                completed_retrains=completed)
 
         telemetry.increment("stream_accepted_total")
         self._note(events, self.drift.observe_routing(True))
@@ -122,7 +157,8 @@ class ContinuousLearningPipeline:
                         building_id=building, rejected_by="window",
                         reason=f"record {record.record_id!r} is already in "
                                f"the window of building {building!r}",
-                        drift_events=tuple(events))
+                        drift_events=tuple(events),
+                        completed_retrains=completed)
                 continue
             if self.config.predict:
                 prediction = self._predict(buffered)
@@ -134,7 +170,7 @@ class ContinuousLearningPipeline:
 
         if len(window) >= self.config.drift.vocabulary_warmup_records:
             try:
-                trained = self.service.registry.vocabulary_for(building)
+                trained = self.service.vocabulary_for(building)
             except KeyError:
                 # Explicit building_id for a building with no model yet: the
                 # window accumulates toward a bootstrap retrain, and there is
@@ -150,12 +186,13 @@ class ContinuousLearningPipeline:
         if retrain is not None and retrain.swapped:
             self.drift.reset_building(building)
             telemetry.increment("stream_retrains_total")
+        completed = completed + self._collect_completed()
 
         self._finish(events)
         return StreamResult(record_id=record.record_id, accepted=True,
                             building_id=building, prediction=prediction,
                             eviction=eviction, drift_events=tuple(events),
-                            retrain=retrain)
+                            retrain=retrain, completed_retrains=completed)
 
     def process_stream(self, records: Iterable[SignalRecord],
                        building_id: str | None = None) -> list[StreamResult]:
@@ -164,6 +201,31 @@ class ContinuousLearningPipeline:
                 for record in records]
 
     # ---------------------------------------------------------------- helpers
+    def _collect_completed(self) -> tuple[RetrainReport, ...]:
+        """Fold finished background retrains into drift state and telemetry.
+
+        Synchronous pipelines (``retrain_workers=0``) never have anything to
+        collect — the inline path in :meth:`process` already did this work.
+        """
+        completed = tuple(self.scheduler.collect())
+        for report in completed:
+            if report.swapped:
+                self.drift.reset_building(report.building_id)
+                self.service.telemetry.increment("stream_retrains_total")
+        return completed
+
+    def close(self) -> tuple[RetrainReport, ...]:
+        """Wait for in-flight retrains, land their swaps, release the pool.
+
+        Returns the reports of whatever completed during the wait.  Safe to
+        call on a synchronous pipeline (it is a no-op there) and more than
+        once.
+        """
+        self.executor.join()
+        completed = self._collect_completed()
+        self.executor.shutdown()
+        return completed
+
     def _predict(self, record: SignalRecord) -> BuildingPrediction | None:
         try:
             return self.service.predict(record)
@@ -194,6 +256,104 @@ class ContinuousLearningPipeline:
         telemetry.set_gauge("stream_buffered_records",
                             self.ingestor.buffered_count)
 
+    # -------------------------------------------------------------- checkpoint
+    def checkpoint(self, directory: str | Path) -> Path:
+        """Write a restartable snapshot of the whole continuous-learning state.
+
+        The checkpoint directory holds two things: ``registry/`` — every
+        building's model plus the attribution manifest, via
+        :func:`repro.core.persistence.save_registry` — and
+        ``stream_state.json`` — windows (records + arrival ages), drift
+        baselines and latches, scheduler triggers/counters/history, ingest
+        buffers and filter state, via :func:`save_stream_state`.  In-flight
+        background retrains are joined and their swaps landed first, so the
+        saved models and the saved scheduler state are consistent.  A
+        pipeline resumed from the result replays the rest of the stream
+        exactly as the uninterrupted pipeline would (test-enforced).
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        self.executor.join()
+        self._collect_completed()
+        save_registry(self.service.export_registry(),
+                      directory / _CHECKPOINT_REGISTRY_DIR)
+        save_stream_state(self.state_dict(),
+                          directory / _CHECKPOINT_STATE_FILE)
+        return directory
+
+    @classmethod
+    def resume(cls, directory: str | Path,
+               service: FloorServingService | ShardedServingService | None = None,
+               config: StreamConfig | None = None,
+               filters: list[QualityFilter] | None = None,
+               ) -> "ContinuousLearningPipeline":
+        """Rebuild a pipeline from a :meth:`checkpoint` directory.
+
+        With no arguments the serving stack is reconstructed exactly as
+        checkpointed: the registry is loaded from disk, the serving façade
+        (one-lock or sharded, with its original configuration) is rebuilt
+        around it, and the stream configuration is restored from the
+        checkpoint.  Pass ``service``/``config``/``filters`` to override —
+        the filter chain must keep the checkpointed stage order, since the
+        dedup filter's memory is part of the replay semantics.
+        """
+        directory = Path(directory)
+        state = load_stream_state(directory / _CHECKPOINT_STATE_FILE)
+        if config is None:
+            config = _stream_config_from_payload(state["stream_config"])
+        if service is None:
+            descriptor = state["service"]
+            registry = load_registry(
+                directory / _CHECKPOINT_REGISTRY_DIR,
+                config=grafics_config_from_payload(
+                    descriptor["grafics_config"]))
+            serving_config = ServingConfig(**descriptor["serving_config"])
+            if descriptor["kind"] == "sharded":
+                service = ShardedServingService(
+                    registry=registry, config=serving_config,
+                    num_shards=int(descriptor["num_shards"]))
+            else:
+                service = FloorServingService(registry=registry,
+                                              config=serving_config)
+        pipeline = cls(service, config, filters=filters)
+        pipeline.restore_state(state)
+        return pipeline
+
+    def state_dict(self) -> dict:
+        """Every stage's live state as one JSON-serialisable payload."""
+        if self.executor.pending_count:
+            raise RuntimeError("cannot checkpoint with retrains in flight; "
+                               "join the executor first")
+        return {
+            "processed_total": self.processed_total,
+            "drift_events": [
+                {"kind": event.kind.value, "building_id": event.building_id,
+                 "value": event.value, "threshold": event.threshold,
+                 "detail": event.detail}
+                for event in self.drift_events],
+            "ingest": self.ingestor.state_dict(),
+            "windows": self.windows.state_dict(),
+            "drift": self.drift.state_dict(),
+            "scheduler": self.scheduler.state_dict(),
+            "stream_config": asdict(self.config),
+            "service": _service_descriptor(self.service),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore every stage from a :meth:`state_dict` payload."""
+        self.processed_total = int(state["processed_total"])
+        self.drift_events = [
+            DriftEvent(kind=DriftKind(blob["kind"]),
+                       building_id=blob["building_id"],
+                       value=float(blob["value"]),
+                       threshold=float(blob["threshold"]),
+                       detail=str(blob["detail"]))
+            for blob in state["drift_events"]]
+        self.ingestor.restore_state(state["ingest"])
+        self.windows.restore_state(state["windows"])
+        self.drift.restore_state(state["drift"])
+        self.scheduler.restore_state(state["scheduler"])
+
     # ---------------------------------------------------------- observability
     def stats(self) -> dict[str, object]:
         """One nested dict describing every stage (for logs and dashboards)."""
@@ -204,3 +364,35 @@ class ContinuousLearningPipeline:
             "drift": self.drift.stats(),
             "scheduler": self.scheduler.stats(),
         }
+
+
+def _service_descriptor(service) -> dict:
+    """How to rebuild the serving façade around a reloaded registry.
+
+    The GRAFICS configuration is part of the descriptor because the loaded
+    per-building models carry their *own* training configs — but retrains on
+    the resumed node build fresh models from the service-level config, which
+    must therefore survive the round trip for resumed retrains to produce
+    the same models an uninterrupted node would.
+    """
+    descriptor = {
+        "kind": ("sharded" if isinstance(service, ShardedServingService)
+                 else "single"),
+        "serving_config": asdict(service.config),
+        "grafics_config": grafics_config_to_payload(service.grafics_config),
+    }
+    if descriptor["kind"] == "sharded":
+        descriptor["num_shards"] = service.num_shards
+    return descriptor
+
+
+def _stream_config_from_payload(payload: dict) -> StreamConfig:
+    """Rebuild a :class:`StreamConfig` from its ``dataclasses.asdict`` form."""
+    return StreamConfig(
+        window=WindowConfig(**payload["window"]),
+        drift=DriftConfig(**payload["drift"]),
+        scheduler=SchedulerConfig(**payload["scheduler"]),
+        buffer_capacity=int(payload["buffer_capacity"]),
+        predict=bool(payload["predict"]),
+        retrain_workers=int(payload["retrain_workers"]),
+    )

@@ -1,32 +1,40 @@
 """Retrain scheduling: turning drift signals into atomic hot swaps.
 
 The scheduler owns the decision *when* a building's model is rebuilt from
-its sliding window and *how*: off to the side on a fresh ``GRAFICS``
-instance (the live model keeps serving), warm-started from the previous
-embedding for nodes surviving the window, then atomically installed through
-``FloorServingService.retrain_building`` → ``install_building`` — which
-also invalidates that building's cache entries and updates its router
-postings incrementally.
+its sliding window; the *how* lives in :class:`~repro.stream.executor.
+RetrainExecutor`, which runs the ``GRAFICS`` fit off to the side (inline
+by default, on a background worker pool when configured) and atomically
+installs the result through the serving façade's hot-swap path — cache
+invalidation and incremental router-posting updates included — under a
+per-building generation fence.
 
 Triggers are (a) drift events targeted at a building and (b) an optional
-every-N-records cadence.  Guards keep retrains sane: a minimum window size,
-a minimum number of floor-labeled records in the window (crowdsourced
-labels ride in on the records themselves), and a per-building cooldown so
-one noisy signal cannot thrash the trainer.  Every decision — including the
-refusals — is recorded as a :class:`RetrainReport` for observability.
+every-N-records cadence.  Guards keep retrains sane: a minimum window
+size, a minimum number of floor-labeled records in the window
+(crowdsourced labels ride in on the records themselves), a per-building
+record-count cooldown, and a wall-clock cooldown on the injected clock so
+a quiet building cannot thrash retrains on sparse bursts.  Every decision
+— including the refusals — is recorded as a :class:`RetrainReport` for
+observability.
 """
 
 from __future__ import annotations
 
 import time
 from collections.abc import Callable
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
-from ..serving.service import FloorServingService
 from .drift import DriftEvent
+from .executor import RetrainCompletion, RetrainExecutor
 from .window import WindowManager
 
 __all__ = ["SchedulerConfig", "RetrainReport", "RetrainScheduler"]
+
+#: How many trailing history entries a checkpoint keeps.  The in-memory
+#: history is an operator log and stays unbounded for the process's
+#: lifetime, but serialising all of it would make periodic checkpoints of
+#: a long-running pipeline grow without bound.
+_CHECKPOINT_HISTORY_LIMIT = 256
 
 
 @dataclass(frozen=True)
@@ -46,6 +54,12 @@ class SchedulerConfig:
     cooldown_records:
         After a retrain, ignore further triggers for the building until
         this many new records were appended to its window.
+    cooldown_seconds:
+        After a retrain, ignore further triggers for the building until
+        this much wall-clock time (on the scheduler's injected clock) has
+        passed.  Complements ``cooldown_records``, which is count-only and
+        lets a *quiet* building thrash retrains on sparse bursts.  ``None``
+        disables it.
     warm_start:
         Initialise the retrain from the previous model's embeddings for
         surviving nodes (see ``GRAFICS.fit(warm_start=...)``).
@@ -55,6 +69,7 @@ class SchedulerConfig:
     min_window_records: int = 32
     min_labeled_records: int = 2
     cooldown_records: int = 0
+    cooldown_seconds: float | None = None
     warm_start: bool = True
 
     def __post_init__(self) -> None:
@@ -67,15 +82,18 @@ class SchedulerConfig:
             raise ValueError("min_labeled_records must be at least 1")
         if self.cooldown_records < 0:
             raise ValueError("cooldown_records must be non-negative")
+        if self.cooldown_seconds is not None and self.cooldown_seconds <= 0.0:
+            raise ValueError("cooldown_seconds must be positive (or None)")
 
 
 @dataclass(frozen=True)
 class RetrainReport:
-    """One scheduling decision: a completed swap or a refused trigger."""
+    """One scheduling decision: a swap, a submitted job or a refused trigger."""
 
     building_id: str
     trigger: str                 # "drift:<kind>" | "record_count"
     swapped: bool
+    submitted: bool = False      # queued on a background executor
     window_records: int = 0
     labeled_records: int = 0
     duration_seconds: float = 0.0
@@ -83,18 +101,33 @@ class RetrainReport:
 
 
 class RetrainScheduler:
-    """Decides when to rebuild a building from its window and hot-swap it."""
+    """Decides when to rebuild a building from its window; delegates the how.
 
-    def __init__(self, service: FloorServingService, windows: WindowManager,
+    With the default synchronous executor, :meth:`maybe_retrain` trains and
+    swaps inline exactly as before the trigger/execution split.  With a
+    background executor, it *submits* the job (returning a report with
+    ``submitted=True``) and the completed swap is folded into the history
+    by :meth:`collect` — callers drive ``collect()`` from their event loop
+    (the pipeline does it every :meth:`~repro.stream.pipeline.
+    ContinuousLearningPipeline.process` call).
+    """
+
+    def __init__(self, service, windows: WindowManager,
                  config: SchedulerConfig | None = None,
-                 clock: Callable[[], float] = time.perf_counter) -> None:
+                 clock: Callable[[], float] = time.perf_counter,
+                 executor: RetrainExecutor | None = None) -> None:
         self.service = service
         self.windows = windows
         self.config = config or SchedulerConfig()
         self._clock = clock
+        self.executor = (executor if executor is not None
+                         else RetrainExecutor(service, max_workers=0,
+                                              clock=clock))
         self._pending: dict[str, str] = {}       # building -> trigger
+        self._inflight: set[str] = set()         # buildings training right now
         self._appended: dict[str, int] = {}      # records since last retrain
         self._last_skip: dict[str, str] = {}     # building -> last skip reason
+        self._last_swap_at: dict[str, float] = {}
         self.history: list[RetrainReport] = []
         self.retrains_total = 0
 
@@ -121,23 +154,32 @@ class RetrainScheduler:
 
     # ----------------------------------------------------------------- action
     def maybe_retrain(self, building_id: str) -> RetrainReport | None:
-        """Retrain + hot-swap ``building_id`` if it is due; report what happened.
+        """Retrain ``building_id`` if it is due; report what happened.
 
-        Returns ``None`` when nothing was pending.  A pending trigger that
-        fails a guard (cooldown, window too small, too few labels) *stays
-        pending* — drift events latch in the detector, so dropping the
-        trigger here would lose the drift forever even after enough data
-        arrived.  The first refusal per distinct reason is recorded as a
-        skip report so operators can see why nothing swapped; repeats of
-        the same reason return ``None`` instead of flooding the history.
+        Returns ``None`` when nothing was pending, a retrain for the
+        building is already in flight, or a cooldown is active.  A pending
+        trigger that fails a guard (cooldown, window too small, too few
+        labels) *stays pending* — drift events latch in the detector, so
+        dropping the trigger here would lose the drift forever even after
+        enough data arrived.  The first refusal per distinct reason is
+        recorded as a skip report so operators can see why nothing swapped;
+        repeats of the same reason return ``None`` instead of flooding the
+        history.
         """
         trigger = self._pending.get(building_id)
         if trigger is None:
             return None
+        if building_id in self._inflight:
+            return None  # stays pending until the in-flight retrain lands
 
         appended = self._appended.get(building_id, 0)
         if 0 < appended <= self.config.cooldown_records:
             return None  # stays pending until the cooldown elapses
+        if self.config.cooldown_seconds is not None:
+            last_swap = self._last_swap_at.get(building_id)
+            if (last_swap is not None and self._clock() - last_swap
+                    < self.config.cooldown_seconds):
+                return None  # stays pending until the cooldown elapses
 
         window = self.windows.window_for(building_id)
         if len(window) < self.config.min_window_records:
@@ -158,17 +200,66 @@ class RetrainScheduler:
 
         del self._pending[building_id]
         self._last_skip.pop(building_id, None)
-        dataset = window.as_dataset(building_id)
-        started = self._clock()
-        self.service.retrain_building(dataset, labels,
-                                      warm_start=self.config.warm_start)
-        duration = self._clock() - started
-        self._appended[building_id] = 0
-        self.retrains_total += 1
-        report = RetrainReport(
-            building_id=building_id, trigger=trigger, swapped=True,
-            window_records=len(window), labeled_records=len(labels),
-            duration_seconds=duration)
+        try:
+            completion = self.executor.submit(
+                building_id=building_id,
+                dataset=window.as_dataset(building_id), labels=labels,
+                trigger=trigger, warm_start=self.config.warm_start,
+                window_records=len(window), labeled_records=len(labels))
+        except Exception as error:  # noqa: BLE001 — the stream must survive
+            # Synchronous executors run the fit right here; a failed fit
+            # must not kill the ingest loop, and — the drift being latched
+            # in the detector — must re-pend the trigger so the retrain is
+            # retried, exactly like the async failure path in _absorb.
+            self._pending.setdefault(building_id, trigger)
+            report = RetrainReport(
+                building_id=building_id, trigger=trigger, swapped=False,
+                window_records=len(window), labeled_records=len(labels),
+                skipped_reason=f"retrain failed: {error}")
+            self.history.append(report)
+            return report
+        if completion is None:
+            self._inflight.add(building_id)
+            return RetrainReport(
+                building_id=building_id, trigger=trigger, swapped=False,
+                submitted=True, window_records=len(window),
+                labeled_records=len(labels))
+        return self._absorb(completion)
+
+    def collect(self) -> list[RetrainReport]:
+        """Fold background completions into counters/history; report them."""
+        return [self._absorb(completion)
+                for completion in self.executor.drain_completed()]
+
+    def _absorb(self, completion: RetrainCompletion) -> RetrainReport:
+        """Turn one executor completion into bookkeeping plus a report."""
+        building_id = completion.building_id
+        self._inflight.discard(building_id)
+        if completion.swapped:
+            self._appended[building_id] = 0
+            self._last_swap_at[building_id] = self._clock()
+            self.retrains_total += 1
+            report = RetrainReport(
+                building_id=building_id, trigger=completion.trigger,
+                swapped=True, window_records=completion.window_records,
+                labeled_records=completion.labeled_records,
+                duration_seconds=completion.duration_seconds)
+        else:
+            if completion.stale:
+                reason = (f"result of generation {completion.generation} "
+                          "superseded by a newer install")
+            else:
+                reason = f"retrain failed: {completion.error}"
+                # The drift is still latched in the detector and would never
+                # re-fire; keep the trigger pending so the retrain is retried
+                # once the next record arrives.
+                self._pending.setdefault(building_id, completion.trigger)
+            report = RetrainReport(
+                building_id=building_id, trigger=completion.trigger,
+                swapped=False, window_records=completion.window_records,
+                labeled_records=completion.labeled_records,
+                duration_seconds=completion.duration_seconds,
+                skipped_reason=reason)
         self.history.append(report)
         return report
 
@@ -181,16 +272,71 @@ class RetrainScheduler:
         self.history.append(report)
         return report
 
+    # ------------------------------------------------------------- checkpoint
+    def state_dict(self, now: float | None = None) -> dict:
+        """Triggers, counters and history as a checkpoint payload.
+
+        In-flight background retrains cannot be serialised — the caller
+        (the pipeline's ``checkpoint``) must land them first by joining the
+        executor and calling :meth:`collect`.  Wall-clock cooldown anchors
+        are stored as ages so they survive a clock restart.  Only the last
+        ``_CHECKPOINT_HISTORY_LIMIT`` history entries are kept: everything
+        the replay semantics depend on lives in the trigger/counter state,
+        the history is an operator log, and serialising all of it would
+        grow every checkpoint of a long-running pipeline without bound.
+        """
+        if self._inflight:
+            raise RuntimeError(
+                f"cannot checkpoint with retrains in flight for "
+                f"{sorted(self._inflight)}; join the executor and collect() "
+                "first")
+        now = self._clock() if now is None else now
+        return {
+            "pending": dict(self._pending),
+            "appended": dict(self._appended),
+            "last_skip": dict(self._last_skip),
+            "last_swap_ages": {building_id: now - swapped_at
+                               for building_id, swapped_at
+                               in self._last_swap_at.items()},
+            "retrains_total": self.retrains_total,
+            "history": [asdict(report) for report
+                        in self.history[-_CHECKPOINT_HISTORY_LIMIT:]],
+        }
+
+    def restore_state(self, state: dict, now: float | None = None) -> None:
+        """Rebuild triggers, counters and history from a checkpoint payload."""
+        now = self._clock() if now is None else now
+        self._pending = {str(building_id): str(trigger)
+                         for building_id, trigger in state["pending"].items()}
+        self._appended = {str(building_id): int(count)
+                          for building_id, count in state["appended"].items()}
+        self._last_skip = {str(building_id): str(guard)
+                           for building_id, guard
+                           in state["last_skip"].items()}
+        self._last_swap_at = {building_id: now - float(age)
+                              for building_id, age
+                              in state["last_swap_ages"].items()}
+        self.retrains_total = int(state["retrains_total"])
+        self.history = [RetrainReport(**blob) for blob in state["history"]]
+
     # ------------------------------------------------------------------ state
     @property
     def pending(self) -> dict[str, str]:
         return dict(self._pending)
 
+    @property
+    def inflight(self) -> frozenset[str]:
+        """Buildings whose retrain is currently running on the executor."""
+        return frozenset(self._inflight)
+
     def stats(self) -> dict[str, object]:
         swapped = [r for r in self.history if r.swapped]
         return {
             "retrains_total": self.retrains_total,
-            "skipped_total": len(self.history) - len(swapped),
+            "skipped_total": sum(r.skipped_reason is not None
+                                 for r in self.history),
             "pending": dict(self._pending),
+            "inflight": sorted(self._inflight),
             "last_retrain": (swapped[-1].building_id if swapped else None),
+            "executor": self.executor.stats(),
         }

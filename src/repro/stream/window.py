@@ -18,6 +18,7 @@ from collections.abc import Callable
 from dataclasses import dataclass, field
 
 from ..core.graph import BipartiteGraph, NodeKind
+from ..core.persistence import record_from_payload, record_to_payload
 from ..core.types import FingerprintDataset, SignalRecord
 from ..core.weighting import WeightFunction
 
@@ -143,6 +144,40 @@ class SlidingWindowGraph:
         return WindowEviction(record_ids=tuple(evicted),
                               pruned_macs=tuple(pruned))
 
+    # ------------------------------------------------------------- checkpoint
+    def state_dict(self, now: float | None = None) -> dict:
+        """The live window as a JSON-serialisable checkpoint payload.
+
+        Arrival times are stored as *ages* relative to ``now``, not as raw
+        clock values — monotonic clocks restart from an arbitrary origin, so
+        absolute times would make age-based eviction nonsense after a
+        restart, while ages transplant cleanly onto the resuming process's
+        clock.
+        """
+        now = self._clock() if now is None else now
+        return {
+            "slots": [{"record": record_to_payload(slot.record),
+                       "age": now - slot.arrived_at}
+                      for slot in self._slots],
+            "appended_total": self.appended_total,
+            "evicted_total": self.evicted_total,
+            "pruned_macs_total": self.pruned_macs_total,
+        }
+
+    def restore_state(self, state: dict, now: float | None = None) -> None:
+        """Rebuild the window (graph included) from a checkpoint payload."""
+        if self._slots:
+            raise ValueError("can only restore into an empty window")
+        now = self._clock() if now is None else now
+        for blob in state["slots"]:
+            record = record_from_payload(blob["record"])
+            self.graph.add_record(record)
+            self._slots.append(_Slot(record=record,
+                                     arrived_at=now - float(blob["age"])))
+        self.appended_total = int(state["appended_total"])
+        self.evicted_total = int(state["evicted_total"])
+        self.pruned_macs_total = int(state["pruned_macs_total"])
+
 
 @dataclass
 class WindowManager:
@@ -183,3 +218,16 @@ class WindowManager:
                               "evicted": window.evicted_total,
                               "pruned_macs": window.pruned_macs_total}
                 for building_id, window in self._windows.items()}
+
+    # ------------------------------------------------------------- checkpoint
+    def state_dict(self, now: float | None = None) -> dict:
+        """Every building's window as one checkpoint payload."""
+        now = self.clock() if now is None else now
+        return {"buildings": {building_id: window.state_dict(now)
+                              for building_id, window in self._windows.items()}}
+
+    def restore_state(self, state: dict, now: float | None = None) -> None:
+        """Recreate per-building windows from a checkpoint payload."""
+        now = self.clock() if now is None else now
+        for building_id, blob in state["buildings"].items():
+            self.window_for(building_id).restore_state(blob, now)

@@ -1,0 +1,104 @@
+"""Concurrency stress: serving threads hammer predict during hot swaps.
+
+The assertions target the three ways a torn swap would manifest:
+
+* a reader observing a half-installed building (prediction referencing a
+  model/vocabulary mix, or an engine crash mid-swap);
+* cache or router state inconsistent with the installed model after the
+  dust settles (stale cache entries surviving an install, router postings
+  diverging from the registry vocabulary);
+* per-shard telemetry counters that no longer add up to the work done.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from serving_helpers import clone_registry, interleaved_probes
+
+from repro.serving import ShardedServingService
+from repro.stream import RetrainExecutor
+
+THREADS = 4
+ROUNDS = 30
+SWAPS_PER_BUILDING = 3
+
+
+def test_predicts_stay_consistent_while_executor_hot_swaps(serving_corpus):
+    registry, held_out, training = serving_corpus
+    service = ShardedServingService(registry=clone_registry(registry),
+                                    num_shards=4)
+    executor = RetrainExecutor(service, max_workers=2)
+    probes = interleaved_probes(held_out, per_building=6)
+    floors_by_building = {
+        building_id: {record.floor for record in dataset.records
+                      if record.floor is not None}
+        for building_id, (dataset, _) in training.items()}
+
+    errors: list[Exception] = []
+    served = [0] * THREADS
+    start_barrier = threading.Barrier(THREADS + 1)
+
+    def hammer(slot: int) -> None:
+        try:
+            start_barrier.wait(timeout=60.0)
+            for _ in range(ROUNDS):
+                for prediction in service.predict_batch(probes):
+                    served[slot] += 1
+                    # A torn read would pair a building with a floor (or a
+                    # model) it never had; every prediction must be fully
+                    # consistent with *some* installed model of its building.
+                    assert prediction.building_id in floors_by_building
+                    assert (prediction.floor
+                            in floors_by_building[prediction.building_id])
+                    assert prediction.distance >= 0.0
+        except Exception as error:  # noqa: BLE001 — surfaced after join
+            errors.append(error)
+
+    threads = [threading.Thread(target=hammer, args=(slot,))
+               for slot in range(THREADS)]
+    for thread in threads:
+        thread.start()
+    start_barrier.wait(timeout=60.0)
+
+    # Hot-swap every building several times while the hammering runs.
+    for _ in range(SWAPS_PER_BUILDING):
+        for building_id, (dataset, labels) in training.items():
+            executor.submit(building_id, dataset, labels,
+                            trigger="stress", warm_start=True)
+        assert executor.join(timeout=120.0)
+    completions = executor.drain_completed()
+    executor.shutdown()
+
+    for thread in threads:
+        thread.join(timeout=120.0)
+    assert not errors, errors[0]
+
+    # Every submitted swap either installed or was fenced as stale.
+    assert len(completions) == SWAPS_PER_BUILDING * len(training)
+    assert all(c.swapped or c.stale for c in completions)
+    swapped = sum(c.swapped for c in completions)
+    assert swapped >= len(training)  # each building swapped at least once
+
+    # Router and registry agree per building after the dust settles.
+    for building_id in service.building_ids:
+        assert (service.router.vocabulary_for(building_id)
+                == service.vocabulary_for(building_id))
+
+    # Post-swap cache consistency: a fresh predict must equal a cache-free
+    # predict on the final installed models (no stale entry survived).
+    reference = ShardedServingService(registry=service.export_registry(),
+                                      num_shards=4)
+    assert service.predict_batch(probes) == reference.predict_batch(probes)
+
+    # Telemetry sums: per-shard counters add up to the work performed.
+    snapshot = service.telemetry_snapshot()
+    counters = snapshot["counters"]
+    total_served = sum(served) + len(probes)  # + the consistency check above
+    assert counters["predictions_total"] == total_served
+    assert (sum(shard.telemetry.counter("predictions_total")
+                for shard in service.shards) == total_served)
+    assert (counters["cache_hits_total"] + counters["cache_misses_total"]
+            == total_served)
+    assert (sum(shard.telemetry.counter("hot_swaps_total")
+                for shard in service.shards) == swapped)

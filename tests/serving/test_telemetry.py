@@ -51,6 +51,31 @@ class TestLatencyHistogram:
         histogram.record(7.5)
         assert histogram.percentile(0.99) == pytest.approx(7.5)
 
+    def test_merge_combines_counts_and_extremes(self):
+        left = LatencyHistogram(bounds=[0.01, 0.1, 1.0])
+        right = LatencyHistogram(bounds=[0.01, 0.1, 1.0])
+        for value in (0.005, 0.05):
+            left.record(value)
+        for value in (0.5, 2.0):
+            right.record(value)
+        left.merge(right)
+        assert left.count == 4
+        assert left.min == pytest.approx(0.005)
+        assert left.max == pytest.approx(2.0)
+        assert left.mean == pytest.approx((0.005 + 0.05 + 0.5 + 2.0) / 4)
+        assert left.percentile(0.99) == pytest.approx(2.0)
+
+    def test_merge_with_empty_histogram_is_identity(self):
+        histogram = LatencyHistogram()
+        histogram.record(0.05)
+        before = histogram.snapshot()
+        histogram.merge(LatencyHistogram())
+        assert histogram.snapshot() == before
+
+    def test_merge_rejects_mismatched_bounds(self):
+        with pytest.raises(ValueError, match="bounds"):
+            LatencyHistogram(bounds=[0.01]).merge(LatencyHistogram(bounds=[0.1]))
+
 
 class TestServingTelemetry:
     def test_counters(self):
@@ -89,3 +114,41 @@ class TestServingTelemetry:
         assert telemetry.gauge("never-set", default=-1.0) == -1.0
         snapshot = telemetry.snapshot()
         assert snapshot["gauges"] == {"stream_window_records": 96.0}
+
+    def test_merged_snapshot_sums_counters_and_histograms(self):
+        clock = FakeClock()
+        aggregate = ServingTelemetry(clock=clock)
+        shard_a = ServingTelemetry(clock=clock)
+        shard_b = ServingTelemetry(clock=clock)
+        aggregate.increment("requests_total", 10)
+        shard_a.increment("predictions_total", 6)
+        shard_b.increment("predictions_total", 4)
+        shard_a.observe("batch_seconds", 0.002)
+        shard_b.observe("batch_seconds", 0.004)
+        shard_a.set_gauge("shard0_queue_depth", 2)
+        clock.advance(2.0)
+
+        merged = aggregate.merged_snapshot([shard_a, shard_b])
+        assert merged["counters"]["requests_total"] == 10
+        assert merged["counters"]["predictions_total"] == 10
+        assert merged["latency"]["batch_seconds"]["count"] == 2
+        assert merged["gauges"]["shard0_queue_depth"] == 2.0
+        assert merged["throughput_rps"] == pytest.approx(5.0)
+        # Merging must not mutate the participants.
+        assert shard_a.histogram("batch_seconds").count == 1
+        assert aggregate.counter("predictions_total") == 0
+
+    def test_increment_is_thread_safe(self):
+        import threading
+        telemetry = ServingTelemetry(clock=FakeClock())
+
+        def bump():
+            for _ in range(5000):
+                telemetry.increment("n")
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert telemetry.counter("n") == 20000

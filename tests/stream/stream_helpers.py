@@ -13,6 +13,19 @@ FAST_CONFIG = GraficsConfig(
     allow_unreachable_clusters=True)
 
 
+class FakeClock:
+    """A manually advanced monotonic clock for deterministic cooldowns."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
 def train_service(building_ids=("bldg-A",), seed_base=50):
     """A FloorServingService with small trained buildings + their splits."""
     service = FloorServingService(grafics_config=FAST_CONFIG)

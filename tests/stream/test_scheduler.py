@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from stream_helpers import stream_records
+from stream_helpers import FakeClock, stream_records
 
 from repro.stream import (
     DriftEvent,
@@ -143,6 +143,39 @@ class TestRetrain:
             scheduler.note_append("bldg-A")
         report = scheduler.maybe_retrain("bldg-A")
         assert report is not None and report.swapped
+
+    def test_cooldown_seconds_keeps_trigger_pending(self, fresh_service):
+        """A quiet building must not thrash retrains on sparse bursts: the
+        count-only cooldown passes immediately once enough records arrive,
+        so the wall-clock guard has to hold the line in between."""
+        service, splits = fresh_service
+        windows = filled_windows(splits["bldg-A"], count=20)
+        clock = FakeClock()
+        scheduler = RetrainScheduler(
+            service, windows,
+            SchedulerConfig(min_window_records=5, cooldown_seconds=30.0,
+                            warm_start=False),
+            clock=clock)
+        scheduler.note_drift(churn_event())
+        assert scheduler.maybe_retrain("bldg-A").swapped  # first swap is free
+
+        # A new drift right after the swap is held by the cooldown.
+        scheduler.note_drift(churn_event())
+        clock.advance(10.0)
+        assert scheduler.maybe_retrain("bldg-A") is None
+        assert scheduler.pending == {"bldg-A": "drift:mac_churn"}
+        # Once the cooldown elapses the latched trigger fires.
+        clock.advance(25.0)
+        report = scheduler.maybe_retrain("bldg-A")
+        assert report is not None and report.swapped
+        assert scheduler.retrains_total == 2
+
+    def test_cooldown_seconds_validation(self):
+        import pytest
+        with pytest.raises(ValueError, match="cooldown_seconds"):
+            SchedulerConfig(cooldown_seconds=0.0)
+        with pytest.raises(ValueError, match="cooldown_seconds"):
+            SchedulerConfig(cooldown_seconds=-1.0)
 
     def test_warm_start_retrain_succeeds(self, fresh_service):
         service, splits = fresh_service
