@@ -2,9 +2,16 @@
 
 from .base import EmbeddingConfig, GraphEmbedder, GraphEmbedding
 from .eline import ELINEEmbedder
+from .kernels import (
+    KERNEL_NAMES,
+    FusedKernel,
+    ReferenceKernel,
+    TrainingKernel,
+    make_kernel,
+)
 from .line import LINEEmbedder
-from .sampler import AliasTable, EdgeSampler, NegativeSampler
-from .trainer import EdgeSamplingTrainer, ObjectiveTerms
+from .sampler import AliasTable, EdgeSampler, NegativeSampler, SamplerCache
+from .trainer import EdgeSamplingTrainer, ObjectiveTerms, clear_sampler_cache
 
 __all__ = [
     "EmbeddingConfig",
@@ -17,4 +24,11 @@ __all__ = [
     "NegativeSampler",
     "EdgeSamplingTrainer",
     "ObjectiveTerms",
+    "KERNEL_NAMES",
+    "TrainingKernel",
+    "ReferenceKernel",
+    "FusedKernel",
+    "make_kernel",
+    "SamplerCache",
+    "clear_sampler_cache",
 ]

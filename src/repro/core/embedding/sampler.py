@@ -14,13 +14,24 @@ Walker's alias method, implemented here as :class:`AliasTable`.
 
 from __future__ import annotations
 
+import threading
+import weakref
+
 import numpy as np
 
-__all__ = ["AliasTable", "EdgeSampler", "NegativeSampler", "unigram_power_distribution"]
+__all__ = ["AliasTable", "EdgeSampler", "NegativeSampler", "SamplerCache",
+           "unigram_power_distribution"]
 
 
 class AliasTable:
     """O(1) sampling from a discrete distribution via Walker's alias method.
+
+    The build partitions and assembles with numpy and runs the sequential
+    Walker pairing over native floats — bit-identical to the historical
+    pure-Python-list construction (test-enforced by a hypothesis property),
+    because every comparison and residual subtraction happens on the same
+    IEEE-754 doubles in the same order; only the bookkeeping around them was
+    vectorised.
 
     Parameters
     ----------
@@ -39,26 +50,42 @@ class AliasTable:
             raise ValueError("weights must not all be zero")
 
         n = weights.size
-        probabilities = weights * (n / total)
-        self._prob = np.zeros(n, dtype=np.float64)
-        self._alias = np.zeros(n, dtype=np.int64)
+        with np.errstate(over="ignore"):
+            scale = n / total
+        if not np.isfinite(scale):
+            # A subnormal total overflows the normalisation; the historical
+            # build silently produced a table that sampled zero-weight
+            # entries in this regime.
+            raise ValueError("weights sum is too small to normalise")
+        probabilities = weights * scale
+        # Entries never claimed by the pairing loop below are the historical
+        # "leftover" entries: probability one, aliased to themselves.
+        self._prob = np.ones(n, dtype=np.float64)
+        self._alias = np.arange(n, dtype=np.int64)
 
-        small = [i for i, p in enumerate(probabilities) if p < 1.0]
-        large = [i for i, p in enumerate(probabilities) if p >= 1.0]
-        probabilities = probabilities.copy()
+        scaled = probabilities.tolist()
+        small = np.flatnonzero(probabilities < 1.0).tolist()
+        large = np.flatnonzero(probabilities >= 1.0).tolist()
+        paired_index: list[int] = []
+        paired_prob: list[float] = []
+        paired_alias: list[int] = []
         while small and large:
             s = small.pop()
             g = large.pop()
-            self._prob[s] = probabilities[s]
-            self._alias[s] = g
-            probabilities[g] = probabilities[g] - (1.0 - probabilities[s])
-            if probabilities[g] < 1.0:
+            residual_s = scaled[s]
+            paired_index.append(s)
+            paired_prob.append(residual_s)
+            paired_alias.append(g)
+            residual_g = scaled[g] - (1.0 - residual_s)
+            scaled[g] = residual_g
+            if residual_g < 1.0:
                 small.append(g)
             else:
                 large.append(g)
-        for leftover in large + small:
-            self._prob[leftover] = 1.0
-            self._alias[leftover] = leftover
+        if paired_index:
+            index = np.asarray(paired_index, dtype=np.int64)
+            self._prob[index] = paired_prob
+            self._alias[index] = paired_alias
 
         self._n = n
         self._weights = weights / total
@@ -125,10 +152,11 @@ class EdgeSampler:
                rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
         """Return ``(heads, tails)`` of ``count`` sampled directed edges."""
         picks = self._table.sample(count, rng)
-        heads = self._sources[picks].copy()
-        tails = self._targets[picks].copy()
+        sources = self._sources[picks]
+        targets = self._targets[picks]
         flip = rng.random(count) < 0.5
-        heads[flip], tails[flip] = tails[flip], heads[flip].copy()
+        heads = np.where(flip, targets, sources)
+        tails = np.where(flip, sources, targets)
         return heads, tails
 
 
@@ -152,11 +180,85 @@ class NegativeSampler:
         if live.size == 0:
             raise ValueError("cannot build a NegativeSampler: all degrees are zero")
         self._live = live
+        # With no zero-degree slots (the offline training case) the live map
+        # is the identity; skip the remap gather on the sampling hot path.
+        self._identity = live.size == degrees.size
         self._table = AliasTable(weights[live])
 
     def sample(self, count: int, negatives_per_example: int,
                rng: np.random.Generator) -> np.ndarray:
         """Return an ``(count, negatives_per_example)`` array of node indices."""
         total = count * negatives_per_example
-        flat = self._live[self._table.sample(total, rng)]
+        flat = self._table.sample(total, rng)
+        if not self._identity:
+            flat = self._live[flat]
         return flat.reshape(count, negatives_per_example)
+
+
+class SamplerCache:
+    """Reuses :class:`EdgeSampler`/:class:`NegativeSampler` per graph version.
+
+    Keyed weakly on the graph object and strongly on its monotonic
+    :attr:`~repro.core.graph.BipartiteGraph.version` counter: any mutation
+    bumps the version, so a cached sampler is only ever returned for the
+    exact graph state it was built from — a hit is byte-identical to a fresh
+    construction (samplers are immutable once built).  Repeated trainer
+    constructions over an *unchanged* graph (joint ``embed_new_nodes``
+    batches at one version, repeated fits/ablations on one graph) reuse the
+    alias tables instead of re-running the O(V+E) builds.  Note that a
+    single ``OnlineInferenceEngine.predict`` mutates the graph (the probe
+    record is inserted before embedding), so the per-predict rebuild is made
+    cheap by the incremental degree array and the O(incident-edges)
+    restricted samplers rather than by this cache.
+
+    Lookups take a short global lock; sampler construction itself happens
+    outside it, so concurrent builds for different graphs (sharded serving)
+    never serialise behind each other.  Two threads racing on the same miss
+    may both build; the samplers are identical and the last insert wins.
+    """
+
+    def __init__(self) -> None:
+        self._entries: weakref.WeakKeyDictionary = weakref.WeakKeyDictionary()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def _lookup(self, graph, kind: str):
+        """Return the cached sampler for the graph's current version."""
+        entry = self._entries.get(graph)
+        if entry is None or entry["version"] != graph.version:
+            entry = {"version": graph.version}
+            self._entries[graph] = entry
+            return entry, None
+        return entry, entry.get(kind)
+
+    def _get(self, graph, kind: str, build) -> object:
+        with self._lock:
+            entry, sampler = self._lookup(graph, kind)
+            if sampler is not None:
+                self.hits += 1
+                return sampler
+            self.misses += 1
+        sampler = build()
+        with self._lock:
+            # Insert only if the graph state is still the one we built for.
+            current = self._entries.get(graph)
+            if current is not None and current["version"] == graph.version:
+                current[kind] = sampler
+        return sampler
+
+    def edge_sampler(self, graph) -> EdgeSampler:
+        """The full-graph edge sampler for the graph's current version."""
+        return self._get(graph, "edge",
+                         lambda: EdgeSampler(*graph.edge_arrays()))
+
+    def negative_sampler(self, graph) -> NegativeSampler:
+        """The full-graph negative sampler for the graph's current version."""
+        return self._get(graph, "negative",
+                         lambda: NegativeSampler(graph.degree_array()))
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0

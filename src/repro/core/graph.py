@@ -74,6 +74,17 @@ class BipartiteGraph:
         self._adjacency: dict[int, dict[int, float]] = {}
         self._next_index = 0
         self._total_weight = 0.0
+        #: Monotonic mutation counter; bumped by every node/edge change and
+        #: never reused, so ``(graph, version)`` identifies one exact graph
+        #: state.  Samplers and the array views below are cached against it.
+        self._version = 0
+        #: Weighted degrees by dense index, maintained incrementally: nodes
+        #: whose edge set changed are marked dirty and lazily recomputed with
+        #: the same ``sum(neighbors.values())`` a full rebuild would run, so
+        #: ``degree_array()`` stays bit-identical while costing O(dirty)
+        #: instead of O(V+E) per call.
+        self._degrees = np.zeros(16, dtype=np.float64)
+        self._dirty_degrees: set[int] = set()
 
     # ------------------------------------------------------------------ nodes
     @property
@@ -93,6 +104,16 @@ class BipartiteGraph:
     def index_capacity(self) -> int:
         """One past the largest index ever assigned (size for embedding matrices)."""
         return self._next_index
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter (bumped on every node/edge change).
+
+        Two reads returning the same version guarantee the graph content is
+        unchanged between them; the counter is never reused, so caches keyed
+        on ``(graph, version)`` can serve their entries without revalidation.
+        """
+        return self._version
 
     def nodes(self, kind: NodeKind | None = None) -> list[Node]:
         """All live nodes, optionally filtered by kind, in insertion order."""
@@ -131,6 +152,13 @@ class BipartiteGraph:
         self._nodes[(kind, key)] = node
         self._nodes_by_index[node.index] = node
         self._adjacency[node.index] = {}
+        if node.index >= self._degrees.size:
+            grown = np.zeros(max(self._degrees.size * 2, node.index + 1),
+                             dtype=np.float64)
+            grown[:self._degrees.size] = self._degrees
+            self._degrees = grown
+        self._degrees[node.index] = 0.0
+        self._version += 1
         return node
 
     def add_mac(self, mac: str) -> Node:
@@ -190,9 +218,13 @@ class BipartiteGraph:
             weight = self._adjacency[node.index].pop(neighbor_index)
             del self._adjacency[neighbor_index][node.index]
             self._total_weight -= weight
+            self._dirty_degrees.add(neighbor_index)
         del self._adjacency[node.index]
         del self._nodes[(node.kind, node.key)]
         del self._nodes_by_index[node.index]
+        self._degrees[node.index] = 0.0
+        self._dirty_degrees.discard(node.index)
+        self._version += 1
 
     # ------------------------------------------------------------------ edges
     def _set_edge(self, mac_index: int, record_index: int, weight: float) -> None:
@@ -202,6 +234,9 @@ class BipartiteGraph:
         self._adjacency[mac_index][record_index] = weight
         self._adjacency[record_index][mac_index] = weight
         self._total_weight += weight
+        self._dirty_degrees.add(mac_index)
+        self._dirty_degrees.add(record_index)
+        self._version += 1
 
     @property
     def num_edges(self) -> int:
@@ -248,26 +283,76 @@ class BipartiteGraph:
         """Return ``(sources, targets, weights)`` arrays over undirected edges.
 
         ``sources`` holds MAC node indices and ``targets`` record node indices.
-        These arrays feed the alias samplers used by LINE / E-LINE training.
+        These arrays feed the alias samplers used by LINE / E-LINE training;
+        the samplers themselves are cached per graph version one level up
+        (:class:`~repro.core.embedding.sampler.SamplerCache`), so this build
+        runs once per graph state on the training paths.
         """
-        edges = list(self.edges())
-        if not edges:
+        source_chunks: list[np.ndarray] = []
+        target_chunks: list[np.ndarray] = []
+        weight_chunks: list[np.ndarray] = []
+        for node in self.nodes(NodeKind.MAC):
+            neighbors = self._adjacency[node.index]
+            if not neighbors:
+                continue
+            count = len(neighbors)
+            source_chunks.append(np.full(count, node.index, dtype=np.int64))
+            target_chunks.append(np.fromiter(neighbors.keys(), dtype=np.int64,
+                                             count=count))
+            weight_chunks.append(np.fromiter(neighbors.values(),
+                                             dtype=np.float64, count=count))
+        if not source_chunks:
             empty_int = np.empty(0, dtype=np.int64)
             return empty_int, empty_int.copy(), np.empty(0, dtype=np.float64)
-        sources = np.fromiter((e.mac_index for e in edges), dtype=np.int64,
-                              count=len(edges))
-        targets = np.fromiter((e.record_index for e in edges), dtype=np.int64,
-                              count=len(edges))
-        weights = np.fromiter((e.weight for e in edges), dtype=np.float64,
-                              count=len(edges))
-        return sources, targets, weights
+        return (np.concatenate(source_chunks),
+                np.concatenate(target_chunks),
+                np.concatenate(weight_chunks))
+
+    def incident_edge_arrays(
+            self, node_indices: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(sources, targets, weights)`` over edges incident to given nodes.
+
+        Exactly the subset (and the order) a mask filter over
+        :meth:`edge_arrays` would keep, but built from the adjacency of the
+        restricted nodes alone — O(incident edges), independent of |E|.
+        This is what makes per-prediction trainer construction in the online
+        path cheap.  Indices of retired nodes select nothing.
+        """
+        wanted = np.zeros(self.index_capacity, dtype=bool)
+        wanted[np.asarray(node_indices, dtype=np.int64)] = True
+        mac_indices: set[int] = set()
+        for index in np.flatnonzero(wanted):
+            node = self._nodes_by_index.get(int(index))
+            if node is None:
+                continue
+            if node.kind is NodeKind.MAC:
+                mac_indices.add(int(index))
+            else:
+                mac_indices.update(self._adjacency[int(index)])
+        source_chunks: list[int] = []
+        target_chunks: list[int] = []
+        weight_chunks: list[float] = []
+        for mac_index in sorted(mac_indices):
+            mac_wanted = wanted[mac_index]
+            for record_index, weight in self._adjacency[mac_index].items():
+                if mac_wanted or wanted[record_index]:
+                    source_chunks.append(mac_index)
+                    target_chunks.append(record_index)
+                    weight_chunks.append(weight)
+        return (np.asarray(source_chunks, dtype=np.int64),
+                np.asarray(target_chunks, dtype=np.int64),
+                np.asarray(weight_chunks, dtype=np.float64))
 
     def degree_array(self) -> np.ndarray:
         """Weighted degrees indexed by dense node index (zeros for retired indices)."""
-        degrees = np.zeros(self.index_capacity, dtype=np.float64)
-        for index in self._adjacency:
-            degrees[index] = self.weighted_degree(index)
-        return degrees
+        if self._dirty_degrees:
+            for index in self._dirty_degrees:
+                neighbors = self._adjacency.get(index)
+                if neighbors is not None:
+                    self._degrees[index] = sum(neighbors.values())
+            self._dirty_degrees.clear()
+        return self._degrees[:self.index_capacity].copy()
 
     def record_index_map(self) -> dict[str, int]:
         """Mapping record id -> dense node index for all live record nodes."""

@@ -55,6 +55,11 @@ class GraficsConfig:
     embedding:
         Full embedding hyperparameters.  ``embedding_dimension`` overrides the
         dimension stored here so the common case needs a single knob.
+    kernel:
+        Optional training-kernel override (``"reference"``/``"fused"``, see
+        :mod:`repro.core.embedding.kernels`); when set it overrides
+        ``embedding.kernel`` the same way ``embedding_dimension`` overrides
+        the dimension.  ``None`` keeps whatever the embedding config says.
     allow_unreachable_clusters:
         Forwarded to :class:`ProximityClustering`.
     """
@@ -63,13 +68,17 @@ class GraficsConfig:
     embedder: str = "eline"
     weight_function: WeightFunction = field(default_factory=OffsetWeight)
     embedding: EmbeddingConfig = field(default_factory=EmbeddingConfig)
+    kernel: str | None = None
     allow_unreachable_clusters: bool = False
 
     def resolved_embedding_config(self) -> EmbeddingConfig:
-        """The embedding config with ``embedding_dimension`` applied."""
-        if self.embedding.dimension == self.embedding_dimension:
-            return self.embedding
-        return replace(self.embedding, dimension=self.embedding_dimension)
+        """The embedding config with ``embedding_dimension``/``kernel`` applied."""
+        config = self.embedding
+        if config.dimension != self.embedding_dimension:
+            config = replace(config, dimension=self.embedding_dimension)
+        if self.kernel is not None and config.kernel != self.kernel:
+            config = replace(config, kernel=self.kernel)
+        return config
 
     def make_embedder(self):
         """Instantiate the configured graph embedder."""
@@ -101,7 +110,8 @@ class GRAFICS:
     # ---------------------------------------------------------------- training
     def fit(self, records: FingerprintDataset | Sequence[SignalRecord],
             labels: Mapping[str, int] | None = None,
-            warm_start: GraphEmbedding | None = None) -> "GRAFICS":
+            warm_start: GraphEmbedding | None = None,
+            kernel: str | None = None) -> "GRAFICS":
         """Run the offline training phase.
 
         Parameters
@@ -123,6 +133,10 @@ class GRAFICS:
             of the sliding window survives from one model generation to the
             next.  Clustering and inference are unaffected beyond the
             embedding initialisation.
+        kernel:
+            Optional per-fit training-kernel override (``"reference"`` /
+            ``"fused"``).  The trained embedding records the kernel it was
+            fitted with, so online inference on this model keeps using it.
         """
         record_list = list(records.records if isinstance(records, FingerprintDataset)
                            else records)
@@ -140,6 +154,11 @@ class GRAFICS:
                 f"labels reference records that are not in the training set: "
                 f"{sorted(missing)[:5]}")
 
+        if kernel is not None and self.config.kernel != kernel:
+            # Record the effective kernel on the model's config so the
+            # override survives persistence round-trips and drives the
+            # online-inference engine of this model.
+            self.config = replace(self.config, kernel=kernel)
         self.graph = build_graph(record_list,
                                  weight_function=self.config.weight_function)
         self._embedder = self.config.make_embedder()
@@ -169,8 +188,10 @@ class GRAFICS:
         """The lazily created online-inference engine."""
         self._require_fitted()
         if self._engine is None:
-            incremental_embedder = ELINEEmbedder(
-                self.config.resolved_embedding_config())
+            # The fitted embedding's config (not the pipeline config) drives
+            # incremental embedding, so a per-fit kernel override carries
+            # through to online inference on that model.
+            incremental_embedder = ELINEEmbedder(self.embedding.config)
             self._engine = OnlineInferenceEngine(self.graph, self.embedding,
                                                  self.cluster_model,
                                                  embedder=incremental_embedder)

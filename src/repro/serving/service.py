@@ -277,7 +277,8 @@ class FloorServingService:
     def retrain_building(self, dataset: FingerprintDataset,
                          labels: Mapping[str, int],
                          model_path: str | Path | None = None,
-                         warm_start: bool = False) -> GRAFICS:
+                         warm_start: bool = False,
+                         kernel: str | None = None) -> GRAFICS:
         """Retrain one building off to the side, then hot-swap it in.
 
         Training happens on a fresh :class:`GRAFICS` instance, so the live
@@ -289,7 +290,9 @@ class FloorServingService:
         embedding from the building's currently installed model (nodes
         surviving the retrain resume from their learned vectors) — the
         continuous-learning path, where retrains happen on a sliding window
-        that mostly overlaps the previous one.
+        that mostly overlaps the previous one.  ``kernel`` optionally selects
+        the training kernel for this retrain (``"fused"`` halves fit time;
+        the model records the kernel, so its online path keeps using it).
         """
         previous_embedding = None
         if warm_start and dataset.building_id in self.registry.building_ids:
@@ -297,7 +300,8 @@ class FloorServingService:
                 dataset.building_id).embedding
         with self.telemetry.time("retrain_seconds"):
             model = GRAFICS(self.registry.config)
-            model.fit(dataset, labels, warm_start=previous_embedding)
+            model.fit(dataset, labels, warm_start=previous_embedding,
+                      kernel=kernel)
             if model_path is not None:
                 model_path = Path(model_path)
                 _atomic_save_model(model, model_path)

@@ -301,12 +301,15 @@ class ShardedServingService:
     def retrain_building(self, dataset: FingerprintDataset,
                          labels: Mapping[str, int],
                          model_path: str | Path | None = None,
-                         warm_start: bool = False) -> GRAFICS:
+                         warm_start: bool = False,
+                         kernel: str | None = None) -> GRAFICS:
         """Retrain one building off to the side, then hot-swap its shard.
 
         Training holds no lock at all — only the final install takes the
         owning shard's lock — so even the building's own shard keeps
         serving its other buildings while the replacement trains.
+        ``kernel`` optionally selects the training kernel for this retrain,
+        mirroring :meth:`FloorServingService.retrain_building`.
         """
         previous_embedding = None
         if warm_start:
@@ -317,7 +320,8 @@ class ShardedServingService:
                 previous_embedding = None
         with self.telemetry.time("retrain_seconds"):
             model = GRAFICS(self.grafics_config)
-            model.fit(dataset, labels, warm_start=previous_embedding)
+            model.fit(dataset, labels, warm_start=previous_embedding,
+                      kernel=kernel)
             if model_path is not None:
                 model_path = Path(model_path)
                 _atomic_save_model(model, model_path)

@@ -36,6 +36,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
 
+from ..core.embedding.kernels import validate_kernel
 from ..core.persistence import _atomic_save_model, _registry_model_filename, load_model
 from ..core.pipeline import GRAFICS
 
@@ -91,15 +92,24 @@ class RetrainExecutor:
     train:
         Injectable training function ``(job, warm_start_embedding) ->
         GRAFICS`` — tests use it to control job timing and interleaving.
+    kernel:
+        Optional training-kernel override for executor-run fits
+        (``"reference"``/``"fused"``, see
+        :mod:`repro.core.embedding.kernels`).  ``None`` keeps the service's
+        configured kernel.  Ignored when a custom ``train`` is injected.
     """
 
     def __init__(self, service, max_workers: int = 0,
                  model_dir: str | Path | None = None,
                  train: Callable[[RetrainJob, object | None], GRAFICS] | None = None,
-                 clock: Callable[[], float] = time.perf_counter) -> None:
+                 clock: Callable[[], float] = time.perf_counter,
+                 kernel: str | None = None) -> None:
         if max_workers < 0:
             raise ValueError("max_workers must be non-negative")
+        if kernel is not None:
+            validate_kernel(kernel)
         self.service = service
+        self.kernel = kernel
         self.model_dir = Path(model_dir) if model_dir is not None else None
         self._train = train if train is not None else self._default_train
         self._clock = clock
@@ -206,7 +216,8 @@ class RetrainExecutor:
     def _default_train(self, job: RetrainJob,
                        previous_embedding) -> GRAFICS:
         model = GRAFICS(self.service.grafics_config)
-        model.fit(job.dataset, job.labels, warm_start=previous_embedding)
+        model.fit(job.dataset, job.labels, warm_start=previous_embedding,
+                  kernel=self.kernel)
         if self.model_dir is not None:
             self.model_dir.mkdir(parents=True, exist_ok=True)
             path = self.model_dir / _registry_model_filename(job.building_id)

@@ -26,6 +26,12 @@ class TestAliasTable:
         with pytest.raises(ValueError):
             AliasTable(np.ones((2, 2)))
 
+    def test_rejects_subnormal_total(self):
+        """A subnormal weight sum cannot be normalised (n / total overflows);
+        the historical build silently sampled zero-weight entries here."""
+        with pytest.raises(ValueError, match="too small to normalise"):
+            AliasTable(np.array([0.0, 5e-324]))
+
     def test_single_outcome(self):
         table = AliasTable(np.array([3.0]))
         rng = np.random.default_rng(0)
@@ -56,7 +62,7 @@ class TestAliasTable:
         assert set(np.unique(samples).tolist()) <= {1, 3}
 
     @given(st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1,
-                    max_size=20).filter(lambda w: sum(w) > 0))
+                    max_size=20).filter(lambda w: sum(w) > 1e-9))
     @settings(max_examples=40, deadline=None)
     def test_samples_are_valid_indices(self, weights):
         table = AliasTable(np.array(weights))
@@ -65,6 +71,57 @@ class TestAliasTable:
         assert samples.min() >= 0
         assert samples.max() < len(weights)
         assert all(weights[i] > 0 for i in np.unique(samples))
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1,
+                    max_size=64).filter(lambda w: sum(w) > 1e-9))
+    @settings(max_examples=200, deadline=None)
+    def test_build_bit_identical_to_list_based_reference(self, weights):
+        """The vectorised build reproduces the historical pure-Python
+        list-based Walker construction bit for bit — same pairing, same
+        residual arithmetic, same leftover handling."""
+        weights = np.array(weights)
+        table = AliasTable(weights)
+        prob_ref, alias_ref = _reference_alias_build(weights)
+        np.testing.assert_array_equal(table._prob, prob_ref)
+        np.testing.assert_array_equal(table._alias, alias_ref)
+
+    def test_build_bit_identical_on_degree_like_weights(self):
+        """Power-law degree weights, the shape the samplers actually feed."""
+        rng = np.random.default_rng(5)
+        degrees = rng.integers(1, 60, size=500).astype(np.float64)
+        weights = degrees ** 0.75
+        table = AliasTable(weights)
+        prob_ref, alias_ref = _reference_alias_build(weights)
+        np.testing.assert_array_equal(table._prob, prob_ref)
+        np.testing.assert_array_equal(table._alias, alias_ref)
+
+
+def _reference_alias_build(weights: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """The original (pre-vectorisation) AliasTable construction, verbatim."""
+    weights = np.asarray(weights, dtype=np.float64)
+    total = weights.sum()
+    n = weights.size
+    probabilities = weights * (n / total)
+    prob = np.zeros(n, dtype=np.float64)
+    alias = np.zeros(n, dtype=np.int64)
+
+    small = [i for i, p in enumerate(probabilities) if p < 1.0]
+    large = [i for i, p in enumerate(probabilities) if p >= 1.0]
+    probabilities = probabilities.copy()
+    while small and large:
+        s = small.pop()
+        g = large.pop()
+        prob[s] = probabilities[s]
+        alias[s] = g
+        probabilities[g] = probabilities[g] - (1.0 - probabilities[s])
+        if probabilities[g] < 1.0:
+            small.append(g)
+        else:
+            large.append(g)
+    for leftover in large + small:
+        prob[leftover] = 1.0
+        alias[leftover] = leftover
+    return prob, alias
 
 
 class TestUnigramPowerDistribution:

@@ -1,0 +1,166 @@
+"""Tests for the version-keyed sampler cache and the online fast paths.
+
+The cache lets repeated trainer constructions over an unchanged graph reuse
+the alias samplers instead of re-running the O(V+E) builds; the regression
+tests here pin the core guarantee — predictions are byte-identical with and
+without caching — and the graph bookkeeping it relies on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import GRAFICS, GraficsConfig
+from repro.core.embedding import ELINEEmbedder
+from repro.core.embedding.trainer import (
+    _SAMPLER_CACHE,
+    EdgeSamplingTrainer,
+    ObjectiveTerms,
+    clear_sampler_cache,
+)
+from repro.core.graph import NodeKind, build_graph
+from repro.core.types import SignalRecord
+from repro.data import make_experiment_split, small_test_building
+
+ELINE_TERMS = ObjectiveTerms(second_order=True, symmetric=True)
+
+
+def record(rid, rss):
+    return SignalRecord(record_id=rid, rss=rss)
+
+
+@pytest.fixture()
+def graph():
+    records = [record(f"r{i}", {f"m{j}": -50.0 - j
+                                for j in range(i % 3, i % 3 + 4)})
+               for i in range(10)]
+    return build_graph(records)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_sampler_cache()
+    yield
+    clear_sampler_cache()
+
+
+class TestSamplerCache:
+    def test_same_version_reuses_samplers(self, graph):
+        config = GraficsConfig().resolved_embedding_config()
+        first = EdgeSamplingTrainer(graph, config, ELINE_TERMS)
+        second = EdgeSamplingTrainer(graph, config, ELINE_TERMS)
+        assert second._edge_sampler is first._edge_sampler
+        assert second._negative_sampler is first._negative_sampler
+        assert _SAMPLER_CACHE.hits == 2
+
+    def test_mutation_invalidates(self, graph):
+        config = GraficsConfig().resolved_embedding_config()
+        first = EdgeSamplingTrainer(graph, config, ELINE_TERMS)
+        graph.add_record(record("extra", {"m0": -50.0}))
+        second = EdgeSamplingTrainer(graph, config, ELINE_TERMS)
+        assert second._edge_sampler is not first._edge_sampler
+        assert second._negative_sampler is not first._negative_sampler
+        assert second._edge_sampler.num_edges == first._edge_sampler.num_edges + 1
+
+    def test_bypass_builds_fresh(self, graph):
+        config = GraficsConfig().resolved_embedding_config()
+        cached = EdgeSamplingTrainer(graph, config, ELINE_TERMS)
+        cold = EdgeSamplingTrainer(graph, config, ELINE_TERMS,
+                                   use_sampler_cache=False)
+        assert cold._edge_sampler is not cached._edge_sampler
+        # Identical construction either way: same training trajectory.
+        ego_a, context_a = cached.initial_embeddings()
+        cached.train(ego_a, context_a)
+        ego_b, context_b = cold.initial_embeddings()
+        cold.train(ego_b, context_b)
+        np.testing.assert_array_equal(ego_a, ego_b)
+        np.testing.assert_array_equal(context_a, context_b)
+
+    def test_cached_hit_trains_identically(self, graph):
+        """A cache hit is byte-identical to a cold construction."""
+        config = GraficsConfig().resolved_embedding_config()
+        EdgeSamplingTrainer(graph, config, ELINE_TERMS)   # warm the cache
+        warm = EdgeSamplingTrainer(graph, config, ELINE_TERMS)
+        assert _SAMPLER_CACHE.hits >= 2
+        cold = EdgeSamplingTrainer(graph, config, ELINE_TERMS,
+                                   use_sampler_cache=False)
+        ego_w, context_w = warm.initial_embeddings()
+        warm.train(ego_w, context_w)
+        ego_c, context_c = cold.initial_embeddings()
+        cold.train(ego_c, context_c)
+        np.testing.assert_array_equal(ego_w, ego_c)
+        np.testing.assert_array_equal(context_w, context_c)
+
+
+class TestOnlineSamplerReuse:
+    """The satellite regression: embed_new_nodes at an unchanged version
+    reuses cached tables, and predictions stay byte-identical."""
+
+    @pytest.fixture()
+    def fitted(self):
+        dataset = small_test_building(records_per_floor=20)
+        split = make_experiment_split(dataset, labels_per_floor=4, seed=0)
+        model = GRAFICS(GraficsConfig(allow_unreachable_clusters=True)).fit(
+            list(split.train_records), split.labels)
+        probes = [r.without_floor() for r in split.test_records[:4]]
+        return model, probes
+
+    def test_same_version_reuses_negative_sampler(self, fitted):
+        model, probes = fitted
+        graph, embedding = model.graph, model.embedding
+        for probe in probes[:2]:
+            graph.add_record(probe)
+        version_before = graph.version
+        embedder = ELINEEmbedder(embedding.config)
+
+        clear_sampler_cache()
+        enlarged_a = embedder.embed_new_nodes(graph, embedding,
+                                              [probes[0].record_id])
+        misses_after_first = _SAMPLER_CACHE.misses
+        enlarged_b = embedder.embed_new_nodes(graph, embedding,
+                                              [probes[1].record_id])
+        # Second call at the same graph version: negative sampler reused.
+        assert graph.version == version_before
+        assert _SAMPLER_CACHE.hits >= 1
+        assert _SAMPLER_CACHE.misses == misses_after_first
+        assert enlarged_a.ego.shape == enlarged_b.ego.shape
+
+    def test_predictions_byte_identical_with_and_without_cache(self, fitted):
+        """Before/after-caching regression for the online prediction path."""
+        model, probes = fitted
+
+        clear_sampler_cache()
+        with_cache = [model.predict(p) for p in probes]
+
+        # Cold path: every predict rebuilds its samplers from scratch.
+        cold = []
+        for probe in probes:
+            clear_sampler_cache()
+            cold.append(model.predict(probe))
+
+        for a, b in zip(with_cache, cold):
+            assert a.record_id == b.record_id
+            assert a.floor == b.floor
+            assert a.distance == b.distance
+            np.testing.assert_array_equal(a.embedding, b.embedding)
+
+    def test_restricted_edge_arrays_match_filtered_full_scan(self, fitted):
+        """incident_edge_arrays == the mask filter it replaced, exactly."""
+        model, probes = fitted
+        graph = model.graph
+        for probe in probes:
+            graph.add_record(probe)
+        new_indices = np.array(
+            [graph.get_node(NodeKind.RECORD, p.record_id).index
+             for p in probes])
+
+        sources, targets, weights = graph.incident_edge_arrays(new_indices)
+
+        full_sources, full_targets, full_weights = graph.edge_arrays()
+        wanted = np.zeros(graph.index_capacity, dtype=bool)
+        wanted[new_indices] = True
+        keep = wanted[full_sources] | wanted[full_targets]
+        np.testing.assert_array_equal(sources, full_sources[keep])
+        np.testing.assert_array_equal(targets, full_targets[keep])
+        np.testing.assert_array_equal(weights, full_weights[keep])
