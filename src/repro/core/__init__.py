@@ -4,6 +4,7 @@ from .clustering import ClusterModel, ClusteringResult, ProximityClustering
 from .embedding import ELINEEmbedder, EmbeddingConfig, GraphEmbedding, LINEEmbedder
 from .graph import BipartiteGraph, Edge, Node, NodeKind, build_graph
 from .inference import FloorPrediction, OnlineInferenceEngine, UnknownEnvironmentError
+from .overlay import GraphOverlay, StaleOverlayError
 from .persistence import (
     load_model,
     load_registry,
@@ -36,6 +37,8 @@ __all__ = [
     "BuildingPrediction",
     "BipartiteGraph",
     "build_graph",
+    "GraphOverlay",
+    "StaleOverlayError",
     "Node",
     "NodeKind",
     "Edge",

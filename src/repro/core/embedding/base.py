@@ -8,7 +8,7 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
-from ..graph import BipartiteGraph, NodeKind
+from ..graph import BipartiteGraph
 from .kernels import validate_kernel
 
 __all__ = ["EmbeddingConfig", "GraphEmbedding", "GraphEmbedder"]
@@ -103,10 +103,23 @@ class GraphEmbedding:
     mac_index: dict[str, int]
     config: EmbeddingConfig
     training_loss: list[float] = field(default_factory=list)
+    _mac_keys: frozenset[str] | None = field(default=None, init=False,
+                                             repr=False, compare=False)
 
     @property
     def dimension(self) -> int:
         return int(self.ego.shape[1])
+
+    def mac_key_set(self) -> frozenset[str]:
+        """The embedded MAC vocabulary as a set, built once per embedding.
+
+        The incremental embedder needs "which graph MACs am I missing?" on
+        every online prediction; caching the key set here keeps that check a
+        C-level set difference instead of a per-call set build.
+        """
+        if self._mac_keys is None:
+            self._mac_keys = frozenset(self.mac_index)
+        return self._mac_keys
 
     def record_vector(self, record_id: str) -> np.ndarray:
         """Ego embedding of one record (the representation used downstream)."""
@@ -161,6 +174,6 @@ class GraphEmbedder(ABC):
 
     @staticmethod
     def _index_maps(graph: BipartiteGraph) -> tuple[dict[str, int], dict[str, int]]:
-        record_index = {n.key: n.index for n in graph.nodes(NodeKind.RECORD)}
-        mac_index = {n.key: n.index for n in graph.nodes(NodeKind.MAC)}
-        return record_index, mac_index
+        # The graph caches these per version (overlays compose base + delta);
+        # both are treated as read-only downstream, so sharing is safe.
+        return graph.record_index_map(), graph.mac_index_map()

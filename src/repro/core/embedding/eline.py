@@ -80,7 +80,33 @@ class ELINEEmbedder(GraphEmbedder):
         new_ids = list(new_record_ids)
         if not new_ids:
             return embedding
-        for record_id in new_ids:
+        ego, context, losses = self.embed_new_nodes_arrays(graph, embedding,
+                                                           new_ids,
+                                                           samples_per_new_edge)
+        record_index, mac_index = self._index_maps(graph)
+        return GraphEmbedding(ego=ego, context=context,
+                              record_index=record_index, mac_index=mac_index,
+                              config=self.config,
+                              training_loss=list(embedding.training_loss) + losses)
+
+    def embed_new_nodes_arrays(
+            self, graph: BipartiteGraph, embedding: GraphEmbedding,
+            new_record_ids: list[str],
+            samples_per_new_edge: float | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, list[float]]:
+        """The array-level core of :meth:`embed_new_nodes`.
+
+        Returns ``(ego, context, losses)`` over the enlarged index space
+        without assembling a :class:`GraphEmbedding` (the index maps and the
+        training-loss history are the only parts a non-persisting online
+        prediction never reads — it looks up the new rows by index).
+        ``graph`` may be the mutated base graph or a
+        :class:`~repro.core.overlay.GraphOverlay` presenting the staged
+        records over a frozen base; both produce bit-identical results
+        because every composed overlay view matches the mutated graph's and
+        the RNG is consumed in the same order either way.
+        """
+        for record_id in new_record_ids:
             if embedding.has_record(record_id):
                 raise ValueError(f"record {record_id!r} is already embedded")
             if not graph.has_node(NodeKind.RECORD, record_id):
@@ -92,14 +118,12 @@ class ELINEEmbedder(GraphEmbedder):
         scale = self.config.init_scale / dim
 
         trainable = np.zeros(capacity, dtype=bool)
-        for record_id in new_ids:
+        for record_id in new_record_ids:
             node = graph.get_node(NodeKind.RECORD, record_id)
             trainable[node.index] = True
         # MAC nodes unseen by the original embedding are trainable too.
-        known_macs = set(embedding.mac_index)
-        for mac_node in graph.mac_nodes():
-            if mac_node.key not in known_macs:
-                trainable[mac_node.index] = True
+        for index in graph.unknown_mac_indices(embedding.mac_key_set()):
+            trainable[index] = True
 
         # Frozen rows are copied; only the trainable rows draw fresh random
         # vectors.  Drawing a full capacity-sized matrix instead would tie
@@ -126,9 +150,4 @@ class ELINEEmbedder(GraphEmbedder):
         trainer = EdgeSamplingTrainer(graph, incremental_config, _ELINE_TERMS,
                                       restrict_to_nodes=new_indices)
         losses = trainer.train(ego, context, trainable=trainable)
-
-        record_index, mac_index = self._index_maps(graph)
-        return GraphEmbedding(ego=ego, context=context,
-                              record_index=record_index, mac_index=mac_index,
-                              config=self.config,
-                              training_loss=list(embedding.training_loss) + losses)
+        return ego, context, losses

@@ -9,7 +9,13 @@ train on (sampled edges, negatives, the learning-rate schedule); a kernel owns
   scattering its gradients through ``np.add.at``.  This is the default, and
   every byte-identity guarantee of the serving and streaming stacks (cache
   hits equal recomputation, checkpoint-resume replays, sharded == one-lock)
-  is stated — and test-enforced — against it.
+  is stated — and test-enforced — against it.  Frozen training (a
+  ``trainable`` mask, the online-inference path) computes and scatters only
+  the trainable-row subset of the gradients; the subset updates are the
+  same values in the same accumulation order as the historical
+  full-batch-then-mask scatter (whose masked-out updates were exact zeros),
+  so online predictions remain byte-identical while the per-batch cost
+  tracks the handful of trainable rows.
 
 * ``fused`` — a throughput-optimised kernel that processes all enabled
   objective terms from one pre-batch snapshot of the tables:
@@ -149,20 +155,44 @@ class ReferenceKernel(TrainingKernel):
         pos_coeff = pos_sig - 1.0                          # (B,)
         neg_coeff = neg_sig                                # (B, K)
 
-        grad_source = (pos_coeff[:, None] * positive_target
-                       + np.einsum("bk,bkd->bd", neg_coeff, negative_target))
-        grad_positive = pos_coeff[:, None] * source
-        grad_negative = neg_coeff[:, :, None] * source[:, None, :]
+        if trainable is None:
+            grad_source = (pos_coeff[:, None] * positive_target
+                           + np.einsum("bk,bkd->bd", neg_coeff,
+                                       negative_target))
+            grad_positive = pos_coeff[:, None] * source
+            grad_negative = neg_coeff[:, :, None] * source[:, None, :]
 
-        if trainable is not None:
-            grad_source = grad_source * trainable[heads][:, None]
-            grad_positive = grad_positive * trainable[tails][:, None]
-            grad_negative = grad_negative * trainable[negatives][:, :, None]
-
-        np.add.at(source_table, heads, -lr * grad_source)
-        np.add.at(target_table, tails, -lr * grad_positive)
-        np.add.at(target_table, negatives.ravel(),
-                  -lr * grad_negative.reshape(-1, grad_negative.shape[-1]))
+            np.add.at(source_table, heads, -lr * grad_source)
+            np.add.at(target_table, tails, -lr * grad_positive)
+            np.add.at(target_table, negatives.ravel(),
+                      -lr * grad_negative.reshape(-1,
+                                                  grad_negative.shape[-1]))
+        else:
+            # Frozen training (online inference): gradients land on the few
+            # trainable rows only, so compute and scatter just that subset.
+            # Values are identical to masking the full-batch gradients and
+            # scattering everything — the dropped updates are exact zeros,
+            # the kept ones are the same elementwise products in the same
+            # accumulation order — but the per-batch cost tracks the number
+            # of trainable-row touches instead of B * (K + 1), and the
+            # (B, K, D) negative-gradient tensor is never materialised.
+            head_rows = np.flatnonzero(trainable[heads])
+            if head_rows.size:
+                grad_source = (
+                    pos_coeff[head_rows][:, None] * positive_target[head_rows]
+                    + np.einsum("bk,bkd->bd", neg_coeff[head_rows],
+                                negative_target[head_rows]))
+                np.add.at(source_table, heads[head_rows], -lr * grad_source)
+            tail_rows = np.flatnonzero(trainable[tails])
+            if tail_rows.size:
+                grad_positive = pos_coeff[tail_rows][:, None] * source[tail_rows]
+                np.add.at(target_table, tails[tail_rows], -lr * grad_positive)
+            negative_mask = trainable[negatives]
+            if negative_mask.any():
+                rows, cols = np.nonzero(negative_mask)     # row-major order
+                grad_negative = neg_coeff[rows, cols][:, None] * source[rows]
+                np.add.at(target_table, negatives[rows, cols],
+                          -lr * grad_negative)
 
         with np.errstate(divide="ignore"):
             pos_loss = -np.log(np.maximum(pos_sig, _LOG_FLOOR)).sum()

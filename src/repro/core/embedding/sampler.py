@@ -205,11 +205,12 @@ class SamplerCache:
     construction (samplers are immutable once built).  Repeated trainer
     constructions over an *unchanged* graph (joint ``embed_new_nodes``
     batches at one version, repeated fits/ablations on one graph) reuse the
-    alias tables instead of re-running the O(V+E) builds.  Note that a
-    single ``OnlineInferenceEngine.predict`` mutates the graph (the probe
-    record is inserted before embedding), so the per-predict rebuild is made
-    cheap by the incremental degree array and the O(incident-edges)
-    restricted samplers rather than by this cache.
+    alias tables instead of re-running the O(V+E) builds.  Online
+    inference stages its probe records on a ``GraphOverlay`` instead of
+    mutating the graph, so the graph's version — and therefore any entry
+    cached here — survives arbitrarily many ``persist=False`` predictions;
+    the overlay's own per-predict samplers are deliberately not cached
+    (ephemeral views, one per prediction).
 
     Lookups take a short global lock; sampler construction itself happens
     outside it, so concurrent builds for different graphs (sharded serving)

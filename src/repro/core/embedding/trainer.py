@@ -93,6 +93,11 @@ class EdgeSamplingTrainer:
         self.graph = graph
         self.config = config
         self.terms = terms
+        # Overlay views are ephemeral (one per online prediction) and have
+        # no mutation-versioned identity of their own; caching samplers
+        # against them would only churn the cache.
+        if getattr(graph, "is_overlay", False):
+            use_sampler_cache = False
         if restrict_to_nodes is None:
             if use_sampler_cache:
                 self._edge_sampler = _SAMPLER_CACHE.edge_sampler(graph)

@@ -20,6 +20,7 @@ embedding matrices indexed by node index stay valid across removals.
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass
 from enum import Enum
@@ -74,6 +75,7 @@ class BipartiteGraph:
         self._adjacency: dict[int, dict[int, float]] = {}
         self._next_index = 0
         self._total_weight = 0.0
+        self._num_edges = 0
         #: Monotonic mutation counter; bumped by every node/edge change and
         #: never reused, so ``(graph, version)`` identifies one exact graph
         #: state.  Samplers and the array views below are cached against it.
@@ -85,6 +87,22 @@ class BipartiteGraph:
         #: instead of O(V+E) per call.
         self._degrees = np.zeros(16, dtype=np.float64)
         self._dirty_degrees: set[int] = set()
+        #: Serialises the lazy dirty-degree flush in :meth:`degree_array`.
+        #: Mutation-free serving reads one graph from many threads without
+        #: any outer lock; if the graph still has dirty degrees at that
+        #: point (e.g. it was just rebuilt by the persistence layer), two
+        #: concurrent readers must not race the flush.  Mutations
+        #: themselves are not covered — a graph is never mutated while
+        #: being served (the overlay path exists precisely for that).
+        self._degree_flush_lock = threading.Lock()
+        #: Version-keyed caches of the index maps and the MAC vocabulary.
+        #: The cached containers are never mutated in place — a version bump
+        #: builds fresh ones — so handing them out by reference is safe as
+        #: long as callers treat them as read-only (they all do: the maps
+        #: feed lookups and set operations, never item assignment).
+        self._record_map_cache: tuple[int, dict[str, int]] | None = None
+        self._mac_map_cache: tuple[int, dict[str, int]] | None = None
+        self._mac_vocabulary_cache: tuple[int, frozenset[str]] | None = None
 
     # ------------------------------------------------------------------ nodes
     @property
@@ -218,6 +236,7 @@ class BipartiteGraph:
             weight = self._adjacency[node.index].pop(neighbor_index)
             del self._adjacency[neighbor_index][node.index]
             self._total_weight -= weight
+            self._num_edges -= 1
             self._dirty_degrees.add(neighbor_index)
         del self._adjacency[node.index]
         del self._nodes[(node.kind, node.key)]
@@ -231,6 +250,8 @@ class BipartiteGraph:
         previous = self._adjacency[mac_index].get(record_index)
         if previous is not None:
             self._total_weight -= previous
+        else:
+            self._num_edges += 1
         self._adjacency[mac_index][record_index] = weight
         self._adjacency[record_index][mac_index] = weight
         self._total_weight += weight
@@ -240,7 +261,8 @@ class BipartiteGraph:
 
     @property
     def num_edges(self) -> int:
-        return sum(len(neighbors) for neighbors in self._adjacency.values()) // 2
+        """Number of undirected edges (O(1): maintained incrementally)."""
+        return self._num_edges
 
     @property
     def total_weight(self) -> float:
@@ -347,20 +369,70 @@ class BipartiteGraph:
     def degree_array(self) -> np.ndarray:
         """Weighted degrees indexed by dense node index (zeros for retired indices)."""
         if self._dirty_degrees:
-            for index in self._dirty_degrees:
-                neighbors = self._adjacency.get(index)
-                if neighbors is not None:
-                    self._degrees[index] = sum(neighbors.values())
-            self._dirty_degrees.clear()
+            # The unlocked truthiness peek keeps the clean (serving) case
+            # lock-free; the flush itself is serialised so concurrent
+            # readers of a just-rebuilt graph cannot race the iteration.
+            with self._degree_flush_lock:
+                for index in self._dirty_degrees:
+                    neighbors = self._adjacency.get(index)
+                    if neighbors is not None:
+                        self._degrees[index] = sum(neighbors.values())
+                self._dirty_degrees.clear()
         return self._degrees[:self.index_capacity].copy()
 
     def record_index_map(self) -> dict[str, int]:
-        """Mapping record id -> dense node index for all live record nodes."""
-        return {node.key: node.index for node in self.record_nodes()}
+        """Mapping record id -> dense node index for all live record nodes.
+
+        Cached per :attr:`version`; treat the returned dict as read-only
+        (mutations would corrupt the shared cache entry).
+        """
+        cached = self._record_map_cache
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        mapping = {node.key: node.index for node in self.record_nodes()}
+        self._record_map_cache = (self._version, mapping)
+        return mapping
 
     def mac_index_map(self) -> dict[str, int]:
-        """Mapping MAC address -> dense node index for all live MAC nodes."""
-        return {node.key: node.index for node in self.mac_nodes()}
+        """Mapping MAC address -> dense node index for all live MAC nodes.
+
+        Cached per :attr:`version`; treat the returned dict as read-only.
+        """
+        cached = self._mac_map_cache
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        mapping = {node.key: node.index for node in self.mac_nodes()}
+        self._mac_map_cache = (self._version, mapping)
+        return mapping
+
+    def mac_vocabulary(self) -> frozenset[str]:
+        """The set of live MAC addresses, cached per :attr:`version`.
+
+        This is the view the online unknown-environment check and building
+        attribution need; caching it means a read-mostly serving path never
+        rebuilds an O(|vocabulary|) set per prediction.
+        """
+        cached = self._mac_vocabulary_cache
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        vocabulary = frozenset(self.mac_index_map())
+        self._mac_vocabulary_cache = (self._version, vocabulary)
+        return vocabulary
+
+    def unknown_mac_indices(self, known: frozenset[str] | set[str]) -> list[int]:
+        """Dense indices of live MAC nodes whose key is not in ``known``.
+
+        Used by the incremental embedder to find MAC nodes that an existing
+        embedding does not cover.  The set difference runs over the cached
+        vocabulary, so the common serving case (every MAC already embedded)
+        costs one C-level set difference instead of a Python sweep over all
+        MAC nodes.
+        """
+        unknown = self.mac_vocabulary() - known
+        if not unknown:
+            return []
+        mac_map = self.mac_index_map()
+        return [mac_map[key] for key in unknown]
 
     # ------------------------------------------------------------------ misc
     def connected_components(self) -> list[set[int]]:

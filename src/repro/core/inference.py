@@ -3,12 +3,23 @@
 Given a trained graph, embedding and cluster model, the
 :class:`OnlineInferenceEngine` handles newly arriving RF samples:
 
-1. the sample is appended to the bipartite graph as a new record node (new
-   MAC nodes are created on demand);
-2. its ego/context embeddings are trained while every previously learned
-   embedding stays frozen (:meth:`ELINEEmbedder.embed_new_nodes`);
+1. the sample is staged as a new record node on a read-only
+   :class:`~repro.core.overlay.GraphOverlay` of the training graph (new MAC
+   nodes are staged on demand) — the shared graph itself is not touched;
+2. its ego/context embeddings are trained against the overlay while every
+   previously learned embedding stays frozen
+   (:meth:`ELINEEmbedder.embed_new_nodes`);
 3. its floor is predicted as the label of the cluster whose centroid is
    nearest in the ego embedding space.
+
+Inference is therefore *mutation-free*: a ``persist=False`` prediction
+leaves the graph's version counter (and every cache keyed on it) untouched,
+and concurrent predictions against one model need no mutual exclusion.
+``persist=True`` commits the overlay's staged delta onto the graph, which
+reproduces exactly the state the historical mutate-in-place path built.
+Either way the predictions are byte-identical to that historical path
+(test-enforced): every composed overlay view matches the mutated graph's
+bit for bit, so the embedding RNG is consumed in the same order.
 
 A sample whose MAC addresses are *all* unseen carries no information that
 connects it to the building; the paper discards such samples as likely
@@ -27,6 +38,7 @@ from .clustering.model import ClusterModel
 from .embedding.base import GraphEmbedding
 from .embedding.eline import ELINEEmbedder
 from .graph import BipartiteGraph, NodeKind
+from .overlay import GraphOverlay
 from .types import SignalRecord
 
 __all__ = ["UnknownEnvironmentError", "FloorPrediction", "OnlineInferenceEngine"]
@@ -52,8 +64,11 @@ class OnlineInferenceEngine:
     Parameters
     ----------
     graph:
-        The training bipartite graph.  The engine mutates it when
-        ``persist=True`` predictions are requested and restores it otherwise.
+        The training bipartite graph.  The engine never mutates it except
+        to commit the staged delta of a ``persist=True`` prediction;
+        ``persist=False`` traffic is read-only (overlay-based), so the
+        graph's version counter — and every sampler/vocabulary cache keyed
+        on it — survives arbitrarily many predictions.
     embedding:
         The embedding trained offline over ``graph``.
     cluster_model:
@@ -120,45 +135,49 @@ class OnlineInferenceEngine:
 
     def _predict_group(self, records: Sequence[SignalRecord],
                        persist: bool = False) -> list[FloorPrediction]:
-        """Embed ``records`` jointly against the frozen model and classify them."""
-        known_macs = set(self.graph.mac_index_map())
+        """Embed ``records`` jointly against the frozen model and classify them.
+
+        The records are staged on a :class:`GraphOverlay`; the shared graph
+        is only written when ``persist=True`` commits the staged delta.
+        """
+        known_macs = self.graph.mac_vocabulary()
         for record in records:
             if self.graph.has_node(NodeKind.RECORD, record.record_id):
                 raise ValueError(
                     f"record {record.record_id!r} is already part of the model")
-            if not (set(record.rss) & known_macs):
+            if known_macs.isdisjoint(record.rss):
                 raise UnknownEnvironmentError(
                     f"record {record.record_id!r} contains only MAC addresses "
                     "never observed in the building; it was likely collected "
                     "outside the building")
 
-        added_macs = []
+        overlay = GraphOverlay(self.graph)
         for record in records:
-            for mac in record.rss:
-                if not self.graph.has_node(NodeKind.MAC, mac):
-                    added_macs.append(mac)
-            self.graph.add_record(record)
+            overlay.add_record(record)
 
         new_ids = [record.record_id for record in records]
-        enlarged = self.embedder.embed_new_nodes(self.graph, self.embedding, new_ids)
+        enlarged = None
+        if persist:
+            enlarged = self.embedder.embed_new_nodes(overlay, self.embedding,
+                                                     new_ids)
+            ego = enlarged.ego
+        else:
+            # The non-persisting path reads the new rows by overlay index,
+            # so the full GraphEmbedding (composed index maps, loss history)
+            # is never assembled.
+            ego, _, _ = self.embedder.embed_new_nodes_arrays(
+                overlay, self.embedding, new_ids)
 
         predictions = []
         for record in records:
-            vector = enlarged.record_vector(record.record_id)
+            vector = ego[overlay.get_node(NodeKind.RECORD,
+                                          record.record_id).index]
             floor, distance = self.cluster_model.predict_with_distance(vector)
             predictions.append(FloorPrediction(record_id=record.record_id,
                                                floor=floor, distance=distance,
                                                embedding=vector.copy()))
 
         if persist:
+            overlay.commit()
             self.embedding = enlarged
-        else:
-            for record in records:
-                self.graph.remove_record(record.record_id)
-            for mac in added_macs:
-                # A MAC introduced only by the transient records has degree 0
-                # now; drop it to restore the original graph.
-                node = self.graph.get_node(NodeKind.MAC, mac)
-                if self.graph.degree(node.index) == 0:
-                    self.graph.remove_mac(mac)
         return predictions

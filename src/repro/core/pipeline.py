@@ -223,7 +223,7 @@ class GRAFICS:
     def known_macs(self) -> frozenset[str]:
         """The MAC vocabulary of the training graph (building attribution key)."""
         self._require_fitted()
-        return frozenset(self.graph.mac_index_map())
+        return self.graph.mac_vocabulary()
 
     def training_floor_assignments(self) -> dict[str, int]:
         """Virtual floor labels assigned to every training record by clustering."""

@@ -47,23 +47,37 @@ from .telemetry import ServingTelemetry
 __all__ = ["ServingConfig", "ServingResult", "FloorServingService"]
 
 
-def _serve_positions(records: Sequence[SignalRecord],
-                     routed: Sequence, positions: Iterable[int],
-                     *, registry: MultiBuildingFloorService,
-                     cache: PredictionCache, telemetry: ServingTelemetry,
-                     config: ServingConfig,
-                     results: list[BuildingPrediction | None]) -> None:
-    """Cache lookups + per-building engine dispatch for a slice of a batch.
+@dataclass
+class _ServePlan:
+    """The locked-phase outcome of one ``predict_batch`` slice.
 
-    The synchronous serving core, shared verbatim by the one-lock service
-    (slice = the whole batch) and by each shard of the sharded service
-    (slice = that shard's positions): the "predictions byte-identical"
-    guarantee between the two is structural because this is literally the
-    same code.  The caller holds whatever lock guards ``registry``/
-    ``cache``/``telemetry``.
+    Cache hits are already written into ``results`` when the plan is built;
+    what remains is the per-building engine work, pinned to the *model
+    snapshots* taken under the lock so the computation can run without it.
+    """
+
+    misses: list[tuple[str, object, list[int]]]  # (building, model, positions)
+    keys: dict[int, str]
+    served: int                                  # positions covered (hits + misses)
+
+
+def _plan_positions(records: Sequence[SignalRecord],
+                    routed: Sequence, positions: Iterable[int],
+                    *, registry: MultiBuildingFloorService,
+                    cache: PredictionCache, telemetry: ServingTelemetry,
+                    config: ServingConfig,
+                    results: list[BuildingPrediction | None]) -> _ServePlan:
+    """Cache lookups + model snapshots for a slice of a batch (lock held).
+
+    The first of the three phases of the synchronous serving core, shared
+    verbatim by the one-lock service (slice = the whole batch) and by each
+    shard of the sharded service (slice = that shard's positions): the
+    "predictions byte-identical" guarantee between the two is structural
+    because this is literally the same code.  The caller holds whatever
+    lock guards ``registry``/``cache``/``telemetry``.
     """
     positions = list(positions)
-    misses: dict[str, list[int]] = {}
+    miss_positions: dict[str, list[int]] = {}
     keys: dict[int, str] = {}
     for position in positions:
         record, decision = records[position], routed[position]
@@ -78,26 +92,76 @@ def _serve_positions(records: Sequence[SignalRecord],
                                             record_id=record.record_id)
                 continue
             telemetry.increment("cache_misses_total")
-        misses.setdefault(decision.building_id, []).append(position)
+        miss_positions.setdefault(decision.building_id, []).append(position)
 
-    for building_id, miss_positions in misses.items():
-        batch = [records[i] for i in miss_positions]
+    misses = []
+    for building_id, miss in miss_positions.items():
         try:
             model = registry.model_for(building_id)
         except KeyError:
-            # Only reachable on the sharded service, where a building can
-            # be evicted between routing and the shard lock (the one-lock
-            # service holds its lock across both).  Surface the clean
-            # rejection routing a vanished building would have produced.
+            # A building can be evicted between routing and the serving
+            # lock (sharded routing, or the lock-light window of the
+            # one-lock service).  Surface the clean rejection routing a
+            # vanished building would have produced.
             raise UnknownEnvironmentError(
                 f"building {building_id!r} was evicted between routing "
                 "and dispatch") from None
+        misses.append((building_id, model, miss))
+    return _ServePlan(misses=misses, keys=keys, served=len(positions))
+
+
+def _still_installed(registry: MultiBuildingFloorService, building_id: str,
+                     model) -> bool:
+    """Is ``model`` still the installed model of ``building_id``?
+
+    The stale-swap cache guard: predictions computed during the unlocked
+    phase are cached only while their snapshot model is still live — a hot
+    swap or eviction already invalidated the building's entries, and
+    re-inserting a pre-swap prediction would resurrect exactly the
+    staleness the invalidation removed.
+    """
+    try:
+        return registry.model_for(building_id) is model
+    except KeyError:
+        return False
+
+
+def _compute_plan(records: Sequence[SignalRecord], plan: _ServePlan,
+                  *, telemetry: ServingTelemetry) -> list[list]:
+    """Run the planned engine work — *without* any serving lock.
+
+    Online inference is mutation-free (overlay-based), so concurrent
+    computations against one model snapshot need no mutual exclusion; only
+    the thread-safe telemetry is touched.  Returns one prediction list per
+    planned miss group, in plan order.
+    """
+    outputs = []
+    for _, model, miss in plan.misses:
+        batch = [records[i] for i in miss]
         with telemetry.time("batch_seconds"):
             floor_predictions = model.predict_batch(batch, independent=True)
         telemetry.increment("batches_total")
         telemetry.increment("batched_records_total", len(batch))
-        for position, floor_prediction in zip(miss_positions,
-                                              floor_predictions):
+        outputs.append(floor_predictions)
+    return outputs
+
+
+def _commit_plan(routed: Sequence, plan: _ServePlan, outputs: list[list],
+                 *, registry: MultiBuildingFloorService,
+                 cache: PredictionCache, telemetry: ServingTelemetry,
+                 config: ServingConfig,
+                 results: list[BuildingPrediction | None]) -> None:
+    """Fill results and the cache from computed predictions (lock held again).
+
+    Cache fills go through the :func:`_still_installed` stale-swap guard;
+    the computed predictions themselves are always returned — the request
+    was routed and served by the model that was live when it was planned.
+    """
+    for (building_id, model, miss), floor_predictions in zip(plan.misses,
+                                                             outputs):
+        cacheable = (config.enable_cache
+                     and _still_installed(registry, building_id, model))
+        for position, floor_prediction in zip(miss, floor_predictions):
             prediction = BuildingPrediction(
                 record_id=floor_prediction.record_id,
                 building_id=building_id,
@@ -105,42 +169,80 @@ def _serve_positions(records: Sequence[SignalRecord],
                 mac_overlap=routed[position].overlap,
                 distance=floor_prediction.distance)
             results[position] = prediction
-            if config.enable_cache:
-                cache.put(keys[position], prediction,
+            if cacheable:
+                cache.put(plan.keys[position], prediction,
                           building_id=building_id)
-    telemetry.increment("predictions_total", len(positions))
+    telemetry.increment("predictions_total", plan.served)
 
 
-def _dispatch_batch(batch: Batch, *, registry: MultiBuildingFloorService,
+def _dispatch_batch(batch: Batch, *, lock,
+                    registry: MultiBuildingFloorService,
                     cache: PredictionCache, telemetry: ServingTelemetry,
                     config: ServingConfig,
-                    completed: list[ServingResult]) -> None:
+                    buffer_result: Callable[[ServingResult], None]) -> None:
     """Run one released micro-batch through the engine; buffer its results.
 
     Shared by the one-lock service and every shard, for the same
-    byte-identity reason as :func:`_serve_positions`.
+    byte-identity reason as the :func:`_plan_positions` /
+    :func:`_compute_plan` / :func:`_commit_plan` trio — and with the same
+    locking shape: the caller must *not* hold ``lock``; it is taken only to
+    snapshot the model and to commit results, while the engine computation
+    in between runs unlocked (online inference is mutation-free).  A batch
+    whose building vanished between release and dispatch surfaces as
+    rejected results, exactly as an eviction of the still-queued requests
+    would have; a batch overlapping a hot swap is served wholly by the
+    snapshot model — the building's *current* model at dispatch time, which
+    may post-date the routing decision — and skips the cache fill (the
+    stale-put guard).  If that newer model can no longer attribute the
+    batch's records (their MACs left the vocabulary), the whole batch
+    surfaces as rejected instead of the exception escaping and losing the
+    sibling results.  ``buffer_result`` is invoked under ``lock`` so the
+    owner's completion buffer may be swapped concurrently by
+    ``poll``/``drain``.
     """
+    def reject_all(error: str) -> None:
+        with lock:
+            for record, _, _ in batch.items:
+                telemetry.increment("rejections_total")
+                buffer_result(ServingResult(record_id=record.record_id,
+                                            prediction=None,
+                                            source="rejected", error=error))
+
+    with lock:
+        try:
+            model = registry.model_for(batch.building_id)
+        except KeyError:
+            reject_all(f"building {batch.building_id!r} was evicted "
+                       "before the request was dispatched")
+            return
     records = [record for record, _, _ in batch.items]
-    with telemetry.time("batch_seconds"):
-        floor_predictions = registry.model_for(
-            batch.building_id).predict_batch(records, independent=True)
+    try:
+        with telemetry.time("batch_seconds"):
+            floor_predictions = model.predict_batch(records,
+                                                    independent=True)
+    except UnknownEnvironmentError as error:
+        reject_all(str(error))
+        return
     telemetry.increment("batches_total")
     telemetry.increment("batched_records_total", len(records))
     telemetry.increment(f"batch_flush_{batch.reason}_total")
     telemetry.increment("predictions_total", len(records))
-    for (record, decision, key), floor_prediction in zip(batch.items,
-                                                         floor_predictions):
-        prediction = BuildingPrediction(
-            record_id=floor_prediction.record_id,
-            building_id=batch.building_id,
-            floor=floor_prediction.floor,
-            mac_overlap=decision.overlap,
-            distance=floor_prediction.distance)
-        if config.enable_cache and key is not None:
-            cache.put(key, prediction, building_id=batch.building_id)
-        completed.append(ServingResult(record_id=record.record_id,
-                                       prediction=prediction,
-                                       source="batch"))
+    with lock:
+        cacheable = (config.enable_cache
+                     and _still_installed(registry, batch.building_id, model))
+        for (record, decision, key), floor_prediction in zip(
+                batch.items, floor_predictions):
+            prediction = BuildingPrediction(
+                record_id=floor_prediction.record_id,
+                building_id=batch.building_id,
+                floor=floor_prediction.floor,
+                mac_overlap=decision.overlap,
+                distance=floor_prediction.distance)
+            if cacheable and key is not None:
+                cache.put(key, prediction, building_id=batch.building_id)
+            buffer_result(ServingResult(record_id=record.record_id,
+                                        prediction=prediction,
+                                        source="batch"))
 
 
 @dataclass(frozen=True)
@@ -250,12 +352,17 @@ class FloorServingService:
 
         The registry entry, the router index and the cache are updated under
         one lock, so a concurrent ``predict`` sees either the old model or
-        the new one, never a mix.  Requests already queued for the building
+        the new one, never a mix.  Requests still queued for the building
         were routed against the old vocabulary; they are re-routed against
-        the new one (and re-queued, dispatched or rejected accordingly), so
-        no dispatched result ever pairs the new model's prediction with a
-        stale pre-swap routing decision.
+        the new one (and re-queued, dispatched or rejected accordingly).  A
+        batch already released for dispatch when the swap lands is served by
+        the building's model as snapshotted at dispatch time — the same
+        "whichever model was installed when it was planned" semantics as
+        the synchronous path — with records the newer model cannot
+        attribute surfacing as rejected results rather than crashing the
+        dispatch.
         """
+        full_batches: list[Batch] = []
         with self._lock:
             self.registry.install_model(building_id, model,
                                         vocabulary=vocabulary)
@@ -264,9 +371,13 @@ class FloorServingService:
             self.cache.invalidate_building(building_id)
             self.telemetry.increment("hot_swaps_total")
             for record, _, _ in self.batcher.evict(building_id):
-                result = self._route_and_enqueue(record)
+                result, full = self._route_and_enqueue(record)
                 if result is not None:
                     self._completed.append(result)
+                if full is not None:
+                    full_batches.append(full)
+        for batch in full_batches:
+            self._dispatch(batch)
 
     def load_building(self, building_id: str, path: str | Path) -> GRAFICS:
         """Hot-swap a building from a model saved via the persistence layer."""
@@ -353,23 +464,41 @@ class FloorServingService:
         per-record recomputation.  Raises :class:`UnknownEnvironmentError`
         on the first record that cannot be attributed, mirroring the
         reference.
+
+        Locking: routing and cache lookups hold the service lock, the
+        engine computation does not (online inference is mutation-free), so
+        concurrent cold predictions proceed in parallel and never stall
+        swaps or evictions.  A request overlapping a hot swap is served
+        entirely by whichever model was installed when it was planned.
         """
         records = list(records)
-        with self._lock, self.telemetry.time("request_seconds"):
-            self.telemetry.increment("requests_total", len(records))
-            routed = []
-            for record in records:
-                try:
-                    routed.append(self.router.route(record))
-                except UnknownEnvironmentError:
-                    self.telemetry.increment("rejections_total")
-                    raise
-
+        with self.telemetry.time("request_seconds"):
             results: list[BuildingPrediction | None] = [None] * len(records)
-            _serve_positions(records, routed, range(len(records)),
-                             registry=self.registry, cache=self.cache,
-                             telemetry=self.telemetry, config=self.config,
-                             results=results)
+            with self._lock:
+                self.telemetry.increment("requests_total", len(records))
+                routed = []
+                for record in records:
+                    try:
+                        routed.append(self.router.route(record))
+                    except UnknownEnvironmentError:
+                        self.telemetry.increment("rejections_total")
+                        raise
+                plan = _plan_positions(records, routed, range(len(records)),
+                                       registry=self.registry,
+                                       cache=self.cache,
+                                       telemetry=self.telemetry,
+                                       config=self.config, results=results)
+            # Engine work runs without the lock: cold predictions are
+            # mutation-free, so they neither need the write lock nor bump
+            # the model graph's version, and concurrent cold traffic on
+            # this service no longer serialises behind the cache/batcher
+            # bookkeeping.  Each miss group is served by the model that
+            # was installed when it was planned (never a mix of two).
+            outputs = _compute_plan(records, plan, telemetry=self.telemetry)
+            with self._lock:
+                _commit_plan(routed, plan, outputs, registry=self.registry,
+                             cache=self.cache, telemetry=self.telemetry,
+                             config=self.config, results=results)
             return results
 
     # ---------------------------------------------------- micro-batched path
@@ -379,21 +508,33 @@ class FloorServingService:
         Returns immediately with a :class:`ServingResult` when the request
         is served from cache or rejected; returns ``None`` when it was
         queued (its result will surface from :meth:`poll` or
-        :meth:`drain`).  A size-triggered batch is dispatched inline.
+        :meth:`drain`).  A size-triggered batch is dispatched inline —
+        with the lock released during the engine computation, like the
+        synchronous path, so a full batch never stalls other intake.
         """
         with self._lock:
             self.telemetry.increment("requests_total")
-            return self._route_and_enqueue(record)
+            result, full = self._route_and_enqueue(record)
+        if full is not None:
+            self._dispatch(full)
+        return result
 
-    def _route_and_enqueue(self, record: SignalRecord) -> ServingResult | None:
-        """Route one record through cache/batcher; result if served/rejected."""
+    def _route_and_enqueue(
+            self, record: SignalRecord,
+    ) -> tuple[ServingResult | None, Batch | None]:
+        """Route one record through cache/batcher (lock held by caller).
+
+        Returns ``(result, full_batch)``: a result when the record was
+        served from cache or rejected, and/or the batch its enqueue filled
+        — which the caller must dispatch *after* releasing the lock.
+        """
         try:
             decision = self.router.route(record)
         except UnknownEnvironmentError as error:
             self.telemetry.increment("rejections_total")
             return ServingResult(record_id=record.record_id,
                                  prediction=None, source="rejected",
-                                 error=str(error))
+                                 error=str(error)), None
 
         key = None
         if self.config.enable_cache:
@@ -406,28 +547,30 @@ class FloorServingService:
                 return ServingResult(
                     record_id=record.record_id,
                     prediction=replace(cached, record_id=record.record_id),
-                    source="cache")
+                    source="cache"), None
             self.telemetry.increment("cache_misses_total")
 
         full = self.batcher.enqueue(decision.building_id,
                                     (record, decision, key))
-        if full is not None:
-            self._dispatch(full)
-        return None
+        return None, full
 
     def poll(self) -> list[ServingResult]:
         """Dispatch deadline-expired batches and collect finished results."""
         with self._lock:
-            for batch in self.batcher.due():
-                self._dispatch(batch)
+            due = list(self.batcher.due())
+        for batch in due:
+            self._dispatch(batch)
+        with self._lock:
             completed, self._completed = self._completed, []
             return completed
 
     def drain(self) -> list[ServingResult]:
         """Flush every pending batch and collect all finished results."""
         with self._lock:
-            for batch in self.batcher.drain():
-                self._dispatch(batch)
+            pending = list(self.batcher.drain())
+        for batch in pending:
+            self._dispatch(batch)
+        with self._lock:
             completed, self._completed = self._completed, []
             return completed
 
@@ -436,10 +579,14 @@ class FloorServingService:
         return self.batcher.pending_count
 
     def _dispatch(self, batch: Batch) -> None:
-        """Run one per-building batch through the engine and buffer results."""
-        _dispatch_batch(batch, registry=self.registry, cache=self.cache,
-                        telemetry=self.telemetry, config=self.config,
-                        completed=self._completed)
+        """Three-phase dispatch of a released batch (must not hold the lock)."""
+        # The buffer callback re-reads ``self._completed`` on every call
+        # (under the lock): ``poll``/``drain`` swap the list out, and a
+        # result committed after a swap must land in the *new* buffer.
+        _dispatch_batch(batch, lock=self._lock, registry=self.registry,
+                        cache=self.cache, telemetry=self.telemetry,
+                        config=self.config,
+                        buffer_result=lambda r: self._completed.append(r))
 
     # ---------------------------------------------------------- observability
     def telemetry_snapshot(self) -> dict[str, object]:

@@ -40,7 +40,14 @@ from ..core.types import FingerprintDataset, SignalRecord
 from .batcher import Batch, MicroBatcher
 from .cache import PredictionCache, fingerprint_key
 from .router import MacInvertedRouter, Router, RoutingDecision
-from .service import ServingConfig, ServingResult, _dispatch_batch, _serve_positions
+from .service import (
+    ServingConfig,
+    ServingResult,
+    _commit_plan,
+    _compute_plan,
+    _dispatch_batch,
+    _plan_positions,
+)
 from .telemetry import ServingTelemetry
 
 __all__ = ["shard_index", "Shard", "ShardedRouter", "ShardedServingService"]
@@ -271,10 +278,13 @@ class ShardedServingService:
 
         Registry entry, router postings and cache partition are updated
         under the owning shard's lock; other shards keep serving
-        throughout.  Requests already queued for the building are re-routed
+        throughout.  Requests still queued for the building are re-routed
         against the new vocabulary *after* the shard lock is released —
         the new vocabulary may send them to a different shard, whose lock
-        must not be taken while this one is held.
+        must not be taken while this one is held.  A batch already released
+        for dispatch when the swap lands is served by the building's model
+        as snapshotted at dispatch time, with unattributable records
+        surfacing as rejected results (see ``_dispatch_batch``).
         """
         shard = self.shard_for(building_id)
         with shard.lock:
@@ -287,10 +297,12 @@ class ShardedServingService:
             self.telemetry.set_gauge("last_swap_shard", shard.index)
             evicted = shard.batcher.evict(building_id)
         for record, _, _ in evicted:
-            result = self._route_and_enqueue(record)
+            result, target_shard, full = self._route_and_enqueue(record)
             if result is not None:
                 with self._orphans_lock:
                     self._orphans.append(result)
+            if full is not None:
+                self._dispatch(target_shard, full)
 
     def load_building(self, building_id: str, path: str | Path) -> GRAFICS:
         """Hot-swap a building from a model saved via the persistence layer."""
@@ -399,7 +411,7 @@ class ShardedServingService:
             by_shard.setdefault(index, []).append(position)
         for index, positions in by_shard.items():
             shard = self.shards[index]
-            with shard.lock, shard.telemetry.time("request_seconds"):
+            with shard.telemetry.time("request_seconds"):
                 self._predict_on_shard(shard, records, routed, positions,
                                        results)
         return results
@@ -409,26 +421,55 @@ class ShardedServingService:
                           routed: Sequence[RoutingDecision],
                           positions: Sequence[int],
                           results: list[BuildingPrediction | None]) -> None:
-        """One shard's slice through the shared synchronous serving core."""
-        _serve_positions(records, routed, positions,
-                         registry=shard.registry, cache=shard.cache,
-                         telemetry=shard.telemetry, config=self.config,
-                         results=results)
+        """One shard's slice through the shared synchronous serving core.
+
+        The shard lock covers only the plan (cache lookups, model
+        snapshots) and commit (cache fills) phases; the engine computation
+        between them is mutation-free and runs unlocked, so cold predicts
+        racing on one shard — or racing that shard's hot swaps — no longer
+        serialise.
+        """
+        with shard.lock:
+            plan = _plan_positions(records, routed, positions,
+                                   registry=shard.registry, cache=shard.cache,
+                                   telemetry=shard.telemetry,
+                                   config=self.config, results=results)
+        outputs = _compute_plan(records, plan, telemetry=shard.telemetry)
+        with shard.lock:
+            _commit_plan(routed, plan, outputs, registry=shard.registry,
+                         cache=shard.cache, telemetry=shard.telemetry,
+                         config=self.config, results=results)
 
     # ---------------------------------------------------- micro-batched path
     def submit(self, record: SignalRecord) -> ServingResult | None:
-        """Submit one request to the owning shard's micro-batching intake."""
-        self.telemetry.increment("requests_total")
-        return self._route_and_enqueue(record)
+        """Submit one request to the owning shard's micro-batching intake.
 
-    def _route_and_enqueue(self, record: SignalRecord) -> ServingResult | None:
+        A size-triggered batch is dispatched inline with the shard lock
+        released during the engine computation, mirroring the synchronous
+        path: a full batch on one shard stalls neither that shard's other
+        intake nor any other shard.
+        """
+        self.telemetry.increment("requests_total")
+        result, shard, full = self._route_and_enqueue(record)
+        if full is not None:
+            self._dispatch(shard, full)
+        return result
+
+    def _route_and_enqueue(
+            self, record: SignalRecord,
+    ) -> tuple[ServingResult | None, Shard | None, Batch | None]:
+        """Route one record into its shard's cache/batcher.
+
+        Returns ``(result, shard, full_batch)``; a returned full batch must
+        be dispatched by the caller *without* holding the shard lock.
+        """
         try:
             decision = self.router.route(record)
         except UnknownEnvironmentError as error:
             self.telemetry.increment("rejections_total")
             return ServingResult(record_id=record.record_id,
                                  prediction=None, source="rejected",
-                                 error=str(error))
+                                 error=str(error)), None, None
         shard = self.shard_for(decision.building_id)
         with shard.lock:
             key = None
@@ -443,13 +484,11 @@ class ShardedServingService:
                         record_id=record.record_id,
                         prediction=replace(cached,
                                            record_id=record.record_id),
-                        source="cache")
+                        source="cache"), shard, None
                 shard.telemetry.increment("cache_misses_total")
             full = shard.batcher.enqueue(decision.building_id,
                                          (record, decision, key))
-            if full is not None:
-                self._dispatch(shard, full)
-        return None
+        return None, shard, full
 
     def poll(self) -> list[ServingResult]:
         """Dispatch deadline-expired batches on every shard; collect results."""
@@ -457,8 +496,10 @@ class ShardedServingService:
             completed, self._orphans = self._orphans, []
         for shard in self.shards:
             with shard.lock:
-                for batch in shard.batcher.due():
-                    self._dispatch(shard, batch)
+                due = list(shard.batcher.due())
+            for batch in due:
+                self._dispatch(shard, batch)
+            with shard.lock:
                 completed.extend(shard.completed)
                 shard.completed = []
         return completed
@@ -469,8 +510,10 @@ class ShardedServingService:
             completed, self._orphans = self._orphans, []
         for shard in self.shards:
             with shard.lock:
-                for batch in shard.batcher.drain():
-                    self._dispatch(shard, batch)
+                pending = list(shard.batcher.drain())
+            for batch in pending:
+                self._dispatch(shard, batch)
+            with shard.lock:
                 completed.extend(shard.completed)
                 shard.completed = []
         return completed
@@ -480,10 +523,15 @@ class ShardedServingService:
         return sum(shard.batcher.pending_count for shard in self.shards)
 
     def _dispatch(self, shard: Shard, batch: Batch) -> None:
-        """Run one per-building batch on its shard; buffer results there."""
-        _dispatch_batch(batch, registry=shard.registry, cache=shard.cache,
-                        telemetry=shard.telemetry, config=self.config,
-                        completed=shard.completed)
+        """Three-phase dispatch on the owning shard (lock must not be held).
+
+        The buffer callback re-reads ``shard.completed`` per call (under
+        the shard lock) because ``poll``/``drain`` swap the list out.
+        """
+        _dispatch_batch(batch, lock=shard.lock, registry=shard.registry,
+                        cache=shard.cache, telemetry=shard.telemetry,
+                        config=self.config,
+                        buffer_result=lambda r: shard.completed.append(r))
 
     # ---------------------------------------------------------- observability
     def telemetry_snapshot(self) -> dict[str, object]:

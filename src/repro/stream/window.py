@@ -96,7 +96,7 @@ class SlidingWindowGraph:
     @property
     def mac_vocabulary(self) -> frozenset[str]:
         """MACs currently observed by at least one live record."""
-        return frozenset(self.graph.mac_index_map())
+        return self.graph.mac_vocabulary()
 
     @property
     def node_count(self) -> int:
