@@ -27,11 +27,14 @@ from __future__ import annotations
 import argparse
 import json
 import time
+from pathlib import Path
 
 from repro.core import GRAFICS, GraficsConfig, EmbeddingConfig, build_graph
 from repro.core.embedding import ELINEEmbedder
 from repro.core.registry import MultiBuildingFloorService
 from repro.data import make_experiment_split, three_story_campus_building
+from repro.obs import runtime as obs
+from repro.obs.tracer import stage_breakdown
 from repro.serving import FloorServingService, ServingConfig
 
 from conftest import save_table
@@ -65,7 +68,52 @@ def measure_cold_serving(model, dataset, probes, cold_predicts: int) -> dict:
             "records_per_s": round(cold_predicts / seconds, 1)}
 
 
-def run(sizes, label, dataset=None) -> dict:
+def measure_traced_cold_path(model, dataset, probes, cold_predicts: int,
+                             artifacts_dir: str | None = None) -> dict:
+    """The cold serving path again, with the observability layer enabled.
+
+    Reports throughput with tracing on (the overhead side of the ledger)
+    plus the per-stage cost breakdown of the online path — alias-table
+    build vs frozen SGD vs everything else — scraped from the tracer's
+    aggregated spans.  With ``artifacts_dir`` the raw spans (JSONL) and the
+    metrics snapshot are written out for CI to archive.
+    """
+    tracer, metrics = obs.enable()
+    try:
+        registry = MultiBuildingFloorService(CONFIG)
+        registry.install_model(dataset.building_id, model)
+        service = FloorServingService(registry=registry,
+                                      config=ServingConfig(enable_cache=False))
+        service.predict(probes[0])                # warm-up (engine, router)
+        tracer.drain()
+        start = time.perf_counter()
+        for i in range(cold_predicts):
+            service.predict(probes[i % len(probes)])
+        seconds = time.perf_counter() - start
+
+        # Restrict to the embed.* leaf stages: their shares partition the
+        # per-request embedding cost (parents like ``serving.request`` would
+        # double-count their children and dilute every share).
+        spans = tracer.spans()
+        stages = stage_breakdown(spans, prefix="embed.")
+        shares = {name: round(info["share"], 3)
+                  for name, info in stages.items()}
+        if artifacts_dir is not None:
+            directory = Path(artifacts_dir)
+            directory.mkdir(parents=True, exist_ok=True)
+            tracer.export_jsonl(directory / "spans.jsonl")
+            (directory / "metrics.json").write_text(metrics.to_json())
+            (directory / "metrics.prom").write_text(
+                metrics.to_prometheus_text())
+        return {"records": cold_predicts,
+                "seconds": round(seconds, 4),
+                "records_per_s": round(cold_predicts / seconds, 1),
+                "stage_shares": shares}
+    finally:
+        obs.disable()
+
+
+def run(sizes, label, dataset=None, artifacts_dir: str | None = None) -> dict:
     """Measure online inference vs full refit; print + persist the table."""
     if dataset is None:
         dataset = three_story_campus_building(
@@ -91,6 +139,9 @@ def run(sizes, label, dataset=None) -> dict:
 
     cold = measure_cold_serving(model, dataset, probes,
                                 sizes["cold_predicts"])
+    traced = measure_traced_cold_path(model, dataset, probes,
+                                      sizes["cold_predicts"],
+                                      artifacts_dir=artifacts_dir)
 
     speedup = full_refit_seconds / max(online_seconds, 1e-9)
     rows = [
@@ -101,6 +152,10 @@ def run(sizes, label, dataset=None) -> dict:
         {"approach": "speedup (x)", "value": round(speedup, 1)},
         {"approach": "cold serving path (records/s)",
          "value": cold["records_per_s"]},
+        {"approach": "cold serving path, tracing enabled (records/s)",
+         "value": traced["records_per_s"]},
+        {"approach": "alias-table build share of traced spans",
+         "value": traced["stage_shares"].get("embed.alias_build", 0.0)},
     ]
     save_table("online_inference_latency", rows,
                columns=["approach", "value"],
@@ -109,10 +164,14 @@ def run(sizes, label, dataset=None) -> dict:
                "online_seconds_per_sample": round(online_seconds, 6),
                "full_refit_seconds": round(full_refit_seconds, 4),
                "speedup": round(speedup, 1),
-               "cold_path": cold}
+               "cold_path": cold,
+               "traced_cold_path": traced}
     print("BENCH_JSON " + json.dumps(summary))
 
     assert online_seconds * 10 < full_refit_seconds
+    # Tracing must report where the online path spends its time; the
+    # alias-table build is the known dominant fixed cost (ROADMAP: ~25%).
+    assert traced["stage_shares"].get("embed.alias_build", 0.0) > 0.05
     return summary
 
 
@@ -125,8 +184,12 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true",
                         help="CI-sized run (seconds, not minutes)")
+    parser.add_argument("--obs-artifacts", metavar="DIR", default=None,
+                        help="write traced spans (JSONL) and metrics "
+                             "snapshots from the traced cold-path run here")
     args = parser.parse_args(argv)
-    run(SMOKE if args.smoke else FULL, "smoke" if args.smoke else "full")
+    run(SMOKE if args.smoke else FULL, "smoke" if args.smoke else "full",
+        artifacts_dir=args.obs_artifacts)
     return 0
 
 

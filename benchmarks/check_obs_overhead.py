@@ -1,0 +1,105 @@
+"""Disabled-path overhead smoke: observability off must cost ~nothing.
+
+Two checks, both machine-independent (they compare two measurements taken
+in the same process moments apart, never an absolute number against a
+recorded baseline — CI runners and the reference container differ too much
+for that):
+
+1. **Micro**: a ``with obs.span(...)`` block while disabled must cost well
+   under a microsecond-scale budget per call — it is two attribute calls on
+   a shared singleton, no allocation, no clock read.
+2. **Macro**: the smoke-sized cold serving path with observability disabled
+   must not be slower than the same path with full tracing enabled beyond a
+   generous noise margin.  Tracing does strictly more work, so a disabled
+   run that loses to a traced run by more than the margin means the
+   disabled path regressed (e.g. an instrumentation point started
+   allocating or reading a clock unconditionally).
+
+Run from CI after the benchmark smokes; exits non-zero on violation.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+import timeit
+
+from repro.core import GRAFICS
+from repro.data import make_experiment_split, three_story_campus_building
+from repro.obs import runtime as obs
+
+from bench_online_inference import CONFIG, SMOKE, measure_cold_serving
+
+#: Per-call budget for a disabled span block.  Two orders of magnitude
+#: above the measured cost (~0.3µs) so CI-runner noise cannot trip it,
+#: but far below the cost of an accidental allocation + clock read path.
+MAX_DISABLED_SPAN_SECONDS = 20e-6
+
+#: The disabled run must reach at least this fraction of the traced run's
+#: throughput.  Disabled does strictly less work, so the true ratio is
+#: >= 1.0; the margin absorbs shared-runner noise.
+MIN_DISABLED_OVER_TRACED = 0.7
+
+
+def check_null_span_cost() -> float:
+    obs.disable()
+
+    def body():
+        with obs.span("overhead-probe") as span:
+            span.set("k", 1)
+
+    per_call = min(timeit.repeat(body, repeat=5, number=20000)) / 20000
+    print(f"disabled span cost: {per_call * 1e9:.0f} ns/call "
+          f"(budget {MAX_DISABLED_SPAN_SECONDS * 1e9:.0f} ns)")
+    assert per_call < MAX_DISABLED_SPAN_SECONDS, (
+        f"disabled obs.span costs {per_call * 1e6:.2f}us per call; the "
+        "zero-allocation no-op path has regressed")
+    return per_call
+
+
+def check_cold_path_ratio() -> tuple[float, float]:
+    sizes = SMOKE
+    dataset = three_story_campus_building(
+        records_per_floor=sizes["records_per_floor"], seed=7)
+    split = make_experiment_split(dataset, labels_per_floor=4, seed=0)
+    model = GRAFICS(CONFIG).fit(list(split.train_records), split.labels)
+    probes = [r.without_floor()
+              for r in split.test_records[: sizes["probes"] * 2]]
+
+    def best_of(runs: int = 3) -> float:
+        best = 0.0
+        for _ in range(runs):
+            result = measure_cold_serving(model, dataset, probes,
+                                          sizes["cold_predicts"])
+            best = max(best, result["records_per_s"])
+        return best
+
+    obs.disable()
+    disabled = best_of()
+    obs.enable()
+    try:
+        traced = best_of()
+    finally:
+        obs.disable()
+    ratio = disabled / traced
+    print(f"cold path: disabled {disabled:.1f} rec/s, traced {traced:.1f} "
+          f"rec/s (disabled/traced {ratio:.2f}, floor "
+          f"{MIN_DISABLED_OVER_TRACED})")
+    assert ratio >= MIN_DISABLED_OVER_TRACED, (
+        f"cold path with observability disabled ({disabled:.1f} rec/s) lost "
+        f"to the fully traced run ({traced:.1f} rec/s) by more than the "
+        "noise margin; the disabled path is doing real work")
+    return disabled, traced
+
+
+def main() -> int:
+    started = time.perf_counter()
+    check_null_span_cost()
+    check_cold_path_ratio()
+    print(f"obs overhead smoke passed in "
+          f"{time.perf_counter() - started:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

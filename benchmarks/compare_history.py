@@ -1,0 +1,180 @@
+"""Regression table over the committed benchmark history files.
+
+Each ``benchmarks/results/*_history.jsonl`` line is one recorded benchmark
+run (typically one per PR that touched the measured subsystem).  This tool
+flattens the numeric metrics of the oldest and newest line of every history
+file and prints a side-by-side table with the relative change, so a PR that
+regresses a tracked number shows up in review (and, with
+``--fail-on-regress``, in CI) instead of drowning in the JSON.
+
+Direction is inferred from the metric name: throughput-style suffixes
+(``_per_s``, ``_rps``, ``speedup``, ``ratio``, ``accuracy``) count higher as
+better; latency-style suffixes (``_seconds``, ``_s``, ``_us_per_probe``,
+``seconds_per_sample``) count lower as better.  Unrecognised metrics are
+reported but never fail the run.
+
+The reference container is noisy (interleaved A/B runs of identical code
+swing by double-digit percentages), so the default tolerance is deliberately
+wide; tighten it only on quieter hardware.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+_HIGHER_IS_BETTER = ("_per_s", "_rps", "speedup", "ratio", "accuracy",
+                     "samples_per_s", "records_per_s", "hit_rate")
+_LOWER_IS_BETTER = ("_seconds", "_s", "_us_per_probe", "seconds_per_sample",
+                    "latency")
+
+
+def _direction(name: str) -> int:
+    """+1 when higher is better, -1 when lower is better, 0 when unknown."""
+    leaf = name.rsplit(".", 1)[-1]
+    for suffix in _HIGHER_IS_BETTER:
+        if leaf.endswith(suffix):
+            return 1
+    for suffix in _LOWER_IS_BETTER:
+        if leaf.endswith(suffix):
+            return -1
+    return 0
+
+
+def _flatten(payload: dict, prefix: str = "") -> dict[str, float]:
+    """Dotted-path -> value for every numeric leaf of a history line."""
+    flat: dict[str, float] = {}
+    for key, value in payload.items():
+        if key in ("recorded", "pr", "label", "container", "preset",
+                   "bench_json"):
+            continue
+        path = f"{prefix}{key}"
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            flat[path] = float(value)
+        elif isinstance(value, dict):
+            flat.update(_flatten(value, prefix=f"{path}."))
+        elif isinstance(value, list):
+            for index, item in enumerate(value):
+                if isinstance(item, dict):
+                    flat.update(_flatten(item, prefix=f"{path}[{index}]."))
+    return flat
+
+
+def _load_history(path: Path) -> list[dict]:
+    return [json.loads(line) for line in path.read_text().splitlines()
+            if line.strip()]
+
+
+def compare_file(path: Path, tolerance: float) -> tuple[list[dict], int]:
+    """Rows of the comparison table for one history file + regression count.
+
+    Compares the oldest recorded line against the newest; a single-line
+    history has nothing to regress against and produces status ``baseline``
+    rows.
+    """
+    entries = _load_history(path)
+    if not entries:
+        return [], 0
+    baseline, latest = entries[0], entries[-1]
+    base_flat = _flatten(baseline)
+    late_flat = _flatten(latest)
+    rows = []
+    regressions = 0
+    for name in sorted(set(base_flat) | set(late_flat)):
+        base = base_flat.get(name)
+        late = late_flat.get(name)
+        if len(entries) == 1:
+            rows.append({"metric": name, "baseline": base, "latest": late,
+                         "change": "", "status": "baseline"})
+            continue
+        if base is None or late is None:
+            rows.append({"metric": name, "baseline": base, "latest": late,
+                         "change": "", "status": "added" if base is None
+                         else "removed"})
+            continue
+        if base == 0:
+            change = float("inf") if late != 0 else 0.0
+        else:
+            change = (late - base) / abs(base)
+        direction = _direction(name)
+        if direction == 0:
+            status = "info"
+        elif direction * change < -tolerance:
+            status = "REGRESSED"
+            regressions += 1
+        elif direction * change > tolerance:
+            status = "improved"
+        else:
+            status = "ok"
+        rows.append({"metric": name, "baseline": base, "latest": late,
+                     "change": f"{change:+.1%}", "status": status})
+    return rows, regressions
+
+
+def _print_table(title: str, rows: list[dict]) -> None:
+    print(f"\n== {title} ==")
+    if not rows:
+        print("  (empty history)")
+        return
+    widths = {col: max(len(col), *(len(str(row[col])) for row in rows))
+              for col in ("metric", "baseline", "latest", "change", "status")}
+    header = "  ".join(col.ljust(widths[col])
+                       for col in ("metric", "baseline", "latest", "change",
+                                   "status"))
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print("  ".join(str(row[col]).ljust(widths[col])
+                        for col in ("metric", "baseline", "latest", "change",
+                                    "status")))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="*", type=Path,
+                        help="history files to compare (default: every "
+                             "*_history.jsonl under benchmarks/results/)")
+    parser.add_argument("--tolerance", type=float, default=0.35,
+                        help="relative change treated as noise (default "
+                             "0.35: the reference container is shared and "
+                             "single runs swing widely)")
+    parser.add_argument("--fail-on-regress", action="store_true",
+                        help="exit 1 when any direction-aware metric moved "
+                             "against its direction by more than the "
+                             "tolerance")
+    args = parser.parse_args(argv)
+
+    files = args.files or sorted(RESULTS_DIR.glob("*_history.jsonl"))
+    if not files:
+        print("no history files found", file=sys.stderr)
+        return 2
+
+    total_regressions = 0
+    for path in files:
+        rows, regressions = compare_file(path, args.tolerance)
+        entries = _load_history(path)
+        span = (f"{entries[0].get('recorded', '?')} (PR "
+                f"{entries[0].get('pr', '?')}) -> "
+                f"{entries[-1].get('recorded', '?')} (PR "
+                f"{entries[-1].get('pr', '?')})") if entries else "empty"
+        _print_table(f"{path.name}: {span}", rows)
+        total_regressions += regressions
+
+    if total_regressions:
+        print(f"\n{total_regressions} metric(s) regressed beyond "
+              f"{args.tolerance:.0%}")
+        if args.fail_on_regress:
+            return 1
+    else:
+        print("\nno regressions beyond tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,122 @@
+"""Observability: tracing a drift -> retrain -> hot-swap lifecycle.
+
+Run with:  python examples/observability_demo.py
+
+The same AP-churn scenario as ``continuous_campus.py``, but with the
+observability layer switched on: a :class:`~repro.obs.SpanTracer` collects
+parent/child spans across serving, online inference and the retrain
+executor, structured JSON lifecycle events go to the ``repro.obs`` logger,
+and every subsystem's counters land in one :class:`~repro.obs.
+MetricsRegistry`.  At the end the demo prints
+
+* the span tree of one traced online prediction,
+* the per-stage cost breakdown of the embedding work (alias build vs
+  sampling vs kernel — the profiling query behind the ROADMAP's
+  "alias-table build is a fixed per-request cost" observation), and
+* the full registry in Prometheus text exposition format.
+
+Everything here is stdlib + the already-installed scientific stack; the
+observability layer adds no dependencies and is off by default (the
+``obs.enable()`` call below is the only switch).
+"""
+
+from __future__ import annotations
+
+import logging
+import random
+
+from repro import (
+    ContinuousLearningPipeline,
+    EmbeddingConfig,
+    FloorServingService,
+    GraficsConfig,
+    SignalRecord,
+    StreamConfig,
+)
+from repro.data import make_experiment_split, small_test_building
+from repro.obs import runtime as obs
+from repro.obs.tracer import format_span_tree, stage_breakdown
+from repro.stream import DriftConfig, SchedulerConfig, WindowConfig
+
+
+def make_stream(split, count, prefix, rename=None, seed=0):
+    """Unique stream records synthesized from a building's held-out samples."""
+    rng = random.Random(seed)
+    pool = list(split.test_records)
+    for i in range(count):
+        base = pool[i % len(pool)]
+        rss = {(rename or {}).get(mac, mac): value + rng.uniform(-2.5, 2.5)
+               for mac, value in base.rss.items()}
+        yield SignalRecord(record_id=f"{prefix}{i:05d}", rss=rss,
+                           floor=base.floor if i % 3 == 0 else None)
+
+
+def main() -> None:
+    # Lifecycle events (drift latched, hot swap installed, retrain fenced
+    # stale...) are single-line JSON records on the 'repro.obs' logger; any
+    # stdlib logging config picks them up.
+    logging.basicConfig(format="%(name)s: %(message)s")
+    logging.getLogger("repro.obs").setLevel(logging.INFO)
+
+    # The one switch: installs a process-global tracer + metrics registry.
+    # Without this call every instrumentation point is a no-op singleton.
+    tracer, metrics = obs.enable()
+
+    config = GraficsConfig(embedding=EmbeddingConfig(samples_per_edge=10.0,
+                                                     seed=0),
+                           allow_unreachable_clusters=True)
+    service = FloorServingService(grafics_config=config)
+    dataset = small_test_building(num_floors=3, records_per_floor=30,
+                                  aps_per_floor=10, seed=7,
+                                  building_id="science-wing")
+    split = make_experiment_split(dataset, labels_per_floor=4, seed=0)
+    service.fit_building(dataset.subset(split.train_records), split.labels)
+
+    pipeline = ContinuousLearningPipeline(service, StreamConfig(
+        window=WindowConfig(max_records=96),
+        drift=DriftConfig(vocabulary_jaccard_min=0.6),
+        scheduler=SchedulerConfig(min_window_records=48, warm_start=True)))
+
+    # Steady traffic, then an overnight AP swap that latches the
+    # MAC-churn drift detector and triggers a traced retrain + hot swap.
+    for record in make_stream(split, 120, "steady-"):
+        pipeline.process(record)
+    macs = sorted({m for r in split.test_records for m in r.rss})
+    rename = {mac: f"{mac}:v2" for mac in macs[: len(macs) // 2]}
+    print(f"\nreplacing {len(rename)} of {len(macs)} APs; watch the "
+          "drift_latched / hot_swap_installed events above this line...\n")
+    for record in make_stream(split, 300, "churn-", rename=rename, seed=1):
+        if pipeline.process(record).swapped:
+            break
+
+    # One traced online prediction through the micro-batched intake (whose
+    # results carry the request/trace ID): drain the span buffer first so
+    # the tree below shows exactly this request.
+    tracer.drain()
+    probe = SignalRecord(record_id="traced-probe",
+                         rss={f"{mac}:v2": -55.0 for mac in list(rename)[:5]})
+    service.submit(probe)
+    (result,) = service.drain()
+    print(f"traced prediction: floor {result.prediction.floor} "
+          f"(request id {result.trace_id})\n")
+
+    print("span tree of that request:")
+    print(format_span_tree(tracer.spans()))
+
+    print("\nembedding stage breakdown (share of embedding time):")
+    for name, info in stage_breakdown(tracer.spans(),
+                                      prefix="embed.").items():
+        print(f"  {name:<20} {info['share']:6.1%}  "
+              f"({info['seconds'] * 1e3:.2f} ms over {info['count']} spans)")
+
+    print("\nmetrics registry (Prometheus text exposition), service view "
+          "merged with the stream/training counters:")
+    print(service.telemetry.merged_snapshot([metrics])["counters"])
+    print()
+    print(metrics.to_prometheus_text())
+
+    obs.disable()
+
+
+if __name__ == "__main__":
+    main()

@@ -23,6 +23,7 @@ from dataclasses import replace
 
 import numpy as np
 
+from ...obs import runtime as obs
 from ..graph import BipartiteGraph, NodeKind
 from .base import GraphEmbedder, GraphEmbedding
 from .trainer import EdgeSamplingTrainer, ObjectiveTerms
@@ -106,6 +107,17 @@ class ELINEEmbedder(GraphEmbedder):
         because every composed overlay view matches the mutated graph's and
         the RNG is consumed in the same order either way.
         """
+        with obs.span("online.embed") as embed_span:
+            embed_span.set("new_records", len(new_record_ids))
+            return self._embed_new_nodes_arrays(graph, embedding,
+                                                new_record_ids,
+                                                samples_per_new_edge)
+
+    def _embed_new_nodes_arrays(
+            self, graph: BipartiteGraph, embedding: GraphEmbedding,
+            new_record_ids: list[str],
+            samples_per_new_edge: float | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, list[float]]:
         for record_id in new_record_ids:
             if embedding.has_record(record_id):
                 raise ValueError(f"record {record_id!r} is already embedded")

@@ -19,6 +19,8 @@ import weakref
 
 import numpy as np
 
+from ...obs import runtime as obs
+
 __all__ = ["AliasTable", "EdgeSampler", "NegativeSampler", "SamplerCache",
            "unigram_power_distribution"]
 
@@ -223,11 +225,18 @@ class SamplerCache:
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def _lookup(self, graph, kind: str):
         """Return the cached sampler for the graph's current version."""
         entry = self._entries.get(graph)
         if entry is None or entry["version"] != graph.version:
+            if entry is not None:
+                # A stale entry for an older graph version is being
+                # replaced — the cache's only eviction besides the weakref
+                # reaping a dead graph.
+                self.evictions += 1
+                obs.metric_increment("sampler_cache_evictions_total")
             entry = {"version": graph.version}
             self._entries[graph] = entry
             return entry, None
@@ -238,8 +247,10 @@ class SamplerCache:
             entry, sampler = self._lookup(graph, kind)
             if sampler is not None:
                 self.hits += 1
+                obs.metric_increment("sampler_cache_hits_total")
                 return sampler
             self.misses += 1
+            obs.metric_increment("sampler_cache_misses_total")
         sampler = build()
         with self._lock:
             # Insert only if the graph state is still the one we built for.
@@ -263,3 +274,4 @@ class SamplerCache:
             self._entries.clear()
             self.hits = 0
             self.misses = 0
+            self.evictions = 0

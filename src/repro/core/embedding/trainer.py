@@ -32,6 +32,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ...obs import runtime as obs
 from ..graph import BipartiteGraph
 from .base import EmbeddingConfig
 from .kernels import make_kernel, sigmoid
@@ -98,27 +99,30 @@ class EdgeSamplingTrainer:
         # against them would only churn the cache.
         if getattr(graph, "is_overlay", False):
             use_sampler_cache = False
-        if restrict_to_nodes is None:
-            if use_sampler_cache:
-                self._edge_sampler = _SAMPLER_CACHE.edge_sampler(graph)
+        with obs.span("embed.alias_build") as alias_span:
+            if restrict_to_nodes is None:
+                if use_sampler_cache:
+                    self._edge_sampler = _SAMPLER_CACHE.edge_sampler(graph)
+                else:
+                    self._edge_sampler = EdgeSampler(*graph.edge_arrays())
             else:
-                self._edge_sampler = EdgeSampler(*graph.edge_arrays())
-        else:
-            # Built straight from the adjacency of the restricted nodes —
-            # O(incident edges), not O(E) — in exactly the order a filtered
-            # ``edge_arrays()`` would produce.  Per-call restriction sets make
-            # these tiny samplers not worth caching.
-            sources, targets, weights = graph.incident_edge_arrays(
-                restrict_to_nodes)
-            if sources.size == 0:
-                raise ValueError(
-                    "restrict_to_nodes selects no edges; the nodes are isolated")
-            self._edge_sampler = EdgeSampler(sources, targets, weights)
-        self._num_sampled_edges = self._edge_sampler.num_edges
-        if use_sampler_cache:
-            self._negative_sampler = _SAMPLER_CACHE.negative_sampler(graph)
-        else:
-            self._negative_sampler = NegativeSampler(graph.degree_array())
+                # Built straight from the adjacency of the restricted nodes —
+                # O(incident edges), not O(E) — in exactly the order a filtered
+                # ``edge_arrays()`` would produce.  Per-call restriction sets
+                # make these tiny samplers not worth caching.
+                sources, targets, weights = graph.incident_edge_arrays(
+                    restrict_to_nodes)
+                if sources.size == 0:
+                    raise ValueError("restrict_to_nodes selects no edges; "
+                                     "the nodes are isolated")
+                self._edge_sampler = EdgeSampler(sources, targets, weights)
+            self._num_sampled_edges = self._edge_sampler.num_edges
+            if use_sampler_cache:
+                self._negative_sampler = _SAMPLER_CACHE.negative_sampler(graph)
+            else:
+                self._negative_sampler = NegativeSampler(graph.degree_array())
+            alias_span.set("edges", self._num_sampled_edges)
+            alias_span.set("cached", use_sampler_cache)
         self._rng = np.random.default_rng(config.seed)
         self._kernel = make_kernel(config.kernel)
 
@@ -213,21 +217,70 @@ class EdgeSamplingTrainer:
         remaining = total_samples if total_samples is not None else self.total_samples()
         total = remaining
         losses: list[float] = []
+        tracer = obs.active_tracer()
+        if tracer is None:
+            # Disabled-path loop: no clock reads, no extra allocation — the
+            # byte-for-byte hot path benchmarks run against.
+            while remaining > 0:
+                batch = min(config.batch_size, remaining)
+                progress = 1.0 - remaining / total
+                lr = max(config.min_learning_rate,
+                         config.learning_rate * (1.0 - progress))
+                loss = self._train_batch(ego, context, batch, lr, trainable)
+                losses.append(loss)
+                remaining -= batch
+            return losses
+
+        # Traced loop: accumulate per-phase time in local floats on the
+        # tracer's clock and report two aggregate spans at the end — one
+        # tracer call per fit, not one per batch.  Sampling and the kernel
+        # consume the RNG identically to the untraced loop, so losses (and
+        # the resulting embedding) are bit-identical either way.
+        clock = tracer.clock
+        sampling_seconds = 0.0
+        kernel_seconds = 0.0
         while remaining > 0:
             batch = min(config.batch_size, remaining)
             progress = 1.0 - remaining / total
             lr = max(config.min_learning_rate,
                      config.learning_rate * (1.0 - progress))
-            loss = self._train_batch(ego, context, batch, lr, trainable)
+            started = clock()
+            heads, tails, negatives = self._sample_batch(batch)
+            sampled = clock()
+            loss = self._kernel_step(ego, context, heads, tails, negatives,
+                                     lr, trainable, batch)
+            sampling_seconds += sampled - started
+            kernel_seconds += clock() - sampled
             losses.append(loss)
             remaining -= batch
+        tracer.add_span("embed.sampling", sampling_seconds,
+                        {"samples": total})
+        tracer.add_span("embed.kernel", kernel_seconds,
+                        {"samples": total, "kernel": self._kernel.name})
+        elapsed = sampling_seconds + kernel_seconds
+        if elapsed > 0.0:
+            obs.set_gauge("train_edge_samples_per_s", total / elapsed)
         return losses
 
     def _train_batch(self, ego: np.ndarray, context: np.ndarray, batch: int,
                      lr: float, trainable: np.ndarray | None) -> float:
+        heads, tails, negatives = self._sample_batch(batch)
+        return self._kernel_step(ego, context, heads, tails, negatives, lr,
+                                 trainable, batch)
+
+    def _sample_batch(self, batch: int) -> tuple[np.ndarray, np.ndarray,
+                                                 np.ndarray]:
+        """Draw one batch of positive edges and their negative samples."""
         heads, tails = self._edge_sampler.sample(batch, self._rng)
         negatives = self._negative_sampler.sample(
             batch, self.config.negative_samples, self._rng)
+        return heads, tails, negatives
+
+    def _kernel_step(self, ego: np.ndarray, context: np.ndarray,
+                     heads: np.ndarray, tails: np.ndarray,
+                     negatives: np.ndarray, lr: float,
+                     trainable: np.ndarray | None, batch: int) -> float:
+        """Apply one kernel update; returns the mean per-sample loss."""
         loss = self._kernel.train_batch(
             ego, context, heads, tails, negatives, learning_rate=lr,
             terms=self.terms, config=self.config, rng=self._rng,

@@ -34,6 +34,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs import runtime as obs
 from .clustering.model import ClusterModel
 from .embedding.base import GraphEmbedding
 from .embedding.eline import ELINEEmbedder
@@ -140,44 +141,49 @@ class OnlineInferenceEngine:
         The records are staged on a :class:`GraphOverlay`; the shared graph
         is only written when ``persist=True`` commits the staged delta.
         """
-        known_macs = self.graph.mac_vocabulary()
-        for record in records:
-            if self.graph.has_node(NodeKind.RECORD, record.record_id):
-                raise ValueError(
-                    f"record {record.record_id!r} is already part of the model")
-            if known_macs.isdisjoint(record.rss):
-                raise UnknownEnvironmentError(
-                    f"record {record.record_id!r} contains only MAC addresses "
-                    "never observed in the building; it was likely collected "
-                    "outside the building")
+        with obs.span("online.predict") as predict_span:
+            predict_span.set("records", len(records))
+            with obs.span("online.stage"):
+                known_macs = self.graph.mac_vocabulary()
+                for record in records:
+                    if self.graph.has_node(NodeKind.RECORD, record.record_id):
+                        raise ValueError(f"record {record.record_id!r} is "
+                                         "already part of the model")
+                    if known_macs.isdisjoint(record.rss):
+                        raise UnknownEnvironmentError(
+                            f"record {record.record_id!r} contains only MAC "
+                            "addresses never observed in the building; it was "
+                            "likely collected outside the building")
 
-        overlay = GraphOverlay(self.graph)
-        for record in records:
-            overlay.add_record(record)
+                overlay = GraphOverlay(self.graph)
+                for record in records:
+                    overlay.add_record(record)
 
-        new_ids = [record.record_id for record in records]
-        enlarged = None
-        if persist:
-            enlarged = self.embedder.embed_new_nodes(overlay, self.embedding,
-                                                     new_ids)
-            ego = enlarged.ego
-        else:
-            # The non-persisting path reads the new rows by overlay index,
-            # so the full GraphEmbedding (composed index maps, loss history)
-            # is never assembled.
-            ego, _, _ = self.embedder.embed_new_nodes_arrays(
-                overlay, self.embedding, new_ids)
+            new_ids = [record.record_id for record in records]
+            enlarged = None
+            if persist:
+                enlarged = self.embedder.embed_new_nodes(
+                    overlay, self.embedding, new_ids)
+                ego = enlarged.ego
+            else:
+                # The non-persisting path reads the new rows by overlay
+                # index, so the full GraphEmbedding (composed index maps,
+                # loss history) is never assembled.
+                ego, _, _ = self.embedder.embed_new_nodes_arrays(
+                    overlay, self.embedding, new_ids)
 
-        predictions = []
-        for record in records:
-            vector = ego[overlay.get_node(NodeKind.RECORD,
-                                          record.record_id).index]
-            floor, distance = self.cluster_model.predict_with_distance(vector)
-            predictions.append(FloorPrediction(record_id=record.record_id,
-                                               floor=floor, distance=distance,
-                                               embedding=vector.copy()))
+            with obs.span("online.classify"):
+                predictions = []
+                for record in records:
+                    vector = ego[overlay.get_node(NodeKind.RECORD,
+                                                  record.record_id).index]
+                    floor, distance = \
+                        self.cluster_model.predict_with_distance(vector)
+                    predictions.append(FloorPrediction(
+                        record_id=record.record_id, floor=floor,
+                        distance=distance, embedding=vector.copy()))
 
-        if persist:
-            overlay.commit()
-            self.embedding = enlarged
-        return predictions
+            if persist:
+                overlay.commit()
+                self.embedding = enlarged
+            return predictions

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..obs import runtime as obs
 from .graph import BipartiteGraph, Node, NodeKind
 from .types import SignalRecord
 
@@ -184,6 +185,13 @@ class GraphOverlay:
         nodes = [self.base.add_record(record)
                  for record in self._staged_records]
         self._committed = True
+        obs.metric_increment("overlay_commits_total")
+        obs.metric_increment("overlay_committed_records_total",
+                             len(self._staged_records))
+        obs.metric_increment("overlay_committed_nodes_total",
+                             len(self._delta_nodes))
+        obs.metric_increment("overlay_committed_edges_total",
+                             self._delta_edges)
         return nodes
 
     # ------------------------------------------------------------ array views

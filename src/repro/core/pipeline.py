@@ -26,6 +26,7 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from ..obs import runtime as obs
 from .clustering.hierarchical import ClusteringResult, ProximityClustering
 from .clustering.model import ClusterModel
 from .embedding.base import EmbeddingConfig, GraphEmbedding
@@ -159,18 +160,26 @@ class GRAFICS:
             # override survives persistence round-trips and drives the
             # online-inference engine of this model.
             self.config = replace(self.config, kernel=kernel)
-        self.graph = build_graph(record_list,
-                                 weight_function=self.config.weight_function)
-        self._embedder = self.config.make_embedder()
-        self.embedding = self._embedder.fit(self.graph, warm_start=warm_start)
+        with obs.span("fit") as fit_span:
+            fit_span.set("records", len(record_list))
+            fit_span.set("labels", len(labels))
+            with obs.span("fit.graph"):
+                self.graph = build_graph(
+                    record_list, weight_function=self.config.weight_function)
+            self._embedder = self.config.make_embedder()
+            with obs.span("fit.embedding") as embed_span:
+                embed_span.set("warm_start", warm_start is not None)
+                self.embedding = self._embedder.fit(self.graph,
+                                                    warm_start=warm_start)
 
-        record_ids = [r.record_id for r in record_list]
-        vectors = self.embedding.record_matrix(record_ids)
-        clustering = ProximityClustering(
-            allow_unreachable=self.config.allow_unreachable_clusters)
-        self.clustering = clustering.fit(record_ids, vectors, labels)
-        self.cluster_model = ClusterModel.from_clustering(self.clustering,
-                                                          self.embedding)
+            record_ids = [r.record_id for r in record_list]
+            vectors = self.embedding.record_matrix(record_ids)
+            with obs.span("fit.clustering"):
+                clustering = ProximityClustering(
+                    allow_unreachable=self.config.allow_unreachable_clusters)
+                self.clustering = clustering.fit(record_ids, vectors, labels)
+                self.cluster_model = ClusterModel.from_clustering(
+                    self.clustering, self.embedding)
         self._engine = None
         return self
 

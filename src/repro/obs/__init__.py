@@ -1,0 +1,33 @@
+"""Observability: span tracing, a shared metrics registry, lifecycle logs.
+
+Dependency-free (stdlib only).  Three pillars:
+
+* :mod:`repro.obs.tracer` — deterministic span tracer (counter-based IDs,
+  injected clock, bounded ring buffer, JSONL export).
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry`, the registry behind
+  ``ServingTelemetry`` and now shared by the stream pipeline, retrain
+  executor, sampler cache, overlay and training kernels; Prometheus-text
+  and JSON exposition.
+* :mod:`repro.obs.log` — structured JSON lifecycle events on the stdlib
+  ``repro.obs`` logger.
+
+The global on/off switch lives in :mod:`repro.obs.runtime`; hot paths use
+its module-level helpers (``span``/``stage``/``metric_increment``) which
+collapse to near-free no-ops while observability is disabled.
+"""
+
+from .log import LOGGER_NAME, log_event
+from .metrics import LatencyHistogram, MetricsRegistry
+from .runtime import (active_tracer, current_trace_id, disable, enable,
+                      enabled, get_metrics, metric_increment, observe,
+                      set_gauge, span, stage)
+from .tracer import Span, SpanTracer, format_span_tree, stage_breakdown
+
+__all__ = [
+    "LatencyHistogram", "MetricsRegistry",
+    "Span", "SpanTracer", "format_span_tree", "stage_breakdown",
+    "LOGGER_NAME", "log_event",
+    "enable", "disable", "enabled", "active_tracer", "get_metrics",
+    "span", "stage", "current_trace_id", "metric_increment", "observe",
+    "set_gauge",
+]

@@ -1,0 +1,43 @@
+"""Structured JSON log events for lifecycle transitions.
+
+Rare, operationally interesting transitions — a model hot-swapped in,
+drift latched or cleared, a retrain fenced as stale, a checkpoint written
+or resumed — are emitted as single-line JSON records on the stdlib logger
+``repro.obs`` so any logging config (files, journald, a JSON shipper) can
+pick them up without this package knowing about handlers.
+
+These are *events*, not spans: they mark state changes, carry the active
+trace ID when one exists (linking the event to the request or retrain that
+caused it), and are cheap enough to leave on permanently — when no handler
+is attached at INFO, :func:`log_event` exits on the ``isEnabledFor`` check
+before any JSON is built.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+
+from . import runtime
+
+__all__ = ["LOGGER_NAME", "log_event"]
+
+LOGGER_NAME = "repro.obs"
+_logger = logging.getLogger(LOGGER_NAME)
+
+
+def log_event(event: str, **fields: object) -> None:
+    """Emit one structured lifecycle event as a JSON log line.
+
+    ``event`` names the transition (``hot_swap_installed``,
+    ``drift_latched``, ...); keyword fields become JSON keys.  The active
+    trace ID, if any, is attached automatically as ``trace_id``.
+    """
+    if not _logger.isEnabledFor(logging.INFO):
+        return
+    payload: dict[str, object] = {"event": event}
+    trace_id = runtime.current_trace_id()
+    if trace_id is not None:
+        payload["trace_id"] = trace_id
+    payload.update(fields)
+    _logger.info(json.dumps(payload, sort_keys=False, default=str))

@@ -1,0 +1,129 @@
+"""Process-wide observability switch with a zero-allocation disabled path.
+
+Engine hot paths (the SGD batch loop, per-record serving) cannot afford a
+per-call allocation just to discover observability is off.  This module
+keeps one process-global tracer/registry pair behind module-level
+functions; while disabled:
+
+* :func:`span` returns one shared null context manager — no object is
+  allocated, no clock is read, ``with span("x"):`` costs two attribute
+  calls on a singleton.
+* :func:`stage`, :func:`metric_increment`, :func:`observe` and
+  :func:`set_gauge` return after a single global check.
+
+Nothing here touches RNG or wall-clock time on the disabled path, so the
+engine's byte-identity guarantees hold with the instrumentation compiled
+in (and, because span IDs are counter-based, they also hold with tracing
+*enabled* — see ``tests/obs/test_identity.py``).
+
+Instrumented call sites should also guard any *argument construction*
+behind :func:`enabled` (or fetch the tracer once via
+:func:`active_tracer`) when building attributes would itself allocate.
+"""
+
+from __future__ import annotations
+
+from .metrics import MetricsRegistry
+from .tracer import SpanTracer
+
+__all__ = [
+    "enable", "disable", "enabled", "active_tracer", "get_metrics",
+    "span", "stage", "current_trace_id", "metric_increment", "observe",
+    "set_gauge",
+]
+
+
+class _NullSpan:
+    """Shared do-nothing stand-in for a span context; never allocates."""
+
+    __slots__ = ()
+    span = None
+
+    def set(self, key, value):
+        return self
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+_tracer: SpanTracer | None = None
+_metrics: MetricsRegistry | None = None
+
+
+def enable(tracer: SpanTracer | None = None,
+           metrics: MetricsRegistry | None = None,
+           ) -> tuple[SpanTracer, MetricsRegistry]:
+    """Turn observability on, installing (or creating) tracer + registry."""
+    global _tracer, _metrics
+    _tracer = tracer if tracer is not None else SpanTracer()
+    _metrics = metrics if metrics is not None else MetricsRegistry()
+    return _tracer, _metrics
+
+
+def disable() -> None:
+    """Turn observability off; hot paths fall back to the null singleton."""
+    global _tracer, _metrics
+    _tracer = None
+    _metrics = None
+
+
+def enabled() -> bool:
+    return _tracer is not None
+
+
+def active_tracer() -> SpanTracer | None:
+    """The installed tracer, or None while disabled."""
+    return _tracer
+
+
+def get_metrics() -> MetricsRegistry | None:
+    """The installed global registry, or None while disabled."""
+    return _metrics
+
+
+def span(name: str, trace_id: str | None = None):
+    """A span context on the global tracer, or the shared null span.
+
+    Call sites pass only the name on the hot path; attach attributes via
+    ``.set(...)`` so nothing is allocated when tracing is off.
+    """
+    if _tracer is None:
+        return _NULL_SPAN
+    return _tracer.span(name, trace_id=trace_id)
+
+
+def stage(name: str, seconds: float,
+          attributes: dict[str, object] | None = None) -> None:
+    """Record a pre-measured stage span (no-op while disabled)."""
+    if _tracer is not None:
+        _tracer.add_span(name, seconds, attributes)
+
+
+def current_trace_id() -> str | None:
+    """The live trace ID on this thread, or None (also while disabled)."""
+    if _tracer is None:
+        return None
+    return _tracer.current_trace_id()
+
+
+def metric_increment(name: str, amount: int = 1) -> None:
+    """Bump a counter on the global registry (no-op while disabled)."""
+    if _metrics is not None:
+        _metrics.increment(name, amount)
+
+
+def observe(name: str, seconds: float) -> None:
+    """Record a latency into the global registry (no-op while disabled)."""
+    if _metrics is not None:
+        _metrics.observe(name, seconds)
+
+
+def set_gauge(name: str, value: float) -> None:
+    """Set a gauge on the global registry (no-op while disabled)."""
+    if _metrics is not None:
+        _metrics.set_gauge(name, value)

@@ -1,0 +1,261 @@
+"""Span tracer: deterministic request traces over an injected clock.
+
+A :class:`SpanTracer` produces parent/child :class:`Span` trees.  Design
+constraints, all driven by the engine's determinism guarantees:
+
+* **No RNG.**  Trace and span IDs come from monotonic counters
+  (``t000001``, ``s000001``), never from ``uuid``/``random``, so enabling
+  tracing cannot perturb any seeded RNG stream the engine depends on.
+* **Injected clock.**  Durations come from a caller-supplied monotonic
+  clock (default ``time.perf_counter``); tests inject a fake clock and get
+  bit-identical span trees.
+* **Bounded memory.**  Finished spans land in a ring buffer
+  (``collections.deque(maxlen=capacity)``); a service traced for a week
+  keeps the most recent ``capacity`` spans, not all of them.
+* **Thread-local span stacks.**  Parenthood follows the call stack of the
+  *current thread*, so shard worker threads and the retrain executor each
+  build their own subtrees without cross-talk.
+
+The tracer here is always-on machinery; the zero-cost on/off switch lives
+in :mod:`repro.obs.runtime`, which hands out a shared null span when
+tracing is disabled.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from collections import deque
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass, field
+
+__all__ = ["Span", "SpanTracer", "format_span_tree", "stage_breakdown"]
+
+
+@dataclass
+class Span:
+    """One timed operation inside a trace."""
+
+    trace_id: str
+    span_id: str
+    parent_id: str | None
+    name: str
+    start: float
+    duration_seconds: float = 0.0
+    attributes: dict[str, object] = field(default_factory=dict)
+
+    def set(self, key: str, value: object) -> "Span":
+        """Attach one attribute; returns self so calls chain."""
+        self.attributes[key] = value
+        return self
+
+    def to_dict(self) -> dict[str, object]:
+        payload: dict[str, object] = {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "duration_seconds": self.duration_seconds,
+        }
+        if self.attributes:
+            payload["attributes"] = self.attributes
+        return payload
+
+
+class _SpanContext:
+    """Context manager wrapping one live span on the current thread's stack."""
+
+    __slots__ = ("_tracer", "span")
+
+    def __init__(self, tracer: "SpanTracer", span: Span) -> None:
+        self._tracer = tracer
+        self.span = span
+
+    def set(self, key: str, value: object) -> "_SpanContext":
+        self.span.attributes[key] = value
+        return self
+
+    def __enter__(self) -> "_SpanContext":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.span.attributes["error"] = exc_type.__name__
+        self._tracer._finish(self.span)
+        return None
+
+
+class SpanTracer:
+    """Collects spans into per-trace trees with a bounded ring buffer."""
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter,
+                 capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        #: The injected monotonic clock, public so instrumented hot loops
+        #: can accumulate phase timings on the same (possibly fake) clock
+        #: the spans use.
+        self.clock = clock
+        self._clock = clock
+        self._finished: deque[Span] = deque(maxlen=capacity)
+        self._mutex = threading.Lock()
+        self._trace_ids = itertools.count(1)
+        self._span_ids = itertools.count(1)
+        self._local = threading.local()
+
+    # ----------------------------------------------------------------- stacks
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def current_span(self) -> Span | None:
+        """The innermost live span on the calling thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def current_trace_id(self) -> str | None:
+        span = self.current_span()
+        return span.trace_id if span else None
+
+    # ------------------------------------------------------------------ spans
+    def span(self, name: str, trace_id: str | None = None) -> _SpanContext:
+        """Open a span; nested calls on the same thread become children.
+
+        A root span (no live parent on this thread) starts a fresh trace
+        unless ``trace_id`` pins it to an existing one — that is how a
+        request ID minted at the serving front door reaches spans opened on
+        executor threads.
+        """
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        if parent is not None:
+            trace = trace_id or parent.trace_id
+            parent_id = parent.span_id
+        else:
+            with self._mutex:
+                trace = trace_id or f"t{next(self._trace_ids):06d}"
+            parent_id = None
+        with self._mutex:
+            span_id = f"s{next(self._span_ids):06d}"
+        span = Span(trace_id=trace, span_id=span_id, parent_id=parent_id,
+                    name=name, start=self._clock())
+        stack.append(span)
+        return _SpanContext(self, span)
+
+    def _finish(self, span: Span) -> None:
+        span.duration_seconds = self._clock() - span.start
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        else:  # out-of-order exit; drop it wherever it sits
+            try:
+                stack.remove(span)
+            except ValueError:
+                pass
+        with self._mutex:
+            self._finished.append(span)
+
+    def add_span(self, name: str, seconds: float,
+                 attributes: dict[str, object] | None = None) -> Span:
+        """Record a pre-measured span without the context-manager dance.
+
+        Hot loops (the SGD batch loop) accumulate per-phase time in local
+        floats and report one aggregate span at the end — one tracer call
+        per fit instead of one per batch.
+        """
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        with self._mutex:
+            span_id = f"s{next(self._span_ids):06d}"
+            trace = parent.trace_id if parent else f"t{next(self._trace_ids):06d}"
+        span = Span(trace_id=trace, span_id=span_id,
+                    parent_id=parent.span_id if parent else None,
+                    name=name, start=self._clock(),
+                    duration_seconds=float(seconds),
+                    attributes=dict(attributes) if attributes else {})
+        with self._mutex:
+            self._finished.append(span)
+        return span
+
+    # ------------------------------------------------------------------ export
+    def spans(self) -> list[Span]:
+        """Finished spans, oldest first (bounded by the ring capacity)."""
+        with self._mutex:
+            return list(self._finished)
+
+    def drain(self) -> list[Span]:
+        """Finished spans, removing them from the buffer."""
+        with self._mutex:
+            spans = list(self._finished)
+            self._finished.clear()
+        return spans
+
+    def export_jsonl(self, path) -> int:
+        """Write finished spans to ``path`` as JSON lines; returns the count."""
+        spans = self.spans()
+        with open(path, "w", encoding="utf-8") as handle:
+            for span in spans:
+                handle.write(json.dumps(span.to_dict(), sort_keys=False))
+                handle.write("\n")
+        return len(spans)
+
+
+def format_span_tree(spans: Sequence[Span]) -> str:
+    """Render spans as indented per-trace trees (for demos and debugging)."""
+    by_parent: dict[str | None, list[Span]] = {}
+    ids = {span.span_id for span in spans}
+    for span in spans:
+        # A parent evicted from the ring buffer orphans its children; show
+        # them as roots rather than dropping them.
+        parent = span.parent_id if span.parent_id in ids else None
+        by_parent.setdefault(parent, []).append(span)
+
+    lines: list[str] = []
+
+    def _render(span: Span, depth: int) -> None:
+        millis = span.duration_seconds * 1e3
+        attrs = ""
+        if span.attributes:
+            attrs = "  " + " ".join(f"{key}={value}" for key, value in
+                                    span.attributes.items())
+        lines.append(f"{'  ' * depth}{span.name}  {millis:.3f} ms"
+                     f"  [{span.trace_id}/{span.span_id}]{attrs}")
+        for child in by_parent.get(span.span_id, []):
+            _render(child, depth + 1)
+
+    for root in by_parent.get(None, []):
+        _render(root, 0)
+    return "\n".join(lines)
+
+
+def stage_breakdown(spans: Iterable[Span],
+                    prefix: str = "") -> dict[str, dict[str, float]]:
+    """Aggregate span durations by name: total seconds and share of the sum.
+
+    This is the profiling query behind "alias-table build is ~25% of cold
+    serving": feed it the leaf spans of a traced run and read the share
+    column.  ``prefix`` restricts aggregation to span names starting with
+    it (e.g. ``"embed."`` for the training-stage split).
+    """
+    totals: dict[str, float] = {}
+    counts: dict[str, int] = {}
+    for span in spans:
+        if prefix and not span.name.startswith(prefix):
+            continue
+        totals[span.name] = totals.get(span.name, 0.0) + span.duration_seconds
+        counts[span.name] = counts.get(span.name, 0) + 1
+    grand_total = sum(totals.values())
+    return {
+        name: {
+            "seconds": seconds,
+            "count": counts[name],
+            "share": seconds / grand_total if grand_total > 0 else 0.0,
+        }
+        for name, seconds in sorted(totals.items(),
+                                    key=lambda item: -item[1])
+    }

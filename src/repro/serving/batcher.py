@@ -32,6 +32,9 @@ class Batch:
     building_id: str
     items: tuple
     reason: str  # "size" | "deadline" | "drain"
+    #: How long the batch's oldest item waited in the bucket before release
+    #: — the queue-wait cost of batching, surfaced to dispatch telemetry.
+    queued_seconds: float = 0.0
 
 
 @dataclass
@@ -85,15 +88,18 @@ class MicroBatcher:
         bucket.items.append(item)
         self.enqueued_total += 1
         if len(bucket.items) >= self.max_batch_size:
-            return self._release(building_id, "size")
+            return self._release(building_id, "size", now)
         return None
 
     # ---------------------------------------------------------------- release
-    def _release(self, building_id: str, reason: str) -> Batch:
+    def _release(self, building_id: str, reason: str,
+                 now: float | None = None) -> Batch:
+        now = self._clock() if now is None else now
         bucket = self._buckets.pop(building_id)
         self.flushes_by_reason[reason] += 1
         return Batch(building_id=building_id, items=tuple(bucket.items),
-                     reason=reason)
+                     reason=reason,
+                     queued_seconds=max(0.0, now - bucket.oldest_at))
 
     def due(self, now: float | None = None) -> list[Batch]:
         """Release every batch whose oldest item has exceeded the deadline."""
@@ -101,7 +107,7 @@ class MicroBatcher:
         expired = [building_id
                    for building_id, bucket in self._buckets.items()
                    if now - bucket.oldest_at >= self.max_delay_seconds]
-        return [self._release(building_id, "deadline")
+        return [self._release(building_id, "deadline", now)
                 for building_id in expired]
 
     def drain(self) -> list[Batch]:

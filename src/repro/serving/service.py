@@ -28,6 +28,7 @@ prediction instead of each being recomputed.
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
 from collections.abc import Callable, Iterable, Mapping, Sequence
@@ -39,6 +40,8 @@ from ..core.persistence import _atomic_save_model, load_model
 from ..core.pipeline import GRAFICS, GraficsConfig
 from ..core.registry import BuildingPrediction, MultiBuildingFloorService
 from ..core.types import FingerprintDataset, SignalRecord
+from ..obs import runtime as obs
+from ..obs.log import log_event
 from .batcher import Batch, MicroBatcher
 from .cache import PredictionCache, fingerprint_key
 from .router import MacInvertedRouter
@@ -76,38 +79,41 @@ def _plan_positions(records: Sequence[SignalRecord],
     because this is literally the same code.  The caller holds whatever
     lock guards ``registry``/``cache``/``telemetry``.
     """
-    positions = list(positions)
-    miss_positions: dict[str, list[int]] = {}
-    keys: dict[int, str] = {}
-    for position in positions:
-        record, decision = records[position], routed[position]
-        if config.enable_cache:
-            key = fingerprint_key(decision.building_id, record,
-                                  quantum=config.rss_quantum)
-            keys[position] = key
-            cached = cache.get(key)
-            if cached is not None:
-                telemetry.increment("cache_hits_total")
-                results[position] = replace(cached,
-                                            record_id=record.record_id)
-                continue
-            telemetry.increment("cache_misses_total")
-        miss_positions.setdefault(decision.building_id, []).append(position)
+    with obs.span("serving.plan") as plan_span:
+        positions = list(positions)
+        miss_positions: dict[str, list[int]] = {}
+        keys: dict[int, str] = {}
+        for position in positions:
+            record, decision = records[position], routed[position]
+            if config.enable_cache:
+                key = fingerprint_key(decision.building_id, record,
+                                      quantum=config.rss_quantum)
+                keys[position] = key
+                cached = cache.get(key)
+                if cached is not None:
+                    telemetry.increment("cache_hits_total")
+                    results[position] = replace(cached,
+                                                record_id=record.record_id)
+                    continue
+                telemetry.increment("cache_misses_total")
+            miss_positions.setdefault(decision.building_id, []).append(position)
 
-    misses = []
-    for building_id, miss in miss_positions.items():
-        try:
-            model = registry.model_for(building_id)
-        except KeyError:
-            # A building can be evicted between routing and the serving
-            # lock (sharded routing, or the lock-light window of the
-            # one-lock service).  Surface the clean rejection routing a
-            # vanished building would have produced.
-            raise UnknownEnvironmentError(
-                f"building {building_id!r} was evicted between routing "
-                "and dispatch") from None
-        misses.append((building_id, model, miss))
-    return _ServePlan(misses=misses, keys=keys, served=len(positions))
+        misses = []
+        for building_id, miss in miss_positions.items():
+            try:
+                model = registry.model_for(building_id)
+            except KeyError:
+                # A building can be evicted between routing and the serving
+                # lock (sharded routing, or the lock-light window of the
+                # one-lock service).  Surface the clean rejection routing a
+                # vanished building would have produced.
+                raise UnknownEnvironmentError(
+                    f"building {building_id!r} was evicted between routing "
+                    "and dispatch") from None
+            misses.append((building_id, model, miss))
+        plan_span.set("positions", len(positions))
+        plan_span.set("miss_groups", len(misses))
+        return _ServePlan(misses=misses, keys=keys, served=len(positions))
 
 
 def _still_installed(registry: MultiBuildingFloorService, building_id: str,
@@ -135,15 +141,20 @@ def _compute_plan(records: Sequence[SignalRecord], plan: _ServePlan,
     the thread-safe telemetry is touched.  Returns one prediction list per
     planned miss group, in plan order.
     """
-    outputs = []
-    for _, model, miss in plan.misses:
-        batch = [records[i] for i in miss]
-        with telemetry.time("batch_seconds"):
-            floor_predictions = model.predict_batch(batch, independent=True)
-        telemetry.increment("batches_total")
-        telemetry.increment("batched_records_total", len(batch))
-        outputs.append(floor_predictions)
-    return outputs
+    with obs.span("serving.compute") as compute_span:
+        outputs = []
+        computed = 0
+        for _, model, miss in plan.misses:
+            batch = [records[i] for i in miss]
+            with telemetry.time("batch_seconds"):
+                floor_predictions = model.predict_batch(batch,
+                                                        independent=True)
+            telemetry.increment("batches_total")
+            telemetry.increment("batched_records_total", len(batch))
+            computed += len(batch)
+            outputs.append(floor_predictions)
+        compute_span.set("records", computed)
+        return outputs
 
 
 def _commit_plan(routed: Sequence, plan: _ServePlan, outputs: list[list],
@@ -157,22 +168,23 @@ def _commit_plan(routed: Sequence, plan: _ServePlan, outputs: list[list],
     the computed predictions themselves are always returned — the request
     was routed and served by the model that was live when it was planned.
     """
-    for (building_id, model, miss), floor_predictions in zip(plan.misses,
-                                                             outputs):
-        cacheable = (config.enable_cache
-                     and _still_installed(registry, building_id, model))
-        for position, floor_prediction in zip(miss, floor_predictions):
-            prediction = BuildingPrediction(
-                record_id=floor_prediction.record_id,
-                building_id=building_id,
-                floor=floor_prediction.floor,
-                mac_overlap=routed[position].overlap,
-                distance=floor_prediction.distance)
-            results[position] = prediction
-            if cacheable:
-                cache.put(plan.keys[position], prediction,
-                          building_id=building_id)
-    telemetry.increment("predictions_total", plan.served)
+    with obs.span("serving.commit"):
+        for (building_id, model, miss), floor_predictions in zip(plan.misses,
+                                                                 outputs):
+            cacheable = (config.enable_cache
+                         and _still_installed(registry, building_id, model))
+            for position, floor_prediction in zip(miss, floor_predictions):
+                prediction = BuildingPrediction(
+                    record_id=floor_prediction.record_id,
+                    building_id=building_id,
+                    floor=floor_prediction.floor,
+                    mac_overlap=routed[position].overlap,
+                    distance=floor_prediction.distance)
+                results[position] = prediction
+                if cacheable:
+                    cache.put(plan.keys[position], prediction,
+                              building_id=building_id)
+        telemetry.increment("predictions_total", plan.served)
 
 
 def _dispatch_batch(batch: Batch, *, lock,
@@ -202,47 +214,55 @@ def _dispatch_batch(batch: Batch, *, lock,
     """
     def reject_all(error: str) -> None:
         with lock:
-            for record, _, _ in batch.items:
+            for record, _, _, request_id in batch.items:
                 telemetry.increment("rejections_total")
                 buffer_result(ServingResult(record_id=record.record_id,
                                             prediction=None,
-                                            source="rejected", error=error))
+                                            source="rejected", error=error,
+                                            trace_id=request_id))
 
-    with lock:
+    with obs.span("serving.dispatch") as dispatch_span:
+        dispatch_span.set("building", batch.building_id)
+        dispatch_span.set("reason", batch.reason)
+        dispatch_span.set("size", len(batch.items))
+        telemetry.observe("queue_wait_seconds", batch.queued_seconds)
+        with lock:
+            try:
+                model = registry.model_for(batch.building_id)
+            except KeyError:
+                reject_all(f"building {batch.building_id!r} was evicted "
+                           "before the request was dispatched")
+                return
+        records = [record for record, _, _, _ in batch.items]
         try:
-            model = registry.model_for(batch.building_id)
-        except KeyError:
-            reject_all(f"building {batch.building_id!r} was evicted "
-                       "before the request was dispatched")
+            with telemetry.time("batch_seconds"):
+                floor_predictions = model.predict_batch(records,
+                                                        independent=True)
+        except UnknownEnvironmentError as error:
+            reject_all(str(error))
             return
-    records = [record for record, _, _ in batch.items]
-    try:
-        with telemetry.time("batch_seconds"):
-            floor_predictions = model.predict_batch(records,
-                                                    independent=True)
-    except UnknownEnvironmentError as error:
-        reject_all(str(error))
-        return
-    telemetry.increment("batches_total")
-    telemetry.increment("batched_records_total", len(records))
-    telemetry.increment(f"batch_flush_{batch.reason}_total")
-    telemetry.increment("predictions_total", len(records))
-    with lock:
-        cacheable = (config.enable_cache
-                     and _still_installed(registry, batch.building_id, model))
-        for (record, decision, key), floor_prediction in zip(
-                batch.items, floor_predictions):
-            prediction = BuildingPrediction(
-                record_id=floor_prediction.record_id,
-                building_id=batch.building_id,
-                floor=floor_prediction.floor,
-                mac_overlap=decision.overlap,
-                distance=floor_prediction.distance)
-            if cacheable and key is not None:
-                cache.put(key, prediction, building_id=batch.building_id)
-            buffer_result(ServingResult(record_id=record.record_id,
-                                        prediction=prediction,
-                                        source="batch"))
+        telemetry.increment("batches_total")
+        telemetry.increment("batched_records_total", len(records))
+        telemetry.increment(f"batch_flush_{batch.reason}_total")
+        telemetry.increment("predictions_total", len(records))
+        with lock:
+            cacheable = (config.enable_cache
+                         and _still_installed(registry, batch.building_id,
+                                              model))
+            for (record, decision, key, request_id), floor_prediction in zip(
+                    batch.items, floor_predictions):
+                prediction = BuildingPrediction(
+                    record_id=floor_prediction.record_id,
+                    building_id=batch.building_id,
+                    floor=floor_prediction.floor,
+                    mac_overlap=decision.overlap,
+                    distance=floor_prediction.distance)
+                if cacheable and key is not None:
+                    cache.put(key, prediction, building_id=batch.building_id)
+                buffer_result(ServingResult(record_id=record.record_id,
+                                            prediction=prediction,
+                                            source="batch",
+                                            trace_id=request_id))
 
 
 @dataclass(frozen=True)
@@ -271,6 +291,10 @@ class ServingResult:
     prediction: BuildingPrediction | None
     source: str  # "cache" | "batch" | "rejected"
     error: str | None = None
+    #: Request ID minted at intake, carried through dispatch and every
+    #: rejection path (mid-flight eviction, post-swap unattributable), so a
+    #: rejected result can be correlated with logs and traces.
+    trace_id: str | None = None
 
     @property
     def ok(self) -> bool:
@@ -298,6 +322,9 @@ class FloorServingService:
                                     clock=clock)
         self.telemetry = ServingTelemetry(clock=clock)
         self._completed: list[ServingResult] = []
+        # Deterministic request IDs (no RNG): minted at intake, threaded
+        # through queued items into results and rejection paths.
+        self._request_ids = itertools.count(1)
 
     # ----------------------------------------------------- building lifecycle
     @property
@@ -370,12 +397,18 @@ class FloorServingService:
                                      self.registry.vocabulary_for(building_id))
             self.cache.invalidate_building(building_id)
             self.telemetry.increment("hot_swaps_total")
-            for record, _, _ in self.batcher.evict(building_id):
-                result, full = self._route_and_enqueue(record)
+            evicted = self.batcher.evict(building_id)
+            for record, _, _, request_id in evicted:
+                # Re-routed requests keep their original intake ID so the
+                # eventual result is attributable to the original submit.
+                result, full = self._route_and_enqueue(record,
+                                                       request_id=request_id)
                 if result is not None:
                     self._completed.append(result)
                 if full is not None:
                     full_batches.append(full)
+        log_event("hot_swap_installed", building_id=building_id,
+                  requeued=len(evicted))
         for batch in full_batches:
             self._dispatch(batch)
 
@@ -432,13 +465,14 @@ class FloorServingService:
             self.registry.remove_building(building_id)
             self.router.remove_building(building_id)
             self.cache.invalidate_building(building_id)
-            for record, _, _ in self.batcher.evict(building_id):
+            for record, _, _, request_id in self.batcher.evict(building_id):
                 self.telemetry.increment("rejections_total")
                 self._completed.append(ServingResult(
                     record_id=record.record_id, prediction=None,
                     source="rejected",
                     error=f"building {building_id!r} was evicted before the "
-                          "request was dispatched"))
+                          "request was dispatched",
+                    trace_id=request_id))
 
     def _register(self, building_id: str) -> None:
         self.router.add_building(building_id,
@@ -472,17 +506,20 @@ class FloorServingService:
         entirely by whichever model was installed when it was planned.
         """
         records = list(records)
-        with self.telemetry.time("request_seconds"):
+        with self.telemetry.time("request_seconds"), \
+                obs.span("serving.request") as request_span:
+            request_span.set("records", len(records))
             results: list[BuildingPrediction | None] = [None] * len(records)
             with self._lock:
                 self.telemetry.increment("requests_total", len(records))
                 routed = []
-                for record in records:
-                    try:
-                        routed.append(self.router.route(record))
-                    except UnknownEnvironmentError:
-                        self.telemetry.increment("rejections_total")
-                        raise
+                with obs.span("serving.route"):
+                    for record in records:
+                        try:
+                            routed.append(self.router.route(record))
+                        except UnknownEnvironmentError:
+                            self.telemetry.increment("rejections_total")
+                            raise
                 plan = _plan_positions(records, routed, range(len(records)),
                                        registry=self.registry,
                                        cache=self.cache,
@@ -520,21 +557,26 @@ class FloorServingService:
         return result
 
     def _route_and_enqueue(
-            self, record: SignalRecord,
+            self, record: SignalRecord, request_id: str | None = None,
     ) -> tuple[ServingResult | None, Batch | None]:
         """Route one record through cache/batcher (lock held by caller).
 
         Returns ``(result, full_batch)``: a result when the record was
         served from cache or rejected, and/or the batch its enqueue filled
-        — which the caller must dispatch *after* releasing the lock.
+        — which the caller must dispatch *after* releasing the lock.  A
+        fresh request ID is minted unless the caller passes the one a
+        previous intake already assigned (the hot-swap re-route path).
         """
+        if request_id is None:
+            request_id = f"req{next(self._request_ids):06d}"
         try:
             decision = self.router.route(record)
         except UnknownEnvironmentError as error:
             self.telemetry.increment("rejections_total")
             return ServingResult(record_id=record.record_id,
                                  prediction=None, source="rejected",
-                                 error=str(error)), None
+                                 error=str(error),
+                                 trace_id=request_id), None
 
         key = None
         if self.config.enable_cache:
@@ -547,11 +589,11 @@ class FloorServingService:
                 return ServingResult(
                     record_id=record.record_id,
                     prediction=replace(cached, record_id=record.record_id),
-                    source="cache"), None
+                    source="cache", trace_id=request_id), None
             self.telemetry.increment("cache_misses_total")
 
         full = self.batcher.enqueue(decision.building_id,
-                                    (record, decision, key))
+                                    (record, decision, key, request_id))
         return None, full
 
     def poll(self) -> list[ServingResult]:

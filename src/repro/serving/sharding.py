@@ -25,6 +25,7 @@ a scaled-out deployment.
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
 import zlib
@@ -37,6 +38,7 @@ from ..core.persistence import _atomic_save_model, load_model
 from ..core.pipeline import GRAFICS, GraficsConfig
 from ..core.registry import BuildingPrediction, MultiBuildingFloorService
 from ..core.types import FingerprintDataset, SignalRecord
+from ..obs.log import log_event
 from .batcher import Batch, MicroBatcher
 from .cache import PredictionCache, fingerprint_key
 from .router import MacInvertedRouter, Router, RoutingDecision
@@ -224,6 +226,9 @@ class ShardedServingService:
         self.telemetry = ServingTelemetry(clock=clock)
         self._orphans_lock = threading.Lock()
         self._orphans: list[ServingResult] = []
+        # Deterministic request IDs, minted at the sharded front door so a
+        # request keeps one identity even when re-routed across shards.
+        self._request_ids = itertools.count(1)
         # Partition any pre-trained buildings in *registration order* so the
         # global tie-break matches the source registry's linear scan.
         for building_id, vocabulary in source.vocabularies.items():
@@ -296,8 +301,11 @@ class ShardedServingService:
             shard.telemetry.increment("hot_swaps_total")
             self.telemetry.set_gauge("last_swap_shard", shard.index)
             evicted = shard.batcher.evict(building_id)
-        for record, _, _ in evicted:
-            result, target_shard, full = self._route_and_enqueue(record)
+        log_event("hot_swap_installed", building_id=building_id,
+                  shard=shard.index, requeued=len(evicted))
+        for record, _, _, request_id in evicted:
+            result, target_shard, full = self._route_and_enqueue(
+                record, request_id=request_id)
             if result is not None:
                 with self._orphans_lock:
                     self._orphans.append(result)
@@ -350,14 +358,15 @@ class ShardedServingService:
             self.router.remove_building(building_id)
             shard.cache.invalidate_building(building_id)
             evicted = shard.batcher.evict(building_id)
-        for record, _, _ in evicted:
+        for record, _, _, request_id in evicted:
             self.telemetry.increment("rejections_total")
             with self._orphans_lock:
                 self._orphans.append(ServingResult(
                     record_id=record.record_id, prediction=None,
                     source="rejected",
                     error=f"building {building_id!r} was evicted before the "
-                          "request was dispatched"))
+                          "request was dispatched",
+                    trace_id=request_id))
 
     def export_registry(self) -> MultiBuildingFloorService:
         """All shards' models as one registry, in global registration order.
@@ -456,20 +465,25 @@ class ShardedServingService:
         return result
 
     def _route_and_enqueue(
-            self, record: SignalRecord,
+            self, record: SignalRecord, request_id: str | None = None,
     ) -> tuple[ServingResult | None, Shard | None, Batch | None]:
         """Route one record into its shard's cache/batcher.
 
         Returns ``(result, shard, full_batch)``; a returned full batch must
-        be dispatched by the caller *without* holding the shard lock.
+        be dispatched by the caller *without* holding the shard lock.  A
+        fresh request ID is minted unless the caller passes the one a
+        previous intake already assigned (the hot-swap re-route path).
         """
+        if request_id is None:
+            request_id = f"req{next(self._request_ids):06d}"
         try:
             decision = self.router.route(record)
         except UnknownEnvironmentError as error:
             self.telemetry.increment("rejections_total")
             return ServingResult(record_id=record.record_id,
                                  prediction=None, source="rejected",
-                                 error=str(error)), None, None
+                                 error=str(error),
+                                 trace_id=request_id), None, None
         shard = self.shard_for(decision.building_id)
         with shard.lock:
             key = None
@@ -484,10 +498,10 @@ class ShardedServingService:
                         record_id=record.record_id,
                         prediction=replace(cached,
                                            record_id=record.record_id),
-                        source="cache"), shard, None
+                        source="cache", trace_id=request_id), shard, None
                 shard.telemetry.increment("cache_misses_total")
             full = shard.batcher.enqueue(decision.building_id,
-                                         (record, decision, key))
+                                         (record, decision, key, request_id))
         return None, shard, full
 
     def poll(self) -> list[ServingResult]:

@@ -1,233 +1,24 @@
-"""Serving telemetry: latency histograms, throughput counters, snapshots.
+"""Serving telemetry: a compatibility facade over :mod:`repro.obs.metrics`.
 
-Everything the serving façade observes — request counts, cache hit rates,
-batch flushes, rejections, per-stage latencies — funnels through one
-:class:`ServingTelemetry` instance whose :meth:`~ServingTelemetry.snapshot`
-returns a plain nested dict, ready for a metrics endpoint, a log line or a
-benchmark table.  Histograms use fixed exponential bucket bounds so memory
-stays constant no matter how much traffic flows through.
+Historically the serving layer owned the only metrics implementation in
+the codebase.  The implementation now lives in
+:class:`repro.obs.metrics.MetricsRegistry`, shared by the stream pipeline,
+retrain executor, sampler cache and training kernels; this module keeps
+the serving-flavoured names importable so existing callers and tests keep
+working unchanged.
+
+``ServingTelemetry`` is the same class with its historical name — per-shard
+merging (:meth:`~repro.obs.metrics.MetricsRegistry.merged_snapshot`) and
+the snapshot layout are unchanged, and it additionally inherits the new
+Prometheus/JSON exposition methods.
 """
 
 from __future__ import annotations
 
-import bisect
-import threading
-import time
-from collections.abc import Callable, Iterable, Sequence
-from contextlib import contextmanager
+from ..obs.metrics import LatencyHistogram, MetricsRegistry
 
 __all__ = ["LatencyHistogram", "ServingTelemetry"]
 
-#: Exponential bucket upper bounds in seconds (250µs … ~8s), tuned for the
-#: online-inference latencies measured by ``bench_online_inference``.
-_DEFAULT_BOUNDS = (0.00025, 0.0005, 0.001, 0.002, 0.004, 0.008, 0.016,
-                   0.032, 0.064, 0.128, 0.256, 0.512, 1.024, 2.048, 4.096,
-                   8.192)
 
-
-class LatencyHistogram:
-    """Fixed-bucket latency histogram with conservative percentile estimates."""
-
-    def __init__(self, bounds: Sequence[float] = _DEFAULT_BOUNDS) -> None:
-        if not bounds or list(bounds) != sorted(bounds):
-            raise ValueError("bounds must be a non-empty ascending sequence")
-        self.bounds = tuple(float(b) for b in bounds)
-        # One extra overflow bucket for observations above the last bound.
-        self._counts = [0] * (len(self.bounds) + 1)
-        self.count = 0
-        self.total = 0.0
-        self.min = float("inf")
-        self.max = 0.0
-
-    def record(self, seconds: float) -> None:
-        if seconds < 0.0:
-            raise ValueError("latency cannot be negative")
-        bucket = bisect.bisect_left(self.bounds, seconds)
-        self._counts[bucket] += 1
-        self.count += 1
-        self.total += seconds
-        self.min = min(self.min, seconds)
-        self.max = max(self.max, seconds)
-
-    @property
-    def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
-
-    def percentile(self, q: float) -> float:
-        """Upper bound of the bucket holding the ``q``-quantile observation.
-
-        Conservative (never under-reports); the overflow bucket reports the
-        exact observed maximum.
-        """
-        if not 0.0 <= q <= 1.0:
-            raise ValueError("q must be in [0, 1]")
-        if self.count == 0:
-            return 0.0
-        rank = max(1, int(round(q * self.count)))
-        cumulative = 0
-        for bucket, count in enumerate(self._counts):
-            cumulative += count
-            if cumulative >= rank:
-                if bucket < len(self.bounds):
-                    return self.bounds[bucket]
-                return self.max
-        return self.max
-
-    def merge(self, other: "LatencyHistogram") -> None:
-        """Fold another histogram's observations into this one.
-
-        Used to aggregate per-shard latency histograms into one fleet view;
-        requires identical bucket bounds so counts add bucket-by-bucket.
-        """
-        if other.bounds != self.bounds:
-            raise ValueError("cannot merge histograms with different bounds")
-        for bucket, count in enumerate(other._counts):  # noqa: SLF001
-            self._counts[bucket] += count
-        self.count += other.count
-        self.total += other.total
-        if other.count:
-            self.min = min(self.min, other.min)
-            self.max = max(self.max, other.max)
-
-    def snapshot(self) -> dict[str, float | int]:
-        return {
-            "count": self.count,
-            "mean": self.mean,
-            "min": self.min if self.count else 0.0,
-            "max": self.max,
-            "p50": self.percentile(0.50),
-            "p95": self.percentile(0.95),
-            "p99": self.percentile(0.99),
-        }
-
-
-class ServingTelemetry:
-    """Counters plus named latency histograms behind one ``snapshot()``.
-
-    All mutating operations are guarded by an internal mutex, so one
-    telemetry instance can be shared by threads serving different shards
-    (counter increments are read-modify-write and would otherwise race).
-    """
-
-    def __init__(self, clock: Callable[[], float] = time.monotonic) -> None:
-        self._clock = clock
-        self._mutex = threading.Lock()
-        self._counters: dict[str, int] = {}
-        self._gauges: dict[str, float] = {}
-        self._histograms: dict[str, LatencyHistogram] = {}
-        self._started_at = clock()
-
-    # --------------------------------------------------------------- counters
-    def increment(self, name: str, amount: int = 1) -> None:
-        with self._mutex:
-            self._counters[name] = self._counters.get(name, 0) + amount
-
-    def counter(self, name: str) -> int:
-        return self._counters.get(name, 0)
-
-    # ----------------------------------------------------------------- gauges
-    def set_gauge(self, name: str, value: float) -> None:
-        """Set a point-in-time measurement (window sizes, buffer depths...).
-
-        Unlike counters, gauges overwrite: the snapshot reports the latest
-        value, which is what streaming maintenance loops need for quantities
-        that go both up and down.
-        """
-        with self._mutex:
-            self._gauges[name] = float(value)
-
-    def gauge(self, name: str, default: float = 0.0) -> float:
-        return self._gauges.get(name, default)
-
-    # ------------------------------------------------------------- histograms
-    def histogram(self, name: str) -> LatencyHistogram:
-        histogram = self._histograms.get(name)
-        if histogram is None:
-            with self._mutex:
-                histogram = self._histograms.setdefault(name,
-                                                        LatencyHistogram())
-        return histogram
-
-    def observe(self, name: str, seconds: float) -> None:
-        histogram = self.histogram(name)
-        with self._mutex:
-            histogram.record(seconds)
-
-    @contextmanager
-    def time(self, name: str):
-        """Context manager recording the elapsed time into ``name``."""
-        started = self._clock()
-        try:
-            yield
-        finally:
-            self.observe(name, self._clock() - started)
-
-    # ---------------------------------------------------------------- export
-    def _copy_state(self) -> tuple[dict[str, int], dict[str, float],
-                                   dict[str, LatencyHistogram]]:
-        """A consistent copy of all state, taken under the mutex.
-
-        Snapshots are read by operator/aggregator threads while serving
-        threads keep writing; iterating the live dicts (or merging a live
-        histogram) would race with a first-time counter insert or a
-        concurrent ``record``.
-        """
-        with self._mutex:
-            histograms = {}
-            for name, histogram in self._histograms.items():
-                clone = LatencyHistogram(histogram.bounds)
-                clone.merge(histogram)
-                histograms[name] = clone
-            return dict(self._counters), dict(self._gauges), histograms
-
-    def snapshot(self) -> dict[str, object]:
-        """A plain-dict view of every counter and histogram, plus uptime."""
-        counters, gauges, histograms = self._copy_state()
-        uptime = self._clock() - self._started_at
-        predictions = counters.get("predictions_total", 0)
-        return {
-            "uptime_seconds": uptime,
-            "throughput_rps": predictions / uptime if uptime > 0 else 0.0,
-            "counters": dict(sorted(counters.items())),
-            "gauges": dict(sorted(gauges.items())),
-            "latency": {name: histogram.snapshot()
-                        for name, histogram in sorted(histograms.items())},
-        }
-
-    def merged_snapshot(self,
-                        others: Iterable["ServingTelemetry"]) -> dict[str, object]:
-        """This instance's snapshot with other instances' data folded in.
-
-        Counters add, gauges from other instances are kept only where this
-        instance has no value of the same name (per-shard gauges should use
-        distinct names), and histograms of the same name merge bucket-wise.
-        ``uptime_seconds``/``throughput_rps`` stay this instance's view — the
-        aggregating service and its shards share one clock.  Every
-        participant's state is copied under its own mutex first, so the
-        merge never races with concurrent serving threads.
-        """
-        counters, gauges, histograms = self._copy_state()
-        for other in others:
-            other_counters, other_gauges, other_histograms = \
-                other._copy_state()  # noqa: SLF001
-            for name, value in other_counters.items():
-                counters[name] = counters.get(name, 0) + value
-            for name, value in other_gauges.items():
-                gauges.setdefault(name, value)
-            for name, histogram in other_histograms.items():
-                base = histograms.get(name)
-                if base is None:
-                    histograms[name] = histogram
-                else:
-                    base.merge(histogram)
-
-        uptime = self._clock() - self._started_at
-        predictions = counters.get("predictions_total", 0)
-        return {
-            "uptime_seconds": uptime,
-            "throughput_rps": predictions / uptime if uptime > 0 else 0.0,
-            "counters": dict(sorted(counters.items())),
-            "gauges": dict(sorted(gauges.items())),
-            "latency": {name: histogram.snapshot()
-                        for name, histogram in sorted(histograms.items())},
-        }
+class ServingTelemetry(MetricsRegistry):
+    """Counters plus named latency histograms behind one ``snapshot()``."""

@@ -30,6 +30,8 @@ from enum import Enum
 
 import numpy as np
 
+from ..obs.log import log_event
+
 __all__ = ["DriftKind", "DriftEvent", "DriftConfig", "DriftDetector"]
 
 
@@ -135,11 +137,17 @@ class DriftDetector:
             return None
         self._latched.add(key)
         self.events_total[kind.value] += 1
+        log_event("drift_latched", kind=kind.value, building_id=building_id,
+                  value=value, threshold=threshold)
         return DriftEvent(kind=kind, building_id=building_id, value=value,
                           threshold=threshold, detail=detail)
 
     def _recover(self, kind: DriftKind, building_id: str | None) -> None:
-        self._latched.discard((building_id, kind))
+        key = (building_id, kind)
+        if key in self._latched:
+            self._latched.discard(key)
+            log_event("drift_cleared", kind=kind.value,
+                      building_id=building_id)
 
     # -------------------------------------------------------------- detectors
     def check_vocabulary(self, building_id: str,

@@ -39,6 +39,8 @@ from pathlib import Path
 from ..core.embedding.kernels import validate_kernel
 from ..core.persistence import _atomic_save_model, _registry_model_filename, load_model
 from ..core.pipeline import GRAFICS
+from ..obs import runtime as obs
+from ..obs.log import log_event
 
 __all__ = ["RetrainJob", "RetrainCompletion", "RetrainExecutor"]
 
@@ -227,11 +229,17 @@ class RetrainExecutor:
 
     def _execute(self, job: RetrainJob,
                  previous_embedding) -> RetrainCompletion:
-        started = self._clock()
-        model = self._train(job, previous_embedding)
-        duration = self._clock() - started
-        self.service.telemetry.observe("retrain_seconds", duration)
-        return self._install(job, model, duration)
+        with obs.span("stream.retrain") as retrain_span:
+            retrain_span.set("building", job.building_id)
+            retrain_span.set("trigger", job.trigger)
+            retrain_span.set("generation", job.generation)
+            started = self._clock()
+            model = self._train(job, previous_embedding)
+            duration = self._clock() - started
+            self.service.telemetry.observe("retrain_seconds", duration)
+            completion = self._install(job, model, duration)
+            retrain_span.set("swapped", completion.swapped)
+            return completion
 
     def _install(self, job: RetrainJob, model: GRAFICS,
                  duration: float) -> RetrainCompletion:
@@ -253,6 +261,9 @@ class RetrainExecutor:
             if stale:
                 self.stale_total += 1
                 self.service.telemetry.increment("retrains_stale_total")
+                log_event("retrain_fenced_stale", building_id=job.building_id,
+                          trigger=job.trigger, job_generation=job.generation,
+                          current_generation=current)
                 return RetrainCompletion(
                     building_id=job.building_id, trigger=job.trigger,
                     generation=job.generation, swapped=False, stale=True,

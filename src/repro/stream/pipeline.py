@@ -32,6 +32,8 @@ from ..core.persistence import (
 )
 from ..core.registry import BuildingPrediction
 from ..core.types import SignalRecord
+from ..obs import runtime as obs
+from ..obs.log import log_event
 from ..serving.service import FloorServingService, ServingConfig
 from ..serving.sharding import ShardedServingService
 from .drift import DriftConfig, DriftDetector, DriftEvent, DriftKind
@@ -134,6 +136,16 @@ class ContinuousLearningPipeline:
     def process(self, record: SignalRecord,
                 building_id: str | None = None) -> StreamResult:
         """Advance the pipeline by one record; never raises on stream input."""
+        with obs.span("stream.process") as process_span:
+            result = self._process(record, building_id)
+            process_span.set("record", record.record_id)
+            process_span.set("accepted", result.accepted)
+            if result.swapped:
+                process_span.set("swapped", True)
+            return result
+
+    def _process(self, record: SignalRecord,
+                 building_id: str | None = None) -> StreamResult:
         self.processed_total += 1
         telemetry = self.service.telemetry
         telemetry.increment("stream_records_total")
@@ -292,6 +304,9 @@ class ContinuousLearningPipeline:
                       directory / _CHECKPOINT_REGISTRY_DIR)
         save_stream_state(self.state_dict(),
                           directory / _CHECKPOINT_STATE_FILE)
+        log_event("checkpoint_written", path=str(directory),
+                  processed_total=self.processed_total,
+                  buildings=len(self.service.building_ids))
         return directory
 
     @classmethod
@@ -330,6 +345,9 @@ class ContinuousLearningPipeline:
                                               config=serving_config)
         pipeline = cls(service, config, filters=filters)
         pipeline.restore_state(state)
+        log_event("checkpoint_resumed", path=str(directory),
+                  processed_total=pipeline.processed_total,
+                  buildings=len(service.building_ids))
         return pipeline
 
     def state_dict(self) -> dict:

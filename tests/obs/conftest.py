@@ -1,0 +1,22 @@
+"""Shared fixtures for the observability tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import runtime as obs
+
+
+@pytest.fixture(autouse=True)
+def _observability_off():
+    """Every test starts and ends with the global switch off.
+
+    The runtime switch is process-global state; a test that enables it and
+    fails before its own cleanup must not leak a live tracer into the next
+    test (or into the engine byte-identity suites running later).
+    """
+    obs.disable()
+    yield
+    obs.disable()
+
+

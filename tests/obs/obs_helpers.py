@@ -1,0 +1,24 @@
+"""Shared helpers for the observability tests."""
+
+from __future__ import annotations
+
+
+class FakeClock:
+    """A deterministic monotonic clock advanced explicitly by tests.
+
+    With ``tick`` set, every read advances the clock by that much — which
+    gives every span a distinct start and a non-zero duration without any
+    explicit bookkeeping in the test body.
+    """
+
+    def __init__(self, start: float = 0.0, tick: float = 0.0) -> None:
+        self.now = start
+        self.tick = tick
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.tick
+        return value
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds

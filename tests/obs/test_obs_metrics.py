@@ -1,0 +1,141 @@
+"""LatencyHistogram and MetricsRegistry behaviour, including the merge law."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import _DEFAULT_BOUNDS, LatencyHistogram, MetricsRegistry
+
+latencies = st.lists(
+    st.floats(min_value=0.0, max_value=20.0,
+              allow_nan=False, allow_infinity=False),
+    max_size=60)
+
+
+class TestLatencyHistogramMerge:
+    """merge(a, b) must equal recording the concatenated observations."""
+
+    @given(left=latencies, right=latencies)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_equals_concatenated_recording(self, left, right):
+        merged = LatencyHistogram()
+        other = LatencyHistogram()
+        for value in left:
+            merged.record(value)
+        for value in right:
+            other.record(value)
+        merged.merge(other)
+
+        reference = LatencyHistogram()
+        for value in left + right:
+            reference.record(value)
+
+        assert merged.bucket_counts() == reference.bucket_counts()
+        assert merged.count == reference.count
+        assert merged.total == pytest.approx(reference.total)
+        assert merged.snapshot() == pytest.approx(reference.snapshot())
+
+    def test_merge_empty_operands(self):
+        empty = LatencyHistogram()
+        loaded = LatencyHistogram()
+        loaded.record(0.003)
+        loaded.merge(empty)                    # empty right operand
+        assert loaded.count == 1
+        assert loaded.min == 0.003
+        assert loaded.max == 0.003
+
+        target = LatencyHistogram()
+        target.merge(loaded)                   # empty left operand
+        assert target.count == 1
+        assert target.min == 0.003             # not inf
+        assert target.snapshot() == loaded.snapshot()
+
+    def test_merge_preserves_min_max_edges(self):
+        a, b = LatencyHistogram(), LatencyHistogram()
+        a.record(0.0)                          # at the lower edge
+        b.record(100.0)                        # beyond the last bound
+        a.merge(b)
+        assert a.min == 0.0
+        assert a.max == 100.0
+        assert a.percentile(1.0) == 100.0      # overflow reports exact max
+
+    def test_merge_rejects_mismatched_bounds(self):
+        a = LatencyHistogram()
+        b = LatencyHistogram(bounds=(0.1, 0.2))
+        with pytest.raises(ValueError, match="different bounds"):
+            a.merge(b)
+
+
+class TestLatencyHistogram:
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().record(-0.001)
+
+    def test_empty_snapshot_is_all_zero(self):
+        snapshot = LatencyHistogram().snapshot()
+        assert snapshot["count"] == 0
+        assert snapshot["min"] == 0.0
+        assert snapshot["p95"] == 0.0
+
+    def test_percentile_is_conservative(self):
+        histogram = LatencyHistogram()
+        for _ in range(100):
+            histogram.record(0.0009)           # falls in the (0.0005, 0.001]
+        assert histogram.percentile(0.5) == 0.001   # bucket upper bound
+
+
+class TestMetricsRegistry:
+    def test_counters_gauges_histograms_roundtrip(self):
+        registry = MetricsRegistry()
+        registry.increment("requests_total", 3)
+        registry.set_gauge("window_records", 42)
+        registry.observe("request_seconds", 0.004)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["requests_total"] == 3
+        assert snapshot["gauges"]["window_records"] == 42.0
+        assert snapshot["latency"]["request_seconds"]["count"] == 1
+        decoded = json.loads(registry.to_json())
+        assert decoded["counters"] == snapshot["counters"]
+        assert decoded["latency"] == snapshot["latency"]
+
+    def test_merged_snapshot_folds_shards(self):
+        fleet = MetricsRegistry()
+        shard_a, shard_b = MetricsRegistry(), MetricsRegistry()
+        shard_a.increment("predictions_total", 5)
+        shard_b.increment("predictions_total", 7)
+        shard_a.observe("request_seconds", 0.002)
+        shard_b.observe("request_seconds", 0.006)
+        shard_a.set_gauge("shard_depth", 2.0)
+        merged = fleet.merged_snapshot([shard_a, shard_b])
+        assert merged["counters"]["predictions_total"] == 12
+        assert merged["latency"]["request_seconds"]["count"] == 2
+        assert merged["gauges"]["shard_depth"] == 2.0
+
+    def test_prometheus_text_format(self):
+        registry = MetricsRegistry()
+        registry.increment("requests_total", 2)
+        registry.set_gauge("queue.depth", 3)   # '.' must be sanitised
+        registry.observe("request_seconds", 0.0003)
+        registry.observe("request_seconds", 50.0)   # overflow bucket
+        text = registry.to_prometheus_text()
+        assert "# TYPE repro_requests_total counter" in text
+        assert "repro_requests_total 2" in text
+        assert "repro_queue_depth 3" in text
+        assert "# TYPE repro_request_seconds histogram" in text
+        # Buckets are cumulative and end with the mandatory +Inf.
+        assert f'repro_request_seconds_bucket{{le="{_DEFAULT_BOUNDS[-1]}"}} 1' \
+            in text
+        assert 'repro_request_seconds_bucket{le="+Inf"} 2' in text
+        assert "repro_request_seconds_count 2" in text
+        assert text.endswith("\n")
+
+    def test_time_context_uses_injected_clock(self):
+        ticks = iter([0.0, 0.0, 1.5])
+        registry = MetricsRegistry(clock=lambda: next(ticks))
+        with registry.time("block_seconds"):
+            pass
+        assert registry.histogram("block_seconds").total == 1.5

@@ -1,0 +1,94 @@
+"""The global on/off switch, the null-span fast path and structured logs."""
+
+from __future__ import annotations
+
+import json
+import logging
+
+from repro.obs import runtime as obs
+from repro.obs.log import LOGGER_NAME, log_event
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import SpanTracer
+
+from obs_helpers import FakeClock
+
+
+class TestDisabledPath:
+    def test_span_returns_the_shared_null_singleton(self):
+        first = obs.span("anything")
+        second = obs.span("anything-else")
+        assert first is second               # no allocation per call
+
+    def test_null_span_supports_the_full_span_protocol(self):
+        with obs.span("x") as span:
+            assert span.set("key", "value") is span
+            assert span.span is None
+
+    def test_everything_noops_while_disabled(self):
+        obs.stage("embed.kernel", 1.0)
+        obs.metric_increment("counter")
+        obs.observe("latency", 0.1)
+        obs.set_gauge("gauge", 1.0)
+        assert obs.current_trace_id() is None
+        assert obs.active_tracer() is None
+        assert obs.get_metrics() is None
+        assert not obs.enabled()
+
+
+class TestEnableDisable:
+    def test_enable_creates_and_returns_the_pair(self):
+        tracer, metrics = obs.enable()
+        assert obs.enabled()
+        assert obs.active_tracer() is tracer
+        assert obs.get_metrics() is metrics
+
+    def test_enable_accepts_injected_instances(self):
+        tracer = SpanTracer(clock=FakeClock())
+        metrics = MetricsRegistry()
+        installed = obs.enable(tracer=tracer, metrics=metrics)
+        assert installed == (tracer, metrics)
+        with obs.span("routed"):
+            pass
+        assert tracer.spans()[0].name == "routed"
+        obs.metric_increment("bumped")
+        assert metrics.counter("bumped") == 1
+
+    def test_disable_restores_the_null_path(self):
+        obs.enable()
+        obs.disable()
+        assert obs.span("x") is obs.span("y")
+
+
+class TestLogEvents:
+    def test_log_event_emits_one_json_line(self, caplog):
+        with caplog.at_level(logging.INFO, logger=LOGGER_NAME):
+            log_event("hot_swap_installed", building_id="b-1", requeued=2)
+        (record,) = caplog.records
+        payload = json.loads(record.getMessage())
+        assert payload == {"event": "hot_swap_installed",
+                           "building_id": "b-1", "requeued": 2}
+
+    def test_log_event_attaches_live_trace_id(self, caplog):
+        obs.enable(tracer=SpanTracer(clock=FakeClock()))
+        with caplog.at_level(logging.INFO, logger=LOGGER_NAME):
+            with obs.span("request"):
+                log_event("drift_latched", kind="mac_churn")
+        payload = json.loads(caplog.records[0].getMessage())
+        assert payload["trace_id"] == "t000001"
+
+    def test_log_event_skips_serialisation_when_level_disabled(self, caplog):
+        logging.getLogger(LOGGER_NAME).setLevel(logging.WARNING)
+        try:
+            with caplog.at_level(logging.WARNING, logger=LOGGER_NAME):
+                log_event("checkpoint_written",
+                          unserialisable=object())  # never touched
+        finally:
+            logging.getLogger(LOGGER_NAME).setLevel(logging.NOTSET)
+        assert caplog.records == []
+
+    def test_log_event_stringifies_exotic_values(self, caplog):
+        with caplog.at_level(logging.INFO, logger=LOGGER_NAME):
+            log_event("checkpoint_written", path=object())
+        payload = json.loads(caplog.records[0].getMessage())
+        assert payload["event"] == "checkpoint_written"
+        assert isinstance(payload["path"], str)
