@@ -1,0 +1,141 @@
+"""CI smoke: boot the ObsServer against a live service and scrape it.
+
+Trains one small building, wraps the serving stack in a
+:class:`~repro.obs.server.ObsServer` on an ephemeral port, and asserts —
+over real HTTP, stdlib ``urllib`` only — that
+
+* ``/metrics`` serves a payload the Prometheus text format accepts (every
+  sample line parses, every family has exactly one ``# TYPE``, histogram
+  ``le`` buckets are cumulative and end in ``+Inf``),
+* ``/healthz`` and ``/slo`` serve well-formed JSON with the expected keys,
+* ``/spans`` serves JSON lines for spans recorded while tracing.
+
+Exits non-zero on any violation; run from CI after the unit suite.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+import urllib.request
+
+from repro import (EmbeddingConfig, FloorServingService, GraficsConfig,
+                   ObsServer)
+from repro.data import make_experiment_split, small_test_building
+from repro.obs import runtime as obs
+
+#: A metric line is ``name{labels} value`` or ``name value``; a quick
+#: structural grammar is enough to catch a broken exposition writer.
+_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+
+
+def _fetch(url: str) -> tuple[int, bytes]:
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return response.status, response.read()
+
+
+def parse_prometheus(text: str) -> dict[str, list[tuple[str, float]]]:
+    """Parse the exposition text; raises on any malformed line.
+
+    Returns family -> [(sample name with labels, value)].  Mirrors the
+    subset of the format the writer emits: ``# TYPE`` comments and bare
+    samples with optional ``{le="..."}`` labels.
+    """
+    import re
+
+    families: dict[str, list[tuple[str, float]]] = {}
+    typed: dict[str, str] = {}
+    sample_re = re.compile(rf"^({_NAME})(\{{[^}}]*\}})? (\S+)$")
+    for line_number, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            family, _, kind = rest.partition(" ")
+            if family in typed:
+                raise ValueError(f"line {line_number}: duplicate # TYPE for "
+                                 f"family {family!r}")
+            if kind not in ("counter", "gauge", "histogram"):
+                raise ValueError(f"line {line_number}: unknown type {kind!r}")
+            typed[family] = kind
+            continue
+        if line.startswith("#"):
+            continue
+        match = sample_re.match(line)
+        if match is None:
+            raise ValueError(f"line {line_number}: malformed sample {line!r}")
+        name, labels, raw_value = match.groups()
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in typed:
+                family = name[: -len(suffix)]
+        if family not in typed:
+            raise ValueError(f"line {line_number}: sample {name!r} precedes "
+                             "its # TYPE comment")
+        families.setdefault(family, []).append(
+            (name + (labels or ""), float(raw_value)))
+    return families
+
+
+def build_service() -> FloorServingService:
+    config = GraficsConfig(embedding=EmbeddingConfig(samples_per_edge=8.0,
+                                                     seed=0),
+                           allow_unreachable_clusters=True)
+    service = FloorServingService(grafics_config=config)
+    dataset = small_test_building(num_floors=2, records_per_floor=25,
+                                  aps_per_floor=10, seed=50,
+                                  building_id="bldg-A")
+    split = make_experiment_split(dataset, labels_per_floor=4, seed=0)
+    service.fit_building(dataset.subset(split.train_records), split.labels)
+    for record in split.test_records[:10]:
+        service.predict(record.without_floor())
+    return service
+
+
+def main() -> int:
+    started = time.perf_counter()
+    obs.enable()
+    try:
+        service = build_service()
+        with ObsServer(service) as server:
+            base = server.url
+
+            status, body = _fetch(f"{base}/metrics")
+            assert status == 200, f"/metrics returned {status}"
+            families = parse_prometheus(body.decode("utf-8"))
+            assert "repro_requests_total" in families, sorted(families)
+            histogram = dict(families["repro_request_seconds"])
+            buckets = [(name, value) for name, value in histogram.items()
+                       if "_bucket" in name]
+            assert buckets and buckets[-1][0].endswith('le="+Inf"}'), buckets
+            counts = [value for _, value in buckets]
+            assert counts == sorted(counts), "buckets must be cumulative"
+
+            status, body = _fetch(f"{base}/healthz")
+            assert status == 200, f"/healthz returned {status}"
+            health = json.loads(body)
+            assert health["status"] in ("healthy", "degraded")
+            assert "bldg-A" in health["buildings"]
+
+            status, body = _fetch(f"{base}/slo")
+            slo = json.loads(body)
+            assert status == 200 and isinstance(slo["objectives"], list)
+
+            status, body = _fetch(f"{base}/spans?limit=16")
+            assert status == 200, f"/spans returned {status}"
+            spans = [json.loads(line) for line in body.decode().splitlines()]
+            assert spans and all("trace_id" in span for span in spans)
+
+        print(f"obs server smoke passed in "
+              f"{time.perf_counter() - started:.1f}s "
+              f"({len(families)} metric families, "
+              f"{len(health['buildings'])} buildings, {len(spans)} spans)")
+        return 0
+    finally:
+        obs.disable()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

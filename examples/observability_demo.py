@@ -12,8 +12,13 @@ MetricsRegistry`.  At the end the demo prints
 * the span tree of one traced online prediction,
 * the per-stage cost breakdown of the embedding work (alias build vs
   sampling vs kernel — the profiling query behind the ROADMAP's
-  "alias-table build is a fixed per-request cost" observation), and
-* the full registry in Prometheus text exposition format.
+  "alias-table build is a fixed per-request cost" observation),
+* the full registry in Prometheus text exposition format, and
+* the live consumption layer: an :class:`~repro.obs.ObsServer` on an
+  ephemeral port scraped over real HTTP — ``/metrics`` and ``/healthz``
+  while the building is healthy, then again after an injected latency
+  anomaly flips its scorecard to ``unhealthy`` with machine-readable
+  reasons — plus the critical path of the traced request.
 
 Everything here is stdlib + the already-installed scientific stack; the
 observability layer adds no dependencies and is off by default (the
@@ -22,8 +27,11 @@ observability layer adds no dependencies and is off by default (the
 
 from __future__ import annotations
 
+import json
 import logging
 import random
+import urllib.error
+import urllib.request
 
 from repro import (
     ContinuousLearningPipeline,
@@ -34,9 +42,19 @@ from repro import (
     StreamConfig,
 )
 from repro.data import make_experiment_split, small_test_building
+from repro.obs import ObsServer
 from repro.obs import runtime as obs
 from repro.obs.tracer import format_span_tree, stage_breakdown
 from repro.stream import DriftConfig, SchedulerConfig, WindowConfig
+
+
+def fetch(url):
+    """GET returning (status, body) — a 503 health probe is data, not an error."""
+    try:
+        with urllib.request.urlopen(url, timeout=10) as response:
+            return response.status, response.read().decode("utf-8")
+    except urllib.error.HTTPError as error:
+        return error.code, error.read().decode("utf-8")
 
 
 def make_stream(split, count, prefix, rename=None, seed=0):
@@ -114,6 +132,55 @@ def main() -> None:
     print(service.telemetry.merged_snapshot([metrics])["counters"])
     print()
     print(metrics.to_prometheus_text())
+
+    # Where did that request's wall time actually go?  The critical path
+    # walks the slowest child chain and attributes self-time per span.
+    trace_id = tracer.spans()[-1].trace_id
+    print("critical path of the traced request:")
+    for step in tracer.critical_path(trace_id):
+        print(f"  {step['name']:<24} {step['duration_seconds'] * 1e3:8.3f} ms "
+              f"(self {step['self_seconds'] * 1e3:.3f} ms)")
+
+    # A little warm-cache traffic (repeat probes hit the fingerprint
+    # cache), so the baseline scorecard is healthy rather than flagging
+    # the all-unique stream above as a 0% cache hit rate.
+    for _ in range(8):
+        service.predict(probe)
+
+    # ---- the live consumption layer: health & SLOs over real HTTP ------
+    with ObsServer(pipeline=pipeline) as server:
+        print(f"\nObsServer listening on {server.url} "
+              "(/metrics /healthz /slo /spans)")
+        _, body = fetch(server.url + "/metrics")
+        families = [line for line in body.splitlines()
+                    if line.startswith("# TYPE")]
+        print(f"/metrics: {len(families)} metric families, "
+              f"{len(body.splitlines())} samples")
+        status, body = fetch(server.url + "/healthz")
+        report = json.loads(body)
+        print(f"/healthz: HTTP {status}, fleet is "
+              f"{report['status']!r}, building science-wing is "
+              f"{report['buildings']['science-wing']['status']!r}")
+
+        # Inject a latency anomaly: the p95 over the trailing window blows
+        # past the outage threshold and the scorecard flips — with the
+        # machine-readable reason an operator (or rebalancer) acts on.
+        print("\ninjecting a 2 s tail-latency anomaly...")
+        for _ in range(12):
+            service.telemetry.observe("request_seconds", 2.0)
+        status, body = fetch(server.url + "/healthz")
+        report = json.loads(body)
+        card = report["buildings"]["science-wing"]
+        print(f"/healthz: HTTP {status}, building science-wing is now "
+              f"{card['status']!r}:")
+        for reason in card["reasons"]:
+            print(f"  [{reason['severity']}] {reason['code']}: "
+                  f"{reason['detail']}")
+        _, body = fetch(server.url + "/slo")
+        slo = json.loads(body)
+        print(f"/slo: ok={slo['ok']}, objectives: "
+              + ", ".join(f"{o['name']}={'ok' if o['ok'] else 'VIOLATED'}"
+                          for o in slo["objectives"]))
 
     obs.disable()
 

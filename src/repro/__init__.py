@@ -15,6 +15,8 @@ Public entry points:
 * :mod:`repro.stream` — streaming ingestion, sliding-window graph
   maintenance, drift detection and continuous-learning retrains
   (:class:`repro.ContinuousLearningPipeline`).
+* :mod:`repro.obs` — tracing, metrics, SLOs, health scorecards and the
+  :class:`repro.ObsServer` HTTP endpoint.
 * :mod:`repro.data` — synthetic crowdsourced datasets, loaders, splits, statistics.
 * :mod:`repro.baselines` — Scalable-DNN, SAE, Autoencoder+Prox, MDS+Prox, matrix+Prox.
 * :mod:`repro.evaluation` — micro/macro F metrics and the experiment harness.
@@ -42,6 +44,7 @@ from .core import (
     save_model,
     save_registry,
 )
+from .obs import HealthMonitor, ObsServer, SLOMonitor
 from .serving import (
     FloorServingService,
     ServingConfig,
@@ -75,6 +78,9 @@ __all__ = [
     "ContinuousLearningPipeline",
     "StreamConfig",
     "StreamResult",
+    "ObsServer",
+    "HealthMonitor",
+    "SLOMonitor",
     "save_model",
     "load_model",
     "save_registry",

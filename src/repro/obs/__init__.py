@@ -1,33 +1,58 @@
-"""Observability: span tracing, a shared metrics registry, lifecycle logs.
+"""Observability: tracing, metrics, time series, SLOs, health, HTTP surface.
 
-Dependency-free (stdlib only).  Three pillars:
+Dependency-free (stdlib only).  The pillars:
 
 * :mod:`repro.obs.tracer` — deterministic span tracer (counter-based IDs,
-  injected clock, bounded ring buffer, JSONL export).
+  injected clock, bounded ring buffer, JSONL export, critical-path query).
 * :mod:`repro.obs.metrics` — :class:`MetricsRegistry`, the registry behind
-  ``ServingTelemetry`` and now shared by the stream pipeline, retrain
+  ``ServingTelemetry`` and shared by the stream pipeline, retrain
   executor, sampler cache, overlay and training kernels; Prometheus-text
-  and JSON exposition.
+  and JSON exposition (with merged per-shard views).
 * :mod:`repro.obs.log` — structured JSON lifecycle events on the stdlib
   ``repro.obs`` logger.
+* :mod:`repro.obs.timeseries` — bounded metric time series sampled from a
+  registry on an injected clock, with EWMA/z-score anomaly scoring and
+  windowed histogram percentiles.
+* :mod:`repro.obs.slo` — declarative SLO objectives with multi-window
+  error-budget burn-rate alerting.
+* :mod:`repro.obs.health` — per-building / per-shard health scorecards
+  fusing drift, routing, cache, latency and retrain signals.
+* :mod:`repro.obs.server` — :class:`ObsServer`, the stdlib HTTP endpoint
+  serving ``/metrics``, ``/healthz``, ``/slo`` and ``/spans``.
 
 The global on/off switch lives in :mod:`repro.obs.runtime`; hot paths use
 its module-level helpers (``span``/``stage``/``metric_increment``) which
 collapse to near-free no-ops while observability is disabled.
 """
 
+from .health import (HealthMonitor, HealthPolicy, HealthReason, HealthStatus,
+                     Scorecard)
 from .log import LOGGER_NAME, log_event
 from .metrics import LatencyHistogram, MetricsRegistry
 from .runtime import (active_tracer, current_trace_id, disable, enable,
                       enabled, get_metrics, metric_increment, observe,
                       set_gauge, span, stage)
-from .tracer import Span, SpanTracer, format_span_tree, stage_breakdown
+from .server import ObsServer
+from .slo import (ErrorRatioObjective, GaugeCeilingObjective,
+                  LatencyObjective, ObjectiveStatus, SLOMonitor,
+                  default_serving_objectives)
+from .timeseries import (HistogramWindow, MetricsSampler, TimeSeries,
+                         flatten_snapshot)
+from .tracer import (Span, SpanTracer, critical_path, format_span_tree,
+                     stage_breakdown)
 
 __all__ = [
     "LatencyHistogram", "MetricsRegistry",
-    "Span", "SpanTracer", "format_span_tree", "stage_breakdown",
+    "Span", "SpanTracer", "critical_path", "format_span_tree",
+    "stage_breakdown",
     "LOGGER_NAME", "log_event",
     "enable", "disable", "enabled", "active_tracer", "get_metrics",
     "span", "stage", "current_trace_id", "metric_increment", "observe",
     "set_gauge",
+    "TimeSeries", "MetricsSampler", "HistogramWindow", "flatten_snapshot",
+    "ObjectiveStatus", "LatencyObjective", "ErrorRatioObjective",
+    "GaugeCeilingObjective", "SLOMonitor", "default_serving_objectives",
+    "HealthStatus", "HealthReason", "HealthPolicy", "Scorecard",
+    "HealthMonitor",
+    "ObsServer",
 ]

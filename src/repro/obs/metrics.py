@@ -189,6 +189,22 @@ class MetricsRegistry:
         finally:
             self.observe(name, self._clock() - started)
 
+    def histogram_snapshot(self, name: str) -> LatencyHistogram | None:
+        """A consistent clone of one histogram, or ``None`` if absent.
+
+        Unlike :meth:`histogram` this never creates the histogram, and the
+        clone is taken under the mutex — windowed consumers (the health
+        monitor's trailing-percentile tracker) read bucket counts from it
+        without racing concurrent ``record`` calls.
+        """
+        with self._mutex:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                return None
+            clone = LatencyHistogram(histogram.bounds)
+            clone.merge(histogram)
+            return clone
+
     # ---------------------------------------------------------------- export
     def _copy_state(self) -> tuple[dict[str, int], dict[str, float],
                                    dict[str, LatencyHistogram]]:
@@ -227,17 +243,16 @@ class MetricsRegistry:
         counters, gauges, histograms = self._copy_state()
         return self._assemble_snapshot(counters, gauges, histograms)
 
-    def merged_snapshot(self,
-                        others: Iterable["MetricsRegistry"]) -> dict[str, object]:
-        """This instance's snapshot with other instances' data folded in.
+    def _merged_state(self, others: Iterable["MetricsRegistry"],
+                      ) -> tuple[dict[str, int], dict[str, float],
+                                 dict[str, LatencyHistogram]]:
+        """This instance's state with other instances' data folded in.
 
         Counters add, gauges from other instances are kept only where this
         instance has no value of the same name (per-shard gauges should use
         distinct names), and histograms of the same name merge bucket-wise.
-        ``uptime_seconds``/``throughput_rps`` stay this instance's view — the
-        aggregating service and its shards share one clock.  Every
-        participant's state is copied under its own mutex first, so the
-        merge never races with concurrent serving threads.
+        Every participant's state is copied under its own mutex first, so
+        the merge never races with concurrent serving threads.
         """
         counters, gauges, histograms = self._copy_state()
         for other in others:
@@ -253,14 +268,25 @@ class MetricsRegistry:
                     histograms[name] = histogram
                 else:
                     base.merge(histogram)
-        return self._assemble_snapshot(counters, gauges, histograms)
+        return counters, gauges, histograms
+
+    def merged_snapshot(self,
+                        others: Iterable["MetricsRegistry"]) -> dict[str, object]:
+        """This instance's snapshot with other instances' data folded in.
+
+        See :meth:`_merged_state` for the merge semantics;
+        ``uptime_seconds``/``throughput_rps`` stay this instance's view — the
+        aggregating service and its shards share one clock.
+        """
+        return self._assemble_snapshot(*self._merged_state(others))
 
     # ------------------------------------------------------------- exposition
     def to_json(self, indent: int | None = None) -> str:
         """The :meth:`snapshot` serialised as a JSON document."""
         return json.dumps(self.snapshot(), indent=indent, sort_keys=False)
 
-    def to_prometheus_text(self, prefix: str = "repro") -> str:
+    def to_prometheus_text(self, prefix: str = "repro",
+                           others: Iterable["MetricsRegistry"] = ()) -> str:
         """The registry in the Prometheus text exposition format.
 
         Counters become ``<prefix>_<name>`` counters, gauges become gauges,
@@ -268,20 +294,36 @@ class MetricsRegistry:
         histogram: cumulative ``_bucket{le="..."}`` series (including the
         mandatory ``+Inf`` bucket), ``_sum`` and ``_count``.  Names are
         sanitised to the Prometheus grammar (``.``/``:`` and friends become
-        ``_``).
+        ``_``); when two raw names sanitise to the same family, later ones
+        get a deterministic ``_2``/``_3``... suffix (sorted order within
+        each section) rather than emitting a duplicate family, which scrape
+        parsers reject.  ``others`` folds further registries in first (the
+        sharded service's per-shard telemetry merged into one fleet view);
+        see :meth:`_merged_state` for the merge semantics.
         """
-        counters, gauges, histograms = self._copy_state()
+        counters, gauges, histograms = self._merged_state(others)
+        used_families: set[str] = set()
+
+        def _family(name: str) -> str:
+            base = _prometheus_name(prefix, name)
+            family, suffix = base, 2
+            while family in used_families:
+                family = f"{base}_{suffix}"
+                suffix += 1
+            used_families.add(family)
+            return family
+
         lines: list[str] = []
         for name, value in sorted(counters.items()):
-            metric = _prometheus_name(prefix, name)
+            metric = _family(name)
             lines.append(f"# TYPE {metric} counter")
             lines.append(f"{metric} {value}")
         for name, value in sorted(gauges.items()):
-            metric = _prometheus_name(prefix, name)
+            metric = _family(name)
             lines.append(f"# TYPE {metric} gauge")
             lines.append(f"{metric} {value}")
         for name, histogram in sorted(histograms.items()):
-            metric = _prometheus_name(prefix, name)
+            metric = _family(name)
             lines.append(f"# TYPE {metric} histogram")
             cumulative = 0
             counts = histogram.bucket_counts()

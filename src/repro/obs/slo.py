@@ -1,0 +1,292 @@
+"""Declarative SLOs with multi-window error-budget burn-rate alerts.
+
+An SLO here is a small set of *objectives* evaluated against metrics
+snapshots:
+
+* :class:`LatencyObjective` — a latency-percentile target on one of the
+  registry's histograms (``p95 of request_seconds <= 250ms``);
+* :class:`ErrorRatioObjective` — a ceiling on the ratio of two counters
+  (``rejections_total / requests_total <= 5%``), with genuine
+  *error-budget burn-rate* semantics: the ceiling is the budget, and the
+  recent bad-fraction over a trailing window divided by the budget is the
+  burn rate;
+* :class:`GaugeCeilingObjective` — a ceiling on a gauge (retrain
+  staleness, queue depth...).
+
+:class:`SLOMonitor` samples a snapshot source on an injected clock
+(through :class:`~repro.obs.timeseries.MetricsSampler`), evaluates every
+objective, and runs the standard multi-window burn-rate alerting rule on
+the ratio objectives: an alert fires only when the burn rate exceeds the
+threshold over *both* a fast window (default 5 minutes — catches it
+quickly) and a slow window (default 1 hour — suppresses blips), and
+resolves as soon as either window recovers.  Alert transitions are
+latched and emitted as structured ``repro.obs`` events
+(``slo_burn_rate_alert`` / ``slo_burn_rate_resolved``), so the alerting
+contract is machine-readable end to end.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Union
+
+from .log import log_event
+from .metrics import MetricsRegistry
+from .timeseries import MetricsSampler
+
+__all__ = [
+    "ObjectiveStatus", "LatencyObjective", "ErrorRatioObjective",
+    "GaugeCeilingObjective", "SLOMonitor", "default_serving_objectives",
+]
+
+#: Histogram snapshot keys a latency objective can target.
+_QUANTILE_KEYS = {0.5: "p50", 0.95: "p95", 0.99: "p99"}
+
+
+@dataclass(frozen=True)
+class ObjectiveStatus:
+    """One objective's verdict at one evaluation instant."""
+
+    name: str
+    kind: str                      # "latency" | "error_ratio" | "gauge"
+    ok: bool
+    value: float
+    target: float
+    detail: str
+    #: Burn rates over the monitor's fast/slow windows; ``None`` for
+    #: objectives without budget semantics (latency, gauges).
+    burn_fast: float | None = None
+    burn_slow: float | None = None
+    alerting: bool = False
+
+    def to_dict(self) -> dict[str, object]:
+        payload: dict[str, object] = {
+            "name": self.name, "kind": self.kind, "ok": self.ok,
+            "value": self.value, "target": self.target, "detail": self.detail,
+        }
+        if self.burn_fast is not None:
+            payload["burn_fast"] = self.burn_fast
+            payload["burn_slow"] = self.burn_slow
+            payload["alerting"] = self.alerting
+        return payload
+
+
+class LatencyObjective:
+    """``quantile`` of one latency histogram must stay at or below target."""
+
+    kind = "latency"
+
+    def __init__(self, name: str, threshold_seconds: float,
+                 histogram: str = "request_seconds",
+                 quantile: float = 0.95) -> None:
+        if quantile not in _QUANTILE_KEYS:
+            raise ValueError(f"quantile must be one of "
+                             f"{sorted(_QUANTILE_KEYS)} (the quantiles a "
+                             "registry snapshot reports)")
+        if threshold_seconds <= 0.0:
+            raise ValueError("threshold_seconds must be positive")
+        self.name = name
+        self.histogram = histogram
+        self.quantile = quantile
+        self.threshold_seconds = float(threshold_seconds)
+
+    def evaluate(self, snapshot: Mapping) -> ObjectiveStatus:
+        latencies = snapshot.get("latency", {})
+        entry = latencies.get(self.histogram, {})
+        value = float(entry.get(_QUANTILE_KEYS[self.quantile], 0.0))
+        ok = value <= self.threshold_seconds
+        return ObjectiveStatus(
+            name=self.name, kind=self.kind, ok=ok, value=value,
+            target=self.threshold_seconds,
+            detail=f"{_QUANTILE_KEYS[self.quantile]}({self.histogram}) = "
+                   f"{value * 1e3:.1f} ms (target <= "
+                   f"{self.threshold_seconds * 1e3:.1f} ms)")
+
+
+class ErrorRatioObjective:
+    """``numerator / denominator`` must stay at or below ``max_ratio``.
+
+    ``max_ratio`` doubles as the *error budget*: a burn rate of 1.0 means
+    the recent bad-fraction consumes the budget exactly as fast as the SLO
+    allows; the monitor alerts when the burn rate exceeds its threshold on
+    both of its windows.  ``min_observations`` suppresses the point-in-time
+    verdict until the denominator has seen that many events, so an empty
+    service is not "failing" its error SLO.
+    """
+
+    kind = "error_ratio"
+
+    def __init__(self, name: str, max_ratio: float,
+                 numerator: str = "rejections_total",
+                 denominator: str = "requests_total",
+                 min_observations: int = 1) -> None:
+        if not 0.0 < max_ratio <= 1.0:
+            raise ValueError("max_ratio must be in (0, 1]")
+        if min_observations < 1:
+            raise ValueError("min_observations must be at least 1")
+        self.name = name
+        self.numerator = numerator
+        self.denominator = denominator
+        self.max_ratio = float(max_ratio)
+        self.min_observations = min_observations
+
+    def evaluate(self, snapshot: Mapping) -> ObjectiveStatus:
+        counters = snapshot.get("counters", {})
+        bad = float(counters.get(self.numerator, 0))
+        total = float(counters.get(self.denominator, 0))
+        ratio = bad / total if total > 0 else 0.0
+        ok = total < self.min_observations or ratio <= self.max_ratio
+        return ObjectiveStatus(
+            name=self.name, kind=self.kind, ok=ok, value=ratio,
+            target=self.max_ratio,
+            detail=f"{self.numerator}/{self.denominator} = {ratio:.1%} over "
+                   f"{total:.0f} events (budget {self.max_ratio:.1%})")
+
+    def burn_rate(self, sampler: MetricsSampler, window_seconds: float,
+                  now: float | None = None) -> float:
+        """Bad-fraction over the trailing window, divided by the budget."""
+        bad = sampler.series(f"counters.{self.numerator}").increase(
+            window_seconds, now=now)
+        total = sampler.series(f"counters.{self.denominator}").increase(
+            window_seconds, now=now)
+        if total <= 0.0:
+            return 0.0
+        return (bad / total) / self.max_ratio
+
+
+class GaugeCeilingObjective:
+    """A gauge must stay at or below a ceiling (staleness bounds, depths)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, gauge: str, max_value: float) -> None:
+        self.name = name
+        self.gauge = gauge
+        self.max_value = float(max_value)
+
+    def evaluate(self, snapshot: Mapping) -> ObjectiveStatus:
+        value = float(snapshot.get("gauges", {}).get(self.gauge, 0.0))
+        ok = value <= self.max_value
+        return ObjectiveStatus(
+            name=self.name, kind=self.kind, ok=ok, value=value,
+            target=self.max_value,
+            detail=f"{self.gauge} = {value:g} (ceiling {self.max_value:g})")
+
+
+def default_serving_objectives(
+        p95_seconds: float = 0.5,
+        rejection_budget: float = 0.1) -> list:
+    """A sane starter SLO for any serving façade.
+
+    A p95 request-latency target and a routing-rejection error budget —
+    both read from counters/histograms every serving stack already
+    records.  Callers append workload-specific objectives (retrain
+    staleness, stream rejection budgets) on top.
+    """
+    return [
+        LatencyObjective("request_latency_p95", p95_seconds,
+                         histogram="request_seconds", quantile=0.95),
+        ErrorRatioObjective("routing_rejections", rejection_budget,
+                            numerator="rejections_total",
+                            denominator="requests_total",
+                            min_observations=20),
+    ]
+
+
+class SLOMonitor:
+    """Evaluates objectives against a sampled snapshot source; raises alerts.
+
+    Each :meth:`check` call takes one sample (deduplicated under an
+    unmoved clock), evaluates every objective point-in-time, computes
+    fast/slow burn rates for the ratio objectives, updates the latched
+    alert set and emits transition events.  The returned payload is what
+    ``/slo`` serves.
+    """
+
+    def __init__(self,
+                 source: Union[MetricsRegistry, Callable[[], Mapping]],
+                 objectives: Sequence,
+                 clock: Callable[[], float] = time.monotonic,
+                 fast_window_seconds: float = 300.0,
+                 slow_window_seconds: float = 3600.0,
+                 burn_rate_threshold: float = 2.0,
+                 capacity: int = 4096) -> None:
+        if fast_window_seconds <= 0.0 or slow_window_seconds <= 0.0:
+            raise ValueError("window lengths must be positive")
+        if slow_window_seconds < fast_window_seconds:
+            raise ValueError("slow window must not be shorter than the fast "
+                             "window")
+        if burn_rate_threshold <= 0.0:
+            raise ValueError("burn_rate_threshold must be positive")
+        names = [objective.name for objective in objectives]
+        if len(set(names)) != len(names):
+            raise ValueError("objective names must be unique")
+        self.objectives = list(objectives)
+        self._clock = clock
+        self.fast_window_seconds = float(fast_window_seconds)
+        self.slow_window_seconds = float(slow_window_seconds)
+        self.burn_rate_threshold = float(burn_rate_threshold)
+        self.sampler = MetricsSampler(source, clock=clock, capacity=capacity)
+        self._alerting: set[str] = set()
+        self.alerts_total = 0
+
+    @property
+    def alerting(self) -> frozenset[str]:
+        """Names of the objectives whose burn-rate alert is currently latched."""
+        return frozenset(self._alerting)
+
+    def check(self) -> dict[str, object]:
+        """Sample, evaluate, update alerts; returns the ``/slo`` payload."""
+        now = self._clock()
+        snapshot = self.sampler.sample()
+        statuses: list[ObjectiveStatus] = []
+        for objective in self.objectives:
+            status = objective.evaluate(snapshot)
+            if isinstance(objective, ErrorRatioObjective):
+                status = self._update_alert(objective, status, now)
+            statuses.append(status)
+        return {
+            "checked_at": now,
+            "fast_window_seconds": self.fast_window_seconds,
+            "slow_window_seconds": self.slow_window_seconds,
+            "burn_rate_threshold": self.burn_rate_threshold,
+            "ok": all(status.ok for status in statuses),
+            "alerting": sorted(self._alerting),
+            "objectives": [status.to_dict() for status in statuses],
+        }
+
+    # Alias so dashboards and the HTTP layer read naturally.
+    status = check
+
+    def _update_alert(self, objective: ErrorRatioObjective,
+                      status: ObjectiveStatus,
+                      now: float) -> ObjectiveStatus:
+        burn_fast = objective.burn_rate(self.sampler,
+                                        self.fast_window_seconds, now=now)
+        burn_slow = objective.burn_rate(self.sampler,
+                                        self.slow_window_seconds, now=now)
+        # The classic multi-window rule: fast window for detection speed,
+        # slow window so a short blip inside an otherwise healthy hour
+        # cannot page anyone.
+        alerting = (burn_fast > self.burn_rate_threshold
+                    and burn_slow > self.burn_rate_threshold)
+        was_alerting = objective.name in self._alerting
+        if alerting and not was_alerting:
+            self._alerting.add(objective.name)
+            self.alerts_total += 1
+            log_event("slo_burn_rate_alert", objective=objective.name,
+                      burn_fast=burn_fast, burn_slow=burn_slow,
+                      threshold=self.burn_rate_threshold,
+                      budget=objective.max_ratio)
+        elif not alerting and was_alerting:
+            self._alerting.discard(objective.name)
+            log_event("slo_burn_rate_resolved", objective=objective.name,
+                      burn_fast=burn_fast, burn_slow=burn_slow,
+                      threshold=self.burn_rate_threshold)
+        return ObjectiveStatus(
+            name=status.name, kind=status.kind,
+            ok=status.ok and not alerting, value=status.value,
+            target=status.target, detail=status.detail,
+            burn_fast=burn_fast, burn_slow=burn_slow, alerting=alerting)

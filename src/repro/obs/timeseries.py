@@ -1,0 +1,382 @@
+"""Bounded time series over metrics snapshots, with anomaly scoring.
+
+PR 6 gave every subsystem a :class:`~repro.obs.metrics.MetricsRegistry`;
+this module is what turns those point-in-time snapshots into *history* an
+operator (or the SLO/health layers) can reason about:
+
+* :class:`TimeSeries` — a ring buffer of ``(timestamp, value)`` samples
+  with rate-of-change helpers for counters, EWMA smoothing, and EWMA
+  z-score anomaly scoring — all dependency-free and deterministic, so a
+  fake clock drives bit-identical scores in tests.
+* :class:`MetricsSampler` — samples any snapshot source (a registry, a
+  service's ``telemetry_snapshot``, a merged per-shard view) on an
+  injected clock, flattening every numeric leaf into one named series.
+* :class:`HistogramWindow` — trailing-window percentiles computed from
+  cumulative :class:`~repro.obs.metrics.LatencyHistogram` bucket deltas,
+  because a cumulative histogram never forgets a latency spike but a
+  health verdict must recover once the spike passes.
+
+Everything here is read-side only: sampling takes a snapshot (which copies
+state under the registry's mutex) and never blocks serving threads beyond
+that copy.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections import deque
+from collections.abc import Callable, Mapping
+from typing import Union
+
+from .metrics import LatencyHistogram, MetricsRegistry
+
+__all__ = ["TimeSeries", "MetricsSampler", "HistogramWindow",
+           "flatten_snapshot"]
+
+#: Default ring capacity: at one sample per 5s scrape this is an hour of
+#: history, enough to cover the slow burn-rate window at typical cadences.
+_DEFAULT_CAPACITY = 720
+
+
+class TimeSeries:
+    """A bounded ring buffer of ``(timestamp, value)`` samples.
+
+    Timestamps must be non-decreasing (they come from a monotonic clock);
+    a sample carrying the same timestamp as the newest one *replaces* it,
+    so re-sampling under a paused fake clock — or two scrapes racing the
+    same second — never double-counts in the EWMA statistics.
+    """
+
+    def __init__(self, capacity: int = _DEFAULT_CAPACITY) -> None:
+        if capacity < 2:
+            raise ValueError("capacity must be at least 2 (rates need two "
+                             "samples)")
+        self._samples: deque[tuple[float, float]] = deque(maxlen=capacity)
+        #: Timestamp of the first sample ever appended (survives ring
+        #: eviction); :meth:`increase` uses it to tell a series *born*
+        #: inside a window from one merely sampled once there.
+        self._first_timestamp: float | None = None
+
+    def append(self, timestamp: float, value: float) -> None:
+        if self._samples:
+            last_ts = self._samples[-1][0]
+            if timestamp < last_ts:
+                raise ValueError("timestamps must be non-decreasing")
+            if timestamp == last_ts:
+                self._samples[-1] = (timestamp, float(value))
+                return
+        if self._first_timestamp is None:
+            self._first_timestamp = float(timestamp)
+        self._samples.append((float(timestamp), float(value)))
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def __bool__(self) -> bool:
+        return bool(self._samples)
+
+    def samples(self) -> list[tuple[float, float]]:
+        """All retained ``(timestamp, value)`` pairs, oldest first."""
+        return list(self._samples)
+
+    def values(self) -> list[float]:
+        return [value for _, value in self._samples]
+
+    def last(self) -> tuple[float, float] | None:
+        """The newest sample, or ``None`` when empty."""
+        return self._samples[-1] if self._samples else None
+
+    # ------------------------------------------------------------- windowing
+    def window(self, seconds: float,
+               now: float | None = None) -> list[tuple[float, float]]:
+        """Samples within the trailing ``seconds`` ending at ``now``.
+
+        ``now`` defaults to the newest sample's timestamp.  A window that
+        reaches past the retained history simply returns what is there —
+        the standard bootstrapping behaviour while a monitor warms up.
+        """
+        if not self._samples:
+            return []
+        if now is None:
+            now = self._samples[-1][0]
+        cutoff = now - seconds
+        return [(ts, value) for ts, value in self._samples if ts >= cutoff]
+
+    def delta(self, seconds: float, now: float | None = None) -> float:
+        """Newest-minus-oldest value over the trailing window.
+
+        The window-rate primitive for *counters*: the increase observed
+        over the last ``seconds``.  Needs at least two in-window samples;
+        returns 0.0 otherwise.
+        """
+        window = self.window(seconds, now=now)
+        if len(window) < 2:
+            return 0.0
+        return window[-1][1] - window[0][1]
+
+    def increase(self, seconds: float, now: float | None = None) -> float:
+        """Counter increase over the trailing window.
+
+        Like :meth:`delta`, but counter-aware: a series whose first-ever
+        sample lies inside the window is treated as having been zero when
+        the window opened — counters are born at zero, and registries only
+        materialise them on first increment, so a metric that first
+        appears mid-window (the first rejection of a burst) must report
+        its full value rather than 0.0.
+        """
+        window = self.window(seconds, now=now)
+        if not window:
+            return 0.0
+        if now is None:
+            now = window[-1][0]
+        if (self._first_timestamp is not None
+                and self._first_timestamp >= now - seconds):
+            return window[-1][1]
+        if len(window) < 2:
+            return 0.0
+        return window[-1][1] - window[0][1]
+
+    def rate(self, seconds: float, now: float | None = None) -> float:
+        """Per-second rate of change over the trailing window.
+
+        Divides by the *observed* span between the first and last in-window
+        samples, not the nominal window, so a half-filled window reports
+        the true rate rather than under-reading by the missing half.
+        """
+        window = self.window(seconds, now=now)
+        if len(window) < 2:
+            return 0.0
+        elapsed = window[-1][0] - window[0][0]
+        if elapsed <= 0.0:
+            return 0.0
+        return (window[-1][1] - window[0][1]) / elapsed
+
+    # ------------------------------------------------------- anomaly scoring
+    def ewma(self, alpha: float = 0.3) -> float:
+        """Exponentially weighted moving average over all retained values."""
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if not self._samples:
+            return 0.0
+        mean = self._samples[0][1]
+        for _, value in list(self._samples)[1:]:
+            mean += alpha * (value - mean)
+        return mean
+
+    def zscore(self, alpha: float = 0.3, min_history: int = 8) -> float:
+        """EWMA z-score of the newest value against the *prior* history.
+
+        Walks an EWMA mean and EWMA variance over every sample except the
+        newest, then scores the newest value against them:
+        ``(latest - mean) / std``.  Returns 0.0 while the history is
+        shorter than ``min_history`` (an empty baseline scores everything
+        as anomalous) and when the prior history has ~zero variance but
+        the newest value matches it.  A genuinely flat history followed by
+        a jump scores ``inf`` — maximally anomalous, which is the verdict
+        an operator wants for "this counter never moved before".
+        """
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if len(self._samples) < max(2, min_history):
+            return 0.0
+        values = self.values()
+        latest, history = values[-1], values[:-1]
+        mean = history[0]
+        variance = 0.0
+        for value in history[1:]:
+            diff = value - mean
+            increment = alpha * diff
+            mean += increment
+            variance = (1.0 - alpha) * (variance + diff * increment)
+        std = math.sqrt(variance)
+        if std == 0.0:
+            return 0.0 if latest == mean else math.inf
+        return (latest - mean) / std
+
+    def anomaly_score(self, alpha: float = 0.3,
+                      min_history: int = 8) -> float:
+        """Absolute EWMA z-score of the newest value (0 = unremarkable)."""
+        return abs(self.zscore(alpha=alpha, min_history=min_history))
+
+
+def flatten_snapshot(snapshot: Mapping, prefix: str = "") -> dict[str, float]:
+    """Dotted-path -> value for every numeric leaf of a snapshot dict.
+
+    ``{"counters": {"hits": 3}, "latency": {"request_seconds":
+    {"p95": 0.1}}}`` becomes ``{"counters.hits": 3.0,
+    "latency.request_seconds.p95": 0.1}``.  Booleans and non-numeric
+    leaves are skipped; nested dicts recurse.
+    """
+    flat: dict[str, float] = {}
+    for key, value in snapshot.items():
+        path = f"{prefix}{key}"
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            flat[path] = float(value)
+        elif isinstance(value, Mapping):
+            flat.update(flatten_snapshot(value, prefix=f"{path}."))
+    return flat
+
+
+class MetricsSampler:
+    """Samples a snapshot source into one :class:`TimeSeries` per metric.
+
+    The source is either a :class:`MetricsRegistry` (its ``snapshot()`` is
+    called) or any zero-argument callable returning a snapshot-shaped dict
+    — a service's ``telemetry_snapshot`` bound method, a sharded service's
+    merged view, or an enriched provider that adds gauges of its own.
+    Sampling under an unmoved clock re-reads the source but replaces the
+    newest sample instead of appending, so scrape-driven and test-driven
+    sampling cannot double-count.
+    """
+
+    def __init__(self,
+                 source: Union[MetricsRegistry, Callable[[], Mapping]],
+                 clock: Callable[[], float] = time.monotonic,
+                 capacity: int = _DEFAULT_CAPACITY) -> None:
+        if isinstance(source, MetricsRegistry):
+            self._source: Callable[[], Mapping] = source.snapshot
+        else:
+            self._source = source
+        self._clock = clock
+        self._capacity = capacity
+        self._series: dict[str, TimeSeries] = {}
+        self._last_snapshot: Mapping = {}
+
+    def sample(self) -> Mapping:
+        """Take one sample of every numeric leaf; returns the raw snapshot."""
+        now = self._clock()
+        snapshot = self._source()
+        for name, value in flatten_snapshot(snapshot).items():
+            series = self._series.get(name)
+            if series is None:
+                series = self._series[name] = TimeSeries(self._capacity)
+            series.append(now, value)
+        self._last_snapshot = snapshot
+        return snapshot
+
+    @property
+    def last_snapshot(self) -> Mapping:
+        """The raw snapshot of the most recent :meth:`sample` call."""
+        return self._last_snapshot
+
+    def names(self) -> list[str]:
+        return sorted(self._series)
+
+    def series(self, name: str) -> TimeSeries:
+        """The named series; an empty one when the metric was never seen."""
+        series = self._series.get(name)
+        if series is None:
+            series = self._series[name] = TimeSeries(self._capacity)
+        return series
+
+    def anomalies(self, threshold: float = 3.0, alpha: float = 0.3,
+                  min_history: int = 8) -> dict[str, float]:
+        """Every series whose newest sample scores at least ``threshold``.
+
+        The fleet-wide "what just changed?" query: returns
+        ``{metric: score}`` sorted by descending score, so the most
+        anomalous signal leads.
+        """
+        scored = {name: series.anomaly_score(alpha=alpha,
+                                             min_history=min_history)
+                  for name, series in self._series.items()}
+        return dict(sorted(((name, score) for name, score in scored.items()
+                            if score >= threshold),
+                           key=lambda item: (-item[1], item[0])))
+
+
+class HistogramWindow:
+    """Trailing-window percentiles from cumulative histogram snapshots.
+
+    A :class:`~repro.obs.metrics.LatencyHistogram` is cumulative: one
+    latency spike raises its p95 for the rest of the process's life.
+    Health verdicts need the *recent* tail, so this class retains periodic
+    bucket-count snapshots and answers percentile queries on the
+    difference between the newest snapshot and the one at the window's
+    start — exactly the observations recorded inside the window.
+    """
+
+    def __init__(self, window_seconds: float = 300.0,
+                 capacity: int = _DEFAULT_CAPACITY) -> None:
+        if window_seconds <= 0.0:
+            raise ValueError("window_seconds must be positive")
+        self.window_seconds = float(window_seconds)
+        self._snapshots: deque[tuple[float, tuple[int, ...], float]] = deque(
+            maxlen=capacity)
+        self._bounds: tuple[float, ...] | None = None
+
+    def observe(self, timestamp: float,
+                histogram: LatencyHistogram) -> None:
+        """Retain one cumulative snapshot of ``histogram`` at ``timestamp``."""
+        if self._bounds is None:
+            self._bounds = histogram.bounds
+        elif histogram.bounds != self._bounds:
+            raise ValueError("histogram bounds changed between observations")
+        counts = tuple(histogram.bucket_counts())
+        if self._snapshots and self._snapshots[-1][0] == timestamp:
+            self._snapshots[-1] = (timestamp, counts, histogram.max)
+            return
+        if self._snapshots and timestamp < self._snapshots[-1][0]:
+            raise ValueError("timestamps must be non-decreasing")
+        self._snapshots.append((timestamp, counts, histogram.max))
+
+    def _window_delta(self, now: float | None) -> tuple[list[int], float]:
+        if not self._snapshots:
+            return [], 0.0
+        if now is None:
+            now = self._snapshots[-1][0]
+        cutoff = now - self.window_seconds
+        newest = self._snapshots[-1]
+        # The anchor is the newest snapshot at or before the cutoff: the
+        # delta against it covers exactly the observations recorded after
+        # the window opened.  With no snapshot that old yet (warm-up), the
+        # oldest retained snapshot anchors a best-effort shorter window.
+        anchor = None
+        for snapshot in self._snapshots:
+            if snapshot[0] <= cutoff:
+                anchor = snapshot
+            else:
+                break
+        if anchor is None:
+            anchor = self._snapshots[0]
+        if anchor is newest:
+            # One snapshot total: everything in it counts as "recent".
+            if len(self._snapshots) == 1:
+                return list(newest[1]), newest[2]
+            return [0] * len(newest[1]), newest[2]
+        delta = [late - early for late, early in zip(newest[1], anchor[1])]
+        return delta, newest[2]
+
+    def count(self, now: float | None = None) -> int:
+        """Observations recorded inside the trailing window."""
+        delta, _ = self._window_delta(now)
+        return sum(delta)
+
+    def percentile(self, q: float, now: float | None = None) -> float:
+        """Windowed analogue of :meth:`LatencyHistogram.percentile`.
+
+        Conservative like the cumulative version: reports the upper bound
+        of the bucket holding the q-quantile windowed observation.  The
+        overflow bucket reports the *cumulative* maximum (bucket deltas
+        cannot recover the in-window max), which only overstates while an
+        overflow observation is actually inside the window.  Returns 0.0
+        for an empty window.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        delta, observed_max = self._window_delta(now)
+        total = sum(delta)
+        if total == 0 or self._bounds is None:
+            return 0.0
+        rank = max(1, int(round(q * total)))
+        cumulative = 0
+        for bucket, count in enumerate(delta):
+            cumulative += count
+            if cumulative >= rank:
+                if bucket < len(self._bounds):
+                    return self._bounds[bucket]
+                return observed_max
+        return observed_max

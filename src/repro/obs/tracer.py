@@ -31,7 +31,8 @@ from collections import deque
 from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass, field
 
-__all__ = ["Span", "SpanTracer", "format_span_tree", "stage_breakdown"]
+__all__ = ["Span", "SpanTracer", "critical_path", "format_span_tree",
+           "stage_breakdown"]
 
 
 @dataclass
@@ -203,6 +204,56 @@ class SpanTracer:
                 handle.write(json.dumps(span.to_dict(), sort_keys=False))
                 handle.write("\n")
         return len(spans)
+
+    def critical_path(self, trace_id: str) -> list[dict[str, object]]:
+        """The longest root-to-leaf chain of one trace, with self-time.
+
+        Answers "where did this request's wall time actually go": starting
+        from the trace's slowest root, repeatedly descend into the slowest
+        child.  Each step reports the span's total duration plus its
+        *self time* — duration minus the time covered by its children — so
+        a 200 ms parent whose children account for 190 ms shows 10 ms of
+        its own work.  Spans evicted from the ring buffer mid-trace simply
+        truncate the walk; an unknown ``trace_id`` returns ``[]``.
+        """
+        spans = [span for span in self.spans() if span.trace_id == trace_id]
+        return critical_path(spans)
+
+
+def critical_path(spans: Sequence[Span]) -> list[dict[str, object]]:
+    """Longest child chain through ``spans`` with self-time attribution.
+
+    Free-function form of :meth:`SpanTracer.critical_path` for callers who
+    already hold a span list (an exported JSONL, a drained buffer).  All
+    spans are assumed to belong to one trace; children whose parent was
+    evicted from the ring buffer are treated as roots so the walk still
+    starts somewhere sensible.
+    """
+    if not spans:
+        return []
+    ids = {span.span_id for span in spans}
+    children: dict[str | None, list[Span]] = {}
+    for span in spans:
+        parent = span.parent_id if span.parent_id in ids else None
+        children.setdefault(parent, []).append(span)
+
+    path: list[dict[str, object]] = []
+    candidates = children.get(None, [])
+    while candidates:
+        # Deterministic tie-break on span_id (counter IDs are unique and
+        # ordered by creation), so equal-duration siblings don't flap.
+        step = max(candidates,
+                   key=lambda span: (span.duration_seconds, span.span_id))
+        kids = children.get(step.span_id, [])
+        child_time = sum(child.duration_seconds for child in kids)
+        path.append({
+            "span_id": step.span_id,
+            "name": step.name,
+            "duration_seconds": step.duration_seconds,
+            "self_seconds": max(0.0, step.duration_seconds - child_time),
+        })
+        candidates = kids
+    return path
 
 
 def format_span_tree(spans: Sequence[Span]) -> str:

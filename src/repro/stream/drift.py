@@ -31,6 +31,7 @@ from enum import Enum
 import numpy as np
 
 from ..obs.log import log_event
+from ..obs.runtime import current_trace_id
 
 __all__ = ["DriftKind", "DriftEvent", "DriftConfig", "DriftDetector"]
 
@@ -52,6 +53,9 @@ class DriftEvent:
     value: float             # the metric that crossed
     threshold: float
     detail: str
+    #: Trace active when the event fired (the ``stream.process`` span of
+    #: the triggering record), so drift → retrain → swap chains join.
+    trace_id: str | None = None
 
 
 @dataclass(frozen=True)
@@ -137,10 +141,12 @@ class DriftDetector:
             return None
         self._latched.add(key)
         self.events_total[kind.value] += 1
+        trace_id = current_trace_id()
         log_event("drift_latched", kind=kind.value, building_id=building_id,
                   value=value, threshold=threshold)
         return DriftEvent(kind=kind, building_id=building_id, value=value,
-                          threshold=threshold, detail=detail)
+                          threshold=threshold, detail=detail,
+                          trace_id=trace_id)
 
     def _recover(self, kind: DriftKind, building_id: str | None) -> None:
         key = (building_id, kind)
@@ -251,6 +257,17 @@ class DriftDetector:
         self.events_total.update({str(kind): int(count)
                                   for kind, count in
                                   state["events_total"].items()})
+
+    def latched_kinds(self, building_id: str | None) -> tuple[DriftKind, ...]:
+        """Kinds currently latched for one building (``None`` = registry-wide).
+
+        Public accessor for health consumers; :meth:`stats` reports the
+        same latches but as display strings.
+        """
+        return tuple(sorted(
+            (kind for latched_building, kind in self._latched
+             if latched_building == building_id),
+            key=lambda kind: kind.value))
 
     # -------------------------------------------------------------- lifecycle
     def reset_building(self, building_id: str) -> None:

@@ -57,6 +57,11 @@ class RetrainJob:
     generation: int
     window_records: int = 0
     labeled_records: int = 0
+    #: Trace active on the submitting thread (the ``stream.process`` span
+    #: that triggered this retrain); the worker thread pins its
+    #: ``stream.retrain`` span to it so drift → retrain → swap chains stay
+    #: joinable across threads.
+    trace_id: str | None = None
 
 
 @dataclass(frozen=True)
@@ -72,6 +77,9 @@ class RetrainCompletion:
     window_records: int = 0
     labeled_records: int = 0
     error: str | None = None
+    #: Trace the retrain ran under (the submitting trace when one was
+    #: live, otherwise the ``stream.retrain`` span's own fresh trace).
+    trace_id: str | None = None
 
 
 class RetrainExecutor:
@@ -205,7 +213,8 @@ class RetrainExecutor:
                          labels=dict(labels), trigger=trigger,
                          warm_start=warm_start, generation=generation,
                          window_records=window_records,
-                         labeled_records=labeled_records)
+                         labeled_records=labeled_records,
+                         trace_id=obs.current_trace_id())
         if self._pool is None:
             return self._execute(job, previous_embedding)
         with self._condition:
@@ -229,7 +238,10 @@ class RetrainExecutor:
 
     def _execute(self, job: RetrainJob,
                  previous_embedding) -> RetrainCompletion:
-        with obs.span("stream.retrain") as retrain_span:
+        # Pinning the span to the job's submit-time trace joins the
+        # worker-thread retrain onto the stream.process trace that
+        # triggered it (root spans otherwise mint a fresh trace).
+        with obs.span("stream.retrain", trace_id=job.trace_id) as retrain_span:
             retrain_span.set("building", job.building_id)
             retrain_span.set("trigger", job.trigger)
             retrain_span.set("generation", job.generation)
@@ -237,12 +249,14 @@ class RetrainExecutor:
             model = self._train(job, previous_embedding)
             duration = self._clock() - started
             self.service.telemetry.observe("retrain_seconds", duration)
-            completion = self._install(job, model, duration)
+            trace_id = (retrain_span.span.trace_id
+                        if retrain_span.span is not None else job.trace_id)
+            completion = self._install(job, model, duration, trace_id)
             retrain_span.set("swapped", completion.swapped)
             return completion
 
-    def _install(self, job: RetrainJob, model: GRAFICS,
-                 duration: float) -> RetrainCompletion:
+    def _install(self, job: RetrainJob, model: GRAFICS, duration: float,
+                 trace_id: str | None = None) -> RetrainCompletion:
         """Install under the generation fence; stale results are discarded.
 
         The check-install-bump sequence holds the *building's* install
@@ -269,7 +283,7 @@ class RetrainExecutor:
                     generation=job.generation, swapped=False, stale=True,
                     duration_seconds=duration,
                     window_records=job.window_records,
-                    labeled_records=job.labeled_records)
+                    labeled_records=job.labeled_records, trace_id=trace_id)
             self.service.install_building(job.building_id, model,
                                           vocabulary=frozenset(
                                               job.dataset.macs))
@@ -281,7 +295,7 @@ class RetrainExecutor:
             building_id=job.building_id, trigger=job.trigger,
             generation=job.generation, swapped=True,
             duration_seconds=duration, window_records=job.window_records,
-            labeled_records=job.labeled_records)
+            labeled_records=job.labeled_records, trace_id=trace_id)
 
     def _run(self, job: RetrainJob, previous_embedding) -> None:
         """Worker-pool wrapper: one failed fit must not kill the pool."""
@@ -294,7 +308,8 @@ class RetrainExecutor:
                 building_id=job.building_id, trigger=job.trigger,
                 generation=job.generation, swapped=False,
                 window_records=job.window_records,
-                labeled_records=job.labeled_records, error=str(error))
+                labeled_records=job.labeled_records, error=str(error),
+                trace_id=job.trace_id)
         with self._condition:
             self._completed.append(completion)
             self._inflight -= 1

@@ -16,7 +16,7 @@ it from :func:`repro.data.iter_jsonl` replay or a network intake.
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+from collections.abc import Callable, Iterable
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
@@ -114,7 +114,8 @@ class ContinuousLearningPipeline:
 
     def __init__(self, service: FloorServingService,
                  config: StreamConfig | None = None,
-                 filters: list[QualityFilter] | None = None) -> None:
+                 filters: list[QualityFilter] | None = None,
+                 clock: Callable[[], float] | None = None) -> None:
         self.service = service
         self.config = config or StreamConfig()
         self.ingestor = StreamIngestor(
@@ -123,12 +124,17 @@ class ContinuousLearningPipeline:
             buffer_capacity=self.config.buffer_capacity)
         self.windows = WindowManager(config=self.config.window)
         self.drift = DriftDetector(self.config.drift)
+        # One injected clock drives the executor's durations and the
+        # scheduler's wall-clock cooldowns/swap ages, so tests (and health
+        # monitors sharing the clock) see consistent time everywhere.
+        clock_kwargs = {} if clock is None else {"clock": clock}
         self.executor = RetrainExecutor(
             service, max_workers=self.config.retrain_workers,
-            kernel=self.config.retrain_kernel)
+            kernel=self.config.retrain_kernel, **clock_kwargs)
         self.scheduler = RetrainScheduler(service, self.windows,
                                           self.config.scheduler,
-                                          executor=self.executor)
+                                          executor=self.executor,
+                                          **clock_kwargs)
         self.drift_events: list[DriftEvent] = []
         self.processed_total = 0
 
@@ -360,7 +366,7 @@ class ContinuousLearningPipeline:
             "drift_events": [
                 {"kind": event.kind.value, "building_id": event.building_id,
                  "value": event.value, "threshold": event.threshold,
-                 "detail": event.detail}
+                 "detail": event.detail, "trace_id": event.trace_id}
                 for event in self.drift_events],
             "ingest": self.ingestor.state_dict(),
             "windows": self.windows.state_dict(),
@@ -378,7 +384,9 @@ class ContinuousLearningPipeline:
                        building_id=blob["building_id"],
                        value=float(blob["value"]),
                        threshold=float(blob["threshold"]),
-                       detail=str(blob["detail"]))
+                       detail=str(blob["detail"]),
+                       # Absent in checkpoints written before trace stamping.
+                       trace_id=blob.get("trace_id"))
             for blob in state["drift_events"]]
         self.ingestor.restore_state(state["ingest"])
         self.windows.restore_state(state["windows"])

@@ -98,6 +98,9 @@ class RetrainReport:
     labeled_records: int = 0
     duration_seconds: float = 0.0
     skipped_reason: str | None = None
+    #: Trace the retrain ran under (see ``RetrainCompletion.trace_id``);
+    #: lets operators join a swap back to the drift that triggered it.
+    trace_id: str | None = None
 
 
 class RetrainScheduler:
@@ -243,7 +246,8 @@ class RetrainScheduler:
                 building_id=building_id, trigger=completion.trigger,
                 swapped=True, window_records=completion.window_records,
                 labeled_records=completion.labeled_records,
-                duration_seconds=completion.duration_seconds)
+                duration_seconds=completion.duration_seconds,
+                trace_id=completion.trace_id)
         else:
             if completion.stale:
                 reason = (f"result of generation {completion.generation} "
@@ -259,7 +263,7 @@ class RetrainScheduler:
                 swapped=False, window_records=completion.window_records,
                 labeled_records=completion.labeled_records,
                 duration_seconds=completion.duration_seconds,
-                skipped_reason=reason)
+                skipped_reason=reason, trace_id=completion.trace_id)
         self.history.append(report)
         return report
 
@@ -328,6 +332,19 @@ class RetrainScheduler:
     def inflight(self) -> frozenset[str]:
         """Buildings whose retrain is currently running on the executor."""
         return frozenset(self._inflight)
+
+    def last_swap_age(self, building_id: str,
+                      now: float | None = None) -> float | None:
+        """Seconds since the building's last hot swap, or ``None`` if never.
+
+        Measured on the scheduler's injected clock; health consumers use it
+        to flag drift-latched buildings whose retrain is overdue.
+        """
+        swapped_at = self._last_swap_at.get(building_id)
+        if swapped_at is None:
+            return None
+        now = self._clock() if now is None else now
+        return now - swapped_at
 
     def stats(self) -> dict[str, object]:
         swapped = [r for r in self.history if r.swapped]

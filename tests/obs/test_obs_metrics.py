@@ -139,3 +139,73 @@ class TestMetricsRegistry:
         with registry.time("block_seconds"):
             pass
         assert registry.histogram("block_seconds").total == 1.5
+
+
+class TestPercentileEdgeCases:
+    def test_empty_histogram_is_zero_at_every_quantile(self):
+        histogram = LatencyHistogram()
+        for q in (0.0, 0.5, 1.0):
+            assert histogram.percentile(q) == 0.0
+
+    def test_all_overflow_reports_the_observed_max(self):
+        histogram = LatencyHistogram(bounds=(0.01, 0.1))
+        for value in (5.0, 7.0, 9.0):     # every observation past the bounds
+            histogram.record(value)
+        for q in (0.0, 0.5, 0.95, 1.0):
+            assert histogram.percentile(q) == 9.0
+
+    def test_q_zero_and_one_hit_the_extreme_buckets(self):
+        histogram = LatencyHistogram(bounds=(0.01, 0.1, 1.0))
+        histogram.record(0.005)
+        histogram.record(0.05)
+        histogram.record(0.5)
+        assert histogram.percentile(0.0) == 0.01   # first occupied bucket
+        assert histogram.percentile(1.0) == 1.0    # last occupied bucket bound
+        histogram.record(3.3)                      # now the max is overflow
+        assert histogram.percentile(1.0) == 3.3
+
+    def test_out_of_range_quantile_rejected(self):
+        histogram = LatencyHistogram()
+        histogram.record(0.01)
+        for q in (-0.1, 1.1):
+            with pytest.raises(ValueError):
+                histogram.percentile(q)
+
+
+class TestPrometheusCollisionsAndMerge:
+    def test_sanitised_name_collisions_get_deterministic_suffixes(self):
+        registry = MetricsRegistry()
+        registry.increment("queue.depth", 1)
+        registry.increment("queue/depth", 2)    # same family once sanitised
+        registry.set_gauge("queue_depth", 3.0)  # collides across sections too
+        text = registry.to_prometheus_text()
+        assert "# TYPE repro_queue_depth counter" in text
+        assert "repro_queue_depth 1" in text
+        assert "# TYPE repro_queue_depth_2 counter" in text
+        assert "repro_queue_depth_2 2" in text
+        assert "# TYPE repro_queue_depth_3 gauge" in text
+        assert "repro_queue_depth_3 3.0" in text
+        # No family may be declared twice: scrape parsers reject that.
+        types = [line for line in text.splitlines() if line.startswith("# TYPE")]
+        assert len(types) == len(set(types)) == 3
+        # Deterministic: the same registry renders the same text.
+        assert text == registry.to_prometheus_text()
+
+    def test_histogram_snapshot_is_an_isolated_clone(self):
+        registry = MetricsRegistry()
+        assert registry.histogram_snapshot("request_seconds") is None
+        registry.observe("request_seconds", 0.004)
+        clone = registry.histogram_snapshot("request_seconds")
+        clone.record(9.0)                       # mutating the clone...
+        assert registry.histogram("request_seconds").count == 1  # ...no effect
+        # And unlike histogram(), it never creates-on-read.
+        assert registry.histogram_snapshot("other") is None
+
+    def test_exposition_merges_other_registries(self):
+        fleet, shard = MetricsRegistry(), MetricsRegistry()
+        fleet.increment("requests_total", 2)
+        shard.increment("requests_total", 3)
+        shard.observe("request_seconds", 0.004)
+        text = fleet.to_prometheus_text(others=[shard])
+        assert "repro_requests_total 5" in text
+        assert "repro_request_seconds_count 1" in text

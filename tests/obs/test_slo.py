@@ -1,0 +1,170 @@
+"""Tests for obs/slo: objectives, burn rates, multi-window alerting."""
+
+from __future__ import annotations
+
+import json
+import logging
+
+import pytest
+
+from obs_helpers import FakeClock
+from repro.obs.log import LOGGER_NAME
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import (ErrorRatioObjective, GaugeCeilingObjective,
+                           LatencyObjective, SLOMonitor,
+                           default_serving_objectives)
+from repro.obs.timeseries import MetricsSampler
+
+
+def snapshot_with(counters=None, p95=0.0, gauges=None):
+    return {
+        "counters": counters or {},
+        "gauges": gauges or {},
+        "latency": {"request_seconds": {"p50": p95 / 2, "p95": p95,
+                                        "p99": p95 * 2}},
+    }
+
+
+class TestObjectives:
+    def test_latency_objective_ok_and_violated(self):
+        objective = LatencyObjective("p95", threshold_seconds=0.25)
+        ok = objective.evaluate(snapshot_with(p95=0.1))
+        assert ok.ok and ok.value == pytest.approx(0.1)
+        bad = objective.evaluate(snapshot_with(p95=0.5))
+        assert not bad.ok
+        assert bad.to_dict()["kind"] == "latency"
+        # Missing histogram evaluates as 0 (an idle service meets its SLO).
+        assert objective.evaluate({"latency": {}}).ok
+
+    def test_latency_objective_validation(self):
+        with pytest.raises(ValueError):
+            LatencyObjective("bad", threshold_seconds=0.1, quantile=0.42)
+        with pytest.raises(ValueError):
+            LatencyObjective("bad", threshold_seconds=0.0)
+
+    def test_error_ratio_point_in_time(self):
+        objective = ErrorRatioObjective("rej", max_ratio=0.1,
+                                        min_observations=10)
+        quiet = objective.evaluate(snapshot_with(
+            counters={"rejections_total": 3, "requests_total": 5}))
+        assert quiet.ok  # below min_observations: not judged yet
+        bad = objective.evaluate(snapshot_with(
+            counters={"rejections_total": 5, "requests_total": 20}))
+        assert not bad.ok and bad.value == pytest.approx(0.25)
+
+    def test_error_ratio_burn_rate_from_window_deltas(self):
+        clock = FakeClock()
+        registry = MetricsRegistry(clock=clock)
+        sampler = MetricsSampler(registry, clock=clock)
+        objective = ErrorRatioObjective("rej", max_ratio=0.1)
+        for _ in range(6):
+            registry.increment("requests_total", 10)
+            registry.increment("rejections_total", 3)  # 30% bad, budget 10%
+            sampler.sample()
+            clock.advance(10.0)
+        assert objective.burn_rate(sampler, 60.0,
+                                   now=clock()) == pytest.approx(3.0)
+        # An empty window burns nothing.
+        assert objective.burn_rate(sampler, 60.0, now=clock() + 500.0) == 0.0
+
+    def test_gauge_ceiling(self):
+        objective = GaugeCeilingObjective("staleness", gauge="retrains_pending",
+                                          max_value=2.0)
+        assert objective.evaluate(snapshot_with(
+            gauges={"retrains_pending": 1})).ok
+        assert not objective.evaluate(snapshot_with(
+            gauges={"retrains_pending": 5})).ok
+
+    def test_default_serving_objectives_shape(self):
+        objectives = default_serving_objectives()
+        assert [objective.kind for objective in objectives] == [
+            "latency", "error_ratio"]
+
+
+class TestSLOMonitor:
+    def _monitor(self, registry, clock, **kwargs):
+        kwargs.setdefault("fast_window_seconds", 60.0)
+        kwargs.setdefault("slow_window_seconds", 300.0)
+        kwargs.setdefault("burn_rate_threshold", 2.0)
+        return SLOMonitor(
+            registry,
+            [ErrorRatioObjective("rejections", max_ratio=0.1,
+                                 min_observations=1)],
+            clock=clock, **kwargs)
+
+    def _drive(self, registry, monitor, clock, steps, good=10, bad=0,
+               step_seconds=10.0):
+        payload = None
+        for _ in range(steps):
+            registry.increment("requests_total", good + bad)
+            if bad:
+                registry.increment("rejections_total", bad)
+            payload = monitor.check()
+            clock.advance(step_seconds)
+        return payload
+
+    def test_alert_fires_only_when_both_windows_burn(self, caplog):
+        clock = FakeClock()
+        registry = MetricsRegistry(clock=clock)
+        monitor = self._monitor(registry, clock)
+        # Healthy hour: no alerts.
+        payload = self._drive(registry, monitor, clock, steps=30)
+        assert payload["ok"] and not payload["alerting"]
+
+        # A short burst bad enough for the fast window is absorbed while
+        # the slow window still remembers the healthy hour...
+        registry.increment("requests_total", 30)
+        registry.increment("rejections_total", 30)
+        payload = monitor.check()
+        status = payload["objectives"][0]
+        assert status["burn_fast"] > 2.0
+        assert not status["alerting"], "slow window must veto a short blip"
+
+        # ...but sustained burn eventually exceeds both windows.
+        with caplog.at_level(logging.INFO, logger=LOGGER_NAME):
+            payload = self._drive(registry, monitor, clock, steps=30,
+                                  good=0, bad=10)
+        assert payload["alerting"] == ["rejections"]
+        assert monitor.alerting == frozenset({"rejections"})
+        assert not payload["ok"]
+        events = [json.loads(r.message) for r in caplog.records]
+        fired = [e for e in events if e["event"] == "slo_burn_rate_alert"]
+        assert len(fired) == 1 and fired[0]["objective"] == "rejections"
+
+    def test_alert_resolves_when_either_window_recovers(self, caplog):
+        clock = FakeClock()
+        registry = MetricsRegistry(clock=clock)
+        monitor = self._monitor(registry, clock)
+        self._drive(registry, monitor, clock, steps=30, good=0, bad=10)
+        assert monitor.alerting
+        with caplog.at_level(logging.INFO, logger=LOGGER_NAME):
+            payload = self._drive(registry, monitor, clock, steps=10)
+        assert not monitor.alerting
+        assert payload["alerting"] == []
+        events = [json.loads(r.message) for r in caplog.records]
+        assert any(e["event"] == "slo_burn_rate_resolved" for e in events)
+
+    def test_check_payload_shape_and_status_alias(self):
+        clock = FakeClock()
+        registry = MetricsRegistry(clock=clock)
+        monitor = SLOMonitor(registry, default_serving_objectives(),
+                             clock=clock)
+        payload = monitor.status()
+        assert payload["ok"] is True
+        assert {"checked_at", "objectives", "alerting",
+                "burn_rate_threshold"} <= payload.keys()
+        assert [o["name"] for o in payload["objectives"]] == [
+            "request_latency_p95", "routing_rejections"]
+
+    def test_validation(self):
+        clock = FakeClock()
+        registry = MetricsRegistry(clock=clock)
+        with pytest.raises(ValueError, match="unique"):
+            SLOMonitor(registry,
+                       [GaugeCeilingObjective("dup", "g", 1.0),
+                        GaugeCeilingObjective("dup", "h", 1.0)], clock=clock)
+        with pytest.raises(ValueError, match="slow window"):
+            SLOMonitor(registry, [], clock=clock,
+                       fast_window_seconds=600.0, slow_window_seconds=60.0)
+        with pytest.raises(ValueError):
+            SLOMonitor(registry, [], clock=clock, burn_rate_threshold=0.0)

@@ -1,0 +1,242 @@
+"""Tests for obs/timeseries: ring series, anomaly scoring, windowed tails."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import LatencyHistogram, MetricsRegistry
+from repro.obs.timeseries import (HistogramWindow, MetricsSampler, TimeSeries,
+                                  flatten_snapshot)
+
+from obs_helpers import FakeClock
+
+
+class TestTimeSeries:
+    def test_append_and_samples_oldest_first(self):
+        series = TimeSeries(capacity=4)
+        for ts in range(3):
+            series.append(float(ts), float(ts * 10))
+        assert series.samples() == [(0.0, 0.0), (1.0, 10.0), (2.0, 20.0)]
+        assert series.last() == (2.0, 20.0)
+
+    def test_capacity_bounds_memory(self):
+        series = TimeSeries(capacity=3)
+        for ts in range(10):
+            series.append(float(ts), float(ts))
+        assert len(series) == 3
+        assert series.values() == [7.0, 8.0, 9.0]
+
+    def test_same_timestamp_replaces_instead_of_appending(self):
+        series = TimeSeries()
+        series.append(1.0, 5.0)
+        series.append(1.0, 7.0)
+        assert series.samples() == [(1.0, 7.0)]
+
+    def test_rejects_backward_timestamps_and_tiny_capacity(self):
+        series = TimeSeries()
+        series.append(2.0, 1.0)
+        with pytest.raises(ValueError):
+            series.append(1.0, 1.0)
+        with pytest.raises(ValueError):
+            TimeSeries(capacity=1)
+
+    def test_window_delta_and_rate(self):
+        series = TimeSeries()
+        for ts in range(0, 60, 10):  # counter growing by 5 every 10s
+            series.append(float(ts), float(ts / 2))
+        assert series.delta(30.0, now=50.0) == pytest.approx(15.0)
+        assert series.rate(30.0, now=50.0) == pytest.approx(0.5)
+        # Window reaching past history: best-effort over what is retained.
+        assert series.delta(1000.0, now=50.0) == pytest.approx(25.0)
+        # Fewer than two in-window samples -> no rate.
+        assert series.delta(5.0, now=50.0) == 0.0
+        assert TimeSeries().rate(10.0) == 0.0
+
+    def test_increase_treats_series_born_in_window_as_from_zero(self):
+        born = TimeSeries()
+        born.append(100.0, 25.0)  # counter materialised mid-window
+        assert born.delta(60.0, now=110.0) == 0.0
+        assert born.increase(60.0, now=110.0) == pytest.approx(25.0)
+        # A long-lived series is the plain newest-minus-oldest delta.
+        old = TimeSeries()
+        for ts in range(0, 200, 10):
+            old.append(float(ts), float(ts))
+        assert old.increase(60.0, now=190.0) == old.delta(60.0, now=190.0)
+        # A single stale sample outside any birth window reads as zero.
+        assert born.increase(5.0, now=500.0) == 0.0
+
+    def test_ewma_follows_level_shift(self):
+        series = TimeSeries()
+        for ts in range(10):
+            series.append(float(ts), 1.0)
+        low = series.ewma(alpha=0.5)
+        for ts in range(10, 20):
+            series.append(float(ts), 100.0)
+        assert low == pytest.approx(1.0)
+        assert series.ewma(alpha=0.5) > 90.0
+
+    def test_zscore_flags_spike_and_respects_min_history(self):
+        series = TimeSeries()
+        values = [10.0, 11.0, 9.0, 10.5, 9.5, 10.2, 9.8, 10.1, 10.0]
+        for ts, value in enumerate(values):
+            series.append(float(ts), value)
+        assert abs(series.zscore()) < 3.0
+        series.append(float(len(values)), 50.0)
+        assert series.zscore() > 3.0
+        assert series.anomaly_score() == series.zscore()
+
+        short = TimeSeries()
+        short.append(0.0, 1.0)
+        short.append(1.0, 100.0)
+        assert short.zscore(min_history=8) == 0.0
+
+    def test_zscore_flat_history_then_jump_is_infinite(self):
+        series = TimeSeries()
+        for ts in range(9):
+            series.append(float(ts), 5.0)
+        assert series.zscore() == 0.0
+        series.append(9.0, 6.0)
+        assert series.zscore() == math.inf
+
+    def test_zscore_is_deterministic(self):
+        def build():
+            series = TimeSeries()
+            for ts in range(12):
+                series.append(float(ts), float((ts * 7) % 5))
+            return series.zscore()
+
+        assert build() == build()
+
+
+def test_flatten_snapshot_paths_and_skips():
+    flat = flatten_snapshot({
+        "uptime_seconds": 12.5,
+        "counters": {"hits": 3},
+        "latency": {"request_seconds": {"p95": 0.1}},
+        "ok": True,              # booleans skipped
+        "label": "text",         # non-numeric skipped
+    })
+    assert flat == {"uptime_seconds": 12.5, "counters.hits": 3.0,
+                    "latency.request_seconds.p95": 0.1}
+
+
+class TestMetricsSampler:
+    def test_samples_registry_counters_on_injected_clock(self):
+        clock = FakeClock()
+        registry = MetricsRegistry(clock=clock)
+        sampler = MetricsSampler(registry, clock=clock)
+        for _ in range(3):
+            registry.increment("requests_total", 10)
+            clock.advance(10.0)
+            sampler.sample()
+        series = sampler.series("counters.requests_total")
+        assert series.values() == [10.0, 20.0, 30.0]
+        assert series.delta(30.0) == pytest.approx(20.0)
+        assert "counters.requests_total" in sampler.names()
+        assert sampler.last_snapshot["counters"]["requests_total"] == 30
+
+    def test_unmoved_clock_does_not_double_count(self):
+        clock = FakeClock()
+        registry = MetricsRegistry(clock=clock)
+        sampler = MetricsSampler(registry, clock=clock)
+        registry.increment("hits")
+        sampler.sample()
+        registry.increment("hits")
+        sampler.sample()  # same fake instant: replaces, never appends
+        assert len(sampler.series("counters.hits")) == 1
+        assert sampler.series("counters.hits").values() == [2.0]
+
+    def test_callable_source_and_anomalies(self):
+        clock = FakeClock()
+        state = {"value": 10.0}
+        sampler = MetricsSampler(lambda: {"gauges": {"depth": state["value"]}},
+                                 clock=clock)
+        for _ in range(9):
+            sampler.sample()
+            clock.advance(1.0)
+        state["value"] = 500.0
+        sampler.sample()
+        anomalies = sampler.anomalies(threshold=3.0)
+        assert list(anomalies) == ["gauges.depth"]
+        assert anomalies["gauges.depth"] == math.inf
+
+    def test_unknown_series_is_empty_not_keyerror(self):
+        sampler = MetricsSampler(MetricsRegistry(), clock=FakeClock())
+        assert sampler.series("counters.never_seen").delta(60.0) == 0.0
+
+
+class TestHistogramWindow:
+    def _histogram(self):
+        return LatencyHistogram(bounds=(0.01, 0.1, 1.0))
+
+    def test_percentile_recovers_after_spike_leaves_window(self):
+        histogram = self._histogram()
+        window = HistogramWindow(window_seconds=30.0)
+        for i in range(5):
+            histogram.record(0.005)
+            window.observe(float(i * 10), histogram)
+        # Spike at t=50: cumulative p95 will never forget it...
+        for _ in range(10):
+            histogram.record(0.5)
+        window.observe(50.0, histogram)
+        assert histogram.percentile(0.95) == pytest.approx(1.0)
+        assert window.percentile(0.95, now=50.0) == pytest.approx(1.0)
+        # ...but once only fast traffic lands inside the window, the
+        # windowed tail comes back down while the cumulative one cannot.
+        for i in range(6, 16):
+            histogram.record(0.005)
+            window.observe(float(i * 10), histogram)
+        assert window.percentile(0.95, now=150.0) == pytest.approx(0.01)
+        assert histogram.percentile(0.95) == pytest.approx(1.0)
+
+    def test_count_is_windowed(self):
+        histogram = self._histogram()
+        window = HistogramWindow(window_seconds=10.0)
+        histogram.record(0.05)
+        window.observe(0.0, histogram)
+        for i in range(3):
+            histogram.record(0.05)
+            window.observe(float(10 + i), histogram)
+        assert window.count(now=13.0) == 3
+        assert window.count(now=100.0) == 0
+
+    def test_single_snapshot_bootstrap_counts_everything(self):
+        histogram = self._histogram()
+        histogram.record(0.05)
+        histogram.record(0.5)
+        window = HistogramWindow(window_seconds=60.0)
+        window.observe(0.0, histogram)
+        assert window.count() == 2
+        assert window.percentile(1.0) == pytest.approx(1.0)
+
+    def test_overflow_bucket_reports_observed_max(self):
+        histogram = self._histogram()
+        window = HistogramWindow(window_seconds=60.0)
+        window.observe(0.0, histogram)
+        histogram.record(4.2)
+        window.observe(1.0, histogram)
+        assert window.percentile(1.0, now=1.0) == pytest.approx(4.2)
+
+    def test_empty_window_and_validation(self):
+        window = HistogramWindow(window_seconds=10.0)
+        assert window.percentile(0.95) == 0.0
+        assert window.count() == 0
+        with pytest.raises(ValueError):
+            window.percentile(1.5)
+        with pytest.raises(ValueError):
+            HistogramWindow(window_seconds=0.0)
+        histogram = self._histogram()
+        window.observe(0.0, histogram)
+        with pytest.raises(ValueError):
+            window.observe(1.0, LatencyHistogram(bounds=(0.5, 1.0)))
+        with pytest.raises(ValueError):
+            window.observe(-1.0, histogram)
+
+    def test_same_timestamp_observation_replaces(self):
+        histogram = self._histogram()
+        window = HistogramWindow(window_seconds=10.0)
+        histogram.record(0.05)
+        window.observe(0.0, histogram)
+        histogram.record(0.05)
+        window.observe(0.0, histogram)
+        assert window.count() == 2  # one snapshot holding both observations

@@ -7,7 +7,8 @@ import threading
 
 import pytest
 
-from repro.obs.tracer import SpanTracer, format_span_tree, stage_breakdown
+from repro.obs.tracer import (SpanTracer, critical_path, format_span_tree,
+                              stage_breakdown)
 
 from obs_helpers import FakeClock
 
@@ -178,3 +179,64 @@ class TestStageBreakdown:
 
     def test_empty_input(self):
         assert stage_breakdown([]) == {}
+
+
+class TestCriticalPath:
+    def _incident_trace(self):
+        """request(10s) -> a(6s) -> deep(4s), with a 2s sibling ``b``."""
+        clock = FakeClock()
+        tracer = SpanTracer(clock=clock)
+        with tracer.span("request"):
+            clock.advance(1.0)
+            with tracer.span("a"):
+                clock.advance(2.0)
+                with tracer.span("deep"):
+                    clock.advance(4.0)
+            with tracer.span("b"):
+                clock.advance(2.0)
+            clock.advance(1.0)
+        return tracer
+
+    def test_walks_the_slowest_chain_with_self_time(self):
+        tracer = self._incident_trace()
+        path = tracer.critical_path("t000001")
+        assert [step["name"] for step in path] == ["request", "a", "deep"]
+        assert [step["duration_seconds"] for step in path] == [10.0, 6.0, 4.0]
+        # Self time: duration minus the time the children account for.
+        assert [step["self_seconds"] for step in path] == [2.0, 2.0, 4.0]
+
+    def test_unknown_trace_and_empty_tracer(self):
+        tracer = self._incident_trace()
+        assert tracer.critical_path("t999999") == []
+        assert critical_path([]) == []
+
+    def test_equal_durations_break_ties_on_span_id(self):
+        clock = FakeClock()
+        tracer = SpanTracer(clock=clock)
+        with tracer.span("root"):
+            with tracer.span("first"):
+                clock.advance(3.0)
+            with tracer.span("second"):
+                clock.advance(3.0)
+        path = tracer.critical_path("t000001")
+        # Counter span IDs order by creation; the later sibling wins the
+        # tie deterministically instead of flapping run to run.
+        assert [step["name"] for step in path] == ["root", "second"]
+
+    def test_evicted_parent_orphans_become_roots(self):
+        tracer = self._incident_trace()
+        survivors = [s for s in tracer.spans() if s.name != "request"]
+        path = critical_path(survivors)
+        assert [step["name"] for step in path] == ["a", "deep"]
+
+    def test_self_time_clamps_at_zero(self):
+        clock = FakeClock()
+        tracer = SpanTracer(clock=clock)
+        with tracer.span("parent"):
+            # A synthetic child longer than its zero-duration parent must
+            # not report negative parent self-time.
+            tracer.add_span("kernel", 5.0, {})
+        path = tracer.critical_path("t000001")
+        assert path[0]["name"] == "parent"
+        assert path[0]["self_seconds"] == 0.0
+        assert path[1]["name"] == "kernel"

@@ -119,3 +119,27 @@ class TestConfigValidation:
             DriftConfig(baseline_observations=100, distance_window=10)
         with pytest.raises(ValueError):
             DriftConfig(min_rejection_observations=100, rejection_window=50)
+
+
+class TestLatchedKinds:
+    def test_reports_sorted_kinds_per_building(self):
+        detector = DriftDetector(DriftConfig(vocabulary_jaccard_min=0.6,
+                                             min_window_macs=1,
+                                             distance_window=8,
+                                             baseline_observations=4,
+                                             distance_ratio_max=1.5))
+        assert detector.latched_kinds("A") == ()
+        trained = {f"ap-{i}" for i in range(10)}
+        drifted = {f"new-{i}" for i in range(10)}
+        assert detector.check_vocabulary("A", trained, drifted) is not None
+        for _ in range(4):
+            detector.observe_distance("A", 1.0)
+        for _ in range(8):
+            detector.observe_distance("A", 10.0)
+        assert detector.latched_kinds("A") == (DriftKind.DISTANCE_SHIFT,
+                                               DriftKind.MAC_CHURN)
+        # Per-building isolation, and the registry-wide key is separate.
+        assert detector.latched_kinds("B") == ()
+        assert detector.latched_kinds(None) == ()
+        detector.reset_building("A")
+        assert detector.latched_kinds("A") == ()

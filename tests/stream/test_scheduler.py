@@ -188,3 +188,23 @@ class TestRetrain:
         assert report.swapped
         probe = splits["bldg-A"].test_records[0].without_floor()
         assert service.predict(probe).building_id == "bldg-A"
+
+
+class TestLastSwapAge:
+    def test_age_tracks_the_injected_clock(self, fresh_service):
+        service, splits = fresh_service
+        clock = FakeClock(start=100.0)
+        windows = filled_windows(splits["bldg-A"])
+        scheduler = RetrainScheduler(service, windows,
+                                     SchedulerConfig(min_window_records=10),
+                                     clock=clock)
+        assert scheduler.last_swap_age("bldg-A") is None
+        scheduler.note_drift(churn_event())
+        report = scheduler.maybe_retrain("bldg-A")
+        assert report is not None and report.swapped
+        clock.advance(42.0)
+        assert scheduler.last_swap_age("bldg-A") == 42.0
+        # An explicit ``now`` overrides the clock read (health monitors
+        # evaluate every signal at one shared instant).
+        assert scheduler.last_swap_age("bldg-A", now=150.0) == 50.0
+        assert scheduler.last_swap_age("never-swapped") is None

@@ -1,0 +1,151 @@
+"""Trace IDs flow from the stream hot path into drift/retrain artifacts.
+
+When observability is on, a ``stream.process`` span wraps every record;
+drift events fired inside it and the retrain jobs they trigger must all
+carry that trace ID, so an operator can join "this record caused this
+drift caused this hot swap" across the span dump, the drift log and the
+retrain reports.  When observability is off, everything stays ``None``
+and the stream layer allocates nothing for tracing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from stream_helpers import stream_records, train_service
+
+from repro import ContinuousLearningPipeline, StreamConfig
+from repro.obs import runtime as obs
+from repro.stream import (
+    DriftConfig,
+    DriftKind,
+    RetrainExecutor,
+    SchedulerConfig,
+    WindowConfig,
+)
+
+from test_continuous_pipeline import STREAM_CONFIG, churn_rename
+
+
+@pytest.fixture()
+def traced():
+    """Observability on for the test, off afterwards (process-global)."""
+    obs.enable()
+    yield obs.active_tracer()
+    obs.disable()
+
+
+def _drive_to_swap(service, split, config=STREAM_CONFIG):
+    """Stream churn traffic until the hot swap; returns (pipeline, results)."""
+    pipeline = ContinuousLearningPipeline(service, config)
+    results = pipeline.process_stream(
+        stream_records(split, 30, prefix="p1-", jitter=2.5, label_every=2))
+    for record in stream_records(split, 60, prefix="p2-", jitter=2.5,
+                                 label_every=2, rng_seed=1,
+                                 rename=churn_rename(split)):
+        result = pipeline.process(record)
+        results.append(result)
+        if result.retrain is not None and result.retrain.swapped:
+            return pipeline, results
+    raise AssertionError("AP churn never triggered a hot swap")
+
+
+class TestTracedStream:
+    def test_drift_and_retrain_join_the_processing_trace(
+            self, fresh_service, traced):
+        service, splits = fresh_service
+        pipeline, results = _drive_to_swap(service, splits["bldg-A"])
+
+        events = [e for r in results for e in r.drift_events
+                  if e.kind is DriftKind.MAC_CHURN]
+        assert events and events[0].trace_id is not None
+
+        swap = next(r for r in results
+                    if r.retrain is not None and r.retrain.swapped)
+        assert swap.retrain.trace_id is not None
+        # The retrain rode the very stream.process trace of the record
+        # that triggered it: the span dump contains both spans under it.
+        names = {span.name for span in traced.spans()
+                 if span.trace_id == swap.retrain.trace_id}
+        assert {"stream.process", "stream.retrain"} <= names
+
+    def test_drift_trace_survives_a_checkpoint_round_trip(
+            self, fresh_service, traced):
+        service, splits = fresh_service
+        config = StreamConfig(
+            window=WindowConfig(max_records=32),
+            drift=DriftConfig(vocabulary_jaccard_min=0.6, min_window_macs=8),
+            scheduler=SchedulerConfig(min_window_records=64,  # never retrain
+                                      min_labeled_records=2))
+        pipeline = ContinuousLearningPipeline(service, config)
+        split = splits["bldg-A"]
+        pipeline.process_stream(stream_records(split, 30, prefix="p1-",
+                                               jitter=2.5))
+        events = [e for r in pipeline.process_stream(
+                      stream_records(split, 40, prefix="p2-", jitter=2.5,
+                                     rng_seed=1, rename=churn_rename(split)))
+                  for e in r.drift_events]
+        assert events and events[0].trace_id is not None
+
+        state = pipeline.state_dict()
+        assert any(blob["trace_id"] == events[0].trace_id
+                   for blob in state["drift_events"])
+        restored = ContinuousLearningPipeline(service, config)
+        restored.restore_state(state)
+        assert events[0].trace_id in {e.trace_id
+                                      for e in restored.drift_events}
+        # Pre-trace checkpoints (no trace_id key) restore as None.
+        for blob in state["drift_events"]:
+            blob.pop("trace_id", None)
+        legacy = ContinuousLearningPipeline(service, config)
+        legacy.restore_state(state)
+        assert all(e.trace_id is None for e in legacy.drift_events)
+
+
+class TestUntracedStream:
+    def test_everything_stays_none_with_observability_off(
+            self, fresh_service):
+        service, splits = fresh_service
+        pipeline, results = _drive_to_swap(service, splits["bldg-A"])
+        events = [e for r in results for e in r.drift_events]
+        assert events and all(e.trace_id is None for e in events)
+        swap = next(r for r in results
+                    if r.retrain is not None and r.retrain.swapped)
+        assert swap.retrain.trace_id is None
+
+
+class TestExecutorTraceStamping:
+    def test_sync_completion_carries_the_submitting_trace(
+            self, fresh_service, traced):
+        service, splits = fresh_service
+        split = splits["bldg-A"]
+        from test_executor import window_dataset
+        dataset, labels = window_dataset(split)
+        executor = RetrainExecutor(service, max_workers=0)
+        with traced.span("driver"):
+            submitting_trace = obs.current_trace_id()
+            completion = executor.submit("bldg-A", dataset, labels,
+                                         trigger="test")
+        assert completion.swapped
+        assert completion.trace_id == submitting_trace
+
+    def test_background_completion_joins_the_submitting_trace(
+            self, fresh_service, traced):
+        """The worker thread has no ambient span context; the job carries
+        the trace across the thread boundary instead."""
+        service, splits = fresh_service
+        from test_executor import window_dataset
+        dataset, labels = window_dataset(splits["bldg-A"])
+        executor = RetrainExecutor(service, max_workers=1)
+        with traced.span("driver"):
+            submitting_trace = obs.current_trace_id()
+            assert executor.submit("bldg-A", dataset, labels,
+                                   trigger="test") is None
+        assert executor.join(timeout=60.0)
+        (completion,) = executor.drain_completed()
+        executor.shutdown()
+        assert completion.swapped
+        assert completion.trace_id == submitting_trace
+        retrain_spans = [span for span in traced.spans()
+                         if span.name == "stream.retrain"]
+        assert [span.trace_id for span in retrain_spans] == [submitting_trace]
