@@ -46,26 +46,41 @@ FULL = {"records_per_floor": 100, "probes": 10, "cold_predicts": 150}
 SMOKE = {"records_per_floor": 40, "probes": 5, "cold_predicts": 40}
 
 
-def measure_cold_serving(model, dataset, probes, cold_predicts: int) -> dict:
-    """Throughput of uncached predictions through the serving facade.
+def measure_cold_serving(models: dict, dataset, probes, cold_predicts: int,
+                         repeats: int = 3) -> dict:
+    """Cold-path throughput of uncached predictions, one entry per model.
 
     The cache is disabled so every prediction takes the full cold path:
     routing, overlay-staged frozen embedding against the trained model and
     the nearest-centroid lookup.  This is the number the mutation-free
-    online path (PR 5) targets.
+    online path (PR 5) targets.  All models are measured in *alternating*
+    passes and each reports its best pass: this benchmark compares sampler
+    modes against each other and across PRs, and sequential blocks are at
+    the mercy of host clock drift (sustained runs on the CI hosts have
+    been observed to sag by tens of percent within seconds, which would
+    systematically penalise whichever mode runs later).
     """
-    registry = MultiBuildingFloorService(CONFIG)
-    registry.install_model(dataset.building_id, model)
-    service = FloorServingService(registry=registry,
-                                  config=ServingConfig(enable_cache=False))
-    service.predict(probes[0])                    # warm-up (engine, router)
-    start = time.perf_counter()
-    for i in range(cold_predicts):
-        service.predict(probes[i % len(probes)])
-    seconds = time.perf_counter() - start
-    return {"records": cold_predicts,
-            "seconds": round(seconds, 4),
-            "records_per_s": round(cold_predicts / seconds, 1)}
+    services = {}
+    for name, model in models.items():
+        registry = MultiBuildingFloorService(CONFIG)
+        registry.install_model(dataset.building_id, model)
+        service = FloorServingService(registry=registry,
+                                      config=ServingConfig(enable_cache=False))
+        service.predict(probes[0])                # warm-up (engine, router)
+        services[name] = service
+    best: dict = {name: None for name in services}
+    for _ in range(repeats):
+        for name, service in services.items():
+            start = time.perf_counter()
+            for i in range(cold_predicts):
+                service.predict(probes[i % len(probes)])
+            seconds = time.perf_counter() - start
+            if best[name] is None or seconds < best[name]:
+                best[name] = seconds
+    return {name: {"records": cold_predicts,
+                   "seconds": round(seconds, 4),
+                   "records_per_s": round(cold_predicts / seconds, 1)}
+            for name, seconds in best.items()}
 
 
 def measure_traced_cold_path(model, dataset, probes, cold_predicts: int,
@@ -137,13 +152,35 @@ def run(sizes, label, dataset=None, artifacts_dir: str | None = None) -> dict:
         model.predict(probe, persist=False)
     online_seconds = (time.perf_counter() - start) / sizes["probes"]
 
-    cold = measure_cold_serving(model, dataset, probes,
-                                sizes["cold_predicts"])
+    # The same trained model served with the composed delta negative
+    # sampler (sampler_mode="delta"): no per-predict O(V) alias rebuild.
+    delta_model = model.with_sampler_mode("delta")
+    cold_by_mode = measure_cold_serving({"exact": model, "delta": delta_model},
+                                        dataset, probes,
+                                        sizes["cold_predicts"])
+    cold = cold_by_mode["exact"]
+    delta_cold = cold_by_mode["delta"]
     traced = measure_traced_cold_path(model, dataset, probes,
                                       sizes["cold_predicts"],
                                       artifacts_dir=artifacts_dir)
+    delta_traced = measure_traced_cold_path(delta_model, dataset, probes,
+                                            sizes["cold_predicts"])
+
+    # Accuracy parity: both modes sample the same noise distribution, so
+    # they must identify floors equally well.  Scored over the whole test
+    # split (not just the timing probes) so the comparison is not at the
+    # mercy of a handful of borderline records.
+    parity_probes = [(r.without_floor(), r.floor) for r in split.test_records]
+    exact_hits = sum(model.predict(p).floor == floor
+                     for p, floor in parity_probes)
+    delta_hits = sum(delta_model.predict(p).floor == floor
+                     for p, floor in parity_probes)
+    accuracy = {"exact": round(exact_hits / len(parity_probes), 3),
+                "delta": round(delta_hits / len(parity_probes), 3),
+                "records": len(parity_probes)}
 
     speedup = full_refit_seconds / max(online_seconds, 1e-9)
+    delta_speedup = delta_cold["records_per_s"] / cold["records_per_s"]
     rows = [
         {"approach": "online frozen-graph embedding (seconds per sample)",
          "value": round(online_seconds, 4)},
@@ -156,6 +193,12 @@ def run(sizes, label, dataset=None, artifacts_dir: str | None = None) -> dict:
          "value": traced["records_per_s"]},
         {"approach": "alias-table build share of traced spans",
          "value": traced["stage_shares"].get("embed.alias_build", 0.0)},
+        {"approach": "cold serving path, delta sampler (records/s)",
+         "value": delta_cold["records_per_s"]},
+        {"approach": "delta-sampler cold-path speedup (x)",
+         "value": round(delta_speedup, 2)},
+        {"approach": "alias-table build share, delta sampler",
+         "value": delta_traced["stage_shares"].get("embed.alias_build", 0.0)},
     ]
     save_table("online_inference_latency", rows,
                columns=["approach", "value"],
@@ -165,13 +208,26 @@ def run(sizes, label, dataset=None, artifacts_dir: str | None = None) -> dict:
                "full_refit_seconds": round(full_refit_seconds, 4),
                "speedup": round(speedup, 1),
                "cold_path": cold,
-               "traced_cold_path": traced}
+               "traced_cold_path": traced,
+               "delta_cold_path": delta_cold,
+               "delta_traced_cold_path": delta_traced,
+               "delta_speedup": round(delta_speedup, 2),
+               "floor_accuracy": accuracy}
     print("BENCH_JSON " + json.dumps(summary))
 
     assert online_seconds * 10 < full_refit_seconds
     # Tracing must report where the online path spends its time; the
-    # alias-table build is the known dominant fixed cost (ROADMAP: ~25%).
+    # alias-table build is the known dominant fixed cost of the exact mode
+    # (ROADMAP: ~25%) — and the delta sampler must make it small.
     assert traced["stage_shares"].get("embed.alias_build", 0.0) > 0.05
+    assert delta_traced["stage_shares"].get("embed.alias_build", 1.0) < 0.08
+    # Accuracy-parity gate: the delta mode samples the same distribution,
+    # so it must not cost floor-identification accuracy on the campus preset.
+    assert accuracy["delta"] >= accuracy["exact"] - 1.0 / len(parity_probes)
+    # In-run speedup floor (the history gate holds the 1.3x line against
+    # the committed baseline; this catches a delta path that stopped
+    # paying for itself at all).
+    assert delta_speedup > 1.05
     return summary
 
 

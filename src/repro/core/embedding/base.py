@@ -10,6 +10,7 @@ import numpy as np
 
 from ..graph import BipartiteGraph
 from .kernels import validate_kernel
+from .sampler import validate_sampler_mode
 
 __all__ = ["EmbeddingConfig", "GraphEmbedding", "GraphEmbedder"]
 
@@ -49,6 +50,14 @@ class EmbeddingConfig:
         ``"reference"`` (default; bit-for-bit the historical update, backing
         every byte-identity guarantee) or ``"fused"`` (2x+ throughput,
         seed-deterministic, tolerance-equivalent to the reference).
+    sampler_mode:
+        Negative-sampler construction on overlay graphs (the per-prediction
+        cold path): ``"exact"`` (default; rebuild the full alias table,
+        byte-identical to the historical path) or ``"delta"`` (compose the
+        base graph's cached sampler with the overlay's staged delta — the
+        same noise distribution exactly, but a different RNG consumption
+        order, so predictions are equal in accuracy rather than bytes).
+        Ordinary (non-overlay) fits are unaffected by this setting.
     """
 
     dimension: int = 8
@@ -61,6 +70,7 @@ class EmbeddingConfig:
     init_scale: float = 0.5
     seed: int | None = 0
     kernel: str = "reference"
+    sampler_mode: str = "exact"
 
     def __post_init__(self) -> None:
         if self.dimension <= 0:
@@ -76,6 +86,7 @@ class EmbeddingConfig:
         if not 0.0 <= self.dropout < 1.0:
             raise ValueError("dropout must be in [0, 1)")
         validate_kernel(self.kernel)
+        validate_sampler_mode(self.sampler_mode)
 
 
 @dataclass

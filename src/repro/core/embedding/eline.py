@@ -94,6 +94,7 @@ class ELINEEmbedder(GraphEmbedder):
             self, graph: BipartiteGraph, embedding: GraphEmbedding,
             new_record_ids: list[str],
             samples_per_new_edge: float | None = None,
+            edge_scratch=None,
     ) -> tuple[np.ndarray, np.ndarray, list[float]]:
         """The array-level core of :meth:`embed_new_nodes`.
 
@@ -105,18 +106,23 @@ class ELINEEmbedder(GraphEmbedder):
         :class:`~repro.core.overlay.GraphOverlay` presenting the staged
         records over a frozen base; both produce bit-identical results
         because every composed overlay view matches the mutated graph's and
-        the RNG is consumed in the same order either way.
+        the RNG is consumed in the same order either way.  ``edge_scratch``
+        optionally carries an :class:`~repro.core.graph.EdgeArrayScratch`
+        reused across consecutive same-shaped calls (the serving engine's
+        per-thread buffers); results are identical with or without it.
         """
         with obs.span("online.embed") as embed_span:
             embed_span.set("new_records", len(new_record_ids))
             return self._embed_new_nodes_arrays(graph, embedding,
                                                 new_record_ids,
-                                                samples_per_new_edge)
+                                                samples_per_new_edge,
+                                                edge_scratch=edge_scratch)
 
     def _embed_new_nodes_arrays(
             self, graph: BipartiteGraph, embedding: GraphEmbedding,
             new_record_ids: list[str],
             samples_per_new_edge: float | None = None,
+            edge_scratch=None,
     ) -> tuple[np.ndarray, np.ndarray, list[float]]:
         for record_id in new_record_ids:
             if embedding.has_record(record_id):
@@ -148,18 +154,24 @@ class ELINEEmbedder(GraphEmbedder):
         old_rows = min(embedding.ego.shape[0], capacity)
         ego[:old_rows] = embedding.ego[:old_rows]
         context[:old_rows] = embedding.context[:old_rows]
-        for index in np.flatnonzero(trainable):
-            ego[index] = rng.uniform(-scale, scale, size=dim)
-            context[index] = rng.uniform(-scale, scale, size=dim)
+        new_indices = np.flatnonzero(trainable)
+        if new_indices.size:
+            # One block draw, shaped so the generator consumes doubles in
+            # the historical per-row order (ego row, then context row, per
+            # index) — byte-identical to the former per-index loop.
+            fresh = rng.uniform(-scale, scale,
+                                size=(new_indices.size, 2, dim))
+            ego[new_indices] = fresh[:, 0, :]
+            context[new_indices] = fresh[:, 1, :]
 
         # The objective restricted to the new nodes only involves their own
         # incident edges, so the positive sampler is built over that subset:
         # this is what makes online inference cheap (Section V-A).
-        new_indices = np.flatnonzero(trainable)
         per_edge = (samples_per_new_edge if samples_per_new_edge is not None
                     else self.config.samples_per_edge)
         incremental_config = replace(self.config, samples_per_edge=per_edge)
         trainer = EdgeSamplingTrainer(graph, incremental_config, _ELINE_TERMS,
-                                      restrict_to_nodes=new_indices)
+                                      restrict_to_nodes=new_indices,
+                                      edge_scratch=edge_scratch)
         losses = trainer.train(ego, context, trainable=trainable)
         return ego, context, losses

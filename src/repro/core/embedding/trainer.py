@@ -72,7 +72,8 @@ class EdgeSamplingTrainer:
     def __init__(self, graph: BipartiteGraph, config: EmbeddingConfig,
                  terms: ObjectiveTerms,
                  restrict_to_nodes: np.ndarray | None = None,
-                 use_sampler_cache: bool = True) -> None:
+                 use_sampler_cache: bool = True,
+                 edge_scratch=None) -> None:
         """Create a trainer over all edges or, optionally, a node-incident subset.
 
         Parameters
@@ -88,6 +89,12 @@ class EdgeSamplingTrainer:
             same :attr:`BipartiteGraph.version` (default).  Samplers are
             immutable once built, so a cache hit is byte-identical to a fresh
             construction; disable only to benchmark or test the cold path.
+        edge_scratch:
+            Optional :class:`~repro.core.graph.EdgeArrayScratch` reused for
+            the restricted incident-edge arrays across consecutive trainers
+            (the per-predict path stages same-shaped deltas back to back).
+            The caller owns the buffers' lifetime; they must not outlive the
+            next fill or be shared across threads.
         """
         if graph.num_edges == 0:
             raise ValueError("cannot train embeddings on a graph with no edges")
@@ -96,9 +103,14 @@ class EdgeSamplingTrainer:
         self.terms = terms
         # Overlay views are ephemeral (one per online prediction) and have
         # no mutation-versioned identity of their own; caching samplers
-        # against them would only churn the cache.
+        # against them would only churn the cache.  In "delta" mode their
+        # negative sampler is instead *composed* from the base graph's
+        # cached sampler plus the staged delta — same distribution, no
+        # O(V) rebuild.
+        delta_negatives = False
         if getattr(graph, "is_overlay", False):
             use_sampler_cache = False
+            delta_negatives = config.sampler_mode == "delta"
         with obs.span("embed.alias_build") as alias_span:
             if restrict_to_nodes is None:
                 if use_sampler_cache:
@@ -108,23 +120,44 @@ class EdgeSamplingTrainer:
             else:
                 # Built straight from the adjacency of the restricted nodes —
                 # O(incident edges), not O(E) — in exactly the order a filtered
-                # ``edge_arrays()`` would produce.  Per-call restriction sets
-                # make these tiny samplers not worth caching.
+                # ``edge_arrays()`` would produce.
                 sources, targets, weights = graph.incident_edge_arrays(
-                    restrict_to_nodes)
+                    restrict_to_nodes, scratch=edge_scratch)
                 if sources.size == 0:
                     raise ValueError("restrict_to_nodes selects no edges; "
                                      "the nodes are isolated")
-                self._edge_sampler = EdgeSampler(sources, targets, weights)
+                if delta_negatives:
+                    # Delta mode: a re-predicted record stages an identical
+                    # delta, so the restricted arrays — and the sampler over
+                    # them — recur byte for byte; memoise by content.
+                    self._edge_sampler = _SAMPLER_CACHE.restricted_edge_sampler(
+                        graph.base, sources, targets, weights)
+                else:
+                    self._edge_sampler = EdgeSampler(sources, targets, weights)
             self._num_sampled_edges = self._edge_sampler.num_edges
             if use_sampler_cache:
                 self._negative_sampler = _SAMPLER_CACHE.negative_sampler(graph)
+            elif delta_negatives:
+                self._negative_sampler = (
+                    _SAMPLER_CACHE.delta_negative_sampler(graph))
             else:
                 self._negative_sampler = NegativeSampler(graph.degree_array())
             alias_span.set("edges", self._num_sampled_edges)
             alias_span.set("cached", use_sampler_cache)
+            alias_span.set("negatives",
+                           "delta" if delta_negatives else "full")
         self._rng = np.random.default_rng(config.seed)
         self._kernel = make_kernel(config.kernel)
+        # In "delta" mode the RNG stream is not contracted (only the sampled
+        # distribution is), so the per-batch draws are served as row slices
+        # of one pooled draw per run — the composed mixture's fixed numpy
+        # costs (coins, rejection filter, scatter) are paid once instead of
+        # once per batch.  "exact" mode keeps strict per-batch draws: its
+        # contract is byte-identical RNG consumption.
+        self._pooled_draws = delta_negatives
+        self._positive_pool: tuple[np.ndarray, np.ndarray] | None = None
+        self._negative_pool: np.ndarray | None = None
+        self._pool_used = 0
 
     @property
     def num_sampled_edges(self) -> int:
@@ -268,13 +301,34 @@ class EdgeSamplingTrainer:
         return self._kernel_step(ego, context, heads, tails, negatives, lr,
                                  trainable, batch)
 
+    #: Upper bound on pooled-draw rows per refill (memory guard; delta-mode
+    #: online runs are ~1e3 examples, far below it).
+    _POOL_ROW_CAP = 1 << 16
+
     def _sample_batch(self, batch: int) -> tuple[np.ndarray, np.ndarray,
                                                  np.ndarray]:
-        """Draw one batch of positive edges and their negative samples."""
-        heads, tails = self._edge_sampler.sample(batch, self._rng)
-        negatives = self._negative_sampler.sample(
-            batch, self.config.negative_samples, self._rng)
-        return heads, tails, negatives
+        """Draw one batch of positive edges and their negative samples.
+
+        With pooled draws enabled (delta sampler mode) the batch is a row
+        slice of one bulk draw covering the whole run; the slices partition
+        the pool, so examples are i.i.d. exactly as if drawn per batch.
+        """
+        if not self._pooled_draws:
+            heads, tails = self._edge_sampler.sample(batch, self._rng)
+            negatives = self._negative_sampler.sample(
+                batch, self.config.negative_samples, self._rng)
+            return heads, tails, negatives
+        pool = self._negative_pool
+        if pool is None or self._pool_used + batch > pool.shape[0]:
+            rows = min(max(batch, self.total_samples()), self._POOL_ROW_CAP)
+            self._positive_pool = self._edge_sampler.sample(rows, self._rng)
+            self._negative_pool = pool = self._negative_sampler.sample(
+                rows, self.config.negative_samples, self._rng)
+            self._pool_used = 0
+        start = self._pool_used
+        self._pool_used = end = start + batch
+        heads, tails = self._positive_pool
+        return heads[start:end], tails[start:end], pool[start:end]
 
     def _kernel_step(self, ego: np.ndarray, context: np.ndarray,
                      heads: np.ndarray, tails: np.ndarray,

@@ -30,7 +30,47 @@ import numpy as np
 from .types import FingerprintDataset, SignalRecord
 from .weighting import OffsetWeight, WeightFunction
 
-__all__ = ["NodeKind", "Node", "Edge", "BipartiteGraph", "build_graph"]
+__all__ = ["NodeKind", "Node", "Edge", "EdgeArrayScratch", "BipartiteGraph",
+           "build_graph"]
+
+
+class EdgeArrayScratch:
+    """Reusable output buffers for ``incident_edge_arrays``.
+
+    Consecutive online probes stage same-shaped deltas (one record, a
+    handful of observed MACs), so the restricted edge arrays built per
+    prediction keep the same length from probe to probe; on a size match
+    the previous buffers are refilled in place instead of allocating three
+    fresh arrays.  The caller owns the lifetime: buffers are overwritten by
+    the next call, so they must not outlive the sampler built from them
+    (per-predict trainers never do), and one scratch must not be shared
+    across threads (the inference engine keeps one per thread).
+    """
+
+    __slots__ = ("sources", "targets", "weights", "reuses")
+
+    def __init__(self) -> None:
+        self.sources: np.ndarray | None = None
+        self.targets: np.ndarray | None = None
+        self.weights: np.ndarray | None = None
+        #: Number of calls that reused the buffers (introspection/tests).
+        self.reuses = 0
+
+    def fill(self, source_chunks: list[int], target_chunks: list[int],
+             weight_chunks: list[float],
+             ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Arrays over the chunk lists, reusing the buffers on a size match."""
+        count = len(source_chunks)
+        if self.sources is not None and self.sources.size == count:
+            self.sources[:] = source_chunks
+            self.targets[:] = target_chunks
+            self.weights[:] = weight_chunks
+            self.reuses += 1
+        else:
+            self.sources = np.asarray(source_chunks, dtype=np.int64)
+            self.targets = np.asarray(target_chunks, dtype=np.int64)
+            self.weights = np.asarray(weight_chunks, dtype=np.float64)
+        return self.sources, self.targets, self.weights
 
 
 class NodeKind(str, Enum):
@@ -332,6 +372,7 @@ class BipartiteGraph:
 
     def incident_edge_arrays(
             self, node_indices: np.ndarray,
+            scratch: EdgeArrayScratch | None = None,
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """``(sources, targets, weights)`` over edges incident to given nodes.
 
@@ -339,7 +380,10 @@ class BipartiteGraph:
         :meth:`edge_arrays` would keep, but built from the adjacency of the
         restricted nodes alone — O(incident edges), independent of |E|.
         This is what makes per-prediction trainer construction in the online
-        path cheap.  Indices of retired nodes select nothing.
+        path cheap.  Indices of retired nodes select nothing.  ``scratch``
+        optionally reuses a previous call's output buffers when the edge
+        count matches (see :class:`EdgeArrayScratch` for the ownership
+        rules); the returned values are identical either way.
         """
         wanted = np.zeros(self.index_capacity, dtype=bool)
         wanted[np.asarray(node_indices, dtype=np.int64)] = True
@@ -362,12 +406,13 @@ class BipartiteGraph:
                     source_chunks.append(mac_index)
                     target_chunks.append(record_index)
                     weight_chunks.append(weight)
+        if scratch is not None:
+            return scratch.fill(source_chunks, target_chunks, weight_chunks)
         return (np.asarray(source_chunks, dtype=np.int64),
                 np.asarray(target_chunks, dtype=np.int64),
                 np.asarray(weight_chunks, dtype=np.float64))
 
-    def degree_array(self) -> np.ndarray:
-        """Weighted degrees indexed by dense node index (zeros for retired indices)."""
+    def _flush_degrees(self) -> None:
         if self._dirty_degrees:
             # The unlocked truthiness peek keeps the clean (serving) case
             # lock-free; the flush itself is serialised so concurrent
@@ -378,7 +423,21 @@ class BipartiteGraph:
                     if neighbors is not None:
                         self._degrees[index] = sum(neighbors.values())
                 self._dirty_degrees.clear()
+
+    def degree_array(self) -> np.ndarray:
+        """Weighted degrees indexed by dense node index (zeros for retired indices)."""
+        self._flush_degrees()
         return self._degrees[:self.index_capacity].copy()
+
+    def degrees_at(self, indices: np.ndarray) -> np.ndarray:
+        """Weighted degrees at the given dense indices (a fresh small array).
+
+        The same values :meth:`degree_array` reports at those positions,
+        without the O(V) copy — the delta-composed negative sampler reads a
+        handful of boundary-MAC degrees per prediction.
+        """
+        self._flush_degrees()
+        return self._degrees[np.asarray(indices, dtype=np.int64)]
 
     def record_index_map(self) -> dict[str, int]:
         """Mapping record id -> dense node index for all live record nodes.

@@ -29,8 +29,9 @@ collected outside the building, and this engine raises
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -38,7 +39,7 @@ from ..obs import runtime as obs
 from .clustering.model import ClusterModel
 from .embedding.base import GraphEmbedding
 from .embedding.eline import ELINEEmbedder
-from .graph import BipartiteGraph, NodeKind
+from .graph import BipartiteGraph, EdgeArrayScratch, NodeKind
 from .overlay import GraphOverlay
 from .types import SignalRecord
 
@@ -76,15 +77,30 @@ class OnlineInferenceEngine:
         The nearest-centroid floor classifier from the offline clustering.
     embedder:
         The embedder used for the incremental (frozen) embedding step.
+    sampler_mode:
+        Optional override of the embedder config's negative-sampler mode for
+        the per-prediction cold path (``"exact"`` or ``"delta"``, see
+        :class:`~repro.core.embedding.base.EmbeddingConfig`).  ``None``
+        keeps whatever the embedder config says.
     """
 
     def __init__(self, graph: BipartiteGraph, embedding: GraphEmbedding,
                  cluster_model: ClusterModel,
-                 embedder: ELINEEmbedder | None = None) -> None:
+                 embedder: ELINEEmbedder | None = None,
+                 sampler_mode: str | None = None) -> None:
         self.graph = graph
         self.embedding = embedding
         self.cluster_model = cluster_model
         self.embedder = embedder or ELINEEmbedder(embedding.config)
+        if (sampler_mode is not None
+                and sampler_mode != self.embedder.config.sampler_mode):
+            self.embedder = type(self.embedder)(
+                replace(self.embedder.config, sampler_mode=sampler_mode))
+        # Per-thread scratch buffers for the restricted incident-edge arrays
+        # (consecutive cold predictions usually stage same-shaped deltas).
+        # Thread-local: the buffers are reused in place, so they must never
+        # be visible to a concurrent prediction.
+        self._scratch = threading.local()
 
     # -------------------------------------------------------------- inference
     def predict(self, record: SignalRecord, persist: bool = False) -> FloorPrediction:
@@ -169,8 +185,11 @@ class OnlineInferenceEngine:
                 # The non-persisting path reads the new rows by overlay
                 # index, so the full GraphEmbedding (composed index maps,
                 # loss history) is never assembled.
+                scratch = getattr(self._scratch, "edges", None)
+                if scratch is None:
+                    scratch = self._scratch.edges = EdgeArrayScratch()
                 ego, _, _ = self.embedder.embed_new_nodes_arrays(
-                    overlay, self.embedding, new_ids)
+                    overlay, self.embedding, new_ids, edge_scratch=scratch)
 
             with obs.span("online.classify"):
                 predictions = []

@@ -34,7 +34,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..obs import runtime as obs
-from .graph import BipartiteGraph, Node, NodeKind
+from .graph import BipartiteGraph, EdgeArrayScratch, Node, NodeKind
 from .types import SignalRecord
 
 __all__ = ["StaleOverlayError", "GraphOverlay"]
@@ -216,8 +216,35 @@ class GraphOverlay:
             degrees[index] = value
         return degrees
 
+    def delta_degree_patch(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(indices, degrees)`` for the nodes whose degree the delta moved.
+
+        The indices are every node holding delta edges — staged nodes plus
+        boundary base MACs that gained edges — in ascending order; the
+        degrees are the composed (base + delta) values, computed with the
+        same left fold :meth:`degree_array` uses so each entry matches the
+        full composed array bit for bit.  O(delta), never materialises the
+        base degree array; this is what :class:`DeltaNegativeSampler`
+        patches the cached base noise distribution with.
+        """
+        self._check_live()
+        touched = sorted(index for index, neighbors
+                         in self._delta_adjacency.items() if neighbors)
+        indices = np.asarray(touched, dtype=np.int64)
+        degrees = np.zeros(len(touched), dtype=np.float64)
+        boundary = indices < self._base_capacity
+        if boundary.any():
+            degrees[boundary] = self.base.degrees_at(indices[boundary])
+        for position, index in enumerate(touched):
+            value = degrees[position]
+            for weight in self._delta_adjacency[index].values():
+                value += weight
+            degrees[position] = value
+        return indices, degrees
+
     def incident_edge_arrays(
             self, node_indices: np.ndarray,
+            scratch: EdgeArrayScratch | None = None,
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """``(sources, targets, weights)`` over edges incident to given nodes.
 
@@ -225,49 +252,77 @@ class GraphOverlay:
         return on the mutated graph, in the same order (MAC nodes by index,
         per-MAC adjacency in insertion order with base edges before delta
         edges).  When every requested node is a delta node — the online
-        inference case — only the delta is walked: O(staged edges),
-        independent of both |E| and the degree of the touched MACs.
+        inference case — only the delta is walked with set membership
+        instead of an O(index_capacity) mask: O(staged edges), independent
+        of both |E| and the degree of the touched MACs.  ``scratch``
+        optionally reuses a previous call's output buffers when the edge
+        count matches; the returned values are identical either way.
         """
         self._check_live()
         wanted_indices = np.asarray(node_indices, dtype=np.int64)
-        wanted = np.zeros(self._next_index, dtype=bool)
-        wanted[wanted_indices] = True
-        delta_only = not wanted[:self._base_capacity].any()
-
-        mac_indices: set[int] = set()
-        for index in np.flatnonzero(wanted):
-            node = self._delta_by_index.get(int(index))
-            if node is None:
-                try:
-                    node = self.base.node_at(int(index))
-                except KeyError:
-                    continue    # retired base index selects nothing
-            if node.kind is NodeKind.MAC:
-                mac_indices.add(int(index))
-            else:
-                mac_indices.update(self._iter_adjacency_keys(int(index)))
+        delta_only = (wanted_indices.size == 0
+                      or int(wanted_indices.min()) >= self._base_capacity)
 
         source_chunks: list[int] = []
         target_chunks: list[int] = []
         weight_chunks: list[float] = []
-        for mac_index in sorted(mac_indices):
-            mac_wanted = wanted[mac_index]
-            if not delta_only:
+        if delta_only:
+            # Every wanted node lives in the delta, so membership is a tiny
+            # set and no base edge can qualify (neither endpoint is wanted):
+            # the base sweep is skipped wholesale.
+            wanted_set = set(map(int, wanted_indices))
+            mac_indices: set[int] = set()
+            for index in wanted_set:
+                node = self._delta_by_index.get(index)
+                if node is None:
+                    continue
+                if node.kind is NodeKind.MAC:
+                    mac_indices.add(index)
+                else:
+                    mac_indices.update(
+                        self._delta_adjacency.get(index, ()))
+            for mac_index in sorted(mac_indices):
+                mac_wanted = mac_index in wanted_set
+                for record_index, weight in self._delta_adjacency.get(
+                        mac_index, {}).items():
+                    if mac_wanted or record_index in wanted_set:
+                        source_chunks.append(mac_index)
+                        target_chunks.append(record_index)
+                        weight_chunks.append(weight)
+        else:
+            wanted = np.zeros(self._next_index, dtype=bool)
+            wanted[wanted_indices] = True
+
+            mac_indices = set()
+            for index in np.flatnonzero(wanted):
+                node = self._delta_by_index.get(int(index))
+                if node is None:
+                    try:
+                        node = self.base.node_at(int(index))
+                    except KeyError:
+                        continue    # retired base index selects nothing
+                if node.kind is NodeKind.MAC:
+                    mac_indices.add(int(index))
+                else:
+                    mac_indices.update(self._iter_adjacency_keys(int(index)))
+
+            for mac_index in sorted(mac_indices):
+                mac_wanted = wanted[mac_index]
                 # Base edges come first, exactly as the mutated adjacency
-                # dict would iterate them.  With a delta-only restriction no
-                # base edge can qualify (neither endpoint is wanted), so
-                # this sweep is skipped wholesale.
+                # dict would iterate them.
                 for record_index, weight in self._base_neighbors(mac_index):
                     if mac_wanted or wanted[record_index]:
                         source_chunks.append(mac_index)
                         target_chunks.append(record_index)
                         weight_chunks.append(weight)
-            for record_index, weight in self._delta_adjacency.get(
-                    mac_index, {}).items():
-                if mac_wanted or wanted[record_index]:
-                    source_chunks.append(mac_index)
-                    target_chunks.append(record_index)
-                    weight_chunks.append(weight)
+                for record_index, weight in self._delta_adjacency.get(
+                        mac_index, {}).items():
+                    if mac_wanted or wanted[record_index]:
+                        source_chunks.append(mac_index)
+                        target_chunks.append(record_index)
+                        weight_chunks.append(weight)
+        if scratch is not None:
+            return scratch.fill(source_chunks, target_chunks, weight_chunks)
         return (np.asarray(source_chunks, dtype=np.int64),
                 np.asarray(target_chunks, dtype=np.int64),
                 np.asarray(weight_chunks, dtype=np.float64))

@@ -163,9 +163,22 @@ class ObsServer:
         return self.service.telemetry.merged_snapshot(self._shard_registries())
 
     def render_metrics(self) -> str:
-        """The Prometheus payload ``/metrics`` serves (shards merged in)."""
+        """The Prometheus payload ``/metrics`` serves (shards merged in).
+
+        The process-global runtime registry (sampler-cache and
+        ``delta_sampler_*`` counters, overlay totals — everything the core
+        layers record through :func:`repro.obs.runtime.metric_increment`)
+        is merged in when observability is enabled, so one scrape covers
+        both the serving telemetry and the core counters.
+        """
+        others = list(self._shard_registries())
+        runtime_metrics = runtime.get_metrics()
+        if (runtime_metrics is not None
+                and runtime_metrics is not self.service.telemetry
+                and all(runtime_metrics is not other for other in others)):
+            others.append(runtime_metrics)
         return self.service.telemetry.to_prometheus_text(
-            self.prefix, others=self._shard_registries())
+            self.prefix, others=others)
 
     def render_spans(self, limit: int = _DEFAULT_SPAN_LIMIT) -> str:
         """The most recent finished spans as JSON lines, newest last."""

@@ -422,7 +422,8 @@ class FloorServingService:
                          labels: Mapping[str, int],
                          model_path: str | Path | None = None,
                          warm_start: bool = False,
-                         kernel: str | None = None) -> GRAFICS:
+                         kernel: str | None = None,
+                         sampler_mode: str | None = None) -> GRAFICS:
         """Retrain one building off to the side, then hot-swap it in.
 
         Training happens on a fresh :class:`GRAFICS` instance, so the live
@@ -436,7 +437,10 @@ class FloorServingService:
         continuous-learning path, where retrains happen on a sliding window
         that mostly overlaps the previous one.  ``kernel`` optionally selects
         the training kernel for this retrain (``"fused"`` halves fit time;
-        the model records the kernel, so its online path keeps using it).
+        the model records the kernel, so its online path keeps using it);
+        ``sampler_mode`` likewise selects the cold-path negative-sampler
+        mode (``"delta"`` skips the per-predict O(V) alias rebuild) for the
+        installed model's serving traffic.
         """
         previous_embedding = None
         if warm_start and dataset.building_id in self.registry.building_ids:
@@ -445,7 +449,7 @@ class FloorServingService:
         with self.telemetry.time("retrain_seconds"):
             model = GRAFICS(self.registry.config)
             model.fit(dataset, labels, warm_start=previous_embedding,
-                      kernel=kernel)
+                      kernel=kernel, sampler_mode=sampler_mode)
             if model_path is not None:
                 model_path = Path(model_path)
                 _atomic_save_model(model, model_path)

@@ -322,13 +322,15 @@ class ShardedServingService:
                          labels: Mapping[str, int],
                          model_path: str | Path | None = None,
                          warm_start: bool = False,
-                         kernel: str | None = None) -> GRAFICS:
+                         kernel: str | None = None,
+                         sampler_mode: str | None = None) -> GRAFICS:
         """Retrain one building off to the side, then hot-swap its shard.
 
         Training holds no lock at all — only the final install takes the
         owning shard's lock — so even the building's own shard keeps
         serving its other buildings while the replacement trains.
-        ``kernel`` optionally selects the training kernel for this retrain,
+        ``kernel`` and ``sampler_mode`` optionally select the training
+        kernel and the cold-path negative-sampler mode for this retrain,
         mirroring :meth:`FloorServingService.retrain_building`.
         """
         previous_embedding = None
@@ -341,7 +343,7 @@ class ShardedServingService:
         with self.telemetry.time("retrain_seconds"):
             model = GRAFICS(self.grafics_config)
             model.fit(dataset, labels, warm_start=previous_embedding,
-                      kernel=kernel)
+                      kernel=kernel, sampler_mode=sampler_mode)
             if model_path is not None:
                 model_path = Path(model_path)
                 _atomic_save_model(model, model_path)

@@ -37,6 +37,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from ..core.embedding.kernels import validate_kernel
+from ..core.embedding.sampler import validate_sampler_mode
 from ..core.persistence import _atomic_save_model, _registry_model_filename, load_model
 from ..core.pipeline import GRAFICS
 from ..obs import runtime as obs
@@ -107,19 +108,29 @@ class RetrainExecutor:
         (``"reference"``/``"fused"``, see
         :mod:`repro.core.embedding.kernels`).  ``None`` keeps the service's
         configured kernel.  Ignored when a custom ``train`` is injected.
+    sampler_mode:
+        Optional cold-path negative-sampler-mode override recorded on
+        executor-trained models (``"exact"``/``"delta"``, see
+        :class:`~repro.core.embedding.base.EmbeddingConfig`).  ``None``
+        keeps the service's configured mode.  Ignored when a custom
+        ``train`` is injected.
     """
 
     def __init__(self, service, max_workers: int = 0,
                  model_dir: str | Path | None = None,
                  train: Callable[[RetrainJob, object | None], GRAFICS] | None = None,
                  clock: Callable[[], float] = time.perf_counter,
-                 kernel: str | None = None) -> None:
+                 kernel: str | None = None,
+                 sampler_mode: str | None = None) -> None:
         if max_workers < 0:
             raise ValueError("max_workers must be non-negative")
         if kernel is not None:
             validate_kernel(kernel)
+        if sampler_mode is not None:
+            validate_sampler_mode(sampler_mode)
         self.service = service
         self.kernel = kernel
+        self.sampler_mode = sampler_mode
         self.model_dir = Path(model_dir) if model_dir is not None else None
         self._train = train if train is not None else self._default_train
         self._clock = clock
@@ -228,7 +239,7 @@ class RetrainExecutor:
                        previous_embedding) -> GRAFICS:
         model = GRAFICS(self.service.grafics_config)
         model.fit(job.dataset, job.labels, warm_start=previous_embedding,
-                  kernel=self.kernel)
+                  kernel=self.kernel, sampler_mode=self.sampler_mode)
         if self.model_dir is not None:
             self.model_dir.mkdir(parents=True, exist_ok=True)
             path = self.model_dir / _registry_model_filename(job.building_id)

@@ -21,6 +21,7 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
 from ..core.embedding.kernels import validate_kernel
+from ..core.embedding.sampler import validate_sampler_mode
 from ..core.inference import UnknownEnvironmentError
 from ..core.persistence import (
     grafics_config_from_payload,
@@ -75,6 +76,13 @@ class StreamConfig:
     #: ``"fused"`` roughly halves retrain time, shrinking hot-swap latency
     #: and retrain-worker occupancy at tolerance-level embedding differences.
     retrain_kernel: str | None = None
+    #: Cold-path negative-sampler mode recorded on stream-retrained models
+    #: (``"exact"``/``"delta"``; see
+    #: :class:`~repro.core.embedding.base.EmbeddingConfig`).  ``None`` (the
+    #: default) keeps the service's configured mode; ``"delta"`` makes every
+    #: hot-swapped model serve its cold predictions off the composed delta
+    #: sampler instead of per-predict O(V) alias rebuilds.
+    retrain_sampler_mode: str | None = None
 
     def __post_init__(self) -> None:
         if self.retrain_workers < 0:
@@ -84,6 +92,8 @@ class StreamConfig:
             # stream loop (where a background worker would just surface error
             # completions and models would silently stop updating).
             validate_kernel(self.retrain_kernel)
+        if self.retrain_sampler_mode is not None:
+            validate_sampler_mode(self.retrain_sampler_mode)
 
 
 @dataclass(frozen=True)
@@ -130,7 +140,8 @@ class ContinuousLearningPipeline:
         clock_kwargs = {} if clock is None else {"clock": clock}
         self.executor = RetrainExecutor(
             service, max_workers=self.config.retrain_workers,
-            kernel=self.config.retrain_kernel, **clock_kwargs)
+            kernel=self.config.retrain_kernel,
+            sampler_mode=self.config.retrain_sampler_mode, **clock_kwargs)
         self.scheduler = RetrainScheduler(service, self.windows,
                                           self.config.scheduler,
                                           executor=self.executor,
@@ -434,6 +445,8 @@ def _stream_config_from_payload(payload: dict) -> StreamConfig:
         buffer_capacity=int(payload["buffer_capacity"]),
         predict=bool(payload["predict"]),
         retrain_workers=int(payload["retrain_workers"]),
-        # Absent in checkpoints written before the kernel layer existed.
+        # Absent in checkpoints written before the kernel / delta-sampler
+        # layers existed; ``.get`` keeps old checkpoints loadable.
         retrain_kernel=payload.get("retrain_kernel"),
+        retrain_sampler_mode=payload.get("retrain_sampler_mode"),
     )

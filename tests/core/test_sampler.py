@@ -85,6 +85,29 @@ class TestAliasTable:
         np.testing.assert_array_equal(table._prob, prob_ref)
         np.testing.assert_array_equal(table._alias, alias_ref)
 
+    @pytest.mark.parametrize("weights", [
+        [3.0],
+        [1.0, 1.0],
+        [0.5, 2.0],
+        [2.0, 0.5],
+        [1e-9, 5.0],
+    ])
+    def test_tiny_table_fast_path_bit_identical(self, weights):
+        """The n<=2 closed-form build must equal the reference pairing.
+
+        These are the shapes the delta sampler's per-predict tables take
+        (one or two overlay-affected indices); the fast path skips the
+        Walker work-list loop entirely, so each branch is pinned against
+        the list-based reference: a single entry, two balanced entries
+        (neither scaled below 1.0, so no pairing happens), and two
+        unbalanced entries in either order (exactly one pairing).
+        """
+        weights = np.array(weights)
+        table = AliasTable(weights)
+        prob_ref, alias_ref = _reference_alias_build(weights)
+        np.testing.assert_array_equal(table._prob, prob_ref)
+        np.testing.assert_array_equal(table._alias, alias_ref)
+
     def test_build_bit_identical_on_degree_like_weights(self):
         """Power-law degree weights, the shape the samplers actually feed."""
         rng = np.random.default_rng(5)

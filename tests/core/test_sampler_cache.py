@@ -164,3 +164,66 @@ class TestOnlineSamplerReuse:
         np.testing.assert_array_equal(sources, full_sources[keep])
         np.testing.assert_array_equal(targets, full_targets[keep])
         np.testing.assert_array_equal(weights, full_weights[keep])
+
+
+class TestCacheAccounting:
+    def test_eviction_counts_each_discarded_sampler(self, graph):
+        """Replacing a stale entry evicts every object it held, not one.
+
+        A trainer construction caches both an edge and a negative sampler
+        for the graph version; when a mutation bumps the version, the next
+        lookup discards *two* samplers and the eviction counter (and its
+        ``sampler_cache_evictions_total`` mirror) must say two, not one.
+        """
+        config = GraficsConfig().resolved_embedding_config()
+        EdgeSamplingTrainer(graph, config, ELINE_TERMS)
+        assert _SAMPLER_CACHE.evictions == 0
+        graph.add_record(record("extra", {"m0": -50.0}))
+        EdgeSamplingTrainer(graph, config, ELINE_TERMS)
+        assert _SAMPLER_CACHE.evictions == 2
+
+    def test_two_threads_racing_same_miss_both_build(self, graph):
+        """Regression: concurrent same-key misses must not deadlock.
+
+        Construction deliberately happens outside the cache lock, so two
+        threads hitting the same cold key both miss and both build; the
+        samplers are identical and the last insert wins.  The barrier
+        inside the build function forces the overlap: if either thread
+        held the lock across its build, the other could never reach the
+        barrier and the join would time out.
+        """
+        import threading
+
+        from repro.core.embedding.sampler import NegativeSampler
+
+        barrier = threading.Barrier(2, timeout=10)
+        built = []
+
+        def build():
+            barrier.wait()
+            sampler = NegativeSampler(graph.degree_array())
+            built.append(sampler)
+            return sampler
+
+        results = [None, None]
+
+        def worker(slot):
+            results[slot] = _SAMPLER_CACHE._get_with_state(
+                graph, "negative", build)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert all(not thread.is_alive() for thread in threads)
+
+        assert len(built) == 2
+        assert _SAMPLER_CACHE.misses == 2
+        assert all(not hit for _, hit in results)
+        # The winning insert serves subsequent lookups.
+        cached, hit = _SAMPLER_CACHE._get_with_state(
+            graph, "negative", lambda: pytest.fail("expected a cache hit"))
+        assert hit
+        assert cached in built

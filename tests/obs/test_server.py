@@ -257,3 +257,28 @@ class TestServerLifecycle:
     def test_requires_a_service_or_pipeline(self):
         with pytest.raises(ValueError):
             ObsServer()
+
+
+class TestRuntimeCounterExport:
+    def test_metrics_includes_delta_sampler_counters_when_enabled(self):
+        """One scrape covers the core delta-sampler counters: the runtime
+        registry (where ``SamplerCache`` records through
+        ``metric_increment``) is merged into the ``/metrics`` payload
+        whenever observability is enabled."""
+        service, _ = train_service()
+        server = ObsServer(service)  # not started: render directly
+        obs.enable()
+        try:
+            obs.metric_increment("delta_sampler_hits_total", 7)
+            obs.metric_increment("delta_sampler_rebuilds_total", 2)
+            body = server.render_metrics()
+        finally:
+            obs.disable()
+        hits = next(l for l in body.splitlines()
+                    if l.startswith("repro_delta_sampler_hits_total "))
+        rebuilds = next(l for l in body.splitlines()
+                        if l.startswith("repro_delta_sampler_rebuilds_total "))
+        assert float(hits.split()[1]) == 7.0
+        assert float(rebuilds.split()[1]) == 2.0
+        # Disabled again: the runtime registry is gone from the payload.
+        assert "delta_sampler" not in server.render_metrics()

@@ -167,3 +167,31 @@ class TestCheckpointFormat:
         assert total >= 1  # the cadence retrain landed, inline or via join
         resumed = ContinuousLearningPipeline.resume(tmp_path / "ckpt")
         assert resumed.scheduler.retrains_total == total
+
+
+class TestStreamConfigCodec:
+    def test_invalid_retrain_sampler_mode_fails_at_construction(self):
+        with pytest.raises(ValueError, match="sampler_mode"):
+            StreamConfig(retrain_sampler_mode="bogus")
+
+    def test_payload_round_trips_retrain_sampler_mode(self):
+        from dataclasses import asdict
+
+        from repro.stream.pipeline import _stream_config_from_payload
+
+        config = StreamConfig(retrain_sampler_mode="delta")
+        rebuilt = _stream_config_from_payload(asdict(config))
+        assert rebuilt == config
+        assert rebuilt.retrain_sampler_mode == "delta"
+
+    def test_old_checkpoint_payload_without_key_loads(self):
+        """Checkpoints written before the delta-sampler layer existed have
+        no ``retrain_sampler_mode`` key; they must load with the default."""
+        from dataclasses import asdict
+
+        from repro.stream.pipeline import _stream_config_from_payload
+
+        payload = asdict(StreamConfig())
+        del payload["retrain_sampler_mode"]
+        rebuilt = _stream_config_from_payload(payload)
+        assert rebuilt.retrain_sampler_mode is None
