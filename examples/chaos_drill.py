@@ -1,0 +1,184 @@
+"""Chaos drill: deterministic fault injection against the learning loop.
+
+Run with:  python examples/chaos_drill.py
+
+A scripted :class:`~repro.faults.FaultPlan` is armed against a live
+continuous-learning pipeline and walks it through two failure domains:
+
+* **Act 1 — failing retrains.**  Two injected fit failures push the
+  building through exponential backoff into an open circuit breaker.
+  Serving keeps answering from the stale model the whole time, and the
+  health scorecard says exactly what is wrong (``retrain_circuit_open``).
+  Once the backoff elapses, a half-open probe retrain succeeds, the
+  breaker closes and the fresh model hot-swaps in.
+* **Act 2 — torn checkpoint write.**  A checkpoint is torn mid-write
+  (truncated temp file, silently renamed into place — the classic
+  power-cut artifact).  ``resume()`` detects the corruption via the
+  stored SHA-256 digest, falls back to the retained last-good generation
+  and replays the lost segment to byte-identical results.
+
+Every fault is scheduled by hit count from a seeded plan, so the whole
+drill is reproducible run to run — the same property the chaos tests in
+``tests/faults/`` lean on.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro import (
+    ContinuousLearningPipeline,
+    EmbeddingConfig,
+    FloorServingService,
+    GraficsConfig,
+    SignalRecord,
+    StreamConfig,
+    faults,
+)
+from repro.core.persistence import CheckpointCorruptError, load_stream_state
+from repro.data import make_experiment_split, small_test_building
+from repro.faults import FaultPlan
+from repro.obs.health import HealthMonitor
+from repro.stream import DriftConfig, SchedulerConfig, WindowConfig
+
+
+class ManualClock:
+    """A hand-cranked clock so backoffs elapse exactly when the script says."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def make_stream(split, count, prefix, rename=None, seed=0):
+    import random
+
+    rng = random.Random(seed)
+    pool = list(split.test_records)
+    records = []
+    for i in range(count):
+        base = pool[i % len(pool)]
+        rss = {}
+        for mac, value in base.rss.items():
+            if rename is not None:
+                mac = rename.get(mac, mac)
+            rss[mac] = value + rng.uniform(-2.0, 2.0)
+        records.append(SignalRecord(
+            record_id=f"{prefix}{i:05d}", rss=rss,
+            floor=base.floor if i % 3 == 0 else None))
+    return records
+
+
+def build_pipeline(clock):
+    config = GraficsConfig(embedding=EmbeddingConfig(samples_per_edge=8.0,
+                                                     seed=0),
+                           allow_unreachable_clusters=True)
+    service = FloorServingService(grafics_config=config)
+    dataset = small_test_building(num_floors=2, records_per_floor=25,
+                                  aps_per_floor=10, seed=50,
+                                  building_id="bldg-A")
+    split = make_experiment_split(dataset, labels_per_floor=4, seed=0)
+    service.fit_building(dataset.subset(split.train_records), split.labels)
+    stream_config = StreamConfig(
+        window=WindowConfig(max_records=96),
+        drift=DriftConfig(vocabulary_jaccard_min=0.6),
+        scheduler=SchedulerConfig(min_window_records=48, warm_start=True,
+                                  backoff_initial_seconds=10.0,
+                                  backoff_multiplier=2.0,
+                                  backoff_jitter=0.0,
+                                  breaker_failures=2))
+    return ContinuousLearningPipeline(service, stream_config,
+                                      clock=clock), split
+
+
+def act_one(pipeline, split, clock):
+    print("=== Act 1: failing retrains open the breaker, a probe closes it ===")
+    scheduler = pipeline.scheduler
+    monitor = HealthMonitor(pipeline=pipeline, clock=clock)
+    probe = split.test_records[0].without_floor()
+
+    pipeline.process_stream(make_stream(split, 80, "steady-"))
+    macs = sorted({mac for r in split.test_records for mac in r.rss})
+    rename = {mac: f"{mac}:v2" for mac in macs[: len(macs) // 2]}
+    churn = make_stream(split, 200, "churn-", rename=rename, seed=1)
+
+    plan = FaultPlan(seed=0).fail("retrain.fit", hits=[1, 2])
+    with faults.active(plan):
+        for record in churn:
+            result = pipeline.process(record)
+            if result.retrain is None:
+                continue
+            state = scheduler.breaker_state("bldg-A")
+            if result.retrain.swapped:
+                print(f"  retrain attempt: swapped "
+                      f"(breaker {state})")
+                break
+            print(f"  retrain attempt: {result.retrain.skipped_reason} "
+                  f"(breaker {state}, "
+                  f"retry in {scheduler.retry_in('bldg-A'):.0f}s)")
+            if state == "open":
+                card = monitor.building_scorecard("bldg-A", clock())
+                reasons = ", ".join(r.code for r in card.reasons)
+                print(f"  /healthz while open: {card.status.value} "
+                      f"[{reasons}]")
+                answer = pipeline.service.predict(probe)
+                print(f"  serving still answers from the stale model: "
+                      f"floor {answer.floor}")
+            clock.advance(scheduler.retry_in("bldg-A") + 1.0)
+
+    card = monitor.building_scorecard("bldg-A", clock())
+    print(f"  after recovery: breaker {scheduler.breaker_state('bldg-A')}, "
+          f"/healthz {card.status.value}, "
+          f"retrains_total {scheduler.retrains_total}")
+
+
+def act_two(pipeline, split, checkpoint_dir):
+    print("=== Act 2: torn checkpoint write falls back to last-good ===")
+    pipeline.checkpoint(checkpoint_dir)
+    print(f"  generation 1 checkpointed at {pipeline.processed_total} records")
+
+    segment = make_stream(split, 20, "segment-", seed=5)
+    results = pipeline.process_stream(segment)
+
+    # Tear the stream-state temp file mid-write (hit 2; hit 1 is the
+    # building's model file).  The writer renames the torn file into place
+    # believing the write succeeded — exactly what a power cut produces.
+    plan = FaultPlan(seed=0).torn_write("checkpoint.write", hits=[2])
+    with faults.active(plan):
+        pipeline.checkpoint(checkpoint_dir)
+    print(f"  generation 2 checkpoint torn mid-write "
+          f"({plan.fired[0].kind} at hit {plan.fired[0].hit})")
+    try:
+        load_stream_state(checkpoint_dir / "stream_state.json")
+    except CheckpointCorruptError as error:
+        print(f"  integrity check catches it: {type(error).__name__}")
+
+    resumed = ContinuousLearningPipeline.resume(checkpoint_dir)
+    print(f"  resume() fell back to last-good generation "
+          f"({resumed.processed_total} records)")
+    replayed = resumed.process_stream(segment)
+    identical = all(
+        (a.accepted, None if a.prediction is None else a.prediction.floor)
+        == (b.accepted, None if b.prediction is None else b.prediction.floor)
+        for a, b in zip(results, replayed))
+    print(f"  replayed the lost segment: predictions identical = {identical}")
+
+
+def main():
+    clock = ManualClock()
+    pipeline, split = build_pipeline(clock)
+    act_one(pipeline, split, clock)
+    with tempfile.TemporaryDirectory() as tmp:
+        act_two(pipeline, split, Path(tmp) / "ckpt")
+    print("chaos drill complete: injected faults, degraded truthfully, "
+          "recovered cleanly")
+
+
+if __name__ == "__main__":
+    main()

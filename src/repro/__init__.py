@@ -17,6 +17,8 @@ Public entry points:
   (:class:`repro.ContinuousLearningPipeline`).
 * :mod:`repro.obs` — tracing, metrics, SLOs, health scorecards and the
   :class:`repro.ObsServer` HTTP endpoint.
+* :mod:`repro.faults` — deterministic fault injection (failpoints, seeded
+  fault plans) for chaos-testing the serving and learning loop.
 * :mod:`repro.data` — synthetic crowdsourced datasets, loaders, splits, statistics.
 * :mod:`repro.baselines` — Scalable-DNN, SAE, Autoencoder+Prox, MDS+Prox, matrix+Prox.
 * :mod:`repro.evaluation` — micro/macro F metrics and the experiment harness.
@@ -44,6 +46,7 @@ from .core import (
     save_model,
     save_registry,
 )
+from . import faults
 from .obs import HealthMonitor, ObsServer, SLOMonitor
 from .serving import (
     FloorServingService,
@@ -81,6 +84,7 @@ __all__ = [
     "ObsServer",
     "HealthMonitor",
     "SLOMonitor",
+    "faults",
     "save_model",
     "load_model",
     "save_registry",

@@ -22,11 +22,13 @@ import hashlib
 import json
 import os
 import tempfile
+import zipfile
 from dataclasses import asdict
 from pathlib import Path
 
 import numpy as np
 
+from ..faults import failpoints
 from .clustering.hierarchical import ClusteringResult
 from .clustering.model import ClusterModel, FloorCluster
 from .embedding.base import EmbeddingConfig, GraphEmbedding
@@ -37,6 +39,7 @@ from .types import SignalRecord
 from .weighting import ClippedOffsetWeight, OffsetWeight, PowerWeight, WeightFunction
 
 __all__ = [
+    "CheckpointCorruptError",
     "save_model",
     "load_model",
     "save_registry",
@@ -53,6 +56,55 @@ _FORMAT_VERSION = 1
 _REGISTRY_FORMAT_VERSION = 1
 _REGISTRY_MANIFEST = "manifest.json"
 _STREAM_STATE_VERSION = 1
+
+
+class CheckpointCorruptError(ValueError):
+    """A checkpoint payload failed its integrity check.
+
+    Raised when a stream-state or model file is truncated, unparseable, or
+    fails its stored SHA-256 digest — i.e. the bytes on disk are not the
+    bytes a writer produced.  Distinct from :class:`FileNotFoundError`
+    (nothing was ever written there) and from plain :class:`ValueError`
+    version mismatches (a well-formed file from an incompatible writer):
+    corruption is the one case where falling back to the retained
+    previous-generation checkpoint is the right move, and ``resume()``
+    keys that decision off this type.
+    """
+
+
+def _state_digest(state: dict) -> str:
+    """SHA-256 over the canonical JSON form of a stream-state payload.
+
+    The state is round-tripped through JSON first so the digest of the
+    in-memory dict (whose keys may be ints) matches the digest of the
+    reloaded dict (whose keys are the strings JSON made of them).
+    """
+    normalised = json.loads(json.dumps(state))
+    blob = json.dumps(normalised, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _file_digest(path: Path) -> str:
+    return hashlib.sha256(path.read_bytes()).hexdigest()
+
+
+def _sweep_stale_tmp_files(directory: Path) -> int:
+    """Delete leftover ``*.tmp`` / ``*.tmp.npz`` files from crashed writes.
+
+    Atomic writers clean their temp file up on every in-process unwind, so
+    anything still matching these patterns was orphaned by a hard kill
+    mid-write.  Callers (registry save/load) assume a single writer per
+    registry directory — the same assumption the atomic-rename scheme
+    itself already makes.
+    """
+    removed = 0
+    for stale in list(directory.glob("*.tmp")) + list(directory.glob("*.tmp.npz")):
+        try:
+            stale.unlink()
+        except OSError:
+            continue
+        removed += 1
+    return removed
 
 
 def _weight_function_to_dict(weight_function: WeightFunction) -> dict:
@@ -203,11 +255,23 @@ def load_model(path: str | Path) -> GRAFICS:
     ``predict_batch``) exactly like the freshly trained one.
     """
     path = Path(path)
-    with np.load(path, allow_pickle=False) as archive:
-        ego = archive["ego"]
-        context = archive["context"]
-        centroids = archive["centroids"]
-        metadata = json.loads(bytes(archive["metadata"].tobytes()).decode("utf-8"))
+    failpoints.fire("checkpoint.read", path=path)
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            ego = archive["ego"]
+            context = archive["context"]
+            centroids = archive["centroids"]
+            metadata = json.loads(
+                bytes(archive["metadata"].tobytes()).decode("utf-8"))
+    except FileNotFoundError:
+        raise  # missing is not corrupt; callers distinguish the two
+    except (zipfile.BadZipFile, ValueError, KeyError, OSError,
+            EOFError) as error:
+        # A torn or bit-flipped npz surfaces as whatever layer noticed
+        # first (zip directory, array header, metadata JSON); normalise to
+        # the typed error recovery paths key on.
+        raise CheckpointCorruptError(
+            f"model file {path} is corrupt or truncated: {error}") from error
 
     if metadata.get("format_version") != _FORMAT_VERSION:
         raise ValueError(f"unsupported model format version "
@@ -291,6 +355,9 @@ def _atomic_save_model(model: GRAFICS, path: Path) -> None:
     os.close(fd)
     try:
         save_model(model, tmp_name)
+        # Between the temp write and the rename is exactly where a torn
+        # write or crash-kill bites; the failpoint sits there on purpose.
+        failpoints.fire("checkpoint.write", path=tmp_name)
         os.replace(tmp_name, path)
     except BaseException:
         if os.path.exists(tmp_name):
@@ -313,6 +380,7 @@ def save_registry(service: MultiBuildingFloorService, directory: str | Path) -> 
     """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
+    _sweep_stale_tmp_files(directory)
     buildings = []
     for building_id, vocabulary in service.vocabularies.items():
         filename = _registry_model_filename(building_id)
@@ -321,6 +389,7 @@ def save_registry(service: MultiBuildingFloorService, directory: str | Path) -> 
         buildings.append({
             "building_id": building_id,
             "file": filename,
+            "sha256": _file_digest(directory / filename),
             "vocabulary": sorted(vocabulary),
         })
     manifest = {
@@ -346,7 +415,13 @@ def load_registry(directory: str | Path,
         raise FileNotFoundError(
             f"{directory} does not contain a registry manifest "
             f"({_REGISTRY_MANIFEST})")
-    manifest = json.loads(manifest_path.read_text())
+    _sweep_stale_tmp_files(directory)
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except json.JSONDecodeError as error:
+        raise CheckpointCorruptError(
+            f"registry manifest {manifest_path} is not valid JSON "
+            f"(torn write?): {error}") from error
     if manifest.get("format_version") != _REGISTRY_FORMAT_VERSION:
         raise ValueError(f"unsupported registry format version "
                          f"{manifest.get('format_version')!r}")
@@ -354,7 +429,20 @@ def load_registry(directory: str | Path,
     service = MultiBuildingFloorService(config,
                                         min_overlap=manifest["min_overlap"])
     for blob in manifest["buildings"]:
-        model = load_model(directory / blob["file"])
+        model_path = directory / blob["file"]
+        # Manifests written before the integrity layer carry no digest;
+        # they still load, just without the corruption check.
+        expected = blob.get("sha256")
+        if expected is not None:
+            if not model_path.is_file():
+                raise CheckpointCorruptError(
+                    f"registry manifest lists {model_path.name} but the "
+                    "file is missing")
+            if _file_digest(model_path) != expected:
+                raise CheckpointCorruptError(
+                    f"model file {model_path} does not match its manifest "
+                    "sha256 digest (torn write or bitrot)")
+        model = load_model(model_path)
         service.install_model(blob["building_id"], model,
                               vocabulary=blob["vocabulary"])
     return service
@@ -397,19 +485,45 @@ def save_stream_state(state: dict, path: str | Path) -> None:
     mid-checkpoint leaves the previous checkpoint intact, never a torn one.
     """
     path = Path(path)
-    payload = {"format_version": _STREAM_STATE_VERSION, "state": state}
+    payload = {"format_version": _STREAM_STATE_VERSION,
+               "sha256": _state_digest(state), "state": state}
     tmp_path = path.with_name(path.name + ".tmp")
-    tmp_path.write_text(json.dumps(payload, indent=2))
-    tmp_path.replace(path)
+    try:
+        tmp_path.write_text(json.dumps(payload, indent=2))
+        failpoints.fire("checkpoint.write", path=tmp_path)
+        tmp_path.replace(path)
+    except BaseException:
+        tmp_path.unlink(missing_ok=True)
+        raise
 
 
 def load_stream_state(path: str | Path) -> dict:
-    """Read a checkpoint written by :func:`save_stream_state`."""
+    """Read a checkpoint written by :func:`save_stream_state`.
+
+    Verifies the embedded SHA-256 digest when one is present (checkpoints
+    from before the integrity layer have none and still load); truncated,
+    unparseable or digest-failing files raise
+    :class:`CheckpointCorruptError`.
+    """
     path = Path(path)
     if not path.is_file():
         raise FileNotFoundError(f"no stream-state checkpoint at {path}")
-    payload = json.loads(path.read_text())
+    failpoints.fire("checkpoint.read", path=path)
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as error:
+        raise CheckpointCorruptError(
+            f"stream-state checkpoint {path} is not valid JSON "
+            f"(torn write?): {error}") from error
+    if not isinstance(payload, dict) or "state" not in payload:
+        raise CheckpointCorruptError(
+            f"stream-state checkpoint {path} has no state payload")
     if payload.get("format_version") != _STREAM_STATE_VERSION:
         raise ValueError(f"unsupported stream-state format version "
                          f"{payload.get('format_version')!r}")
+    expected = payload.get("sha256")
+    if expected is not None and _state_digest(payload["state"]) != expected:
+        raise CheckpointCorruptError(
+            f"stream-state checkpoint {path} does not match its sha256 "
+            "digest (torn write or bitrot)")
     return payload["state"]

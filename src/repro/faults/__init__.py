@@ -1,0 +1,35 @@
+"""Deterministic fault injection for the serving & learning loop.
+
+``FaultPlan`` scripts failures (exceptions, latency, torn writes,
+crash-kills, clock jumps) against named failpoints compiled into the
+stack; ``install``/``active`` arm a plan process-wide; ``fire`` is the
+zero-overhead hook production code calls.  See ``plan.py`` for the fault
+model and ``failpoints.py`` for the site registry.
+"""
+
+from .clock import FaultyClock
+from .failpoints import (
+    SITES,
+    active,
+    active_plan,
+    enabled,
+    fire,
+    install,
+    uninstall,
+)
+from .plan import FaultInjected, FaultPlan, FiredFault, ProcessKilled
+
+__all__ = [
+    "FaultPlan",
+    "FaultInjected",
+    "ProcessKilled",
+    "FiredFault",
+    "FaultyClock",
+    "SITES",
+    "install",
+    "uninstall",
+    "enabled",
+    "active",
+    "active_plan",
+    "fire",
+]

@@ -1,0 +1,43 @@
+"""A clock that jumps when the fault plan says so.
+
+Schedulers, executors and health monitors all take injected clocks; wiring
+a :class:`FaultyClock` in lets a plan's ``clock_jump`` specs simulate NTP
+steps and suspended-VM gaps against real components.  Jumps fold into the
+clock's own permanent offset, so time never runs backwards — not even
+when the plan that caused the jump is uninstalled mid-run.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+
+from . import failpoints
+
+__all__ = ["FaultyClock"]
+
+
+class FaultyClock:
+    """Monotonic-ish clock with failpoint-driven jumps and manual advance.
+
+    Each reading fires the ``clock.jump`` site; any offset the installed
+    plan accumulated (from ``clock_jump`` specs, on this or any earlier
+    fire) is absorbed into ``self.offset`` before the reading is returned.
+    """
+
+    def __init__(self, base: Callable[[], float] = time.monotonic) -> None:
+        self._base = base
+        self.offset = 0.0
+
+    def advance(self, seconds: float) -> None:
+        """Manually push the clock forward (test convenience)."""
+        if seconds < 0.0:
+            raise ValueError("clocks do not run backwards")
+        self.offset += seconds
+
+    def __call__(self) -> float:
+        failpoints.fire("clock.jump")
+        plan = failpoints.active_plan()
+        if plan is not None:
+            self.offset += plan.take_clock_jump()
+        return self._base() + self.offset

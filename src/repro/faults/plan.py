@@ -1,0 +1,282 @@
+"""Deterministic fault plans: what goes wrong, where, and on which hit.
+
+A :class:`FaultPlan` is a script of failures compiled against named
+failpoints (see :mod:`repro.faults.failpoints`): "the third ``retrain.fit``
+raises", "the second ``checkpoint.write`` is torn mid-file", "kill the
+process at the first ``swap.install``".  Every decision is deterministic —
+explicit hit numbers fire on exactly those hits, probabilistic specs draw
+from a per-spec :class:`random.Random` seeded from ``(plan seed, site,
+spec index)`` — so a chaos run is *replayable*: the same plan against the
+same workload injects the same faults at the same points, which is what
+lets a drill assert byte-identical recovery instead of eyeballing logs.
+
+Fault kinds
+-----------
+
+``error``
+    Raise :class:`FaultInjected` (a ``RuntimeError``) at the failpoint.
+    Exercises the caller's retry/backoff path exactly like a real fit or
+    I/O failure would.
+``latency``
+    Sleep ``delay_seconds`` (injectable sleeper) before continuing.
+``torn_write``
+    Truncate the file the failpoint passed as context to a deterministic
+    fraction of its bytes, then continue silently — the write "succeeds"
+    but the payload is torn, the way a crashed page cache or bit rot
+    presents.  Exercises digest checks and last-good recovery.
+``kill``
+    Raise :class:`ProcessKilled`.  It derives from ``BaseException`` on
+    purpose: resilience code that catches ``Exception`` (error
+    completions, stream catch-alls) must *not* absorb a simulated process
+    death — like a real SIGKILL, it is only observable from outside.
+``clock_jump``
+    Accumulate a clock offset that :class:`repro.faults.clock.FaultyClock`
+    folds into its reading — wall-clock jumps (NTP step, VM migration)
+    without touching real time.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from collections.abc import Callable
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["FaultInjected", "ProcessKilled", "FiredFault", "FaultPlan"]
+
+_KINDS = ("error", "latency", "torn_write", "kill", "clock_jump")
+
+
+class FaultInjected(RuntimeError):
+    """An exception raised on purpose by an armed failpoint."""
+
+
+class ProcessKilled(BaseException):
+    """Simulated hard process death at a failpoint.
+
+    Deliberately *not* an ``Exception``: every recovery layer in the stack
+    (executor error completions, the stream's never-raise catch-alls)
+    catches ``Exception``, and a kill must sail through all of them — the
+    only valid handler is the chaos harness standing in for the operating
+    system.
+    """
+
+
+@dataclass(frozen=True)
+class FiredFault:
+    """One fault that actually fired, for post-drill assertions."""
+
+    site: str
+    hit: int
+    kind: str
+
+
+class _ArmedFault:
+    """One spec plus its mutable firing state (rng stream, fires used)."""
+
+    def __init__(self, site: str, kind: str, seed_key: str,
+                 hits: frozenset[int] | None, probability: float | None,
+                 max_fires: int | None, delay_seconds: float,
+                 message: str | None) -> None:
+        self.site = site
+        self.kind = kind
+        self.hits = hits
+        self.probability = probability
+        self.max_fires = max_fires
+        self.delay_seconds = delay_seconds
+        self.message = message
+        self.fires = 0
+        # Seeded from a stable string, never from Python's salted hash():
+        # the same plan fires identically in every process.
+        self._rng = random.Random(seed_key)
+
+    def should_fire(self, hit: int) -> bool:
+        if self.max_fires is not None and self.fires >= self.max_fires:
+            return False
+        if self.hits is not None:
+            return hit in self.hits
+        if self.probability is not None:
+            # One draw per evaluation keeps the stream aligned with the
+            # hit counter, so replays see identical coin flips.
+            return self._rng.random() < self.probability
+        return True
+
+    def torn_fraction(self) -> float:
+        """Deterministic fraction of the file to keep for a torn write."""
+        return 0.25 + 0.5 * self._rng.random()
+
+
+class FaultPlan:
+    """A seeded, replayable schedule of faults over named failpoints.
+
+    Build specs with :meth:`fail` / :meth:`delay` / :meth:`torn_write` /
+    :meth:`kill` / :meth:`clock_jump`, then activate the plan through
+    :func:`repro.faults.failpoints.install` (or the ``active`` context
+    manager).  Each call to :meth:`fire` counts one *hit* of a site; specs
+    decide from the hit number (or their seeded RNG) whether to act.
+    ``fired`` records every fault that actually triggered, in order, for
+    drill assertions.
+    """
+
+    def __init__(self, seed: int = 0,
+                 sleep: Callable[[float], None] = time.sleep) -> None:
+        self.seed = seed
+        self._sleep = sleep
+        self._specs: dict[str, list[_ArmedFault]] = {}
+        self._hits: dict[str, int] = {}
+        self._clock_jump_pending = 0.0
+        self.fired: list[FiredFault] = []
+        # Fires can come from retrain worker threads concurrently with the
+        # ingest thread's serving failpoints.
+        self._lock = threading.Lock()
+
+    # ---------------------------------------------------------------- authoring
+    def _add(self, site: str, kind: str, hits=None, probability=None,
+             times=None, delay_seconds: float = 0.0,
+             message: str | None = None) -> "FaultPlan":
+        if kind not in _KINDS:
+            raise ValueError(f"unknown fault kind {kind!r}")
+        if hits is not None and probability is not None:
+            raise ValueError("give explicit hits or a probability, not both")
+        if probability is not None and not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        if times is not None and times < 1:
+            raise ValueError("times must be positive (or None for unlimited)")
+        if delay_seconds < 0.0:
+            raise ValueError("delay_seconds cannot be negative")
+        hit_set = None if hits is None else frozenset(int(h) for h in hits)
+        if hit_set is not None and any(h < 1 for h in hit_set):
+            raise ValueError("hit numbers are 1-based")
+        index = sum(len(specs) for specs in self._specs.values())
+        spec = _ArmedFault(site, kind,
+                           seed_key=f"{self.seed}:{site}:{index}",
+                           hits=hit_set, probability=probability,
+                           max_fires=times, delay_seconds=delay_seconds,
+                           message=message)
+        self._specs.setdefault(site, []).append(spec)
+        return self
+
+    def fail(self, site: str, hits=None, probability=None, times=None,
+             message: str | None = None) -> "FaultPlan":
+        """Raise :class:`FaultInjected` at ``site`` on the matching hits."""
+        return self._add(site, "error", hits, probability, times,
+                         message=message)
+
+    def delay(self, site: str, seconds: float, hits=None, probability=None,
+              times=None) -> "FaultPlan":
+        """Sleep ``seconds`` at ``site`` on the matching hits."""
+        return self._add(site, "latency", hits, probability, times,
+                         delay_seconds=seconds)
+
+    def torn_write(self, site: str = "checkpoint.write", hits=None,
+                   probability=None, times=None) -> "FaultPlan":
+        """Truncate the file being written at ``site`` on the matching hits."""
+        return self._add(site, "torn_write", hits, probability, times)
+
+    def kill(self, site: str, hits=None, probability=None,
+             times=None) -> "FaultPlan":
+        """Raise :class:`ProcessKilled` at ``site`` on the matching hits."""
+        return self._add(site, "kill", hits, probability, times)
+
+    def clock_jump(self, seconds: float, hits=None, probability=None,
+                   times=None) -> "FaultPlan":
+        """Jump a :class:`~repro.faults.clock.FaultyClock` by ``seconds``."""
+        return self._add("clock.jump", "clock_jump", hits, probability, times,
+                         delay_seconds=seconds)
+
+    # ------------------------------------------------------------------- firing
+    def hit_count(self, site: str) -> int:
+        """How many times ``site`` has been evaluated under this plan."""
+        with self._lock:
+            return self._hits.get(site, 0)
+
+    def take_clock_jump(self) -> float:
+        """Clock offset accumulated by fired ``clock_jump`` specs.
+
+        Consumed (returned once, then cleared) so a :class:`FaultyClock`
+        can fold it into its own permanent offset — the jump survives the
+        plan being uninstalled and time never runs backwards.
+        """
+        with self._lock:
+            pending, self._clock_jump_pending = self._clock_jump_pending, 0.0
+            return pending
+
+    def sites(self) -> frozenset[str]:
+        """Every site this plan has specs for (validated at install time)."""
+        return frozenset(self._specs)
+
+    def fire(self, site: str, path: str | Path | None = None,
+             building_id: str | None = None) -> None:
+        """Evaluate one hit of ``site``; act on every matching spec.
+
+        The decision (hit counting, RNG draws) happens under the plan lock;
+        the actions themselves — raising, sleeping, truncating — run
+        outside it so a latency fault on one thread never stalls another
+        thread's failpoint evaluation.
+        """
+        with self._lock:
+            hit = self._hits.get(site, 0) + 1
+            self._hits[site] = hit
+            actions: list[tuple[_ArmedFault, float]] = []
+            for spec in self._specs.get(site, ()):
+                if spec.should_fire(hit):
+                    spec.fires += 1
+                    fraction = (spec.torn_fraction()
+                                if spec.kind == "torn_write" else 0.0)
+                    actions.append((spec, fraction))
+                    self.fired.append(FiredFault(site=site, hit=hit,
+                                                 kind=spec.kind))
+                    if spec.kind == "clock_jump":
+                        self._clock_jump_pending += spec.delay_seconds
+        for spec, fraction in actions:
+            self._act(spec, site, hit, fraction, path, building_id)
+
+    def _act(self, spec: _ArmedFault, site: str, hit: int, fraction: float,
+             path: str | Path | None, building_id: str | None) -> None:
+        # Imported here, not at module top: log.py -> runtime -> tracer is
+        # the obs package; keeping the import local keeps FaultPlan usable
+        # in contexts that stub obs out.
+        from ..obs.log import log_event
+
+        detail = {"site": site, "hit": hit, "kind": spec.kind}
+        if building_id is not None:
+            detail["building_id"] = building_id
+        if spec.kind == "clock_jump":
+            log_event("fault_injected", **detail,
+                      jump_seconds=spec.delay_seconds)
+            return
+        if spec.kind == "latency":
+            log_event("fault_injected", **detail,
+                      delay_seconds=spec.delay_seconds)
+            self._sleep(spec.delay_seconds)
+            return
+        if spec.kind == "torn_write":
+            if path is None:
+                raise ValueError(
+                    f"torn_write fault at {site!r} needs a file path in the "
+                    "failpoint context; this site does not write files")
+            target = Path(path)
+            data = target.read_bytes()
+            keep = min(len(data) - 1, int(len(data) * fraction)) if data else 0
+            target.write_bytes(data[:max(keep, 0)])
+            log_event("fault_injected", **detail, torn_bytes=len(data) - keep,
+                      kept_bytes=keep)
+            return
+        message = spec.message or (f"injected {spec.kind} at {site!r} "
+                                   f"(hit {hit})")
+        log_event("fault_injected", **detail, message=message)
+        if spec.kind == "kill":
+            raise ProcessKilled(message)
+        raise FaultInjected(message)
+
+    # -------------------------------------------------------------------- state
+    def stats(self) -> dict[str, object]:
+        with self._lock:
+            return {
+                "seed": self.seed,
+                "hits": dict(self._hits),
+                "fired_total": len(self.fired),
+                "fired": [(f.site, f.hit, f.kind) for f in self.fired],
+            }

@@ -359,6 +359,33 @@ class HealthMonitor:
             reasons.append(HealthReason(
                 code="retrain_pending", severity="info",
                 detail=f"retrain {state} for building {building_id!r}"))
+        # getattr: schedulers predating the failure-domain layer (and the
+        # duck-typed fakes in tests) have no breaker surface.
+        breaker_state = getattr(scheduler, "breaker_state", None)
+        if breaker_state is not None:
+            state = breaker_state(building_id)
+            if state != "closed":
+                failures = scheduler.consecutive_failures(building_id)
+                metrics["retrain_consecutive_failures"] = float(failures)
+                retry = scheduler.retry_in(building_id, now=now)
+                if state == "open":
+                    # Serving still answers from the stale model, but the
+                    # building's learning loop is down — that is an
+                    # unhealthy building, not a degraded one.
+                    detail = (f"retrain circuit open for building "
+                              f"{building_id!r} after {failures} consecutive "
+                              "failures")
+                    if retry is not None:
+                        detail += f"; next probe in {retry:.0f}s"
+                    reasons.append(HealthReason(
+                        code="retrain_circuit_open", severity="unhealthy",
+                        detail=detail, value=float(failures)))
+                else:
+                    reasons.append(HealthReason(
+                        code="retrain_circuit_half_open", severity="info",
+                        detail=f"probe retrain in flight for building "
+                               f"{building_id!r} after {failures} "
+                               "consecutive failures"))
         age = scheduler.last_swap_age(building_id, now=now)
         if age is not None:
             metrics["last_swap_age_seconds"] = age

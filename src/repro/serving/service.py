@@ -40,6 +40,7 @@ from ..core.persistence import _atomic_save_model, load_model
 from ..core.pipeline import GRAFICS, GraficsConfig
 from ..core.registry import BuildingPrediction, MultiBuildingFloorService
 from ..core.types import FingerprintDataset, SignalRecord
+from ..faults import failpoints
 from ..obs import runtime as obs
 from ..obs.log import log_event
 from .batcher import Batch, MicroBatcher
@@ -142,6 +143,7 @@ def _compute_plan(records: Sequence[SignalRecord], plan: _ServePlan,
     planned miss group, in plan order.
     """
     with obs.span("serving.compute") as compute_span:
+        failpoints.fire("serve.compute")
         outputs = []
         computed = 0
         for _, model, miss in plan.misses:
@@ -234,6 +236,7 @@ def _dispatch_batch(batch: Batch, *, lock,
                            "before the request was dispatched")
                 return
         records = [record for record, _, _, _ in batch.items]
+        failpoints.fire("serve.compute", building_id=batch.building_id)
         try:
             with telemetry.time("batch_seconds"):
                 floor_predictions = model.predict_batch(records,
@@ -389,6 +392,9 @@ class FloorServingService:
         attribute surfacing as rejected results rather than crashing the
         dispatch.
         """
+        # Fired before the lock: a kill here models a process dying on the
+        # way into a swap — the installed model must remain the old one.
+        failpoints.fire("swap.install", building_id=building_id)
         full_batches: list[Batch] = []
         with self._lock:
             self.registry.install_model(building_id, model,

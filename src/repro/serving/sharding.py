@@ -38,6 +38,7 @@ from ..core.persistence import _atomic_save_model, load_model
 from ..core.pipeline import GRAFICS, GraficsConfig
 from ..core.registry import BuildingPrediction, MultiBuildingFloorService
 from ..core.types import FingerprintDataset, SignalRecord
+from ..faults import failpoints
 from ..obs.log import log_event
 from .batcher import Batch, MicroBatcher
 from .cache import PredictionCache, fingerprint_key
@@ -291,6 +292,9 @@ class ShardedServingService:
         as snapshotted at dispatch time, with unattributable records
         surfacing as rejected results (see ``_dispatch_batch``).
         """
+        # Same placement as the one-lock service: before the shard lock, so
+        # a kill here leaves the old model installed and the shard serving.
+        failpoints.fire("swap.install", building_id=building_id)
         shard = self.shard_for(building_id)
         with shard.lock:
             shard.registry.install_model(building_id, model,

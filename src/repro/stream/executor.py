@@ -40,6 +40,7 @@ from ..core.embedding.kernels import validate_kernel
 from ..core.embedding.sampler import validate_sampler_mode
 from ..core.persistence import _atomic_save_model, _registry_model_filename, load_model
 from ..core.pipeline import GRAFICS
+from ..faults import failpoints
 from ..obs import runtime as obs
 from ..obs.log import log_event
 
@@ -114,6 +115,13 @@ class RetrainExecutor:
         :class:`~repro.core.embedding.base.EmbeddingConfig`).  ``None``
         keeps the service's configured mode.  Ignored when a custom
         ``train`` is injected.
+    fit_deadline_seconds:
+        Wall budget (on the injected clock) for one fit.  A Python thread
+        cannot be preempted mid-fit, so the budget is enforced *after* the
+        fit returns: an overrun result is abandoned under the generation
+        fence — never installed — and surfaces as an error completion, so
+        the scheduler's backoff/breaker treats a runaway fit exactly like
+        a failed one.  ``None`` disables the budget.
     """
 
     def __init__(self, service, max_workers: int = 0,
@@ -121,14 +129,18 @@ class RetrainExecutor:
                  train: Callable[[RetrainJob, object | None], GRAFICS] | None = None,
                  clock: Callable[[], float] = time.perf_counter,
                  kernel: str | None = None,
-                 sampler_mode: str | None = None) -> None:
+                 sampler_mode: str | None = None,
+                 fit_deadline_seconds: float | None = None) -> None:
         if max_workers < 0:
             raise ValueError("max_workers must be non-negative")
         if kernel is not None:
             validate_kernel(kernel)
         if sampler_mode is not None:
             validate_sampler_mode(sampler_mode)
+        if fit_deadline_seconds is not None and fit_deadline_seconds <= 0.0:
+            raise ValueError("fit_deadline_seconds must be positive (or None)")
         self.service = service
+        self.fit_deadline_seconds = fit_deadline_seconds
         self.kernel = kernel
         self.sampler_mode = sampler_mode
         self.model_dir = Path(model_dir) if model_dir is not None else None
@@ -156,6 +168,7 @@ class RetrainExecutor:
         self.executed_total = 0
         self.stale_total = 0
         self.errors_total = 0
+        self.deadline_exceeded_total = 0
 
     # ------------------------------------------------------------------ state
     @property
@@ -227,7 +240,15 @@ class RetrainExecutor:
                          labeled_records=labeled_records,
                          trace_id=obs.current_trace_id())
         if self._pool is None:
-            return self._execute(job, previous_embedding)
+            try:
+                return self._execute(job, previous_embedding)
+            except Exception:
+                # Count inline failures the same way _run counts pooled
+                # ones, then let the caller's resilience path (the
+                # scheduler re-pends and backs off) handle the raise.
+                self.errors_total += 1
+                self.service.telemetry.increment("retrain_errors_total")
+                raise
         with self._condition:
             self._inflight += 1
         self._update_gauge()
@@ -256,12 +277,36 @@ class RetrainExecutor:
             retrain_span.set("building", job.building_id)
             retrain_span.set("trigger", job.trigger)
             retrain_span.set("generation", job.generation)
+            failpoints.fire("retrain.fit", building_id=job.building_id)
             started = self._clock()
             model = self._train(job, previous_embedding)
             duration = self._clock() - started
             self.service.telemetry.observe("retrain_seconds", duration)
             trace_id = (retrain_span.span.trace_id
                         if retrain_span.span is not None else job.trace_id)
+            deadline = self.fit_deadline_seconds
+            if deadline is not None and duration > deadline:
+                # Too late to preempt the fit; what we can still do is
+                # refuse to install its result.  The generation fence makes
+                # abandonment safe, and reporting an error completion folds
+                # overruns into the scheduler's backoff/breaker path.
+                self.deadline_exceeded_total += 1
+                self.service.telemetry.increment(
+                    "retrain_deadline_exceeded_total")
+                log_event("retrain_deadline_exceeded",
+                          building_id=job.building_id, trigger=job.trigger,
+                          duration_seconds=duration,
+                          deadline_seconds=deadline)
+                retrain_span.set("deadline_exceeded", True)
+                return RetrainCompletion(
+                    building_id=job.building_id, trigger=job.trigger,
+                    generation=job.generation, swapped=False,
+                    duration_seconds=duration,
+                    window_records=job.window_records,
+                    labeled_records=job.labeled_records,
+                    error=(f"fit overran its {deadline:g}s deadline "
+                           f"({duration:.3f}s); result abandoned"),
+                    trace_id=trace_id)
             completion = self._install(job, model, duration, trace_id)
             retrain_span.set("swapped", completion.swapped)
             return completion
@@ -321,6 +366,15 @@ class RetrainExecutor:
                 window_records=job.window_records,
                 labeled_records=job.labeled_records, error=str(error),
                 trace_id=job.trace_id)
+        except BaseException:
+            # A simulated process kill (or a real KeyboardInterrupt) is not
+            # a completion — but it must still release the in-flight slot,
+            # or join() would wait forever on a job that will never land.
+            with self._condition:
+                self._inflight -= 1
+                self._condition.notify_all()
+            self._update_gauge()
+            raise
         with self._condition:
             self._completed.append(completion)
             self._inflight -= 1
@@ -357,5 +411,6 @@ class RetrainExecutor:
                 "executed_total": self.executed_total,
                 "stale_total": self.stale_total,
                 "errors_total": self.errors_total,
+                "deadline_exceeded_total": self.deadline_exceeded_total,
                 "generations": dict(self._generations),
             }

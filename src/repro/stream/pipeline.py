@@ -16,6 +16,8 @@ it from :func:`repro.data.iter_jsonl` replay or a network intake.
 
 from __future__ import annotations
 
+import os
+import shutil
 from collections.abc import Callable, Iterable
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
@@ -24,6 +26,7 @@ from ..core.embedding.kernels import validate_kernel
 from ..core.embedding.sampler import validate_sampler_mode
 from ..core.inference import UnknownEnvironmentError
 from ..core.persistence import (
+    CheckpointCorruptError,
     grafics_config_from_payload,
     grafics_config_to_payload,
     load_registry,
@@ -47,6 +50,12 @@ from .window import WindowConfig, WindowEviction, WindowManager
 #: File names inside a checkpoint directory.
 _CHECKPOINT_STATE_FILE = "stream_state.json"
 _CHECKPOINT_REGISTRY_DIR = "registry"
+#: Where the previous checkpoint generation is retained.  Rotated in
+#: before each new checkpoint is written; ``resume()`` falls back to it
+#: wholesale (state + registry together — mixing generations would pair a
+#: registry with scheduler counters it never saw) when the current
+#: generation is missing or corrupt.
+_CHECKPOINT_PREVIOUS_DIR = "previous"
 
 __all__ = ["StreamConfig", "StreamResult", "ContinuousLearningPipeline"]
 
@@ -83,6 +92,12 @@ class StreamConfig:
     #: hot-swapped model serve its cold predictions off the composed delta
     #: sampler instead of per-predict O(V) alias rebuilds.
     retrain_sampler_mode: str | None = None
+    #: Wall budget for one stream retrain fit (see
+    #: :class:`~repro.stream.executor.RetrainExecutor`
+    #: ``fit_deadline_seconds``): an overrunning fit's result is abandoned
+    #: under the generation fence and surfaces as a failed retrain, feeding
+    #: the scheduler's backoff/breaker.  ``None`` disables the budget.
+    retrain_deadline_seconds: float | None = None
 
     def __post_init__(self) -> None:
         if self.retrain_workers < 0:
@@ -94,6 +109,10 @@ class StreamConfig:
             validate_kernel(self.retrain_kernel)
         if self.retrain_sampler_mode is not None:
             validate_sampler_mode(self.retrain_sampler_mode)
+        if (self.retrain_deadline_seconds is not None
+                and self.retrain_deadline_seconds <= 0.0):
+            raise ValueError(
+                "retrain_deadline_seconds must be positive (or None)")
 
 
 @dataclass(frozen=True)
@@ -141,7 +160,9 @@ class ContinuousLearningPipeline:
         self.executor = RetrainExecutor(
             service, max_workers=self.config.retrain_workers,
             kernel=self.config.retrain_kernel,
-            sampler_mode=self.config.retrain_sampler_mode, **clock_kwargs)
+            sampler_mode=self.config.retrain_sampler_mode,
+            fit_deadline_seconds=self.config.retrain_deadline_seconds,
+            **clock_kwargs)
         self.scheduler = RetrainScheduler(service, self.windows,
                                           self.config.scheduler,
                                           executor=self.executor,
@@ -312,11 +333,17 @@ class ContinuousLearningPipeline:
         saved models and the saved scheduler state are consistent.  A
         pipeline resumed from the result replays the rest of the stream
         exactly as the uninterrupted pipeline would (test-enforced).
+
+        Checkpointing into a directory that already holds one rotates the
+        existing generation into ``previous/`` first, so a write that is
+        torn or killed partway always leaves one complete last-good
+        checkpoint for :meth:`resume` to fall back to.
         """
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
         self.executor.join()
         self._collect_completed()
+        self._rotate_previous(directory)
         save_registry(self.service.export_registry(),
                       directory / _CHECKPOINT_REGISTRY_DIR)
         save_stream_state(self.state_dict(),
@@ -325,6 +352,27 @@ class ContinuousLearningPipeline:
                   processed_total=self.processed_total,
                   buildings=len(self.service.building_ids))
         return directory
+
+    @staticmethod
+    def _rotate_previous(directory: Path) -> None:
+        """Move the current checkpoint generation into ``previous/``.
+
+        State file and registry rotate together — the fallback pair must be
+        from one generation.  The old ``previous/`` is dropped first; two
+        retained generations bound the disk cost, and anything older is by
+        definition two successful checkpoints stale.
+        """
+        state_file = directory / _CHECKPOINT_STATE_FILE
+        if not state_file.exists():
+            return
+        previous = directory / _CHECKPOINT_PREVIOUS_DIR
+        if previous.exists():
+            shutil.rmtree(previous)
+        previous.mkdir()
+        os.replace(state_file, previous / _CHECKPOINT_STATE_FILE)
+        registry_dir = directory / _CHECKPOINT_REGISTRY_DIR
+        if registry_dir.exists():
+            os.replace(registry_dir, previous / _CHECKPOINT_REGISTRY_DIR)
 
     @classmethod
     def resume(cls, directory: str | Path,
@@ -341,8 +389,33 @@ class ContinuousLearningPipeline:
         checkpoint.  Pass ``service``/``config``/``filters`` to override —
         the filter chain must keep the checkpointed stage order, since the
         dedup filter's memory is part of the replay semantics.
+
+        When the current checkpoint generation is corrupt (failed digest,
+        torn write) or partially missing, and the directory retains a
+        ``previous/`` generation, resume falls back to it wholesale and
+        emits a structured ``checkpoint_recovered`` event.  A directory
+        with neither raises as before.
         """
         directory = Path(directory)
+        try:
+            return cls._resume_from(directory, service=service,
+                                    config=config, filters=filters)
+        except (FileNotFoundError, CheckpointCorruptError) as error:
+            previous = directory / _CHECKPOINT_PREVIOUS_DIR
+            if not (previous / _CHECKPOINT_STATE_FILE).is_file():
+                raise
+            log_event("checkpoint_recovered", path=str(directory),
+                      fallback=str(previous),
+                      error_type=type(error).__name__, error=str(error))
+            return cls._resume_from(previous, service=service,
+                                    config=config, filters=filters)
+
+    @classmethod
+    def _resume_from(cls, directory: Path,
+                     service: FloorServingService | ShardedServingService | None = None,
+                     config: StreamConfig | None = None,
+                     filters: list[QualityFilter] | None = None,
+                     ) -> "ContinuousLearningPipeline":
         state = load_stream_state(directory / _CHECKPOINT_STATE_FILE)
         if config is None:
             config = _stream_config_from_payload(state["stream_config"])
@@ -445,8 +518,10 @@ def _stream_config_from_payload(payload: dict) -> StreamConfig:
         buffer_capacity=int(payload["buffer_capacity"]),
         predict=bool(payload["predict"]),
         retrain_workers=int(payload["retrain_workers"]),
-        # Absent in checkpoints written before the kernel / delta-sampler
-        # layers existed; ``.get`` keeps old checkpoints loadable.
+        # Absent in checkpoints written before the kernel / delta-sampler /
+        # failure-domain layers existed; ``.get`` keeps old checkpoints
+        # loadable.
         retrain_kernel=payload.get("retrain_kernel"),
         retrain_sampler_mode=payload.get("retrain_sampler_mode"),
+        retrain_deadline_seconds=payload.get("retrain_deadline_seconds"),
     )

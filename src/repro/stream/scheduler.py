@@ -20,10 +20,12 @@ observability.
 
 from __future__ import annotations
 
+import random
 import time
 from collections.abc import Callable
 from dataclasses import asdict, dataclass
 
+from ..obs.log import log_event
 from .drift import DriftEvent
 from .executor import RetrainCompletion, RetrainExecutor
 from .window import WindowManager
@@ -63,6 +65,29 @@ class SchedulerConfig:
     warm_start:
         Initialise the retrain from the previous model's embeddings for
         surviving nodes (see ``GRAFICS.fit(warm_start=...)``).
+    backoff_initial_seconds:
+        Wait this long (on the injected clock) before retrying a building
+        whose retrain *failed* — distinct from the cooldowns, which pace
+        successes.  Doubles per consecutive failure (see
+        ``backoff_multiplier``) so a deterministically failing building
+        cannot retry-storm the executor.
+    backoff_multiplier:
+        Exponential growth factor of the failure backoff.
+    backoff_max_seconds:
+        Ceiling on the failure backoff.
+    backoff_jitter:
+        Fractional jitter widening each backoff delay by up to this much.
+        The draw is seeded from ``(building, attempt)`` so replays of the
+        same failure sequence wait the same amounts — chaos runs stay
+        byte-reproducible.
+    breaker_failures:
+        After this many *consecutive* failures the building's circuit
+        breaker opens: triggers stay latched but no retrain is attempted
+        until the current backoff elapses, at which point a single
+        half-open probe retrain runs — success closes the breaker, another
+        failure reopens it for the next (longer) backoff.  Serving always
+        continues on the last good model.  ``None`` disables the breaker
+        (failures still back off).
     """
 
     retrain_every_records: int | None = None
@@ -71,6 +96,11 @@ class SchedulerConfig:
     cooldown_records: int = 0
     cooldown_seconds: float | None = None
     warm_start: bool = True
+    backoff_initial_seconds: float = 1.0
+    backoff_multiplier: float = 2.0
+    backoff_max_seconds: float = 120.0
+    backoff_jitter: float = 0.1
+    breaker_failures: int | None = 3
 
     def __post_init__(self) -> None:
         if (self.retrain_every_records is not None
@@ -84,6 +114,17 @@ class SchedulerConfig:
             raise ValueError("cooldown_records must be non-negative")
         if self.cooldown_seconds is not None and self.cooldown_seconds <= 0.0:
             raise ValueError("cooldown_seconds must be positive (or None)")
+        if self.backoff_initial_seconds <= 0.0:
+            raise ValueError("backoff_initial_seconds must be positive")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError("backoff_multiplier must be at least 1")
+        if self.backoff_max_seconds < self.backoff_initial_seconds:
+            raise ValueError(
+                "backoff_max_seconds must be >= backoff_initial_seconds")
+        if self.backoff_jitter < 0.0:
+            raise ValueError("backoff_jitter must be non-negative")
+        if self.breaker_failures is not None and self.breaker_failures < 1:
+            raise ValueError("breaker_failures must be positive (or None)")
 
 
 @dataclass(frozen=True)
@@ -131,6 +172,9 @@ class RetrainScheduler:
         self._appended: dict[str, int] = {}      # records since last retrain
         self._last_skip: dict[str, str] = {}     # building -> last skip reason
         self._last_swap_at: dict[str, float] = {}
+        self._failures: dict[str, int] = {}      # consecutive failed retrains
+        self._retry_at: dict[str, float] = {}    # earliest next attempt
+        self._probing: set[str] = set()          # half-open probe in flight
         self.history: list[RetrainReport] = []
         self.retrains_total = 0
 
@@ -173,15 +217,27 @@ class RetrainScheduler:
         if trigger is None:
             return None
         if building_id in self._inflight:
+            self._count_skip("inflight")
             return None  # stays pending until the in-flight retrain lands
+
+        retry_at = self._retry_at.get(building_id)
+        if retry_at is not None and self._clock() < retry_at:
+            # Waiting out a failure backoff — or, past the breaker
+            # threshold, waiting for the half-open probe slot.
+            self._count_skip("breaker_open"
+                             if self.breaker_state(building_id) == "open"
+                             else "backoff")
+            return None  # stays pending until the backoff elapses
 
         appended = self._appended.get(building_id, 0)
         if 0 < appended <= self.config.cooldown_records:
+            self._count_skip("cooldown")
             return None  # stays pending until the cooldown elapses
         if self.config.cooldown_seconds is not None:
             last_swap = self._last_swap_at.get(building_id)
             if (last_swap is not None and self._clock() - last_swap
                     < self.config.cooldown_seconds):
+                self._count_skip("cooldown")
                 return None  # stays pending until the cooldown elapses
 
         window = self.windows.window_for(building_id)
@@ -203,6 +259,14 @@ class RetrainScheduler:
 
         del self._pending[building_id]
         self._last_skip.pop(building_id, None)
+        if self.breaker_state(building_id) == "open":
+            # The backoff has elapsed and the guards passed: this attempt
+            # is the breaker's single half-open probe.  Flagged only now —
+            # a probe blocked by a guard above never left the open state.
+            self._probing.add(building_id)
+            log_event("retrain_breaker_half_open", building_id=building_id,
+                      failures=self._failures.get(building_id, 0),
+                      trigger=trigger)
         try:
             completion = self.executor.submit(
                 building_id=building_id,
@@ -215,6 +279,7 @@ class RetrainScheduler:
             # in the detector — must re-pend the trigger so the retrain is
             # retried, exactly like the async failure path in _absorb.
             self._pending.setdefault(building_id, trigger)
+            self._note_failure(building_id)
             report = RetrainReport(
                 building_id=building_id, trigger=trigger, swapped=False,
                 window_records=len(window), labeled_records=len(labels),
@@ -242,6 +307,7 @@ class RetrainScheduler:
             self._appended[building_id] = 0
             self._last_swap_at[building_id] = self._clock()
             self.retrains_total += 1
+            self._note_success(building_id)
             report = RetrainReport(
                 building_id=building_id, trigger=completion.trigger,
                 swapped=True, window_records=completion.window_records,
@@ -252,12 +318,18 @@ class RetrainScheduler:
             if completion.stale:
                 reason = (f"result of generation {completion.generation} "
                           "superseded by a newer install")
+                # A fenced-out probe proves nothing about the fit path —
+                # someone else installed a newer model while it ran.  Drop
+                # the probe flag without counting a failure; the breaker
+                # stays open and the next elapsed backoff probes again.
+                self._probing.discard(building_id)
             else:
                 reason = f"retrain failed: {completion.error}"
                 # The drift is still latched in the detector and would never
                 # re-fire; keep the trigger pending so the retrain is retried
                 # once the next record arrives.
                 self._pending.setdefault(building_id, completion.trigger)
+                self._note_failure(building_id)
             report = RetrainReport(
                 building_id=building_id, trigger=completion.trigger,
                 swapped=False, window_records=completion.window_records,
@@ -270,11 +342,95 @@ class RetrainScheduler:
     def _skip(self, guard: str,
               report: RetrainReport) -> RetrainReport | None:
         """Record one skip per guard transition; the trigger stays pending."""
+        self._count_skip(guard)
         if self._last_skip.get(report.building_id) == guard:
             return None
         self._last_skip[report.building_id] = guard
         self.history.append(report)
         return report
+
+    # -------------------------------------------------------- failure domain
+    def breaker_state(self, building_id: str) -> str:
+        """``"closed"`` | ``"open"`` | ``"half_open"`` for the building.
+
+        Closed is the healthy default (consecutive failures under the
+        threshold); open means triggers are latched but attempts are held
+        back; half-open means the single probe retrain is in flight (or,
+        with a synchronous executor, being decided right now).
+        """
+        threshold = self.config.breaker_failures
+        if (threshold is None
+                or self._failures.get(building_id, 0) < threshold):
+            return "closed"
+        return "half_open" if building_id in self._probing else "open"
+
+    def consecutive_failures(self, building_id: str) -> int:
+        """Consecutive failed retrains since the building's last success."""
+        return self._failures.get(building_id, 0)
+
+    def retry_in(self, building_id: str,
+                 now: float | None = None) -> float | None:
+        """Seconds until the building's next allowed attempt, or ``None``."""
+        retry_at = self._retry_at.get(building_id)
+        if retry_at is None:
+            return None
+        now = self._clock() if now is None else now
+        return max(0.0, retry_at - now)
+
+    def _backoff_delay(self, building_id: str, failures: int) -> float:
+        config = self.config
+        delay = min(config.backoff_initial_seconds
+                    * config.backoff_multiplier ** (failures - 1),
+                    config.backoff_max_seconds)
+        # Seeded per (building, attempt): replays of the same failure
+        # sequence wait identical amounts, yet a fleet of failing
+        # buildings still de-synchronises its retries.
+        jitter = random.Random(f"{building_id}:{failures}").random()
+        return delay * (1.0 + config.backoff_jitter * jitter)
+
+    def _note_failure(self, building_id: str) -> None:
+        was_open = self.breaker_state(building_id) == "open"
+        self._probing.discard(building_id)
+        failures = self._failures.get(building_id, 0) + 1
+        self._failures[building_id] = failures
+        delay = self._backoff_delay(building_id, failures)
+        self._retry_at[building_id] = self._clock() + delay
+        threshold = self.config.breaker_failures
+        if (threshold is not None and failures >= threshold
+                and not was_open):
+            log_event("retrain_breaker_opened", building_id=building_id,
+                      failures=failures, retry_in_seconds=delay)
+        self._update_fault_gauges()
+
+    def _note_success(self, building_id: str) -> None:
+        self._probing.discard(building_id)
+        failures = self._failures.pop(building_id, 0)
+        self._retry_at.pop(building_id, None)
+        threshold = self.config.breaker_failures
+        if threshold is not None and failures >= threshold:
+            log_event("retrain_breaker_closed", building_id=building_id,
+                      after_failures=failures)
+        self._update_fault_gauges()
+
+    def _count_skip(self, reason: str) -> None:
+        telemetry = getattr(self.service, "telemetry", None)
+        if telemetry is not None:
+            telemetry.increment(f"retrain_skipped_{reason}_total")
+
+    def _update_fault_gauges(self) -> None:
+        telemetry = getattr(self.service, "telemetry", None)
+        if telemetry is None:
+            return
+        threshold = self.config.breaker_failures
+        open_breakers = sum(
+            1 for building_id, failures in self._failures.items()
+            if threshold is not None and failures >= threshold
+            and building_id not in self._probing)
+        backing_off = sum(
+            1 for failures in self._failures.values()
+            if 0 < failures and (threshold is None or failures < threshold))
+        telemetry.set_gauge("retrain_breaker_open", open_breakers)
+        telemetry.set_gauge("retrain_backoff_waiting", backing_off)
 
     # ------------------------------------------------------------- checkpoint
     def state_dict(self, now: float | None = None) -> dict:
@@ -302,6 +458,12 @@ class RetrainScheduler:
             "last_swap_ages": {building_id: now - swapped_at
                                for building_id, swapped_at
                                in self._last_swap_at.items()},
+            "failures": dict(self._failures),
+            # Stored as remaining waits, not absolute deadlines, so the
+            # backoff survives a clock restart the same way swap ages do.
+            "retry_in": {building_id: max(0.0, retry_at - now)
+                         for building_id, retry_at
+                         in self._retry_at.items()},
             "retrains_total": self.retrains_total,
             "history": [asdict(report) for report
                         in self.history[-_CHECKPOINT_HISTORY_LIMIT:]],
@@ -320,8 +482,20 @@ class RetrainScheduler:
         self._last_swap_at = {building_id: now - float(age)
                               for building_id, age
                               in state["last_swap_ages"].items()}
+        # ``.get``: checkpoints written before the failure-domain layer
+        # existed have no backoff/breaker keys and load with clean state.
+        self._failures = {str(building_id): int(count)
+                          for building_id, count
+                          in state.get("failures", {}).items()}
+        self._retry_at = {str(building_id): now + float(remaining)
+                          for building_id, remaining
+                          in state.get("retry_in", {}).items()}
+        # Probes never serialise: state_dict refuses in-flight retrains, so
+        # by checkpoint time every probe has landed as success or failure.
+        self._probing = set()
         self.retrains_total = int(state["retrains_total"])
         self.history = [RetrainReport(**blob) for blob in state["history"]]
+        self._update_fault_gauges()
 
     # ------------------------------------------------------------------ state
     @property
@@ -354,6 +528,10 @@ class RetrainScheduler:
                                  for r in self.history),
             "pending": dict(self._pending),
             "inflight": sorted(self._inflight),
+            "failures": dict(self._failures),
+            "breakers_open": sorted(
+                building_id for building_id in self._failures
+                if self.breaker_state(building_id) != "closed"),
             "last_retrain": (swapped[-1].building_id if swapped else None),
             "executor": self.executor.stats(),
         }

@@ -1,0 +1,22 @@
+"""Shared fixtures for the fault-injection tests."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+# The fault tests drive real pipelines; reuse the stream suite's helpers.
+sys.path.insert(0, str(Path(__file__).parent.parent / "stream"))
+
+from repro import faults  # noqa: E402
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_plan():
+    """No fault plan may survive a test — armed failpoints are global."""
+    faults.uninstall()
+    yield
+    faults.uninstall()

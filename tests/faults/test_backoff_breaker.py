@@ -1,0 +1,229 @@
+"""Retry backoff and the per-building retrain circuit breaker."""
+
+from __future__ import annotations
+
+import pytest
+
+from stream_helpers import FakeClock, stream_records, train_service
+
+from repro.obs.health import HealthMonitor
+from repro.stream import (
+    RetrainExecutor,
+    RetrainScheduler,
+    SchedulerConfig,
+    WindowConfig,
+    WindowManager,
+)
+
+
+class FlakyTrain:
+    """Injected train function that fails until told to heal."""
+
+    def __init__(self):
+        self.failing = True
+        self.calls = 0
+        self._real = None  # bound lazily to the executor's default
+
+    def bind(self, executor):
+        self._real = RetrainExecutor._default_train.__get__(executor)
+        return self
+
+    def __call__(self, job, previous):
+        self.calls += 1
+        if self.failing:
+            raise ValueError(f"injected fit failure #{self.calls}")
+        return self._real(job, previous)
+
+
+def build(clock, breaker_failures=2, jitter=0.0, initial=10.0):
+    service, splits = train_service()
+    windows = WindowManager(config=WindowConfig(max_records=64))
+    for record in stream_records(splits["bldg-A"], 24, label_every=2):
+        windows.append("bldg-A", record)
+    train = FlakyTrain()
+    executor = RetrainExecutor(service, max_workers=0, clock=clock)
+    train.bind(executor)
+    executor._train = train
+    config = SchedulerConfig(min_window_records=10,
+                             backoff_initial_seconds=initial,
+                             backoff_multiplier=2.0,
+                             backoff_jitter=jitter,
+                             breaker_failures=breaker_failures)
+    scheduler = RetrainScheduler(service, windows, config, clock=clock,
+                                 executor=executor)
+    return service, scheduler, train
+
+
+def pend(scheduler):
+    scheduler._pending["bldg-A"] = "drift:mac_churn"
+
+
+class TestBackoff:
+    def test_failed_retrain_waits_out_the_backoff(self):
+        clock = FakeClock()
+        service, scheduler, train = build(clock, breaker_failures=None)
+        pend(scheduler)
+        report = scheduler.maybe_retrain("bldg-A")
+        assert report is not None and "injected" in report.skipped_reason
+        assert scheduler.pending == {"bldg-A": "drift:mac_churn"}
+
+        # Inside the backoff window: the trigger stays latched, nothing runs.
+        calls_before = train.calls
+        assert scheduler.maybe_retrain("bldg-A") is None
+        assert train.calls == calls_before
+        assert (service.telemetry.counter("retrain_skipped_backoff_total")
+                == 1)
+
+        clock.advance(scheduler.retry_in("bldg-A") + 0.01)
+        train.failing = False
+        report = scheduler.maybe_retrain("bldg-A")
+        assert report is not None and report.swapped
+        assert scheduler.consecutive_failures("bldg-A") == 0
+
+    def test_backoff_grows_exponentially_and_deterministically(self):
+        clock = FakeClock()
+        _, scheduler, _ = build(clock, breaker_failures=None, jitter=0.0)
+        delays = []
+        for _ in range(4):
+            pend(scheduler)
+            clock.advance(10_000.0)  # clear any previous backoff
+            scheduler.maybe_retrain("bldg-A")
+            delays.append(scheduler.retry_in("bldg-A"))
+        assert delays == [10.0, 20.0, 40.0, 80.0]
+
+    def test_jitter_is_deterministic_per_attempt(self):
+        clock_a, clock_b = FakeClock(), FakeClock()
+        _, sched_a, _ = build(clock_a, breaker_failures=None, jitter=0.5)
+        _, sched_b, _ = build(clock_b, breaker_failures=None, jitter=0.5)
+        for scheduler in (sched_a, sched_b):
+            pend(scheduler)
+            scheduler.maybe_retrain("bldg-A")
+        delay_a = sched_a.retry_in("bldg-A")
+        assert delay_a == sched_b.retry_in("bldg-A")  # replayable
+        assert 10.0 <= delay_a <= 15.0               # within jitter band
+
+    def test_sync_failure_counts_executor_error_telemetry(self):
+        clock = FakeClock()
+        service, scheduler, _ = build(clock)
+        pend(scheduler)
+        scheduler.maybe_retrain("bldg-A")
+        assert scheduler.executor.errors_total == 1
+        assert service.telemetry.counter("retrain_errors_total") == 1
+
+
+class TestBreakerLifecycle:
+    def fail_until_open(self, scheduler, clock):
+        for _ in range(2):
+            pend(scheduler)
+            retry = scheduler.retry_in("bldg-A")
+            if retry:
+                clock.advance(retry + 0.01)
+            scheduler.maybe_retrain("bldg-A")
+        assert scheduler.breaker_state("bldg-A") == "open"
+
+    def test_opens_after_consecutive_failures(self):
+        clock = FakeClock()
+        service, scheduler, train = build(clock, breaker_failures=2)
+        self.fail_until_open(scheduler, clock)
+        assert scheduler.consecutive_failures("bldg-A") == 2
+        assert service.telemetry.gauge("retrain_breaker_open") == 1
+
+        # While open (backoff not yet elapsed) nothing reaches the fit.
+        calls = train.calls
+        pend(scheduler)
+        assert scheduler.maybe_retrain("bldg-A") is None
+        assert train.calls == calls
+        assert (service.telemetry.counter(
+            "retrain_skipped_breaker_open_total") >= 1)
+
+    def test_half_open_probe_success_closes(self):
+        clock = FakeClock()
+        service, scheduler, train = build(clock, breaker_failures=2)
+        self.fail_until_open(scheduler, clock)
+        train.failing = False
+        pend(scheduler)
+        clock.advance(scheduler.retry_in("bldg-A") + 0.01)
+        report = scheduler.maybe_retrain("bldg-A")
+        assert report is not None and report.swapped
+        assert scheduler.breaker_state("bldg-A") == "closed"
+        assert scheduler.consecutive_failures("bldg-A") == 0
+        assert service.telemetry.gauge("retrain_breaker_open") == 0
+        assert scheduler.retrains_total == 1
+
+    def test_half_open_probe_failure_reopens(self):
+        clock = FakeClock()
+        _, scheduler, train = build(clock, breaker_failures=2)
+        self.fail_until_open(scheduler, clock)
+        pend(scheduler)
+        clock.advance(scheduler.retry_in("bldg-A") + 0.01)
+        report = scheduler.maybe_retrain("bldg-A")  # the probe — still failing
+        assert report is not None and "injected" in report.skipped_reason
+        assert scheduler.breaker_state("bldg-A") == "open"
+        assert scheduler.consecutive_failures("bldg-A") == 3
+        assert train.calls == 3
+
+    def test_backoff_gauge_tracks_pre_breaker_failures(self):
+        clock = FakeClock()
+        service, scheduler, _ = build(clock, breaker_failures=3)
+        pend(scheduler)
+        scheduler.maybe_retrain("bldg-A")
+        assert service.telemetry.gauge("retrain_backoff_waiting") == 1
+        assert service.telemetry.gauge("retrain_breaker_open") == 0
+
+
+class TestHealthIntegration:
+    def test_open_breaker_is_an_unhealthy_building(self):
+        clock = FakeClock()
+        service, scheduler, _ = build(clock, breaker_failures=2)
+
+        class _NoDrift:
+            @staticmethod
+            def latched_kinds(building_id):
+                return ()
+
+        class PipelineView:  # duck surface HealthMonitor reads
+            def __init__(self, scheduler):
+                self.service = scheduler.service
+                self.scheduler = scheduler
+                self.drift = _NoDrift()
+
+        monitor = HealthMonitor(pipeline=PipelineView(scheduler), clock=clock)
+        card = monitor.building_scorecard("bldg-A", clock())
+        assert card.status.value == "healthy"
+
+        TestBreakerLifecycle().fail_until_open(scheduler, clock)
+        card = monitor.building_scorecard("bldg-A", clock())
+        assert card.status.value == "unhealthy"
+        codes = {reason.code for reason in card.reasons}
+        assert "retrain_circuit_open" in codes
+        assert card.metrics["retrain_consecutive_failures"] == 2.0
+
+
+class TestCheckpointCodec:
+    def test_backoff_state_survives_roundtrip(self):
+        clock = FakeClock()
+        _, scheduler, _ = build(clock, breaker_failures=3)
+        pend(scheduler)
+        scheduler.maybe_retrain("bldg-A")
+        remaining = scheduler.retry_in("bldg-A")
+        assert remaining > 0
+        state = scheduler.state_dict(now=clock())
+
+        clock2 = FakeClock(start=500.0)  # a restarted node's clock
+        _, restored, _ = build(clock2, breaker_failures=3)
+        restored.restore_state(state, now=clock2())
+        assert restored.consecutive_failures("bldg-A") == 1
+        assert restored.retry_in("bldg-A") == pytest.approx(remaining)
+        assert restored.breaker_state("bldg-A") == "closed"
+
+    def test_old_checkpoint_without_failure_keys_loads_clean(self):
+        clock = FakeClock()
+        _, scheduler, _ = build(clock)
+        state = scheduler.state_dict(now=clock())
+        del state["failures"]
+        del state["retry_in"]
+        _, restored, _ = build(FakeClock())
+        restored.restore_state(state)
+        assert restored.consecutive_failures("bldg-A") == 0
+        assert restored.breaker_state("bldg-A") == "closed"
+        assert restored.retry_in("bldg-A") is None

@@ -1,0 +1,219 @@
+"""The chaos drill: a scripted FaultPlan against a live pipeline.
+
+Three acts, one per failure domain of the learning loop:
+
+1. **Failing fits** — three consecutive injected fit failures walk the
+   building through backoff, an open breaker (serving continues on the
+   stale model, ``/healthz`` says so) and a failed half-open probe; the
+   recovery probe's installed model is byte-identical to an offline refit
+   of the same job.
+2. **Torn checkpoint write** — a checkpoint torn mid-write is detected by
+   digest and ``resume()`` falls back to the retained last-good
+   generation; replaying the lost segment reproduces the original results
+   byte-for-byte.
+3. **Crash-kill mid-swap** — a simulated process death on the way into a
+   hot swap escapes every resilience handler; resuming from the untouched
+   checkpoint and replaying matches an undisturbed control run exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+
+import numpy as np
+import pytest
+
+from stream_helpers import FakeClock, stream_records, train_service
+
+from repro import StreamConfig, faults
+from repro.core.persistence import CheckpointCorruptError, load_stream_state
+from repro.core.pipeline import GRAFICS
+from repro.faults import FaultPlan, ProcessKilled
+from repro.obs.health import HealthMonitor
+from repro.obs.log import LOGGER_NAME
+from repro.stream import (
+    ContinuousLearningPipeline,
+    DriftConfig,
+    SchedulerConfig,
+    WindowConfig,
+)
+
+
+def drill_config(**scheduler_overrides):
+    scheduler = dict(min_window_records=48, warm_start=True)
+    scheduler.update(scheduler_overrides)
+    return StreamConfig(window=WindowConfig(max_records=96),
+                        drift=DriftConfig(vocabulary_jaccard_min=0.6),
+                        scheduler=SchedulerConfig(**scheduler))
+
+
+def churn_stream(split, count=200):
+    """AP churn aggressive enough to latch vocabulary drift."""
+    macs = sorted({mac for record in split.test_records for mac in record.rss})
+    rename = {mac: f"{mac}:v2" for mac in macs[: len(macs) // 2]}
+    return stream_records(split, count, prefix="churn-", rename=rename,
+                          rng_seed=1, jitter=2.0)
+
+
+def summarize(results):
+    """Everything observable about a stream result, prediction bytes included."""
+    return [(r.record_id, r.accepted, r.building_id, r.rejected_by,
+             None if r.prediction is None
+             else (r.prediction.floor, r.prediction.distance,
+                   r.prediction.mac_overlap),
+             tuple((e.kind.value, e.building_id) for e in r.drift_events),
+             r.eviction.record_ids, r.swapped)
+            for r in results]
+
+
+class TestActOneFailingFits:
+    def test_breaker_walks_open_probe_recover(self):
+        clock = FakeClock()
+        service, splits = train_service()
+        pipeline = ContinuousLearningPipeline(
+            service, drill_config(backoff_initial_seconds=10.0,
+                                  backoff_multiplier=2.0,
+                                  backoff_jitter=0.0,
+                                  breaker_failures=2),
+            clock=clock)
+        scheduler = pipeline.scheduler
+        monitor = HealthMonitor(pipeline=pipeline, clock=clock)
+        probe_record = splits["bldg-A"].test_records[0].without_floor()
+
+        # Record every executed fit so the recovery can be re-derived
+        # offline and compared byte-for-byte.
+        jobs = []
+        real_train = pipeline.executor._train
+
+        def recording_train(job, previous):
+            jobs.append((job, previous))
+            return real_train(job, previous)
+
+        pipeline.executor._train = recording_train
+
+        pipeline.process_stream(stream_records(splits["bldg-A"], 80,
+                                               prefix="steady-", jitter=2.0))
+        assert monitor.building_scorecard(
+            "bldg-A", clock()).status.value == "healthy"
+
+        plan = FaultPlan().fail("retrain.fit", hits=[1, 2, 3])
+        attempts = []
+        with faults.active(plan):
+            for record in churn_stream(splits["bldg-A"]):
+                result = pipeline.process(record)
+                if result.retrain is not None:
+                    attempts.append(result.retrain)
+                    if result.retrain.swapped:
+                        break
+                    # A failure latched a backoff; jump straight past it so
+                    # the next accepted record can attempt again.
+                    clock.advance(scheduler.retry_in("bldg-A") + 0.01)
+                    if len(attempts) == 2:
+                        # Two consecutive failures: the breaker is open,
+                        # health says so, and serving still answers from
+                        # the stale model.
+                        assert scheduler.breaker_state("bldg-A") == "open"
+                        card = monitor.building_scorecard("bldg-A", clock())
+                        assert card.status.value == "unhealthy"
+                        assert "retrain_circuit_open" in {
+                            reason.code for reason in card.reasons}
+                        assert service.predict(probe_record) is not None
+
+        # The scripted plan: three injected failures, then a clean probe.
+        assert [f.site for f in plan.fired] == ["retrain.fit"] * 3
+        assert len(attempts) == 4
+        assert [a.swapped for a in attempts] == [False, False, False, True]
+        assert all("injected" in a.skipped_reason
+                   for a in attempts[:3])
+        # Probe #1 (attempt 3) failed and re-opened; probe #2 closed.
+        assert scheduler.breaker_state("bldg-A") == "closed"
+        assert scheduler.consecutive_failures("bldg-A") == 0
+        assert scheduler.retrains_total == 1
+        assert monitor.building_scorecard(
+            "bldg-A", clock()).status.value == "healthy"
+
+        # Byte-identity: the model the probe installed is exactly what an
+        # offline refit of the recorded job produces — injected failures
+        # perturbed nothing about the eventual fit.
+        job, previous = jobs[-1]
+        offline = GRAFICS(service.grafics_config)
+        offline.fit(job.dataset, job.labels, warm_start=previous)
+        assert np.array_equal(service.model_for("bldg-A").embedding.ego,
+                              offline.embedding.ego)
+
+
+class TestActTwoTornCheckpoint:
+    def test_torn_write_recovers_to_last_good_and_replays(self, tmp_path,
+                                                          caplog):
+        service, splits = train_service()
+        pipeline = ContinuousLearningPipeline(service, drill_config())
+        pipeline.process_stream(stream_records(splits["bldg-A"], 40,
+                                               prefix="warm-", jitter=2.0))
+        pipeline.checkpoint(tmp_path / "ckpt")  # generation 1: clean
+
+        segment = stream_records(splits["bldg-A"], 20, prefix="seg-",
+                                 rng_seed=5, jitter=2.0)
+        results = pipeline.process_stream(segment)
+
+        # Checkpoint #2 tears the stream-state temp file mid-write (hit 2:
+        # hit 1 is the building's model file).  The tear is silent — the
+        # writer renames the torn file into place believing it succeeded.
+        plan = FaultPlan().torn_write("checkpoint.write", hits=[2])
+        with faults.active(plan):
+            pipeline.checkpoint(tmp_path / "ckpt")
+        assert [f.site for f in plan.fired] == ["checkpoint.write"]
+        with pytest.raises(CheckpointCorruptError):
+            load_stream_state(tmp_path / "ckpt" / "stream_state.json")
+
+        with caplog.at_level(logging.INFO, logger=LOGGER_NAME):
+            resumed = ContinuousLearningPipeline.resume(tmp_path / "ckpt")
+        events = [json.loads(r.message) for r in caplog.records]
+        recovered = [e for e in events if e["event"] == "checkpoint_recovered"]
+        assert len(recovered) == 1
+        assert recovered[0]["error_type"] == "CheckpointCorruptError"
+
+        # Recovery point is generation 1; replaying the segment written
+        # after it reproduces the original run byte-for-byte.
+        assert resumed.processed_total == 40
+        assert summarize(resumed.process_stream(segment)) == summarize(results)
+
+
+class TestActThreeCrashKillMidSwap:
+    def test_killed_mid_swap_resumes_and_matches_control(self, tmp_path):
+        service, splits = train_service()
+        pipeline = ContinuousLearningPipeline(service, drill_config())
+        pipeline.process_stream(stream_records(splits["bldg-A"], 80,
+                                               prefix="steady-", jitter=2.0))
+        pipeline.checkpoint(tmp_path / "ckpt")
+        segment = churn_stream(splits["bldg-A"])
+
+        # Control: an undisturbed node resumes and processes the segment.
+        control = ContinuousLearningPipeline.resume(tmp_path / "ckpt")
+        control_results = control.process_stream(segment)
+        assert control.scheduler.retrains_total == 1  # the churn retrains
+        control_ego = control.service.model_for("bldg-A").embedding.ego
+
+        # Chaos: an identical node dies on the way into the hot swap.
+        victim = ContinuousLearningPipeline.resume(tmp_path / "ckpt")
+        plan = FaultPlan().kill("swap.install", hits=[1])
+        processed = 0
+        with pytest.raises(ProcessKilled):
+            with faults.active(plan):
+                for record in segment:
+                    victim.process(record)
+                    processed += 1
+        assert 0 < processed < len(segment)  # died mid-segment, mid-retrain
+        # The kill fired before the install: the stale model still serves.
+        assert np.array_equal(
+            victim.service.model_for("bldg-A").embedding.ego,
+            np.asarray(service.model_for("bldg-A").embedding.ego))
+
+        # Recovery: resume from the untouched checkpoint and replay the
+        # whole segment — results and final model match the control run
+        # byte-for-byte.
+        recovered = ContinuousLearningPipeline.resume(tmp_path / "ckpt")
+        recovered_results = recovered.process_stream(segment)
+        assert summarize(recovered_results) == summarize(control_results)
+        assert np.array_equal(
+            recovered.service.model_for("bldg-A").embedding.ego, control_ego)

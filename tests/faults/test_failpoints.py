@@ -1,0 +1,147 @@
+"""Failpoint registry and FaultPlan mechanics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import faults
+from repro.faults import FaultInjected, FaultPlan, FaultyClock, ProcessKilled
+
+
+class TestRegistry:
+    def test_disabled_fire_is_a_no_op(self):
+        assert not faults.enabled()
+        faults.fire("retrain.fit")  # must not raise, allocate state, anything
+
+    def test_unknown_site_rejected_at_install(self):
+        plan = FaultPlan().fail("retrain.fti")  # typo
+        with pytest.raises(ValueError, match="unknown sites"):
+            faults.install(plan)
+
+    def test_install_uninstall_toggles(self):
+        plan = FaultPlan().fail("retrain.fit")
+        faults.install(plan)
+        assert faults.enabled() and faults.active_plan() is plan
+        faults.uninstall()
+        assert not faults.enabled()
+
+    def test_active_uninstalls_on_exception(self):
+        plan = FaultPlan().kill("swap.install")
+        with pytest.raises(ProcessKilled):
+            with faults.active(plan):
+                faults.fire("swap.install")
+        # Even a simulated process death must not leak the armed plan.
+        assert not faults.enabled()
+
+
+class TestScheduling:
+    def test_explicit_hits_fire_on_exactly_those_hits(self):
+        plan = FaultPlan().fail("retrain.fit", hits=[2, 3])
+        faults.install(plan)
+        faults.fire("retrain.fit")  # hit 1: clean
+        for _ in range(2):
+            with pytest.raises(FaultInjected):
+                faults.fire("retrain.fit")
+        faults.fire("retrain.fit")  # hit 4: clean again
+        assert plan.hit_count("retrain.fit") == 4
+        assert [(f.site, f.hit) for f in plan.fired] == [("retrain.fit", 2),
+                                                         ("retrain.fit", 3)]
+
+    def test_times_bounds_total_fires(self):
+        plan = FaultPlan().fail("serve.compute", times=2)
+        faults.install(plan)
+        for _ in range(2):
+            with pytest.raises(FaultInjected):
+                faults.fire("serve.compute")
+        faults.fire("serve.compute")  # budget exhausted
+
+    def test_probability_stream_is_seed_deterministic(self):
+        def fires(seed):
+            plan = FaultPlan(seed=seed).fail("serve.compute", probability=0.3)
+            pattern = []
+            for _ in range(40):
+                try:
+                    plan.fire("serve.compute")
+                    pattern.append(False)
+                except FaultInjected:
+                    pattern.append(True)
+            return pattern
+
+        assert fires(7) == fires(7)        # replayable
+        assert fires(7) != fires(8)        # but actually seeded
+        assert any(fires(7)) and not all(fires(7))
+
+    def test_latency_uses_injected_sleeper(self):
+        slept = []
+        plan = FaultPlan(sleep=slept.append).delay("serve.compute", 0.25,
+                                                   hits=[1])
+        faults.install(plan)
+        faults.fire("serve.compute")
+        assert slept == [0.25]
+
+    def test_hits_and_probability_are_exclusive(self):
+        with pytest.raises(ValueError, match="not both"):
+            FaultPlan().fail("retrain.fit", hits=[1], probability=0.5)
+
+
+class TestTornWrite:
+    def test_truncates_the_context_file(self, tmp_path):
+        target = tmp_path / "payload.bin"
+        target.write_bytes(bytes(range(200)))
+        plan = FaultPlan().torn_write("checkpoint.write", hits=[1])
+        faults.install(plan)
+        faults.fire("checkpoint.write", path=target)  # no exception: silent
+        torn = target.read_bytes()
+        assert 0 < len(torn) < 200
+        assert torn == bytes(range(200))[: len(torn)]  # a prefix, torn off
+
+    def test_truncation_is_seed_deterministic(self, tmp_path):
+        def torn_size(seed):
+            target = tmp_path / f"p{seed}.bin"
+            target.write_bytes(b"x" * 1000)
+            FaultPlan(seed=seed).torn_write(
+                "checkpoint.write", hits=[1]).fire("checkpoint.write",
+                                                   path=target)
+            return len(target.read_bytes())
+
+        assert torn_size(1) == torn_size(1)
+
+    def test_requires_a_path_context(self):
+        plan = FaultPlan().torn_write("swap.install", hits=[1])
+        faults.install(plan)
+        with pytest.raises(ValueError, match="needs a file path"):
+            faults.fire("swap.install")
+
+
+class TestKill:
+    def test_kill_escapes_except_exception(self):
+        plan = FaultPlan().kill("swap.install", hits=[1])
+        faults.install(plan)
+        with pytest.raises(ProcessKilled):
+            try:
+                faults.fire("swap.install")
+            except Exception:  # noqa: BLE001 — the point of the test
+                pytest.fail("a simulated process kill must not be caught "
+                            "by resilience code's except Exception")
+
+
+class TestFaultyClock:
+    def test_jump_folds_into_permanent_offset(self):
+        base = {"now": 100.0}
+        clock = FaultyClock(base=lambda: base["now"])
+        assert clock() == 100.0
+        plan = FaultPlan().clock_jump(3600.0, hits=[2])
+        faults.install(plan)
+        clock()                      # hit 1: no jump scheduled yet
+        jumped = clock()             # hit 2: +3600
+        assert jumped == 100.0 + 3600.0
+        faults.uninstall()
+        # The jump survives the plan being uninstalled; time never rewinds.
+        assert clock() == 100.0 + 3600.0
+
+    def test_manual_advance(self):
+        clock = FaultyClock(base=lambda: 0.0)
+        clock.advance(5.0)
+        assert clock() == 5.0
+        with pytest.raises(ValueError, match="backwards"):
+            clock.advance(-1.0)

@@ -7,7 +7,7 @@ import threading
 import numpy as np
 import pytest
 
-from stream_helpers import stream_records, train_service
+from stream_helpers import FakeClock, stream_records, train_service
 
 from repro.stream import (
     RetrainExecutor,
@@ -249,6 +249,116 @@ class TestGauges:
         executor.drain_completed()
         executor.shutdown()
         assert service.telemetry.gauge("retrains_pending") == 0
+
+
+class TestJoinTimeoutSemantics:
+    def test_join_times_out_while_a_job_is_in_flight(self, fresh_service):
+        service, splits = fresh_service
+        dataset, labels = window_dataset(splits["bldg-A"])
+        release = threading.Event()
+        started = threading.Event()
+        executor = RetrainExecutor(service, max_workers=1)
+        default_train = executor._train
+
+        def gated_train(job, previous):
+            started.set()
+            assert release.wait(timeout=60.0)
+            return default_train(job, previous)
+
+        executor._train = gated_train
+        executor.submit("bldg-A", dataset, labels, trigger="t")
+        assert started.wait(timeout=60.0)
+        # The job is parked inside its fit: a bounded join must give up
+        # and say so, not block the caller (checkpoint(), close()) forever.
+        assert executor.join(timeout=0.05) is False
+        assert executor.pending_count == 1
+        release.set()
+        assert executor.join(timeout=60.0) is True
+        executor.drain_completed()
+        executor.shutdown()
+
+    def test_join_on_idle_executor_returns_immediately(self, fresh_service):
+        service, _ = fresh_service
+        executor = RetrainExecutor(service, max_workers=1)
+        assert executor.join(timeout=0.0) is True
+        executor.shutdown()
+
+    def test_join_on_synchronous_executor_is_trivially_true(
+            self, fresh_service):
+        service, _ = fresh_service
+        assert RetrainExecutor(service, max_workers=0).join(timeout=0.0)
+
+
+class TestRetryAfterFailure:
+    def test_retry_installs_under_the_generation_snapshotted_at_submit(
+            self, fresh_service):
+        """A failed fit must not burn a generation: the retry snapshots the
+        same generation the failed attempt held and its install lands."""
+        service, splits = fresh_service
+        dataset, labels = window_dataset(splits["bldg-A"])
+        executor = RetrainExecutor(service, max_workers=0)
+        default_train = executor._train
+        calls = {"n": 0}
+
+        def flaky_train(job, previous):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise ValueError("injected first-attempt failure")
+            return default_train(job, previous)
+
+        executor._train = flaky_train
+        old_model = service.model_for("bldg-A")
+        with pytest.raises(ValueError, match="first-attempt"):
+            executor.submit("bldg-A", dataset, labels, trigger="t")
+        assert executor.errors_total == 1
+        assert executor.generation("bldg-A") == 0  # failure bumped nothing
+        assert service.model_for("bldg-A") is old_model
+
+        completion = executor.submit("bldg-A", dataset, labels, trigger="t")
+        assert completion is not None and completion.swapped
+        assert completion.generation == 0   # the fence token it was checked by
+        assert executor.generation("bldg-A") == 1
+        assert service.model_for("bldg-A") is not old_model
+
+
+class TestFitDeadline:
+    def test_overrunning_fit_is_abandoned_not_installed(self, fresh_service):
+        service, splits = fresh_service
+        dataset, labels = window_dataset(splits["bldg-A"])
+        clock = FakeClock()
+        executor = RetrainExecutor(service, max_workers=0, clock=clock,
+                                   fit_deadline_seconds=5.0)
+        default_train = executor._train
+
+        def slow_train(job, previous):
+            clock.advance(12.0)  # three slides past the 5 s budget
+            return default_train(job, previous)
+
+        executor._train = slow_train
+        old_model = service.model_for("bldg-A")
+        completion = executor.submit("bldg-A", dataset, labels, trigger="t")
+        assert completion is not None and not completion.swapped
+        assert "deadline" in completion.error
+        assert executor.deadline_exceeded_total == 1
+        assert (service.telemetry.counter("retrain_deadline_exceeded_total")
+                == 1)
+        # The runaway result was abandoned under the fence, never installed.
+        assert service.model_for("bldg-A") is old_model
+        assert executor.generation("bldg-A") == 0
+
+    def test_fit_within_budget_installs(self, fresh_service):
+        service, splits = fresh_service
+        dataset, labels = window_dataset(splits["bldg-A"])
+        clock = FakeClock()
+        executor = RetrainExecutor(service, max_workers=0, clock=clock,
+                                   fit_deadline_seconds=5.0)
+        completion = executor.submit("bldg-A", dataset, labels, trigger="t")
+        assert completion is not None and completion.swapped
+
+    def test_non_positive_deadline_rejected(self, fresh_service):
+        service, _ = fresh_service
+        with pytest.raises(ValueError, match="fit_deadline_seconds"):
+            RetrainExecutor(service, fit_deadline_seconds=0.0)
 
 
 class TestSamplerModeOverride:
