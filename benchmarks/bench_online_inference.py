@@ -14,7 +14,9 @@ overlay-staged frozen embedding, nearest-centroid classify — which is the
 per-record cost a production deployment pays for every fingerprint it has
 not seen before.  The trajectory of that number across PRs is recorded in
 ``benchmarks/results/online_inference_history.jsonl`` (the cold path went
-mutation-free in PR 5: overlay graphs instead of insert-embed-remove churn).
+mutation-free in PR 5: overlay graphs instead of insert-embed-remove churn;
+PR 10 added the process compute pool, measured here as a batched cold run
+through ``compute_workers=N`` against the in-process path).
 
 Run standalone (``--smoke`` for the CI-sized variant) or via pytest; both
 print one machine-readable JSON summary line prefixed ``BENCH_JSON``, like
@@ -26,7 +28,11 @@ from __future__ import annotations
 
 import argparse
 import json
+import multiprocessing
+import os
+import pickle
 import time
+from dataclasses import replace
 from pathlib import Path
 
 from repro.core import GRAFICS, GraficsConfig, EmbeddingConfig, build_graph
@@ -83,6 +89,68 @@ def measure_cold_serving(models: dict, dataset, probes, cold_predicts: int,
             for name, seconds in best.items()}
 
 
+def measure_pool_cold_path(model, dataset, probes, cold_predicts: int,
+                           workers: int, repeats: int = 3) -> dict:
+    """Cold batched predictions through the compute pool vs in-process.
+
+    Both services run the same uncached ``predict_batch`` workload — one
+    miss group chunked across the pool's worker processes (PR 10) versus
+    the single-threaded in-process compute path — in alternating best-of-N
+    passes, same drift discipline as :func:`measure_cold_serving`.  Probe
+    copies get unique record ids so every prediction is a distinct cold
+    record, and the pooled output is checked byte-for-byte against the
+    in-process reference (per prediction: the pool's contract is identical
+    *values*, not identical cross-record object sharing).
+
+    Snapshot shipping happens once per worker during the identity pass, so
+    the timed passes see the steady state a long-lived deployment pays:
+    dispatch + records over the pipe, compute in the worker, results back.
+    """
+    batch = [replace(probes[i % len(probes)], record_id=f"pool-{i:05d}")
+             for i in range(cold_predicts)]
+    start_method = ("fork"
+                    if "fork" in multiprocessing.get_all_start_methods()
+                    else "spawn")
+
+    def make(num_workers: int) -> FloorServingService:
+        registry = MultiBuildingFloorService(CONFIG)
+        registry.install_model(dataset.building_id, model)
+        kwargs: dict = {"enable_cache": False,
+                        "compute_workers": num_workers}
+        if num_workers:
+            kwargs["compute_start_method"] = start_method
+        return FloorServingService(registry=registry,
+                                   config=ServingConfig(**kwargs))
+
+    inproc = make(0)
+    pooled = make(workers)
+    try:
+        expected = inproc.predict_batch(batch)    # warm-up + reference
+        got = pooled.predict_batch(batch)         # ships snapshots
+        identical = (len(got) == len(expected) and all(
+            pickle.dumps(a) == pickle.dumps(b)
+            for a, b in zip(got, expected)))
+        best: dict = {"inproc": None, "pool": None}
+        for _ in range(repeats):
+            for name, service in (("inproc", inproc), ("pool", pooled)):
+                start = time.perf_counter()
+                service.predict_batch(batch)
+                seconds = time.perf_counter() - start
+                if best[name] is None or seconds < best[name]:
+                    best[name] = seconds
+    finally:
+        pooled.close()
+    return {"workers": workers,
+            "start_method": start_method,
+            "identical": identical,
+            "records": cold_predicts,
+            "seconds": round(best["pool"], 4),
+            "records_per_s": round(cold_predicts / best["pool"], 1),
+            "inprocess_records_per_s": round(cold_predicts / best["inproc"],
+                                             1),
+            "speedup": round(best["inproc"] / best["pool"], 2)}
+
+
 def measure_traced_cold_path(model, dataset, probes, cold_predicts: int,
                              artifacts_dir: str | None = None) -> dict:
     """The cold serving path again, with the observability layer enabled.
@@ -128,8 +196,11 @@ def measure_traced_cold_path(model, dataset, probes, cold_predicts: int,
         obs.disable()
 
 
-def run(sizes, label, dataset=None, artifacts_dir: str | None = None) -> dict:
+def run(sizes, label, dataset=None, artifacts_dir: str | None = None,
+        pool_workers: int | None = None) -> dict:
     """Measure online inference vs full refit; print + persist the table."""
+    if pool_workers is None:
+        pool_workers = max(1, min(4, os.cpu_count() or 1))
     if dataset is None:
         dataset = three_story_campus_building(
             records_per_floor=sizes["records_per_floor"], seed=7)
@@ -160,6 +231,8 @@ def run(sizes, label, dataset=None, artifacts_dir: str | None = None) -> dict:
                                         sizes["cold_predicts"])
     cold = cold_by_mode["exact"]
     delta_cold = cold_by_mode["delta"]
+    pool = measure_pool_cold_path(model, dataset, probes,
+                                  sizes["cold_predicts"], pool_workers)
     traced = measure_traced_cold_path(model, dataset, probes,
                                       sizes["cold_predicts"],
                                       artifacts_dir=artifacts_dir)
@@ -199,6 +272,11 @@ def run(sizes, label, dataset=None, artifacts_dir: str | None = None) -> dict:
          "value": round(delta_speedup, 2)},
         {"approach": "alias-table build share, delta sampler",
          "value": delta_traced["stage_shares"].get("embed.alias_build", 0.0)},
+        {"approach": f"pooled cold batch, {pool['workers']} worker(s) "
+                     f"(records/s)",
+         "value": pool["records_per_s"]},
+        {"approach": "pool-vs-in-process batch speedup (x)",
+         "value": pool["speedup"]},
     ]
     save_table("online_inference_latency", rows,
                columns=["approach", "value"],
@@ -212,6 +290,12 @@ def run(sizes, label, dataset=None, artifacts_dir: str | None = None) -> dict:
                "delta_cold_path": delta_cold,
                "delta_traced_cold_path": delta_traced,
                "delta_speedup": round(delta_speedup, 2),
+               "pool_cold_path": {key: pool[key]
+                                  for key in ("records", "seconds",
+                                              "records_per_s",
+                                              "inprocess_records_per_s")},
+               "pool_workers": pool["workers"],
+               "pool_speedup": pool["speedup"],
                "floor_accuracy": accuracy}
     print("BENCH_JSON " + json.dumps(summary))
 
@@ -228,6 +312,21 @@ def run(sizes, label, dataset=None, artifacts_dir: str | None = None) -> dict:
     # the committed baseline; this catches a delta path that stopped
     # paying for itself at all).
     assert delta_speedup > 1.05
+    # Pool correctness is non-negotiable: chunked multi-process compute
+    # must reproduce the in-process bytes exactly.  The speed floors are
+    # deliberately loose — this container has a single CPU, so workers=1
+    # only has to show the dispatch overhead is modest; a genuinely
+    # parallel host (spare core per worker) must show real speedup.
+    assert pool["identical"], "pooled predictions diverged from in-process"
+    if pool["workers"] == 1:
+        assert pool["speedup"] >= 0.7, pool
+    elif (os.cpu_count() or 1) > pool["workers"] and pool["records"] >= 100:
+        # Full-size batch on a host with a spare core per worker: the pool
+        # must pay for itself.  Smoke batches are too small to amortise
+        # dispatch, so they only get the sanity floor below.
+        assert pool["speedup"] >= 1.2, pool
+    else:
+        assert pool["speedup"] >= 0.6, pool
     return summary
 
 
@@ -243,9 +342,12 @@ def main(argv=None) -> int:
     parser.add_argument("--obs-artifacts", metavar="DIR", default=None,
                         help="write traced spans (JSONL) and metrics "
                              "snapshots from the traced cold-path run here")
+    parser.add_argument("--pool-workers", type=int, default=None,
+                        help="compute-pool workers for the pooled cold-path "
+                             "measurement (default: min(4, cpu count))")
     args = parser.parse_args(argv)
     run(SMOKE if args.smoke else FULL, "smoke" if args.smoke else "full",
-        artifacts_dir=args.obs_artifacts)
+        artifacts_dir=args.obs_artifacts, pool_workers=args.pool_workers)
     return 0
 
 

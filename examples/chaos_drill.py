@@ -16,6 +16,12 @@ continuous-learning pipeline and walks it through two failure domains:
   power-cut artifact).  ``resume()`` detects the corruption via the
   stored SHA-256 digest, falls back to the retained last-good generation
   and replays the lost segment to byte-identical results.
+* **Act 3 — compute-pool worker killed mid-request.**  A serving stack
+  with ``compute_workers=1`` has its worker hard-killed (``os._exit``)
+  while computing a micro-batch: the batch surfaces as retryable
+  rejections — never a hang — the pool respawns the worker and re-ships
+  the model snapshot, and re-submitting the same records yields
+  predictions byte-identical to an undisturbed control service.
 
 Every fault is scheduled by hit count from a seeded plan, so the whole
 drill is reproducible run to run — the same property the chaos tests in
@@ -24,6 +30,8 @@ drill is reproducible run to run — the same property the chaos tests in
 
 from __future__ import annotations
 
+import multiprocessing
+import pickle
 import tempfile
 from pathlib import Path
 
@@ -32,6 +40,7 @@ from repro import (
     EmbeddingConfig,
     FloorServingService,
     GraficsConfig,
+    ServingConfig,
     SignalRecord,
     StreamConfig,
     faults,
@@ -170,12 +179,56 @@ def act_two(pipeline, split, checkpoint_dir):
     print(f"  replayed the lost segment: predictions identical = {identical}")
 
 
+def act_three(split):
+    print("=== Act 3: compute-pool worker killed mid-request ===")
+    config = GraficsConfig(embedding=EmbeddingConfig(samples_per_edge=8.0,
+                                                     seed=0),
+                           allow_unreachable_clusters=True)
+    start_method = ("fork" if "fork" in multiprocessing.get_all_start_methods()
+                    else "spawn")
+    serving = ServingConfig(max_batch_size=4, enable_cache=False,
+                            compute_workers=1,
+                            compute_start_method=start_method)
+    control = FloorServingService(grafics_config=config)
+    pooled = FloorServingService(grafics_config=config, config=serving)
+    dataset = small_test_building(num_floors=2, records_per_floor=25,
+                                  aps_per_floor=10, seed=50,
+                                  building_id="bldg-A")
+    for service in (control, pooled):
+        service.fit_building(dataset.subset(split.train_records),
+                             split.labels)
+    probes = [r.without_floor() for r in split.test_records[:4]]
+
+    plan = FaultPlan(seed=0).kill("serve.compute", hits=[1])
+    with faults.active(plan):
+        for probe in probes:
+            pooled.submit(probe)
+        results = pooled.drain()
+    rejected = sum(1 for r in results if r.source == "rejected")
+    restarts = pooled.telemetry.counter("compute_pool_worker_restarts_total")
+    print(f"  worker hard-killed mid-batch: {rejected}/{len(results)} "
+          f"requests rejected (retryable), worker restarts: {restarts}")
+
+    for probe in probes:
+        control.submit(probe)
+        pooled.submit(probe)
+    expected = {r.record_id: r.prediction for r in control.drain()}
+    redo = {r.record_id: r.prediction for r in pooled.drain()}
+    identical = (redo.keys() == expected.keys() and all(
+        pickle.dumps(redo[k]) == pickle.dumps(expected[k])
+        for k in expected))
+    print(f"  resubmitted after respawn: predictions byte-identical to "
+          f"undisturbed control = {identical}")
+    pooled.close()
+
+
 def main():
     clock = ManualClock()
     pipeline, split = build_pipeline(clock)
     act_one(pipeline, split, clock)
     with tempfile.TemporaryDirectory() as tmp:
         act_two(pipeline, split, Path(tmp) / "ckpt")
+    act_three(split)
     print("chaos drill complete: injected faults, degraded truthfully, "
           "recovered cleanly")
 

@@ -144,6 +144,26 @@ class BipartiteGraph:
         self._mac_map_cache: tuple[int, dict[str, int]] | None = None
         self._mac_vocabulary_cache: tuple[int, frozenset[str]] | None = None
 
+    # ------------------------------------------------------------------ pickling
+    def __getstate__(self) -> dict:
+        """Pickle support: the flush lock is process-local, not state.
+
+        A pickled graph is the serialization seam of the compute-pool /
+        process-per-shard path: read-only model snapshots ship to worker
+        processes once per generation.  Everything else round-trips by
+        value (arrays, adjacency dicts, version counter), so the restored
+        graph is bit-identical to the source — including the version-keyed
+        caches, which stay valid because they travel with the version they
+        were built against.
+        """
+        state = self.__dict__.copy()
+        state["_degree_flush_lock"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._degree_flush_lock = threading.Lock()
+
     # ------------------------------------------------------------------ nodes
     @property
     def num_nodes(self) -> int:

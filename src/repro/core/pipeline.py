@@ -203,6 +203,22 @@ class GRAFICS:
         self._engine = None
         return self
 
+    # ------------------------------------------------------------------ pickling
+    def __getstate__(self) -> dict:
+        """Pickle support: ship a fitted model as a read-only snapshot.
+
+        The lazily-built online engine holds per-thread scratch buffers
+        (process-local by design) and is fully reconstructible from the
+        graph + embedding + cluster model, so it is dropped rather than
+        serialized; the restored model rebuilds it on first use and —
+        because online inference is deterministic — predicts byte-identically
+        to the source model.  This is what lets compute-pool workers hold
+        pickled model snapshots keyed by ``(building, generation)``.
+        """
+        state = self.__dict__.copy()
+        state["_engine"] = None
+        return state
+
     @property
     def is_fitted(self) -> bool:
         return self.cluster_model is not None

@@ -24,7 +24,7 @@ from pathlib import Path
 from .plan import FaultPlan
 
 __all__ = ["SITES", "install", "uninstall", "enabled", "active_plan",
-           "active", "fire"]
+           "active", "fire", "evaluate"]
 
 #: Every injection site compiled into the stack.  Plans naming a site
 #: outside this set fail at install time, so a typo'd spec can't silently
@@ -94,3 +94,19 @@ def fire(site: str, path: str | Path | None = None,
     if plan is None:
         return
     plan.fire(site, path=path, building_id=building_id)
+
+
+def evaluate(site: str,
+             building_id: str | None = None) -> list[dict[str, object]] | None:
+    """One hit of ``site`` as picklable fault directives (compute-pool path).
+
+    Counts against the same process-global hit counter as :func:`fire`, so
+    a workload replays identically whether its ``serve.compute`` runs
+    in-process (fire) or in a pool worker (evaluate + worker-side
+    execution).  Same single-check null path as :func:`fire`: ``None``
+    while no plan is installed.
+    """
+    plan = _plan
+    if plan is None:
+        return None
+    return plan.evaluate(site, building_id=building_id)

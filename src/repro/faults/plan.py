@@ -207,14 +207,16 @@ class FaultPlan:
         """Every site this plan has specs for (validated at install time)."""
         return frozenset(self._specs)
 
-    def fire(self, site: str, path: str | Path | None = None,
-             building_id: str | None = None) -> None:
-        """Evaluate one hit of ``site``; act on every matching spec.
+    def _decide(self, site: str) -> tuple[int, list[tuple[_ArmedFault, float]]]:
+        """Count one hit of ``site`` and collect the specs that fire.
 
-        The decision (hit counting, RNG draws) happens under the plan lock;
-        the actions themselves — raising, sleeping, truncating — run
-        outside it so a latency fault on one thread never stalls another
-        thread's failpoint evaluation.
+        The decision (hit counting, RNG draws, ``fired`` recording) happens
+        under the plan lock; what to *do* about it is the caller's business
+        — :meth:`fire` acts in-process, :meth:`evaluate` turns the firing
+        specs into picklable directives a compute-pool worker executes on
+        the other side of a process boundary.  Either way the hit counter
+        and every RNG stream advance identically, so a workload replays the
+        same faults whether its compute runs in-process or pooled.
         """
         with self._lock:
             hit = self._hits.get(site, 0) + 1
@@ -230,8 +232,61 @@ class FaultPlan:
                                                  kind=spec.kind))
                     if spec.kind == "clock_jump":
                         self._clock_jump_pending += spec.delay_seconds
+            return hit, actions
+
+    def fire(self, site: str, path: str | Path | None = None,
+             building_id: str | None = None) -> None:
+        """Evaluate one hit of ``site``; act on every matching spec.
+
+        The actions themselves — raising, sleeping, truncating — run
+        outside the plan lock so a latency fault on one thread never stalls
+        another thread's failpoint evaluation.
+        """
+        hit, actions = self._decide(site)
         for spec, fraction in actions:
             self._act(spec, site, hit, fraction, path, building_id)
+
+    def evaluate(self, site: str,
+                 building_id: str | None = None) -> list[dict[str, object]]:
+        """One hit of ``site`` as picklable directives instead of actions.
+
+        Used by the compute pool: the *decision* stays in the parent (one
+        process-global hit counter, seeded RNG streams intact), while the
+        *effect* ships to whichever worker runs the computation — an
+        ``error`` directive raises :class:`FaultInjected` worker-side, a
+        ``latency`` directive sleeps there, and a ``kill`` directive hard-
+        exits the worker process (the pool-mode analogue of
+        :class:`ProcessKilled`: the process that dies at ``serve.compute``
+        is the one doing the computing).  Each fired spec is logged here,
+        exactly once, since workers have no parent-side logger.
+        """
+        from ..obs.log import log_event
+
+        hit, actions = self._decide(site)
+        directives: list[dict[str, object]] = []
+        for spec, _ in actions:
+            detail = {"site": site, "hit": hit, "kind": spec.kind}
+            if building_id is not None:
+                detail["building_id"] = building_id
+            if spec.kind == "clock_jump":
+                log_event("fault_injected", **detail,
+                          jump_seconds=spec.delay_seconds)
+                continue  # consumed by FaultyClock, nothing to ship
+            if spec.kind == "torn_write":
+                raise ValueError(
+                    f"torn_write fault at {site!r} cannot be dispatched to a "
+                    "compute-pool worker; this site does not write files")
+            message = spec.message or (f"injected {spec.kind} at {site!r} "
+                                       f"(hit {hit})")
+            if spec.kind == "latency":
+                log_event("fault_injected", **detail,
+                          delay_seconds=spec.delay_seconds)
+            else:
+                log_event("fault_injected", **detail, message=message)
+            directives.append({"kind": spec.kind,
+                               "delay_seconds": spec.delay_seconds,
+                               "message": message})
+        return directives
 
     def _act(self, spec: _ArmedFault, site: str, hit: int, fraction: float,
              path: str | Path | None, building_id: str | None) -> None:

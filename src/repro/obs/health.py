@@ -432,6 +432,46 @@ class HealthMonitor:
             value=hit_rate))
         return reasons, metrics
 
+    def _compute_pool_reasons(self, now: float) -> tuple[list[HealthReason],
+                                                         dict[str, float]]:
+        """Compute-pool dispatch and snapshot-shipping health (info only).
+
+        Reads the service-level counters the pool records (both the
+        one-lock and the sharded service construct their shared pool with
+        the service telemetry): recent dispatch rate, and what fraction of
+        dispatches reused a snapshot already resident on the worker rather
+        than re-shipping the pickled model.  A low snapshot hit rate means
+        swap churn is outpacing the shipping economics — worth surfacing,
+        but a cost observation, not a correctness problem — so the reason
+        is ``"info"`` severity and never moves a verdict.  Services
+        without a pool (``compute_workers=0``) emit nothing.
+        """
+        reasons: list[HealthReason] = []
+        metrics: dict[str, float] = {}
+        if getattr(self.service, "compute_pool", None) is None:
+            return reasons, metrics
+        subject = self._subjects[_SERVICE]
+        dispatches = subject.window_delta("compute_pool_dispatch_total", now)
+        if dispatches <= 0:
+            return reasons, metrics
+        ships = subject.window_delta("compute_pool_snapshot_ships_total", now)
+        restarts = subject.window_delta("compute_pool_worker_restarts_total",
+                                        now)
+        hit_rate = max(0.0, dispatches - ships) / dispatches
+        metrics["compute_pool_dispatch_rate"] = (
+            dispatches / self.policy.window_seconds)
+        metrics["compute_pool_snapshot_hit_rate"] = hit_rate
+        if restarts > 0:
+            metrics["compute_pool_recent_restarts"] = restarts
+        detail = (f"compute pool dispatched {dispatches:.0f} task(s) in the "
+                  f"last {self.policy.window_seconds:g}s; {hit_rate:.1%} "
+                  f"reused a resident model snapshot")
+        if restarts > 0:
+            detail += f"; {restarts:.0f} worker restart(s)"
+        reasons.append(HealthReason(code="compute_pool", severity="info",
+                                    detail=detail, value=hit_rate))
+        return reasons, metrics
+
     # -------------------------------------------------------------- scorecards
     def building_scorecard(self, building_id: str,
                            now: float) -> Scorecard:
@@ -460,7 +500,8 @@ class HealthMonitor:
         }
         for part_reasons, part_metrics in (
                 self._latency_reasons(subject, now),
-                self._cache_reasons(subject, now)):
+                self._cache_reasons(subject, now),
+                self._compute_pool_reasons(now)):
             reasons.extend(part_reasons)
             metrics.update(part_metrics)
         return Scorecard(
@@ -472,6 +513,9 @@ class HealthMonitor:
     def service_scorecard(self, now: float) -> Scorecard:
         subject = self._subjects[_SERVICE]
         reasons, metrics = self._rejection_reasons(subject, now)
+        pool_reasons, pool_metrics = self._compute_pool_reasons(now)
+        reasons.extend(pool_reasons)
+        metrics.update(pool_metrics)
         if self.pipeline is not None:
             # The registry-wide rejection latch has no building to pin.
             for kind in self.pipeline.drift.latched_kinds(None):

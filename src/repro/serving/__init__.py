@@ -16,11 +16,15 @@ stack able to front a large multi-building registry under heavy traffic:
   composing all of the above with per-building model hot swap;
 * :mod:`~repro.serving.sharding` — the same façade hash-partitioned across
   N :class:`Shard`\\ s, each with its own lock, cache partition, router
-  postings and telemetry (:class:`ShardedServingService`).
+  postings and telemetry (:class:`ShardedServingService`);
+* :mod:`~repro.serving.pool` — a persistent :class:`ComputePool` of worker
+  processes behind the cold path's plan/compute/commit split, scaling cold
+  serving with cores instead of GIL-bound threads (``compute_workers``).
 """
 
 from .batcher import Batch, MicroBatcher
 from .cache import PredictionCache, fingerprint_key
+from .pool import ComputePool, WorkerCrashError
 from .router import LinearScanRouter, MacInvertedRouter, Router, RoutingDecision
 from .service import FloorServingService, ServingConfig, ServingResult
 from .sharding import Shard, ShardedRouter, ShardedServingService, shard_index
@@ -29,6 +33,8 @@ from .telemetry import LatencyHistogram, ServingTelemetry
 __all__ = [
     "FloorServingService",
     "ShardedServingService",
+    "ComputePool",
+    "WorkerCrashError",
     "Shard",
     "ShardedRouter",
     "shard_index",

@@ -1,0 +1,527 @@
+"""Process-pool compute for the cold serving path.
+
+The plan/compute/commit split (PR 5) made the compute phase of cold
+serving mutation-free: between the serving locks, a prediction is pure
+function application against a read-only model snapshot, and its inputs
+(``SignalRecord`` batches) and outputs (``FloorPrediction`` lists) are
+plain picklable values.  That seam is exactly a process boundary —
+in-process threads stay GIL-bound no matter how many cores the host has,
+so this module puts a persistent :class:`ComputePool` of worker processes
+behind it:
+
+* **Workers hold read-only model snapshots** keyed by ``(building,
+  generation)``.  A snapshot ships (pickled) to a worker once per
+  generation; every later request for that model sends only the lightweight
+  record batch and receives the computed predictions back.  A hot swap
+  bumps the generation — the same fence idea as the retrain executor's
+  per-building generation fence — so stale snapshots are never served and
+  the superseded pickle is dropped worker-side.
+* **Plan and commit stay in the parent**, under the existing serving
+  locks: routing, cache lookups, the stale-swap cache guard and every
+  rejection path are byte-for-byte the code the in-process mode runs.
+  Only the engine work moves, so pooled predictions are byte-identical to
+  in-process ones (test-enforced) — online inference is deterministic and
+  a pickled model predicts exactly like its source.
+* **Large batches split across workers.**  ``independent=True`` inference
+  is per-record deterministic and independent of batch composition (the
+  invariant the cache and micro-batcher already rely on), so one miss
+  group chunks across the pool without changing a single output byte —
+  this is what converts cold `predict_batch` from a single-core ceiling
+  into a per-core-scaling path.
+* **Faults stay deterministic.**  The parent evaluates the
+  ``serve.compute`` failpoint (one process-global hit counter, seeded RNG
+  streams intact) and ships the resulting directives; the worker executes
+  them — raising :class:`~repro.faults.plan.FaultInjected`, sleeping, or
+  hard-exiting on a ``kill`` (the pool-mode analogue of ``ProcessKilled``:
+  the process that dies at ``serve.compute`` is the one computing).
+  Worker death is detected via the process sentinel, surfaces as
+  :class:`WorkerCrashError` (a retryable rejection on the micro-batched
+  path, never a hang), and the pool respawns the worker with a fresh
+  snapshot cache.
+
+The default start method is ``"spawn"``: safe regardless of what threads
+and locks the parent holds when a worker (re)starts, at the cost of
+roughly an interpreter start + import per worker, paid once per pool.
+``"fork"`` starts workers in milliseconds and is fine when the pool is
+created before serving threads exist, but a *respawn* after a worker
+crash forks a live multi-threaded parent — only opt in where that risk is
+understood.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue
+import threading
+import time
+from multiprocessing.connection import Connection, wait as connection_wait
+
+import numpy as np
+
+from ..faults import failpoints
+from ..obs import runtime as obs
+from ..obs.log import log_event
+
+__all__ = ["ComputePool", "WorkerCrashError"]
+
+#: Smallest chunk worth a dedicated dispatch: below this, IPC overhead
+#: outweighs the parallelism, so small groups ride in one task.
+MIN_CHUNK_RECORDS = 8
+
+
+class WorkerCrashError(RuntimeError):
+    """A pool worker died while computing a request.
+
+    Retryable: the pool has already respawned the worker by the time the
+    caller sees this, and the request's inputs are unmodified — on the
+    micro-batched path it surfaces as a rejected :class:`ServingResult`,
+    on the synchronous path it propagates to the caller to retry.
+    """
+
+
+def _execute_directives(directives) -> None:
+    """Run parent-evaluated fault directives on the worker side."""
+    from ..faults.plan import FaultInjected
+
+    for directive in directives or ():
+        kind = directive["kind"]
+        if kind == "kill":
+            # A real worker death, observable only from the parent via the
+            # process sentinel — like ProcessKilled, no worker-side handler
+            # may absorb it.
+            os._exit(17)
+        if kind == "latency":
+            time.sleep(directive["delay_seconds"])
+        elif kind == "error":
+            raise FaultInjected(directive["message"])
+
+
+def _pool_worker_main(conn: Connection, worker_index: int) -> None:
+    """Long-lived worker loop: receive tasks, compute, send results.
+
+    Holds at most one snapshot per building — a task carrying a newer
+    generation drops the superseded pickle before installing the new one,
+    so worker memory is bounded by the registry size, not by swap churn.
+    """
+    snapshots: dict[tuple[str, int], object] = {}
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return  # parent went away; nothing left to serve
+        if message[0] == "shutdown":
+            conn.close()
+            return
+        _, task_id, building_id, generation, model, records, directives = message
+        key = (building_id, generation)
+        if model is not None:
+            for stale in [k for k in snapshots if k[0] == building_id]:
+                del snapshots[stale]
+            snapshots[key] = model
+        snapshot = snapshots.get(key)
+        if snapshot is None:
+            conn.send(("err", task_id, RuntimeError(
+                f"worker {worker_index} has no snapshot for {key!r}")))
+            continue
+        try:
+            _execute_directives(directives)
+            start = time.perf_counter()
+            predictions = snapshot.predict_batch(list(records),
+                                                 independent=True)
+            seconds = time.perf_counter() - start
+        except Exception as error:  # shipped back, re-raised parent-side
+            try:
+                conn.send(("err", task_id, error))
+            except Exception:
+                conn.send(("err", task_id, RuntimeError(repr(error))))
+        else:
+            conn.send(("ok", task_id, predictions,
+                       {"compute_seconds": seconds,
+                        "records": len(predictions)}))
+
+
+def _canonicalize(predictions) -> None:
+    """Restore dtype-object identity on unpickled prediction embeddings.
+
+    Unpickling an ndarray yields a fresh ``dtype`` instance instead of
+    numpy's builtin singleton, so two chunks unpickled from two workers
+    carry two distinct (equal) dtype objects where the in-process path has
+    one.  Per-prediction bytes are unaffected, but a combined pickle of a
+    whole batch memoizes by identity and would differ.  Re-binding the
+    dtype by its string spec restores the singleton in place (no copy —
+    same itemsize), making pooled output byte-identical to in-process even
+    under whole-batch serialization.
+    """
+    for prediction in predictions:
+        embedding = getattr(prediction, "embedding", None)
+        if isinstance(embedding, np.ndarray):
+            embedding.dtype = np.dtype(embedding.dtype.str)
+
+
+class _Task:
+    """Parent-side handle for one dispatched chunk."""
+
+    __slots__ = ("done", "outcome")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.outcome: tuple | None = None  # ("ok", preds, stats) | ("err", e)
+
+    def resolve(self, outcome: tuple) -> None:
+        self.outcome = outcome
+        self.done.set()
+
+
+class _PoolCall:
+    """All chunks of one ``submit``; reassembles outputs in input order."""
+
+    __slots__ = ("_pool", "_tasks")
+
+    def __init__(self, pool: "ComputePool", tasks: list[_Task]) -> None:
+        self._pool = pool
+        self._tasks = tasks
+
+    def result(self) -> list:
+        predictions: list = []
+        error: BaseException | None = None
+        for task in self._tasks:
+            task.done.wait()
+            kind = task.outcome[0]
+            if kind == "ok":
+                _, chunk, stats = task.outcome
+                _canonicalize(chunk)
+                predictions.extend(chunk)
+                self._pool._record_chunk_stats(stats)
+            elif error is None:
+                error = task.outcome[1]
+        if error is not None:
+            raise error
+        return predictions
+
+
+class _Worker:
+    """One worker process plus its parent-side bookkeeping.
+
+    Outbound messages go through a FIFO ``outbox`` drained by a dedicated
+    sender thread rather than a direct ``conn.send``: a pickled model
+    snapshot can exceed the pipe buffer, and a blocking send under the
+    pool lock would deadlock against the collector (which needs the lock
+    to drain results the worker is itself blocked sending).  Enqueueing
+    under the pool lock keeps ship-before-use ordering; the sender thread
+    does the blocking I/O with no locks held.
+    """
+
+    __slots__ = ("index", "process", "conn", "shipped", "inflight",
+                 "outbox", "sender")
+
+    def __init__(self, index: int, process, conn: Connection) -> None:
+        self.index = index
+        self.process = process
+        self.conn = conn
+        #: ``(building, generation)`` snapshots this worker already holds.
+        self.shipped: set[tuple[str, int]] = set()
+        self.inflight: dict[int, _Task] = {}
+        self.outbox: queue.SimpleQueue = queue.SimpleQueue()
+        self.sender = threading.Thread(
+            target=self._send_loop, name=f"compute-pool-sender-{index}",
+            daemon=True)
+        self.sender.start()
+
+    def _send_loop(self) -> None:
+        while True:
+            message = self.outbox.get()
+            if message is None:
+                return
+            try:
+                self.conn.send(message)
+            except (BrokenPipeError, OSError):
+                # Worker death is observed (and the task failed/respawned)
+                # via the process sentinel; dropping the send is correct.
+                pass
+
+
+class ComputePool:
+    """Persistent worker processes computing cold-path predictions.
+
+    Parameters
+    ----------
+    workers:
+        Number of long-lived worker processes (must be >= 1; a serving
+        config of ``compute_workers=0`` means "no pool" and never
+        constructs one).
+    telemetry:
+        The owning service's :class:`~repro.serving.telemetry.
+        ServingTelemetry`.  The pool records its own counters there
+        (``compute_pool_dispatch_total``, ``compute_pool_snapshot_ships_
+        total``, ``compute_pool_worker_restarts_total``, the
+        ``compute_pool_queue_depth`` gauge) *and* aggregates worker-side
+        compute timings back into the parent registry (``batch_seconds``
+        observations, ``batches_total`` / ``batched_records_total``
+        counts), so ``/metrics`` shows one coherent view regardless of
+        where the compute ran.
+    start_method:
+        ``"spawn"`` (default, thread-safe respawns), ``"fork"`` or
+        ``"forkserver"`` where the platform offers them.
+    """
+
+    def __init__(self, workers: int, telemetry=None,
+                 start_method: str | None = None) -> None:
+        if workers < 1:
+            raise ValueError("a compute pool needs at least one worker")
+        start_method = start_method or "spawn"
+        if start_method not in multiprocessing.get_all_start_methods():
+            raise ValueError(
+                f"start method {start_method!r} is unavailable on this "
+                f"platform; choose from "
+                f"{multiprocessing.get_all_start_methods()}")
+        self._context = multiprocessing.get_context(start_method)
+        self.start_method = start_method
+        self.num_workers = workers
+        self.telemetry = telemetry
+        self._lock = threading.Lock()
+        self._closed = False
+        self._task_ids = iter(range(1, 2 ** 62))
+        #: building -> (generation, model); the strong model ref pins the
+        #: identity comparison (an ``is`` check against the snapshot taken
+        #: under the serving lock), so a generation can never be reused for
+        #: a different model object.
+        self._generations: dict[str, tuple[int, object]] = {}
+        self._workers: list[_Worker] = [self._spawn(i) for i in range(workers)]
+        # Collector: one daemon thread resolving results and watching
+        # sentinels, so worker death is detected even mid-request.
+        self._wake_recv, self._wake_send = self._context.Pipe(duplex=False)
+        self._collector = threading.Thread(target=self._collect,
+                                           name="compute-pool-collector",
+                                           daemon=True)
+        self._collector.start()
+
+    # ------------------------------------------------------------- lifecycle
+    def _spawn(self, index: int) -> _Worker:
+        parent_conn, child_conn = self._context.Pipe(duplex=True)
+        process = self._context.Process(
+            target=_pool_worker_main, args=(child_conn, index),
+            name=f"compute-pool-{index}", daemon=True)
+        process.start()
+        child_conn.close()
+        return _Worker(index, process, parent_conn)
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Shut the pool down; idempotent, fails any still-inflight tasks."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            workers = list(self._workers)
+            for worker in workers:
+                self._fail_inflight(worker, "compute pool closed")
+                worker.outbox.put(("shutdown",))
+                worker.outbox.put(None)
+        try:
+            self._wake_send.send(b"x")
+        except (BrokenPipeError, OSError):
+            pass
+        for worker in workers:
+            worker.sender.join(timeout=timeout)
+            worker.process.join(timeout=timeout)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=timeout)
+            worker.conn.close()
+        self._collector.join(timeout=timeout)
+
+    def __enter__(self) -> "ComputePool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -------------------------------------------------------------- dispatch
+    def submit(self, building_id: str, model, records,
+               directives=None) -> _PoolCall:
+        """Dispatch one miss group's compute; returns a waitable handle.
+
+        The group is split into at most ``num_workers`` chunks (none
+        smaller than :data:`MIN_CHUNK_RECORDS`), each sent to the
+        least-loaded worker — preferring, on ties, a worker that already
+        holds this ``(building, generation)`` snapshot so models ship as
+        rarely as possible.  Fault ``directives`` (parent-evaluated
+        ``serve.compute`` decisions) ride with the first chunk only: one
+        failpoint hit per group, exactly like the in-process path.
+        """
+        records = list(records)
+        chunks = self._chunk(records)
+        tasks: list[_Task] = []
+        with self._lock:
+            if self._closed:
+                raise WorkerCrashError("compute pool is closed")
+            generation = self._generation_for(building_id, model)
+            key = (building_id, generation)
+            for chunk_index, chunk in enumerate(chunks):
+                worker = min(
+                    self._workers,
+                    key=lambda w: (len(w.inflight), key not in w.shipped,
+                                   w.index))
+                payload_model = None
+                if key not in worker.shipped:
+                    payload_model = model
+                    worker.shipped.add(key)
+                    self._increment("compute_pool_snapshot_ships_total")
+                task = _Task()
+                task_id = next(self._task_ids)
+                worker.inflight[task_id] = task
+                tasks.append(task)
+                self._increment("compute_pool_dispatch_total")
+                worker.outbox.put((
+                    "task", task_id, building_id, generation,
+                    payload_model, chunk,
+                    directives if chunk_index == 0 else None))
+            self._set_queue_depth_locked()
+        return _PoolCall(self, tasks)
+
+    def compute(self, building_id: str, model, records,
+                directives=None) -> list:
+        """Blocking convenience: ``submit(...)`` + ``result()``."""
+        return self.submit(building_id, model, records,
+                           directives=directives).result()
+
+    def _chunk(self, records: list) -> list[list]:
+        if len(records) <= MIN_CHUNK_RECORDS or self.num_workers == 1:
+            return [records]
+        chunks = min(self.num_workers,
+                     max(1, len(records) // MIN_CHUNK_RECORDS))
+        size, remainder = divmod(len(records), chunks)
+        out, start = [], 0
+        for i in range(chunks):
+            end = start + size + (1 if i < remainder else 0)
+            out.append(records[start:end])
+            start = end
+        return out
+
+    def _generation_for(self, building_id: str, model) -> int:
+        entry = self._generations.get(building_id)
+        if entry is not None and entry[1] is model:
+            return entry[0]
+        generation = entry[0] + 1 if entry is not None else 1
+        self._generations[building_id] = (generation, model)
+        # Hot swap: superseded generations can never be requested again.
+        for worker in self._workers:
+            worker.shipped = {k for k in worker.shipped
+                              if k[0] != building_id}
+        return generation
+
+    # ------------------------------------------------------------- collector
+    def _collect(self) -> None:
+        while True:
+            with self._lock:
+                if self._closed:
+                    return
+                conns = {worker.conn: worker for worker in self._workers}
+                sentinels = {worker.process.sentinel: worker
+                             for worker in self._workers}
+            ready = connection_wait(
+                list(conns) + list(sentinels) + [self._wake_recv])
+            for item in ready:
+                if item is self._wake_recv:
+                    return  # close() woke us
+                worker = conns.get(item)
+                if worker is not None:
+                    try:
+                        message = worker.conn.recv()
+                    except (EOFError, OSError):
+                        self._handle_death(worker)
+                        continue
+                    self._resolve(worker, message)
+                    continue
+                worker = sentinels.get(item)
+                if worker is not None and not worker.process.is_alive():
+                    # Drain results the worker managed to send before dying.
+                    try:
+                        while worker.conn.poll():
+                            self._resolve(worker, worker.conn.recv())
+                    except (EOFError, OSError):
+                        pass
+                    self._handle_death(worker)
+
+    def _resolve(self, worker: _Worker, message: tuple) -> None:
+        kind, task_id = message[0], message[1]
+        with self._lock:
+            task = worker.inflight.pop(task_id, None)
+            self._set_queue_depth_locked()
+        if task is None:
+            return  # already failed by a death handler
+        if kind == "ok":
+            task.resolve(("ok", message[2], message[3]))
+        else:
+            task.resolve(("err", message[2]))
+
+    def _handle_death(self, worker: _Worker) -> None:
+        """A worker died: fail its inflight work, respawn it fresh."""
+        with self._lock:
+            if self._closed or self._workers[worker.index] is not worker:
+                return
+            exitcode = worker.process.exitcode
+            worker.outbox.put(None)
+            worker.conn.close()
+            replacement = self._spawn(worker.index)
+            self._workers[worker.index] = replacement
+            self._increment("compute_pool_worker_restarts_total")
+            # Fail the inflight work only after the respawn is recorded:
+            # a caller woken by the rejection must already see the restart
+            # counter and a live replacement worker.
+            self._fail_inflight(
+                worker,
+                f"compute pool worker {worker.index} died "
+                f"(exit code {exitcode}) mid-request; the request is "
+                "retryable and the worker has been respawned")
+            self._set_queue_depth_locked()
+        log_event("compute_pool_worker_restarted", worker=worker.index,
+                  exitcode=exitcode)
+
+    def _fail_inflight(self, worker: _Worker, message: str) -> None:
+        """Resolve every inflight task of ``worker`` as a crash (lock held)."""
+        inflight, worker.inflight = worker.inflight, {}
+        for task in inflight.values():
+            task.resolve(("err", WorkerCrashError(message)))
+
+    # ------------------------------------------------------------- telemetry
+    def _increment(self, name: str, amount: int = 1) -> None:
+        if self.telemetry is not None:
+            self.telemetry.increment(name, amount)
+
+    def _set_queue_depth_locked(self) -> None:
+        if self.telemetry is not None:
+            depth = sum(len(w.inflight) for w in self._workers)
+            self.telemetry.set_gauge("compute_pool_queue_depth", depth)
+
+    def _record_chunk_stats(self, stats: dict) -> None:
+        """Fold one chunk's worker-side measurements into parent telemetry."""
+        if self.telemetry is not None:
+            self.telemetry.observe("batch_seconds", stats["compute_seconds"])
+            self.telemetry.increment("batches_total")
+            self.telemetry.increment("batched_records_total",
+                                     stats["records"])
+        # Pre-aggregated worker span: visible in traces without the worker
+        # needing any parent-side tracer state.
+        obs.stage("serving.pool_compute", stats["compute_seconds"],
+                  {"records": stats["records"]})
+
+    def stats(self) -> dict[str, int | str]:
+        """Pool gauges for telemetry snapshots and scorecards."""
+        with self._lock:
+            return {
+                "workers": self.num_workers,
+                "start_method": self.start_method,
+                "queue_depth": sum(len(w.inflight) for w in self._workers),
+                "snapshots_tracked": len(self._generations),
+            }
+
+
+def pooled_compute_directives(building_id: str | None = None):
+    """Parent-side ``serve.compute`` failpoint evaluation for pool dispatch.
+
+    Counts the same process-global hit the in-process ``fire`` would, and
+    returns the picklable directives the worker must execute (or ``None``
+    on the disabled fast path).
+    """
+    return failpoints.evaluate("serve.compute", building_id=building_id)

@@ -45,6 +45,7 @@ from ..obs import runtime as obs
 from ..obs.log import log_event
 from .batcher import Batch, MicroBatcher
 from .cache import PredictionCache, fingerprint_key
+from .pool import ComputePool, WorkerCrashError
 from .router import MacInvertedRouter
 from .telemetry import ServingTelemetry
 
@@ -134,25 +135,46 @@ def _still_installed(registry: MultiBuildingFloorService, building_id: str,
 
 
 def _compute_plan(records: Sequence[SignalRecord], plan: _ServePlan,
-                  *, telemetry: ServingTelemetry) -> list[list]:
+                  *, telemetry: ServingTelemetry,
+                  pool: ComputePool | None = None) -> list[list]:
     """Run the planned engine work — *without* any serving lock.
 
     Online inference is mutation-free (overlay-based), so concurrent
     computations against one model snapshot need no mutual exclusion; only
     the thread-safe telemetry is touched.  Returns one prediction list per
     planned miss group, in plan order.
+
+    With a ``pool``, each miss group's engine work runs in worker
+    processes against the shipped model snapshot (byte-identical output:
+    ``independent=True`` inference is per-record deterministic and a
+    pickled model predicts exactly like its source).  The ``serve.compute``
+    failpoint is still evaluated here, in the parent — one hit per call,
+    same process-global counter as the in-process fire — but its effect
+    executes inside the worker computing the first miss group; a batch of
+    pure cache hits counts the hit with no compute left to fault.  The
+    pool records compute timings and batch counters itself, from the
+    workers' own measurements.
     """
     with obs.span("serving.compute") as compute_span:
-        failpoints.fire("serve.compute")
+        if pool is None:
+            directives = None
+            failpoints.fire("serve.compute")
+        else:
+            directives = failpoints.evaluate("serve.compute")
         outputs = []
         computed = 0
-        for _, model, miss in plan.misses:
+        for index, (building_id, model, miss) in enumerate(plan.misses):
             batch = [records[i] for i in miss]
-            with telemetry.time("batch_seconds"):
-                floor_predictions = model.predict_batch(batch,
-                                                        independent=True)
-            telemetry.increment("batches_total")
-            telemetry.increment("batched_records_total", len(batch))
+            if pool is None:
+                with telemetry.time("batch_seconds"):
+                    floor_predictions = model.predict_batch(batch,
+                                                            independent=True)
+                telemetry.increment("batches_total")
+                telemetry.increment("batched_records_total", len(batch))
+            else:
+                floor_predictions = pool.compute(
+                    building_id, model, batch,
+                    directives=directives if index == 0 else None)
             computed += len(batch)
             outputs.append(floor_predictions)
         compute_span.set("records", computed)
@@ -193,7 +215,8 @@ def _dispatch_batch(batch: Batch, *, lock,
                     registry: MultiBuildingFloorService,
                     cache: PredictionCache, telemetry: ServingTelemetry,
                     config: ServingConfig,
-                    buffer_result: Callable[[ServingResult], None]) -> None:
+                    buffer_result: Callable[[ServingResult], None],
+                    pool: ComputePool | None = None) -> None:
     """Run one released micro-batch through the engine; buffer its results.
 
     Shared by the one-lock service and every shard, for the same
@@ -236,16 +259,32 @@ def _dispatch_batch(batch: Batch, *, lock,
                            "before the request was dispatched")
                 return
         records = [record for record, _, _, _ in batch.items]
-        failpoints.fire("serve.compute", building_id=batch.building_id)
-        try:
-            with telemetry.time("batch_seconds"):
-                floor_predictions = model.predict_batch(records,
-                                                        independent=True)
-        except UnknownEnvironmentError as error:
-            reject_all(str(error))
-            return
-        telemetry.increment("batches_total")
-        telemetry.increment("batched_records_total", len(records))
+        if pool is None:
+            failpoints.fire("serve.compute", building_id=batch.building_id)
+            try:
+                with telemetry.time("batch_seconds"):
+                    floor_predictions = model.predict_batch(records,
+                                                            independent=True)
+            except UnknownEnvironmentError as error:
+                reject_all(str(error))
+                return
+            telemetry.increment("batches_total")
+            telemetry.increment("batched_records_total", len(records))
+        else:
+            # The parent decides the serve.compute hit (keeping the
+            # process-global fault counter deterministic); the worker
+            # computing the batch executes it.  A worker dying mid-batch
+            # surfaces as retryable rejections — never a hang — while the
+            # pool respawns the worker underneath.
+            directives = failpoints.evaluate("serve.compute",
+                                             building_id=batch.building_id)
+            try:
+                floor_predictions = pool.compute(batch.building_id, model,
+                                                 records,
+                                                 directives=directives)
+            except (UnknownEnvironmentError, WorkerCrashError) as error:
+                reject_all(str(error))
+                return
         telemetry.increment(f"batch_flush_{batch.reason}_total")
         telemetry.increment("predictions_total", len(records))
         with lock:
@@ -278,12 +317,29 @@ class ServingConfig:
     cache_ttl_seconds: float | None = None
     rss_quantum: float = 1.0
     enable_cache: bool = True
+    #: Cold-path compute processes.  0 (default) keeps today's in-process
+    #: path, byte-for-byte; N >= 1 puts a persistent
+    #: :class:`~repro.serving.pool.ComputePool` of N workers behind the
+    #: plan/compute/commit split — plan and commit stay in-process under
+    #: the serving locks, only the engine work crosses the process
+    #: boundary, and predictions stay byte-identical either way.
+    compute_workers: int = 0
+    #: Worker start method: ``None`` → ``"spawn"`` (always safe to respawn
+    #: after a crash).  ``"fork"`` starts workers far faster but forks a
+    #: possibly multi-threaded parent on respawn; opt in deliberately.
+    compute_start_method: str | None = None
 
     def __post_init__(self) -> None:
         # The other fields are validated by the components they configure;
         # the quantum would otherwise only fail on the first cached lookup.
         if self.rss_quantum <= 0.0:
             raise ValueError("rss_quantum must be positive")
+        if self.compute_workers < 0:
+            raise ValueError("compute_workers must be >= 0 "
+                             "(0 disables the compute pool)")
+        if self.compute_start_method is not None and self.compute_workers == 0:
+            raise ValueError("compute_start_method is only meaningful with "
+                             "compute_workers > 0")
 
 
 @dataclass(frozen=True)
@@ -324,10 +380,33 @@ class FloorServingService:
                                     max_delay_seconds=self.config.max_delay_seconds,
                                     clock=clock)
         self.telemetry = ServingTelemetry(clock=clock)
+        # Only a compute_workers > 0 config pays the worker-process
+        # startup cost; the default stays pool-free and byte-identical.
+        self.compute_pool: ComputePool | None = None
+        if self.config.compute_workers > 0:
+            self.compute_pool = ComputePool(
+                self.config.compute_workers, telemetry=self.telemetry,
+                start_method=self.config.compute_start_method)
         self._completed: list[ServingResult] = []
         # Deterministic request IDs (no RNG): minted at intake, threaded
         # through queued items into results and rejection paths.
         self._request_ids = itertools.count(1)
+
+    def close(self) -> None:
+        """Release the compute pool's worker processes, if any.
+
+        Idempotent.  Close when done serving: pooled compute after close
+        surfaces as :class:`~repro.serving.pool.WorkerCrashError`.  A
+        service with ``compute_workers=0`` has nothing to release.
+        """
+        if self.compute_pool is not None:
+            self.compute_pool.close()
+
+    def __enter__(self) -> "FloorServingService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # ----------------------------------------------------- building lifecycle
     @property
@@ -541,7 +620,8 @@ class FloorServingService:
             # this service no longer serialises behind the cache/batcher
             # bookkeeping.  Each miss group is served by the model that
             # was installed when it was planned (never a mix of two).
-            outputs = _compute_plan(records, plan, telemetry=self.telemetry)
+            outputs = _compute_plan(records, plan, telemetry=self.telemetry,
+                                    pool=self.compute_pool)
             with self._lock:
                 _commit_plan(routed, plan, outputs, registry=self.registry,
                              cache=self.cache, telemetry=self.telemetry,
@@ -638,7 +718,8 @@ class FloorServingService:
         _dispatch_batch(batch, lock=self._lock, registry=self.registry,
                         cache=self.cache, telemetry=self.telemetry,
                         config=self.config,
-                        buffer_result=lambda r: self._completed.append(r))
+                        buffer_result=lambda r: self._completed.append(r),
+                        pool=self.compute_pool)
 
     # ---------------------------------------------------------- observability
     def telemetry_snapshot(self) -> dict[str, object]:
@@ -647,4 +728,6 @@ class FloorServingService:
         snapshot["cache"] = self.cache.stats()
         snapshot["pending"] = self.batcher.pending_by_building()
         snapshot["buildings"] = len(self.registry.building_ids)
+        if self.compute_pool is not None:
+            snapshot["compute_pool"] = self.compute_pool.stats()
         return snapshot

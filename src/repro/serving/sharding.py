@@ -42,6 +42,7 @@ from ..faults import failpoints
 from ..obs.log import log_event
 from .batcher import Batch, MicroBatcher
 from .cache import PredictionCache, fingerprint_key
+from .pool import ComputePool
 from .router import MacInvertedRouter, Router, RoutingDecision
 from .service import (
     ServingConfig,
@@ -225,6 +226,16 @@ class ShardedServingService:
         self.router = ShardedRouter(self.shards,
                                     min_overlap=source.min_overlap)
         self.telemetry = ServingTelemetry(clock=clock)
+        # One pool shared by all shards: workers are a host-level resource
+        # (cores), not a per-shard one, and the generation-keyed snapshots
+        # are per building, so shards never collide in a worker's cache.
+        # Pool counters land in the service-level telemetry, which
+        # ``merged_snapshot`` already folds together with the shards'.
+        self.compute_pool: ComputePool | None = None
+        if self.config.compute_workers > 0:
+            self.compute_pool = ComputePool(
+                self.config.compute_workers, telemetry=self.telemetry,
+                start_method=self.config.compute_start_method)
         self._orphans_lock = threading.Lock()
         self._orphans: list[ServingResult] = []
         # Deterministic request IDs, minted at the sharded front door so a
@@ -238,6 +249,17 @@ class ShardedServingService:
                                          source.model_for(building_id),
                                          vocabulary=vocabulary)
             self.router.add_building(building_id, vocabulary)
+
+    def close(self) -> None:
+        """Release the shared compute pool's worker processes, if any."""
+        if self.compute_pool is not None:
+            self.compute_pool.close()
+
+    def __enter__(self) -> "ShardedServingService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # ----------------------------------------------------- building lifecycle
     def shard_for(self, building_id: str) -> Shard:
@@ -449,7 +471,8 @@ class ShardedServingService:
                                    registry=shard.registry, cache=shard.cache,
                                    telemetry=shard.telemetry,
                                    config=self.config, results=results)
-        outputs = _compute_plan(records, plan, telemetry=shard.telemetry)
+        outputs = _compute_plan(records, plan, telemetry=shard.telemetry,
+                                pool=self.compute_pool)
         with shard.lock:
             _commit_plan(routed, plan, outputs, registry=shard.registry,
                          cache=shard.cache, telemetry=shard.telemetry,
@@ -551,7 +574,8 @@ class ShardedServingService:
         _dispatch_batch(batch, lock=shard.lock, registry=shard.registry,
                         cache=shard.cache, telemetry=shard.telemetry,
                         config=self.config,
-                        buffer_result=lambda r: shard.completed.append(r))
+                        buffer_result=lambda r: shard.completed.append(r),
+                        pool=self.compute_pool)
 
     # ---------------------------------------------------------- observability
     def telemetry_snapshot(self) -> dict[str, object]:
@@ -587,4 +611,6 @@ class ShardedServingService:
         snapshot["buildings"] = len(self.building_ids)
         snapshot["shards"] = {str(shard.index): shard.stats()
                               for shard in self.shards}
+        if self.compute_pool is not None:
+            snapshot["compute_pool"] = self.compute_pool.stats()
         return snapshot

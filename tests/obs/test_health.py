@@ -321,3 +321,66 @@ class TestDeltaSamplerEffectiveness:
         clock.advance(5.0)
         card = monitor.report()["buildings"]["bldg-A"]
         assert card["reasons"] == []
+
+
+class TestComputePoolReason:
+    @staticmethod
+    def _pooled_sharded(clock):
+        service = FakeShardedService(clock, [["bldg-A"], ["bldg-B"]])
+        # The monitor duck-types the pool: any non-None attribute means the
+        # service dispatches cold compute to worker processes.
+        service.compute_pool = object()
+        return service
+
+    def test_info_reason_on_shard_scorecards(self, clock):
+        """Pool counters (recorded in the service-level telemetry) surface
+        as an info-severity ``compute_pool`` reason with dispatch rate and
+        snapshot hit rate — on every shard scorecard, never moving a
+        verdict."""
+        service = self._pooled_sharded(clock)
+        monitor = HealthMonitor(service, clock=clock)
+        service.telemetry.increment("compute_pool_dispatch_total", 20)
+        service.telemetry.increment("compute_pool_snapshot_ships_total", 2)
+        clock.advance(5.0)
+        report = monitor.report()
+        for name in ("shard0", "shard1"):
+            card = report["shards"][name]
+            assert card["status"] == "healthy"
+            (reason,) = card["reasons"]
+            assert reason["code"] == "compute_pool"
+            assert reason["severity"] == "info"
+            assert card["metrics"]["compute_pool_snapshot_hit_rate"] == \
+                pytest.approx(0.9)
+            assert card["metrics"]["compute_pool_dispatch_rate"] == \
+                pytest.approx(20.0 / monitor.policy.window_seconds)
+        service_card = report["service"]
+        assert service_card["status"] == "healthy"
+        assert any(r["code"] == "compute_pool"
+                   for r in service_card["reasons"])
+
+    def test_restarts_show_in_metrics_and_detail(self, clock):
+        service = self._pooled_sharded(clock)
+        monitor = HealthMonitor(service, clock=clock)
+        service.telemetry.increment("compute_pool_dispatch_total", 4)
+        service.telemetry.increment("compute_pool_worker_restarts_total", 1)
+        clock.advance(5.0)
+        card = monitor.report()["shards"]["shard0"]
+        assert card["metrics"]["compute_pool_recent_restarts"] == 1.0
+        (reason,) = card["reasons"]
+        assert "restart" in reason["detail"]
+
+    def test_silent_without_a_pool_or_without_dispatches(self, clock):
+        # No pool attribute at all (compute_workers=0 services).
+        bare = FakeShardedService(clock, [["bldg-A"]])
+        monitor = HealthMonitor(bare, clock=clock)
+        clock.advance(5.0)
+        card = monitor.report()["shards"]["shard0"]
+        assert card["reasons"] == []
+        assert "compute_pool_dispatch_rate" not in card["metrics"]
+        # Pool present but idle in the window: same silence.
+        idle = self._pooled_sharded(clock)
+        monitor = HealthMonitor(idle, clock=clock)
+        clock.advance(5.0)
+        card = monitor.report()["shards"]["shard0"]
+        assert card["reasons"] == []
+        assert "compute_pool_dispatch_rate" not in card["metrics"]
